@@ -1,0 +1,84 @@
+// Ablation: dynamic-graph triangle counting (edge-insertion stream).
+//
+// The paper's Section II motivation made concrete: edges arrive one at a
+// time ("immediate reflection of data changes"), the triangle count is
+// maintained incrementally, and each insertion performs one set
+// intersection with no cross-edge batching. The CAM's per-insertion cost
+// follows the shorter adjacency list; the merge baseline's follows the sum -
+// so the dynamic speedup exceeds the static Table IX numbers on skewed
+// graphs.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/common/random.h"
+#include "src/common/table.h"
+#include "src/graph/generators.h"
+#include "src/tc/dynamic_tc.h"
+
+using namespace dspcam;
+
+namespace {
+
+/// Shuffled undirected edge list of a generated graph.
+std::vector<graph::Edge> insertion_stream(const graph::CsrGraph& g, Rng& rng) {
+  auto edges = graph::undirected_edges(g);
+  for (std::size_t i = edges.size(); i > 1; --i) {
+    std::swap(edges[i - 1], edges[rng.next_below(i)]);
+  }
+  return edges;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "Ablation: incremental triangle counting over edge-insertion streams");
+
+  struct Workload {
+    const char* name;
+    graph::CsrGraph g;
+  };
+  Rng rng(4242);
+  std::vector<Workload> workloads;
+  workloads.push_back({"social (community)",
+                       graph::community_graph(4000, 88000, 80, 0.85, rng)});
+  workloads.push_back({"AS topology (hubs)", graph::hub_topology(6474, 90, rng)});
+  workloads.push_back({"road lattice", graph::road_network(120, 120, 0.03, 0.3, rng)});
+  workloads.push_back({"uniform random", graph::erdos_renyi(4000, 40000, rng)});
+
+  tc::DynamicTcModel::Config cam_cfg;
+  cam_cfg.engine = tc::DynamicEngine::kCam;
+  tc::DynamicTcModel::Config merge_cfg;
+  merge_cfg.engine = tc::DynamicEngine::kMerge;
+  const tc::DynamicTcModel cam(cam_cfg);
+  const tc::DynamicTcModel merge(merge_cfg);
+
+  TextTable t({"Stream", "Insertions", "Triangles", "CAM cyc/ins", "Merge cyc/ins",
+               "Speedup", "Static Table IX analogue"});
+  for (auto& w : workloads) {
+    const auto stream = insertion_stream(w.g, rng);
+    const auto rc = cam.run(w.g.num_vertices(), stream);
+    const auto rm = merge.run(w.g.num_vertices(), stream);
+    if (rc.triangles != rm.triangles) {
+      std::fprintf(stderr, "COUNT MISMATCH on %s\n", w.name);
+      return 1;
+    }
+    const char* analogue = "-";
+    if (std::string(w.name).find("social") != std::string::npos) analogue = "facebook ~5x";
+    if (std::string(w.name).find("AS") != std::string::npos) analogue = "as20000102 ~27x";
+    if (std::string(w.name).find("road") != std::string::npos) analogue = "roadNet ~2x";
+    t.add_row({w.name, TextTable::num(rc.edges_processed), TextTable::num(rc.triangles),
+               TextTable::num(rc.cycles_per_edge(), 1),
+               TextTable::num(rm.cycles_per_edge(), 1),
+               TextTable::num(rm.milliseconds() / rc.milliseconds(), 2) + "x",
+               analogue});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf(
+      "Each insertion reloads the CAM (no cross-edge batching), yet the CAM\n"
+      "still wins wherever lists are skewed: its cost tracks the shorter\n"
+      "list at 4 keys/cycle plus a 16-word/beat load, while the merge walks\n"
+      "both lists at one comparison per cycle. Road-like streams with tiny\n"
+      "lists are bounded by per-insertion overheads for both engines.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Ablation: result-encoding schemes (Table III's "Result Encoding").
+//
+// The block encoder is the main LUT consumer; this sweep quantifies each
+// scheme's cost and verifies each produces its advertised result form on a
+// live block with deliberately duplicated entries.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/cam/block.h"
+#include "src/common/table.h"
+#include "src/model/resources.h"
+
+using namespace dspcam;
+
+int main() {
+  bench::banner("Ablation: result-encoding schemes on a 128-cell block");
+
+  TextTable t({"Scheme", "LUTs", "Result for duplicated key", "Search lat (cy)"});
+  for (auto scheme : {cam::EncodingScheme::kPriorityIndex, cam::EncodingScheme::kOneHot,
+                      cam::EncodingScheme::kMatchCount}) {
+    cam::BlockConfig cfg;
+    cfg.cell.data_width = 32;
+    cfg.block_size = 128;
+    cfg.bus_width = 512;
+    cfg.encoding = scheme;
+    cam::CamBlock block(cfg);
+
+    // Store 7 at cells 2 and 5.
+    cam::BlockRequest upd;
+    upd.op = cam::OpKind::kUpdate;
+    upd.words = {1, 2, 7, 3, 4, 7};
+    block.issue(std::move(upd));
+    bench::step(block);
+
+    cam::BlockRequest srch;
+    srch.op = cam::OpKind::kSearch;
+    srch.key = 7;
+    block.issue(std::move(srch));
+    unsigned lat = 0;
+    for (unsigned cycle = 1; cycle <= 8; ++cycle) {
+      bench::step(block);
+      if (block.response().has_value()) {
+        lat = cycle;
+        break;
+      }
+    }
+    const auto& resp = *block.response();
+    std::string result;
+    switch (scheme) {
+      case cam::EncodingScheme::kPriorityIndex:
+        result = "first match @ cell " + std::to_string(resp.first_match);
+        break;
+      case cam::EncodingScheme::kOneHot:
+        result = "raw lines: cell2=" + std::to_string(resp.raw.test(2)) +
+                 " cell5=" + std::to_string(resp.raw.test(5)) +
+                 " (popcount " + std::to_string(resp.raw.count()) + ")";
+        break;
+      case cam::EncodingScheme::kMatchCount:
+        result = "match count = " + std::to_string(resp.match_count);
+        break;
+    }
+    t.add_row({cam::to_string(scheme), TextTable::num(model::block_resources(cfg).luts),
+               result, std::to_string(lat)});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf(
+      "One-hot is cheapest (wires plus the output register), the priority\n"
+      "encoder adds the index tree, and match-count adds a popcount tree;\n"
+      "latency is identical - the scheme changes wiring, not pipeline depth.\n");
+  return 0;
+}

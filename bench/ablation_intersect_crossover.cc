@@ -1,0 +1,94 @@
+// Ablation: where does the CAM intersection beat the merge intersection?
+//
+// The case study's core claim is that set intersection drops from O(n+m)
+// sequential comparisons to O(n) parallel searches (Section V-A). This
+// sweep isolates the *differential* per-edge cost of one intersection by
+// running each accelerator on the same graph with and without the edge
+// under test and subtracting the cycle counts, as a function of the two
+// adjacency-list lengths. It shows the crossover: for tiny lists per-edge
+// overheads dominate and the designs tie; as lists grow, the merge cost
+// grows with la+lb while the CAM cost grows with the key stream
+// min(la,lb)/lanes, bounded below by the DDR fetch.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/common/table.h"
+#include "src/graph/builder.h"
+#include "src/tc/cam_accel.h"
+#include "src/tc/merge_accel.h"
+
+using namespace dspcam;
+
+namespace {
+
+/// Builds a graph where vertices a=0 and b=1 have adjacency lengths la and
+/// lb (counting each other iff `with_edge`), sharing `common` neighbours.
+graph::CsrGraph two_list_graph(unsigned la, unsigned lb, unsigned common,
+                               bool with_edge) {
+  std::vector<graph::Edge> edges;
+  graph::VertexId next = 2;
+  for (unsigned i = 0; i < common; ++i) {
+    edges.emplace_back(0, next);
+    edges.emplace_back(1, next);
+    ++next;
+  }
+  // -1 leaves room for the (0,1) edge itself in the target length.
+  for (unsigned i = common; i + 1 < la; ++i) edges.emplace_back(0, next++);
+  for (unsigned i = common; i + 1 < lb; ++i) edges.emplace_back(1, next++);
+  if (with_edge) edges.emplace_back(0, 1);
+  return graph::build_undirected(next, edges);
+}
+
+/// Differential cycle cost of the (0,1) edge for one accelerator.
+template <typename Accel>
+std::uint64_t edge_cost(const Accel& accel, unsigned la, unsigned lb, unsigned common) {
+  const auto with = accel.run(two_list_graph(la, lb, common, true)).cycles;
+  const auto without = accel.run(two_list_graph(la, lb, common, false)).cycles;
+  return with > without ? with - without : 0;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "Ablation: differential per-edge intersection cost, merge vs CAM "
+      "(2048-entry CAM, 4 key lanes)");
+
+  const tc::MergeTcAccelerator merge;
+  const tc::CamTcAccelerator cam;
+
+  TextTable t({"|adj(a)|", "|adj(b)|", "Merge cycles/edge", "CAM cycles/edge",
+               "CAM speedup"});
+  for (unsigned l : {4u, 16u, 64u, 128u, 256u, 512u, 1024u, 2048u}) {
+    const auto cm = edge_cost(merge, l, l, l / 4);
+    const auto cc = edge_cost(cam, l, l, l / 4);
+    t.add_row({std::to_string(l), std::to_string(l), TextTable::num(cm),
+               TextTable::num(cc),
+               TextTable::num(static_cast<double>(cm) / static_cast<double>(cc), 2) +
+                   "x"});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+
+  bench::banner("Asymmetric lists (hub pattern: one long, one short)");
+  TextTable t2({"|adj(a)|", "|adj(b)|", "Merge cycles/edge", "CAM cycles/edge",
+                "CAM speedup"});
+  for (unsigned ll : {64u, 256u, 1024u, 2048u, 4096u}) {
+    const auto cm = edge_cost(merge, ll, 8, 4);
+    const auto cc = edge_cost(cam, ll, 8, 4);
+    t2.add_row({std::to_string(ll), "8", TextTable::num(cm), TextTable::num(cc),
+                TextTable::num(static_cast<double>(cm) / static_cast<double>(cc), 2) +
+                    "x"});
+  }
+  std::printf("%s\n", t2.to_string().c_str());
+  std::printf(
+      "Symmetric lists: the merge cost grows with la+lb while the CAM's key\n"
+      "stream grows with lb/lanes, so the gap approaches 4x (the key-lane\n"
+      "width) - then narrows again as the resident list consumes more CAM\n"
+      "blocks and the group count M falls below the lane count (1024 -> M=2,\n"
+      "2048 -> M=1): the grouping trade-off in one table. Asymmetric (hub)\n"
+      "lists are the best case: the long list sits in the CAM while only 8\n"
+      "keys stream through - the merge still walks the long list. That\n"
+      "asymmetry is exactly what dominates as20000102 and soc-Slashdot in\n"
+      "Table IX.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Ablation: triangle-counting scaling with DDR channels.
+//
+// The paper's comparison pins both accelerators to a single DDR channel
+// ("limited to a single DDR channel ... within a single SLR") but notes the
+// U250 "features four DDR4 memory channels ... providing ample external
+// memory bandwidth". This ablation lifts the constraint: with 1/2/4
+// channels striped, and the CAM's key-issue lanes provisioned to match
+// (4 lanes per channel; the M=16 grouping supports it), the CAM accelerator
+// converts bandwidth into throughput while the merge baseline cannot exceed
+// its one comparison per cycle no matter how fast memory gets. The headline
+// gap therefore *widens* with the memory system - the scalability argument
+// of Section VI.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/common/random.h"
+#include "src/common/table.h"
+#include "src/graph/generators.h"
+#include "src/tc/cam_accel.h"
+#include "src/tc/merge_accel.h"
+
+using namespace dspcam;
+
+int main() {
+  bench::banner("Ablation: TC execution vs DDR channel count (social stand-in)");
+
+  Rng rng(777);
+  const auto g = graph::community_graph(20000, 400000, 60, 0.85, rng);
+
+  TextTable t({"Channels", "Key lanes", "CAM (ms)", "Baseline (ms)", "Speedup"});
+  for (unsigned ch : {1u, 2u, 4u}) {
+    tc::CamTcAccelerator::Config cc;
+    cc.memory.channels = ch;
+    cc.key_lanes = 4 * ch;  // provision lanes with bandwidth (M = 16 allows it)
+    tc::MergeTcAccelerator::Config mc;
+    mc.memory.channels = ch;
+    const auto rc = tc::CamTcAccelerator(cc).run(g);
+    const auto rm = tc::MergeTcAccelerator(mc).run(g);
+    t.add_row({std::to_string(ch), std::to_string(cc.key_lanes),
+               TextTable::num(rc.milliseconds(), 3),
+               TextTable::num(rm.milliseconds(), 3),
+               TextTable::num(rm.milliseconds() / rc.milliseconds(), 2) + "x"});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf(
+      "The merge baseline is stuck at one comparison per cycle no matter how\n"
+      "fast memory gets; the CAM accelerator scales its key stream with the\n"
+      "provisioned bandwidth (up to the M = 16 group limit), widening the\n"
+      "gap - per-edge fixed costs are the next ceiling.\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Ablation: database semi-join filter, CAM vs hash table.
+//
+// The paper's introduction claims "database query acceleration" as a CAM
+// domain; this bench quantifies it for an IN-list / semi-join filter. The
+// CAM probes min(M, 4) keys per cycle with no hashing and no collisions;
+// the hash baseline probes ~1 key per cycle plus expected chain accesses.
+// The crossover appears when the build side outgrows the 2K-entry CAM and
+// partition passes multiply the probe cost.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/apps/semijoin.h"
+#include "src/common/random.h"
+#include "src/common/table.h"
+
+using namespace dspcam;
+
+int main() {
+  bench::banner("Ablation: semi-join filter (probe 1M rows), CAM vs hash");
+
+  Rng rng(606);
+  std::vector<std::uint32_t> probe(1'000'000);
+  for (auto& v : probe) v = static_cast<std::uint32_t>(rng.next_bits(20));
+
+  const apps::CamSemiJoin cam;
+  const apps::HashSemiJoin hash;
+
+  TextTable t({"Build keys", "CAM passes", "CAM (ms)", "Hash (ms)", "CAM speedup",
+               "Selectivity"});
+  for (std::uint64_t build_n : {256ull, 1024ull, 2048ull, 4096ull, 8192ull, 16384ull}) {
+    std::vector<std::uint32_t> build(build_n);
+    for (auto& v : build) v = static_cast<std::uint32_t>(rng.next_bits(20));
+    const auto rc = cam.run(build, probe);
+    const auto rh = hash.run(build, probe);
+    if (rc.matches != rh.matches) {
+      std::fprintf(stderr, "MATCH COUNT DISAGREEMENT\n");
+      return 1;
+    }
+    const std::uint64_t passes = (build_n + 2047) / 2048;
+    t.add_row({TextTable::num(build_n), TextTable::num(passes),
+               TextTable::num(rc.milliseconds(), 3), TextTable::num(rh.milliseconds(), 3),
+               TextTable::num(rh.milliseconds() / rc.milliseconds(), 2) + "x",
+               TextTable::num(100.0 * static_cast<double>(rc.matches) /
+                                  static_cast<double>(probe.size()),
+                              1) +
+                   "%"});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf(
+      "Build sides that fit the CAM probe ~4x faster than the hash pipeline\n"
+      "(4 key lanes, no chains); past 2K keys each partition pass replays\n"
+      "the whole probe column and the hash table wins - the same capacity\n"
+      "cliff the intersect-crossover ablation shows for graphs.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Ablation: sustained throughput vs update intensity, across CAM families.
+//
+// Section II's central challenge: "Many CAM architectures are optimized for
+// read-intensive operations with infrequent updates ... Frequent updates
+// result in increased latency and create bottlenecks". This bench
+// quantifies it: a stream of N operations with an update fraction u is
+// played against each family's latency/frequency model:
+//
+//   DSP-CAM (ours): updates and searches both pipeline at II = 1; the mix
+//                   does not matter (update 6 / search 7-8 cycles latency).
+//   LUTRAM TCAM:    searches pipeline, but each update blocks the table for
+//                   2^chunk + 6 cycles (transposed-table rewrite).
+//   BRAM CAM:       same structure with 2^7 + 1 = 129-cycle updates.
+//
+// The DSP CAM's line is flat; the others collapse as updates grow - the
+// quantitative form of the paper's Fig. 1 "performance" axis.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/baseline/bram_cam.h"
+#include "src/baseline/lut_cam.h"
+#include "src/common/table.h"
+#include "src/model/timing.h"
+
+using namespace dspcam;
+
+namespace {
+
+struct Family {
+  const char* name;
+  double freq_mhz;
+  double search_ii;  ///< Cycles per pipelined search.
+  double update_cost;///< Cycles the table is blocked per update.
+};
+
+double mops(const Family& f, double update_fraction, double ops = 1e6) {
+  const double cycles =
+      ops * ((1.0 - update_fraction) * f.search_ii + update_fraction * f.update_cost);
+  return ops / cycles * f.freq_mhz;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation: throughput vs update intensity (1024-entry tables)");
+
+  // 1024 x 32 configurations of each family.
+  cam::UnitConfig ours_cfg;
+  ours_cfg.block.cell.data_width = 32;
+  ours_cfg.block.block_size = 128;
+  ours_cfg.block.bus_width = 512;
+  ours_cfg.unit_size = 8;
+  ours_cfg.bus_width = 512;
+  const baseline::LutTcam lut({.entries = 1024, .width = 32});
+  const baseline::BramCam bram({.entries = 1024, .width = 32});
+
+  const Family families[] = {
+      {"DSP-CAM (ours)", model::unit_frequency_mhz(ours_cfg), 1.0, 1.0},
+      {"LUTRAM TCAM", lut.frequency_mhz(), 1.0,
+       static_cast<double>(lut.update_latency())},
+      {"BRAM CAM", bram.frequency_mhz(), 1.0,
+       static_cast<double>(bram.update_latency())},
+  };
+
+  TextTable t({"Update fraction", "DSP-CAM Mop/s", "LUTRAM Mop/s", "BRAM Mop/s",
+               "Ours vs LUTRAM", "Ours vs BRAM"});
+  for (double u : {0.0, 0.01, 0.05, 0.10, 0.25, 0.50, 1.0}) {
+    const double a = mops(families[0], u);
+    const double b = mops(families[1], u);
+    const double c = mops(families[2], u);
+    t.add_row({TextTable::num(u * 100, 0) + "%", TextTable::num(a, 0),
+               TextTable::num(b, 0), TextTable::num(c, 0),
+               TextTable::num(a / b, 1) + "x", TextTable::num(a / c, 1) + "x"});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf(
+      "Search-only streams favour the LUTRAM family's higher clock; from a\n"
+      "few percent of updates onward the DSP CAM dominates, and at the\n"
+      "update-heavy end (dynamic graphs, streaming dedup) the gap reaches\n"
+      "an order of magnitude - the paper's Section II argument in numbers.\n"
+      "(Update beats here move one word; the DSP CAM's wide bus additionally\n"
+      "carries 16 words/beat, which Table VI/VIII report as 4800 Mop/s.)\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Shared helpers for the table-reproduction bench binaries.
+#pragma once
+
+#include <cstdio>
+#include <optional>
+#include <string>
+
+#include "src/cam/unit.h"
+#include "src/common/table.h"
+
+namespace dspcam::bench {
+
+/// Prints a section banner.
+inline void banner(const std::string& title) {
+  std::printf("\n=== %s ===\n\n", title.c_str());
+}
+
+/// Formats "measured (paper X)" cells.
+inline std::string vs_paper(const std::string& measured, const std::string& paper) {
+  return measured + " (paper " + paper + ")";
+}
+
+/// Steps a self-clocking component one cycle.
+template <typename C>
+void step(C& c) {
+  c.eval();
+  c.commit();
+}
+
+/// Measures a CAM unit's end-to-end update latency in cycles: issue one
+/// update beat into an idle unit and count cycles until the ack appears.
+inline unsigned measure_unit_update_latency(cam::CamUnit& unit) {
+  cam::UnitRequest req;
+  req.op = cam::OpKind::kUpdate;
+  req.words = {42};
+  req.seq = 987654;
+  unit.issue(std::move(req));
+  for (unsigned cycle = 1; cycle <= 64; ++cycle) {
+    step(unit);
+    if (unit.update_ack().has_value() && unit.update_ack()->seq == 987654) {
+      return cycle;
+    }
+  }
+  return 0;
+}
+
+/// Measures a CAM unit's end-to-end search latency in cycles.
+inline unsigned measure_unit_search_latency(cam::CamUnit& unit, cam::Word key) {
+  cam::UnitRequest req;
+  req.op = cam::OpKind::kSearch;
+  req.keys = {key};
+  req.seq = 123456;
+  unit.issue(std::move(req));
+  for (unsigned cycle = 1; cycle <= 64; ++cycle) {
+    step(unit);
+    if (unit.response().has_value() && unit.response()->seq == 123456) {
+      return cycle;
+    }
+  }
+  return 0;
+}
+
+/// Verifies initiation interval 1 by streaming `ops` searches back-to-back
+/// and returning ops per cycle over the issue window (1.0 = fully pipelined).
+inline double measure_unit_search_ii(cam::CamUnit& unit, unsigned ops) {
+  unsigned responses = 0;
+  unsigned cycles = 0;
+  for (unsigned cyc = 0; responses < ops && cyc < ops + 64; ++cyc) {
+    if (cyc < ops) {
+      cam::UnitRequest req;
+      req.op = cam::OpKind::kSearch;
+      req.keys = {cyc};
+      req.seq = 1000000 + cyc;
+      unit.issue(std::move(req));
+    }
+    step(unit);
+    ++cycles;
+    if (unit.response().has_value()) ++responses;
+  }
+  // Subtract the pipeline fill to get the steady-state rate.
+  const unsigned steady = cycles > unit.search_latency() ? cycles - unit.search_latency() : 1;
+  return static_cast<double>(responses) / static_cast<double>(steady);
+}
+
+}  // namespace dspcam::bench

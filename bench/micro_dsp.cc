@@ -1,0 +1,64 @@
+// Host-side microbenchmarks of the DSP48E2 behavioral model (google-
+// benchmark). These measure the *simulator's* throughput, not the FPGA's -
+// they exist so regressions in the hot commit() path are caught.
+#include <benchmark/benchmark.h>
+
+#include "src/dsp/dsp48e2.h"
+
+using namespace dspcam;
+
+namespace {
+
+dsp::Dsp48e2Attributes cam_attrs() {
+  dsp::Dsp48e2Attributes a;
+  a.use_mult = false;
+  return a;
+}
+
+dsp::OpMode xor_mode() {
+  dsp::OpMode m;
+  m.x = dsp::XMux::kAB;
+  m.z = dsp::ZMux::kC;
+  return m;
+}
+
+void BM_DspXorCommit(benchmark::State& state) {
+  dsp::Dsp48e2 slice(cam_attrs());
+  slice.inputs().opmode = xor_mode().encode();
+  slice.inputs().alumode = 0b0100;
+  slice.inputs().a = 0x155;
+  slice.inputs().b = 0x2AAAA;
+  std::uint64_t key = 0;
+  for (auto _ : state) {
+    slice.inputs().c = ++key;
+    slice.inputs().ce_c = true;
+    slice.commit();
+    benchmark::DoNotOptimize(slice.outputs().pattern_detect);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DspXorCommit);
+
+void BM_DspMacCommit(benchmark::State& state) {
+  dsp::Dsp48e2Attributes a;
+  a.use_mult = true;
+  dsp::Dsp48e2 slice(a);
+  dsp::OpMode m;
+  m.x = dsp::XMux::kM;
+  m.y = dsp::YMux::kM;
+  m.z = dsp::ZMux::kP;
+  slice.inputs().opmode = m.encode();
+  slice.inputs().alumode = 0;
+  std::uint64_t v = 1;
+  for (auto _ : state) {
+    slice.inputs().a = v & 0x3FF;
+    slice.inputs().b = (v >> 3) & 0xFF;
+    ++v;
+    slice.commit();
+    benchmark::DoNotOptimize(slice.outputs().p);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DspMacCommit);
+
+}  // namespace

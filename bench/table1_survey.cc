@@ -1,0 +1,54 @@
+// Reproduces paper Table I: survey of recent CAM designs on FPGA.
+//
+// Prior rows are the literature's published numbers; the "Ours" row is this
+// reproduction's own model/measurement at the paper's maximum configuration
+// (9728 x 48 bits): resources from the calibrated system model, latencies
+// measured on the cycle-accurate CAM unit.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/cam/unit.h"
+#include "src/common/table.h"
+#include "src/model/survey.h"
+
+using namespace dspcam;
+
+namespace {
+
+std::string opt(std::int64_t v) { return v < 0 ? "-" : TextTable::num(static_cast<std::uint64_t>(v)); }
+
+}  // namespace
+
+int main() {
+  bench::banner("Table I: A survey of recent CAM designs on FPGA");
+
+  TextTable t({"Design", "Category", "Platform", "Max CAM size", "MHz", "LUT", "BRAM",
+               "DSP", "Upd (cy)", "Srch (cy)"});
+  for (const auto& e : model::full_survey()) {
+    t.add_row({e.name, model::to_string(e.category), e.platform,
+               TextTable::num(std::uint64_t{e.entries}) + " x " +
+                   std::to_string(e.width) + "b",
+               TextTable::num(e.freq_mhz, 0), opt(e.luts), opt(e.brams), opt(e.dsps),
+               opt(e.update_cycles), opt(e.search_cycles)});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+
+  // Verify the "Ours" latencies against the cycle-accurate unit at the
+  // maximum configuration (38 blocks x 256 cells x 48 bits).
+  cam::UnitConfig cfg;
+  cfg.block.cell.data_width = 48;
+  cfg.block.block_size = 256;
+  cfg.block.bus_width = 480;
+  cfg.unit_size = 38;
+  cfg.bus_width = 480;
+  cfg = cam::UnitConfig::with_auto_timing(cfg);
+  cam::CamUnit unit(cfg);
+  const unsigned upd = bench::measure_unit_update_latency(unit);
+  const unsigned srch = bench::measure_unit_search_latency(unit, 42);
+  std::printf(
+      "Cycle-accurate verification at 9728 x 48b: update latency = %u (paper 6),\n"
+      "search latency = %u (paper 8). 4 BRAMs in the survey row are the bus\n"
+      "interface FIFOs of the system wrapper.\n",
+      upd, srch);
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Reproduces paper Table V: CAM Cell Evaluation.
+//
+// Measures the cell's update and search latency in the cycle-accurate model
+// for all three CAM types and reports the (structural) resource footprint.
+// Expected: identical numbers across BCAM/TCAM/RMCAM - the configuration of
+// OPMODE/ALUMODE/MASK does not change the cell.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/cam/cell.h"
+#include "src/cam/mask.h"
+#include "src/common/table.h"
+#include "src/model/resources.h"
+
+using namespace dspcam;
+
+namespace {
+
+struct CellMeasurement {
+  unsigned update_latency = 0;
+  unsigned search_latency = 0;
+};
+
+CellMeasurement measure(cam::CamKind kind) {
+  cam::CellConfig cfg;
+  cfg.kind = kind;
+  cfg.data_width = 48;
+  cam::CamCell cell(cfg);
+
+  CellMeasurement m;
+  // Update: drive a write, count cycles until the stored word reads back.
+  const cam::Word value = 0xBEEF'CAFE'1234ULL & low_bits(48);
+  std::uint64_t mask = cam::width_mask(48);
+  if (kind == cam::CamKind::kTernary) mask = cam::tcam_mask(48, 0xFF);
+  if (kind == cam::CamKind::kRange) mask = cam::rmcam_mask(48, value & ~low_bits(4), 4);
+  cell.drive_write(value, mask);
+  for (unsigned cycle = 1; cycle <= 8; ++cycle) {
+    bench::step(cell);
+    if (cell.valid() && cell.stored() == truncate(value, 48)) {
+      m.update_latency = cycle;
+      break;
+    }
+  }
+  // Search: drive the matching key, count cycles until the match line rises.
+  cell.drive_search(value);
+  for (unsigned cycle = 1; cycle <= 8; ++cycle) {
+    bench::step(cell);
+    if (cell.match()) {
+      m.search_latency = cycle;
+      break;
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Table V: CAM Cell Evaluation (paper values in parentheses)");
+
+  TextTable t({"Cell type", "Storage", "Update lat (cy)", "Search lat (cy)", "DSP",
+               "LUT", "BRAM"});
+  for (auto kind :
+       {cam::CamKind::kBinary, cam::CamKind::kTernary, cam::CamKind::kRange}) {
+    const auto m = measure(kind);
+    cam::CellConfig cfg;
+    cfg.kind = kind;
+    cfg.data_width = 48;
+    const auto r = model::cell_resources(cfg);
+    t.add_row({cam::to_string(kind), "1 entry <= 48 bits",
+               bench::vs_paper(std::to_string(m.update_latency), "1"),
+               bench::vs_paper(std::to_string(m.search_latency), "2"),
+               bench::vs_paper(std::to_string(r.dsps), "1"),
+               bench::vs_paper(std::to_string(r.luts), "0"),
+               bench::vs_paper(std::to_string(r.brams), "0")});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf(
+      "Resource and latency are identical across the three cell types: the\n"
+      "OPMODE/ALUMODE/MASK configuration changes behaviour, not hardware.\n");
+  return 0;
+}

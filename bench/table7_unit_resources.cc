@@ -1,0 +1,69 @@
+// Reproduces paper Table VII (CAM Unit Configuration and Resource
+// Utilization) and prints Table IV (device capacity) for context.
+//
+// Unit sizes 512..9728 x 48 bits, block size 256, 480-bit bus (10x 48-bit
+// words on the 512-bit channel): LUTs and Fmax from the calibrated model
+// (anchored to the paper's numbers), DSP count structural.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/cam/config.h"
+#include "src/common/table.h"
+#include "src/model/device.h"
+#include "src/model/resources.h"
+#include "src/model/timing.h"
+
+using namespace dspcam;
+
+int main() {
+  bench::banner("Table IV: Resource capacity of AMD Alveo U250");
+  const auto dev = model::alveo_u250();
+  {
+    TextTable t({"Resource", "LUTs", "Registers", "BRAM", "URAM", "DSP"});
+    t.add_row({"Quantity", TextTable::num(dev.luts), TextTable::num(dev.registers),
+               TextTable::num(dev.bram), TextTable::num(dev.uram),
+               TextTable::num(dev.dsp)});
+    std::printf("%s\n", t.to_string().c_str());
+  }
+
+  bench::banner(
+      "Table VII: CAM Unit Configuration and Resource Utilization "
+      "(paper values in parentheses)");
+
+  struct PaperRow {
+    unsigned entries;
+    unsigned luts;
+    double mhz;
+  };
+  const PaperRow paper[] = {{512, 2491, 300},  {1024, 5072, 300}, {2048, 10167, 300},
+                            {4096, 20330, 265}, {6144, 29385, 252},
+                            {8192, 38191, 240}, {9728, 45244, 235}};
+
+  TextTable t({"CAM size", "LUTs", "LUT %", "DSPs", "DSP % (of usable)", "Freq (MHz)"});
+  for (const auto& row : paper) {
+    cam::UnitConfig cfg;
+    cfg.block.cell.data_width = 48;
+    cfg.block.block_size = 256;
+    cfg.block.bus_width = 480;
+    cfg.unit_size = row.entries / 256;
+    cfg.bus_width = 480;
+    cfg = cam::UnitConfig::with_auto_timing(cfg);
+    const auto res = model::unit_resources(cfg);
+    t.add_row(
+        {std::to_string(row.entries) + " x 48b",
+         bench::vs_paper(TextTable::num(res.luts), TextTable::num(row.luts)),
+         TextTable::num(model::utilisation_pct(res.luts, dev.luts), 2),
+         TextTable::num(res.dsps),
+         TextTable::num(model::utilisation_pct(res.dsps, model::kU250UsableDsps), 2),
+         bench::vs_paper(TextTable::num(model::unit_frequency_mhz(cfg), 0),
+                         TextTable::num(row.mhz, 0))});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf(
+      "At the maximum 9728 x 48b configuration the unit uses %.2f%% of the\n"
+      "U250's usable DSPs but only %.2f%% of its LUTs (paper: 79.25%% / "
+      "2.92%%).\n",
+      model::utilisation_pct(9728, model::kU250UsableDsps),
+      model::utilisation_pct(45244, dev.luts));
+  return 0;
+}

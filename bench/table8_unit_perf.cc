@@ -1,0 +1,79 @@
+// Reproduces paper Table VIII: CAM unit performance for 32-bit data.
+//
+// Unit sizes 128..8192, block size 256 (128 for the 128-entry unit), 512-bit
+// bus. Update and search latency are *measured* on the cycle-accurate unit
+// (randomly updating and searching a single value, as the paper does);
+// throughputs derive from the timing model's frequency with the measured
+// initiation interval of 1.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/cam/unit.h"
+#include "src/common/random.h"
+#include "src/common/table.h"
+#include "src/model/timing.h"
+
+using namespace dspcam;
+
+int main() {
+  bench::banner("Table VIII: CAM performance for 32-bit data (paper in parentheses)");
+
+  struct PaperRow {
+    unsigned entries;
+    unsigned update;
+    unsigned search;
+    unsigned upd_mops;
+    unsigned srch_mops;
+  };
+  const PaperRow paper[] = {{128, 6, 7, 4800, 300},
+                            {512, 6, 7, 4800, 300},
+                            {2048, 6, 8, 4800, 300},
+                            {4096, 6, 8, 4064, 254},
+                            {8192, 6, 8, 3840, 240}};
+
+  Rng rng(2025);
+  TextTable t({"CAM size", "Upd lat (cy)", "Srch lat (cy)", "Upd Mop/s", "Srch Mop/s",
+               "Search II"});
+  for (const auto& row : paper) {
+    cam::UnitConfig cfg;
+    cfg.block.cell.data_width = 32;
+    cfg.block.block_size = row.entries < 256 ? row.entries : 256;
+    cfg.block.bus_width = 512;
+    cfg.unit_size = row.entries / cfg.block.block_size;
+    cfg.bus_width = 512;
+    cfg = cam::UnitConfig::with_auto_timing(cfg);
+    cam::CamUnit unit(cfg);
+
+    // Randomly update a single value, then search it (the paper's protocol).
+    const cam::Word value = rng.next_bits(32);
+    const unsigned upd_lat = bench::measure_unit_update_latency(unit);
+    // The measured beat also stored `42`; search the random value after
+    // loading it.
+    {
+      cam::UnitRequest req;
+      req.op = cam::OpKind::kUpdate;
+      req.words = {value};
+      req.seq = 1;
+      unit.issue(std::move(req));
+      for (int i = 0; i < 10; ++i) bench::step(unit);
+    }
+    const unsigned srch_lat = bench::measure_unit_search_latency(unit, value);
+    const double ii = bench::measure_unit_search_ii(unit, 64);
+    const auto rates = model::unit_rates(cfg);
+
+    t.add_row({std::to_string(row.entries),
+               bench::vs_paper(std::to_string(upd_lat), std::to_string(row.update)),
+               bench::vs_paper(std::to_string(srch_lat), std::to_string(row.search)),
+               bench::vs_paper(TextTable::num(rates.update_mops, 0),
+                               TextTable::num(std::uint64_t{row.upd_mops})),
+               bench::vs_paper(TextTable::num(rates.search_mops, 0),
+                               TextTable::num(std::uint64_t{row.srch_mops})),
+               TextTable::num(ii, 2)});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf(
+      "Update latency is constant (simpler datapath); search latency gains a\n"
+      "cycle above 2K entries from the encoder output buffer; throughput is\n"
+      "f x 16 words (updates) and f x 1 key (searches) at II = 1.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Streaming duplicate detection with the CamDriver facade.
+//
+// A classic data-intensive CAM workload (the "networking / database"
+// motivation of the paper's introduction): a stream of flow signatures
+// arrives; each is searched in the CAM and inserted if new. Frequent
+// updates interleaved with searches is exactly the pattern LUTRAM/BRAM CAMs
+// handle poorly (38-129 cycle updates) and the DSP CAM handles at 6/7
+// cycles fully pipelined.
+#include <cstdio>
+
+#include "src/common/random.h"
+#include "src/system/driver.h"
+
+using namespace dspcam;
+
+int main() {
+  system::CamSystem::Config cfg;
+  cfg.unit.block.cell.data_width = 32;
+  cfg.unit.block.block_size = 128;
+  cfg.unit.block.bus_width = 512;
+  cfg.unit.unit_size = 8;  // 1024 flows
+  cfg.unit.bus_width = 512;
+  system::CamDriver cam(cfg);
+
+  // A synthetic flow stream: 4000 packets over ~600 distinct flows with a
+  // skewed popularity distribution (a few heavy hitters).
+  Rng rng(99);
+  std::vector<cam::Word> stream;
+  for (int i = 0; i < 4000; ++i) {
+    const double r = rng.next_double();
+    const auto flow = static_cast<cam::Word>(r * r * 600);
+    stream.push_back(0x10000 + flow);
+  }
+
+  std::uint64_t duplicates = 0;
+  std::uint64_t new_flows = 0;
+  std::uint64_t dropped = 0;
+  const auto start = cam.cycles();
+  for (const cam::Word sig : stream) {
+    if (cam.search(sig).hit) {
+      ++duplicates;
+    } else if (cam.store(std::span<const cam::Word>(&sig, 1)) == 1) {
+      ++new_flows;
+    } else {
+      ++dropped;  // table full
+    }
+  }
+  const auto cycles = cam.cycles() - start;
+
+  std::printf("Processed %zu packets: %llu duplicates, %llu new flows, %llu dropped\n",
+              stream.size(), static_cast<unsigned long long>(duplicates),
+              static_cast<unsigned long long>(new_flows),
+              static_cast<unsigned long long>(dropped));
+  std::printf("Simulated cycles: %llu (%.1f cycles/packet at this naive\n"
+              "search-then-insert serialisation; batch APIs pipeline to ~1)\n",
+              static_cast<unsigned long long>(cycles),
+              static_cast<double>(cycles) / static_cast<double>(stream.size()));
+  std::printf("At 300 MHz: %.3f ms for the whole stream\n",
+              static_cast<double>(cycles) / 300e3);
+
+  // Sanity: every flow id stored exactly once.
+  std::printf("Table occupancy: %u entries (distinct flows seen: %llu)\n",
+              cam.system().unit().stored_per_group(),
+              static_cast<unsigned long long>(new_flows));
+  return 0;
+}

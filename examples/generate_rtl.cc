@@ -1,0 +1,57 @@
+// RTL generation: the paper's template-based flow ("all the parameters can
+// be defined before the CAM unit is generated", Section III-D).
+//
+// Emits the Verilog for the triangle-counting case study's CAM (2K x 32b,
+// 16 blocks of 128, 512-bit bus) into ./generated_rtl/ and prints a summary
+// plus the resource/timing estimate for the same configuration.
+//
+// Usage: generate_rtl [output_dir]
+#include <algorithm>
+#include <cstdio>
+
+#include "src/codegen/verilog.h"
+#include "src/model/resources.h"
+#include "src/model/timing.h"
+
+using namespace dspcam;
+
+int main(int argc, char** argv) {
+  const std::string out_dir = argc > 1 ? argv[1] : "generated_rtl";
+
+  cam::UnitConfig cfg;
+  cfg.block.cell.kind = cam::CamKind::kBinary;
+  cfg.block.cell.data_width = 32;
+  cfg.block.block_size = 128;
+  cfg.block.bus_width = 512;
+  cfg.unit_size = 16;
+  cfg.bus_width = 512;
+  cfg = cam::UnitConfig::with_auto_timing(cfg);
+
+  codegen::VerilogOptions opt;
+  opt.top_name = "dsp_cam_unit_2k";
+  opt.header_comment = "Configuration: triangle-counting case study (Section V-B).";
+
+  const auto files = codegen::generate_unit_verilog(cfg, opt);
+  const unsigned written = codegen::write_files(files, out_dir);
+
+  std::printf("Generated %u RTL files for %s into %s/\n", written,
+              cfg.to_string().c_str(), out_dir.c_str());
+  for (const auto& [name, contents] : files) {
+    std::printf("  %-24s %5zu lines\n", name.c_str(),
+                static_cast<std::size_t>(
+                    std::count(contents.begin(), contents.end(), '\n')));
+  }
+
+  const auto res = model::unit_resources(cfg);
+  std::printf(
+      "\nExpected implementation (calibrated model): %llu DSP48E2, ~%llu LUTs,\n"
+      "%llu BRAM, ~%.0f MHz; update 6 cycles, search %u cycles.\n",
+      static_cast<unsigned long long>(res.dsps),
+      static_cast<unsigned long long>(res.luts),
+      static_cast<unsigned long long>(res.brams), model::unit_frequency_mhz(cfg),
+      cfg.block.output_buffer ? 8u : 7u);
+  std::printf(
+      "The emitted microarchitecture mirrors the cycle-accurate C++ model\n"
+      "stage for stage (see src/codegen/verilog.h).\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Runtime group reconfiguration and multi-query search (paper Section
+// III-C): the same CAM unit serves one large data set with one query
+// stream, then is reconfigured by the "user kernel" into 8 groups serving
+// 8 concurrent query streams over a smaller replicated data set.
+#include <cstdio>
+
+#include "src/cam/unit.h"
+
+using namespace dspcam;
+
+namespace {
+
+void clock_cycle(cam::CamUnit& unit) {
+  unit.eval();
+  unit.commit();
+}
+
+void load(cam::CamUnit& unit, std::initializer_list<cam::Word> words,
+          std::uint64_t seq) {
+  cam::UnitRequest req;
+  req.op = cam::OpKind::kUpdate;
+  req.words = words;
+  req.seq = seq;
+  unit.issue(std::move(req));
+  for (int i = 0; i < 10; ++i) clock_cycle(unit);
+}
+
+// Group reconfiguration requires an idle unit: run the clock until every
+// pipeline register has drained (a handful of cycles suffices).
+void drain(cam::CamUnit& unit) {
+  while (!unit.idle()) clock_cycle(unit);
+}
+
+void show_search(cam::CamUnit& unit, std::vector<cam::Word> keys, std::uint64_t seq) {
+  cam::UnitRequest req;
+  req.op = cam::OpKind::kSearch;
+  req.keys = std::move(keys);
+  req.seq = seq;
+  unit.issue(std::move(req));
+  while (!unit.response().has_value() || unit.response()->seq != seq) {
+    clock_cycle(unit);
+  }
+  std::printf("  beat #%llu:", static_cast<unsigned long long>(seq));
+  for (const auto& r : unit.response()->results) {
+    std::printf("  key %llu -> %s", static_cast<unsigned long long>(r.key),
+                r.hit ? "HIT" : "miss");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  cam::UnitConfig cfg;
+  cfg.block.cell.data_width = 32;
+  cfg.block.block_size = 128;
+  cfg.block.bus_width = 512;
+  cfg.unit_size = 8;  // 1024 entries
+  cfg.bus_width = 512;
+  cam::CamUnit unit(cfg);
+
+  std::printf("Phase 1: M = 1 group -> one query per cycle over 1024 entries\n");
+  load(unit, {10, 20, 30, 40, 50}, 1);
+  show_search(unit, {30}, 2);
+  show_search(unit, {31}, 3);
+
+  std::printf(
+      "\nPhase 2: user kernel reconfigures to M = 8 groups (contents clear,\n"
+      "each group now a 128-entry copy) -> 8 queries per cycle\n");
+  drain(unit);
+  unit.configure_groups(8);
+  load(unit, {10, 20, 30, 40, 50}, 4);
+  show_search(unit, {10, 20, 30, 40, 50, 60, 70, 10}, 5);
+
+  std::printf("\nPhase 3: back to M = 2 for deeper per-group capacity\n");
+  drain(unit);
+  unit.configure_groups(2);
+  load(unit, {111, 222}, 6);
+  show_search(unit, {111, 333}, 7);
+
+  std::printf(
+      "\nThroughput scales with M while the data set is replicated M times -\n"
+      "exactly the flexibility the triangle-counting accelerator exploits\n"
+      "(groups chosen per adjacency-list length).\n");
+  return 0;
+}

@@ -1,0 +1,125 @@
+#include "src/apps/lpm.h"
+
+#include "src/cam/mask.h"
+#include "src/common/bitops.h"
+#include "src/common/error.h"
+
+namespace dspcam::apps {
+
+namespace {
+
+LpmTable::Config default_config() {
+  LpmTable::Config cfg;
+  cfg.slots_per_length = 32;  // 33 * 32 = 1056 <= 2048 entries
+  cfg.cam.unit.block.cell.kind = cam::CamKind::kTernary;
+  cfg.cam.unit.block.cell.data_width = 32;
+  cfg.cam.unit.block.block_size = 128;
+  cfg.cam.unit.block.bus_width = 512;
+  cfg.cam.unit.unit_size = 16;
+  cfg.cam.unit.bus_width = 512;
+  return cfg;
+}
+
+system::CamSystem::Config validated(const LpmTable::Config& cfg) {
+  if (cfg.cam.unit.block.cell.kind != cam::CamKind::kTernary ||
+      cfg.cam.unit.block.cell.data_width != 32) {
+    throw ConfigError("LpmTable: needs a 32-bit ternary CAM");
+  }
+  auto base = cfg.cam;
+  base.unit.initial_groups = 1;  // slot index == global match address
+  if (cfg.slots_per_length == 0 ||
+      33ull * cfg.slots_per_length > base.unit.total_entries()) {
+    throw ConfigError("LpmTable: CAM too small for 33 x " +
+                      std::to_string(cfg.slots_per_length) + " slots");
+  }
+  return base;
+}
+
+}  // namespace
+
+LpmTable::LpmTable() : LpmTable(default_config()) {}
+
+LpmTable::LpmTable(const Config& cfg)
+    : cfg_(cfg), driver_(validated(cfg)), slots_(33ull * cfg.slots_per_length) {}
+
+std::optional<unsigned> LpmTable::find_route(std::uint32_t prefix, unsigned len) const {
+  const unsigned base = region_base(len);
+  for (unsigned s = base; s < base + cfg_.slots_per_length; ++s) {
+    if (slots_[s].occupied && slots_[s].prefix == prefix && slots_[s].len == len) {
+      return s;
+    }
+  }
+  return std::nullopt;
+}
+
+bool LpmTable::add_route(std::uint32_t prefix, unsigned len, std::uint32_t next_hop) {
+  if (len > 32) throw ConfigError("LpmTable: prefix length must be 0..32");
+  const std::uint32_t canonical =
+      len == 0 ? 0 : prefix & static_cast<std::uint32_t>(~low_bits(32 - len));
+  if (find_route(canonical, len).has_value()) return false;
+
+  const unsigned base = region_base(len);
+  unsigned slot = base;
+  while (slot < base + cfg_.slots_per_length && slots_[slot].occupied) ++slot;
+  if (slot == base + cfg_.slots_per_length) return false;  // region full
+
+  cam::UnitRequest req;
+  req.op = cam::OpKind::kUpdate;
+  req.words = {canonical};
+  req.masks = {cam::tcam_mask(32, low_bits(32 - len))};  // host bits don't-care
+  req.address = slot;
+  auto& sys = driver_.system();
+  while (!sys.try_submit(req)) {
+    sys.eval();
+    sys.commit();
+  }
+  for (unsigned guard = 0; guard < 256; ++guard) {
+    sys.eval();
+    sys.commit();
+    if (sys.try_pop_ack().has_value()) {
+      slots_[slot] = Slot{true, canonical, len, next_hop};
+      ++routes_;
+      return true;
+    }
+  }
+  throw SimError("LpmTable: route install ack never arrived");
+}
+
+bool LpmTable::remove_route(std::uint32_t prefix, unsigned len) {
+  if (len > 32) throw ConfigError("LpmTable: prefix length must be 0..32");
+  const std::uint32_t canonical =
+      len == 0 ? 0 : prefix & static_cast<std::uint32_t>(~low_bits(32 - len));
+  const auto slot = find_route(canonical, len);
+  if (!slot.has_value()) return false;
+
+  cam::UnitRequest req;
+  req.op = cam::OpKind::kInvalidate;
+  req.address = *slot;
+  auto& sys = driver_.system();
+  while (!sys.try_submit(req)) {
+    sys.eval();
+    sys.commit();
+  }
+  for (unsigned guard = 0; guard < 256; ++guard) {
+    sys.eval();
+    sys.commit();
+    if (sys.try_pop_ack().has_value()) {
+      slots_[*slot] = Slot{};
+      --routes_;
+      return true;
+    }
+  }
+  throw SimError("LpmTable: route removal ack never arrived");
+}
+
+std::optional<std::uint32_t> LpmTable::lookup(std::uint32_t address) {
+  const auto res = driver_.search(address);
+  if (!res.hit) return std::nullopt;
+  const auto& slot = slots_.at(res.global_address);
+  if (!slot.occupied) {
+    throw SimError("LpmTable: CAM matched an unoccupied slot");
+  }
+  return slot.next_hop;
+}
+
+}  // namespace dspcam::apps

@@ -1,0 +1,66 @@
+#include "src/baseline/bram_cam.h"
+
+#include <algorithm>
+
+#include "src/common/bitops.h"
+#include "src/common/error.h"
+#include "src/model/interp.h"
+
+namespace dspcam::baseline {
+
+BramCam::BramCam(const Config& cfg)
+    : cfg_(cfg), values_(cfg.entries, 0), valid_(cfg.entries, false) {
+  if (cfg_.entries == 0) throw ConfigError("BramCam: zero entries");
+  if (cfg_.width == 0) throw ConfigError("BramCam: zero width");
+  if (cfg_.chunk_bits < 5 || cfg_.chunk_bits > 12) {
+    throw ConfigError("BramCam: chunk bits must be 5..12 (BRAM depth)");
+  }
+}
+
+unsigned BramCam::update(std::uint32_t index, std::uint64_t value) {
+  if (index >= cfg_.entries) throw SimError("BramCam: index out of range");
+  values_[index] = value;
+  valid_[index] = true;
+  return update_latency();
+}
+
+BramCam::OpResult BramCam::search(std::uint64_t key) const {
+  OpResult r;
+  r.cycles = search_latency();
+  const unsigned w = std::min(cfg_.width, 64u);
+  for (std::uint32_t i = 0; i < cfg_.entries; ++i) {
+    if (valid_[i] && truncate(values_[i] ^ key, w) == 0) {
+      r.hit = true;
+      r.index = i;
+      return r;
+    }
+  }
+  return r;
+}
+
+void BramCam::reset() {
+  std::fill(valid_.begin(), valid_.end(), false);
+}
+
+model::ResourceUsage BramCam::resources() const {
+  model::ResourceUsage r;
+  const unsigned chunks = (cfg_.width + cfg_.chunk_bits - 1) / cfg_.chunk_bits;
+  const std::uint64_t bits_per_chunk =
+      static_cast<std::uint64_t>(1u << cfg_.chunk_bits) * cfg_.entries;
+  const std::uint64_t total_bits = static_cast<std::uint64_t>(chunks) * bits_per_chunk;
+  r.brams = (total_bits + 36863) / 36864;  // 36Kb tiles
+  // AND-reduce over chunk rows + priority encoder.
+  r.luts = static_cast<std::uint64_t>(cfg_.entries) * (chunks / 4 + 1) / 2 +
+           cfg_.entries / 2;
+  r.ffs = cfg_.entries + 4ULL * cfg_.width;
+  r.dsps = 0;
+  return r;
+}
+
+double BramCam::frequency_mhz() const {
+  // Survey range: 87 (PUMP-CAM, 1024x140) to 135 MHz (IO-CAM, 8192x32).
+  static const model::PiecewiseLinear curve({{512, 140}, {1024, 120}, {8192, 100}});
+  return std::max(curve(static_cast<double>(cfg_.entries)), 60.0);
+}
+
+}  // namespace dspcam::baseline

@@ -1,0 +1,74 @@
+#include "src/baseline/lut_cam.h"
+
+#include <algorithm>
+
+#include "src/common/bitops.h"
+#include "src/common/error.h"
+#include "src/model/interp.h"
+
+namespace dspcam::baseline {
+
+LutTcam::LutTcam(const Config& cfg)
+    : cfg_(cfg),
+      values_(cfg.entries, 0),
+      masks_(cfg.entries, 0),
+      valid_(cfg.entries, false) {
+  if (cfg_.entries == 0) throw ConfigError("LutTcam: zero entries");
+  if (cfg_.width == 0) throw ConfigError("LutTcam: zero width");
+  if (cfg_.chunk_bits == 0 || cfg_.chunk_bits > 6) {
+    throw ConfigError("LutTcam: chunk bits must be 1..6 (LUT6 fabric)");
+  }
+}
+
+unsigned LutTcam::update(std::uint32_t index, std::uint64_t value, std::uint64_t mask) {
+  if (index >= cfg_.entries) throw SimError("LutTcam: index out of range");
+  values_[index] = value;
+  masks_[index] = mask;
+  valid_[index] = true;
+  return update_latency();
+}
+
+LutTcam::OpResult LutTcam::search(std::uint64_t key) const {
+  OpResult r;
+  r.cycles = search_latency();
+  const unsigned w = std::min(cfg_.width, 64u);
+  for (std::uint32_t i = 0; i < cfg_.entries; ++i) {
+    if (!valid_[i]) continue;
+    if ((((values_[i] ^ key) & ~masks_[i]) & low_bits(w)) == 0) {
+      r.hit = true;
+      r.index = i;
+      return r;
+    }
+  }
+  return r;
+}
+
+void LutTcam::reset() {
+  std::fill(valid_.begin(), valid_.end(), false);
+}
+
+model::ResourceUsage LutTcam::resources() const {
+  model::ResourceUsage r;
+  const unsigned chunks = (cfg_.width + cfg_.chunk_bits - 1) / cfg_.chunk_bits;
+  const std::uint64_t table_bits =
+      static_cast<std::uint64_t>(chunks) * (1u << cfg_.chunk_bits) * cfg_.entries;
+  const std::uint64_t table_luts = table_bits / 64;  // LUT6 = 64 RAM bits
+  // AND-reduce across chunks + priority encoder, ~1 LUT per 4 entries per
+  // reduce level.
+  const std::uint64_t reduce_luts =
+      static_cast<std::uint64_t>(cfg_.entries) * (chunks / 4 + 1) / 2;
+  r.luts = table_luts + reduce_luts;
+  r.ffs = cfg_.entries + 2ULL * cfg_.width;
+  r.brams = 0;
+  r.dsps = 0;
+  return r;
+}
+
+double LutTcam::frequency_mhz() const {
+  // Representative LUT-family timing anchored to the survey: Frac-TCAM
+  // closes 357 MHz at 1024 entries; Scale-TCAM 139 MHz at 4096.
+  static const model::PiecewiseLinear curve({{512, 380}, {1024, 357}, {4096, 139}});
+  return std::max(curve(static_cast<double>(cfg_.entries)), 60.0);
+}
+
+}  // namespace dspcam::baseline

@@ -1,0 +1,185 @@
+#include "src/cam/block.h"
+
+#include "src/common/error.h"
+
+namespace dspcam::cam {
+
+CamBlock::CamBlock(const BlockConfig& cfg)
+    : cfg_(cfg), tags_(2), out_buf_(1) {
+  cfg_.validate();
+  cells_.reserve(cfg_.block_size);
+  for (unsigned i = 0; i < cfg_.block_size; ++i) {
+    cells_.push_back(std::make_unique<CamCell>(cfg_.cell));
+  }
+}
+
+void CamBlock::issue(BlockRequest request) {
+  switch (request.op) {
+    case OpKind::kIdle:
+      return;
+    case OpKind::kReset:
+      pending_reset_ = true;
+      return;
+    case OpKind::kInvalidate: {
+      if (pending_update_.has_value()) {
+        throw SimError("CamBlock: two update-class beats issued in one cycle");
+      }
+      if (!request.address.has_value() || *request.address >= cfg_.block_size) {
+        throw SimError("CamBlock: invalidate needs a cell address in range");
+      }
+      pending_update_ = std::move(request);
+      return;
+    }
+    case OpKind::kUpdate: {
+      if (pending_update_.has_value()) {
+        throw SimError("CamBlock: two update beats issued in one cycle");
+      }
+      if (request.address.has_value() &&
+          *request.address + request.words.size() > cfg_.block_size) {
+        throw SimError("CamBlock: addressed update runs past the block");
+      }
+      if (request.words.empty() || request.words.size() > cfg_.words_per_beat()) {
+        throw SimError("CamBlock: update beat carries " +
+                       std::to_string(request.words.size()) + " words; bus fits 1.." +
+                       std::to_string(cfg_.words_per_beat()));
+      }
+      if (!request.masks.empty() && request.masks.size() != request.words.size()) {
+        throw SimError("CamBlock: per-entry mask array must parallel the data words");
+      }
+      if (!request.masks.empty() && cfg_.cell.kind == CamKind::kBinary) {
+        throw SimError("CamBlock: binary CAM updates cannot carry per-entry masks");
+      }
+      pending_update_ = std::move(request);
+      return;
+    }
+    case OpKind::kSearch: {
+      if (pending_search_.has_value()) {
+        throw SimError("CamBlock: two search beats issued in one cycle");
+      }
+      pending_search_ = std::move(request);
+      return;
+    }
+  }
+}
+
+void CamBlock::hard_reset() {
+  for (auto& cell : cells_) cell->hard_clear();
+  fill_ = 0;
+  pending_update_.reset();
+  pending_search_.reset();
+  pending_reset_ = false;
+  in_reg_.reset();
+  tags_.clear();
+  out_buf_.clear();
+  response_.reset();
+  ack_.reset();
+}
+
+void CamBlock::apply_reset() {
+  for (auto& cell : cells_) cell->drive_clear();
+  fill_ = 0;
+  in_reg_.reset();
+  tags_.clear();
+  out_buf_.clear();
+  response_.reset();
+  ack_.reset();
+}
+
+void CamBlock::commit() {
+  // Reset clears contents and everything in flight. A search beat arriving
+  // in the same cycle travelled *behind* the reset in program order (the
+  // search path is one stage shorter than the update path carrying the
+  // reset), so it is logically younger: it proceeds below against the
+  // cleared array rather than being dropped.
+  if (pending_reset_) {
+    apply_reset();
+    pending_update_.reset();  // same pipe as the reset: cannot coexist
+    pending_reset_ = false;
+  }
+
+  // Search path: the broadcast register drives every cell one cycle after
+  // the beat arrived. Only the masked key word reaches the cells.
+  if (in_reg_ && in_reg_->op == OpKind::kSearch) {
+    for (auto& cell : cells_) cell->drive_search(in_reg_->key);
+  }
+
+  // Update path: the DeMUX writes this beat's words straight into the cells
+  // selected by the Cell Address Controller - or by the beat's explicit
+  // address (extension) - combinational, latency 1. Invalidate clears one
+  // cell's valid flag through the same demux.
+  std::optional<UpdateAck> new_ack;
+  if (pending_update_ && pending_update_->op == OpKind::kInvalidate) {
+    cells_[*pending_update_->address]->drive_invalidate();
+    UpdateAck ack;
+    ack.seq = pending_update_->tag.seq;
+    ack.words_written = 1;
+    ack.block_full = fill_ >= cfg_.block_size;
+    new_ack = ack;
+  } else if (pending_update_) {
+    UpdateAck ack;
+    ack.seq = pending_update_->tag.seq;
+    const auto& words = pending_update_->words;
+    const auto& masks = pending_update_->masks;
+    if (pending_update_->address.has_value()) {
+      // Addressed write: the fill pointer is untouched (entry management
+      // belongs to the host - see system::CamTable).
+      const std::uint32_t base = *pending_update_->address;
+      for (std::size_t w = 0; w < words.size(); ++w) {
+        if (masks.empty()) {
+          cells_[base + w]->drive_write(words[w]);
+        } else {
+          cells_[base + w]->drive_write(words[w], masks[w]);
+        }
+        ++ack.words_written;
+      }
+    } else {
+      for (std::size_t w = 0; w < words.size() && fill_ < cfg_.block_size; ++w) {
+        if (masks.empty()) {
+          cells_[fill_]->drive_write(words[w]);
+        } else {
+          cells_[fill_]->drive_write(words[w], masks[w]);
+        }
+        ++fill_;
+        ++ack.words_written;
+      }
+    }
+    ack.block_full = fill_ >= cfg_.block_size;
+    new_ack = ack;
+  }
+
+  // Clock edge for every cell.
+  for (auto& cell : cells_) cell->commit();
+
+  // In-flight search bookkeeping: a tag pushed at the beat's arrival pops
+  // exactly when the cells' pattern-detect outputs for that key latch.
+  if (pending_search_) tags_.push(pending_search_->tag);
+  tags_.shift();
+
+  std::optional<BlockResponse> encoded;
+  if (tags_.output().has_value()) {
+    BitVec match_lines(cfg_.block_size);
+    for (unsigned i = 0; i < cfg_.block_size; ++i) {
+      if (cells_[i]->match()) match_lines.set(i);
+    }
+    encoded = encode_match_lines(match_lines, cfg_.encoding, *tags_.output());
+  }
+
+  if (cfg_.output_buffer) {
+    if (encoded) out_buf_.push(std::move(*encoded));
+    out_buf_.shift();
+    response_ = out_buf_.output();
+  } else {
+    response_ = std::move(encoded);
+  }
+
+  // The ack is visible next cycle, together with the newly stored data
+  // (update latency 1).
+  ack_ = std::move(new_ack);
+
+  // Latch the broadcast register for the next cycle.
+  in_reg_ = std::move(pending_search_);
+  pending_search_.reset();
+  pending_update_.reset();
+}
+
+}  // namespace dspcam::cam

@@ -1,0 +1,113 @@
+// DSP-based CAM block (paper Fig. 3, Table VI).
+//
+// A block groups a configurable number of CAM cells with the logic that
+// turns raw storage+compare into CAM operations:
+//
+//   - DeMUX: routes each input beat to the update or search path based on
+//     the control signals.
+//   - Update logic + Cell Address Controller: a sequential fill pointer maps
+//     each data word on the (wide) input bus to its cell, so one beat writes
+//     words_per_beat cells in parallel -> update latency 1 cycle.
+//   - Search logic: masks the redundant bus bits so one word acts as the
+//     key, then broadcasts it to every cell for parallel comparison.
+//   - Encoder: collects the match lines into the configured result encoding;
+//     blocks of >= 256 cells add an output register for timing closure,
+//     which is why Table VI's search latency steps from 3 to 4 cycles.
+//
+// Search pipeline: broadcast register (1) + DSP C register (1) + DSP P /
+// pattern-detect register (1) = 3 cycles, +1 with the encoder buffer.
+// Both paths are pipelined with initiation interval 1.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/cam/cell.h"
+#include "src/cam/config.h"
+#include "src/cam/encoder.h"
+#include "src/cam/transactions.h"
+#include "src/sim/component.h"
+#include "src/sim/delay_line.h"
+
+namespace dspcam::cam {
+
+/// One CAM block.
+class CamBlock : public sim::Component {
+ public:
+  explicit CamBlock(const BlockConfig& cfg);
+
+  const BlockConfig& config() const noexcept { return cfg_; }
+
+  /// End-to-end search latency in cycles for this configuration.
+  unsigned search_latency() const noexcept { return cfg_.output_buffer ? 4 : 3; }
+
+  /// End-to-end update latency in cycles (the DeMUX writes combinationally
+  /// into the cells' input registers).
+  static constexpr unsigned update_latency() noexcept { return 1; }
+
+  // --- Per-cycle bus interface (issue during the owner's eval phase). ---
+
+  /// Presents one bus beat. The post-router delivers update and search
+  /// beats on distinct wires into the block's DeMUX, so one update beat and
+  /// one search beat may arrive in the same cycle; two beats of the same
+  /// kind in one cycle throw SimError.
+  void issue(BlockRequest request);
+
+  /// True if no beat of the given kind has been issued this cycle.
+  bool can_accept(OpKind op) const noexcept {
+    return op == OpKind::kSearch ? !pending_search_.has_value()
+                                 : !pending_update_.has_value();
+  }
+
+  /// True when nothing is pending or in flight inside the block.
+  bool idle() const noexcept {
+    return !pending_update_ && !pending_search_ && !pending_reset_ && !in_reg_ &&
+           tags_.drained() && out_buf_.drained();
+  }
+
+  /// The search response that became visible this cycle, if any.
+  const std::optional<BlockResponse>& response() const noexcept { return response_; }
+
+  /// The update acknowledgement that became visible this cycle, if any.
+  const std::optional<UpdateAck>& update_ack() const noexcept { return ack_; }
+
+  // --- Introspection (registered state). ---
+
+  /// Number of entries stored so far (the Cell Address Controller's fill
+  /// pointer).
+  unsigned fill() const noexcept { return fill_; }
+  bool full() const noexcept { return fill_ >= cfg_.block_size; }
+
+  /// Direct cell access for tests and resource accounting.
+  const CamCell& cell(unsigned index) const { return *cells_.at(index); }
+  unsigned size() const noexcept { return cfg_.block_size; }
+
+  /// Immediate full clear outside the clocked protocol (see
+  /// CamCell::hard_clear); used by runtime group reconfiguration.
+  void hard_reset();
+
+  void eval() override {}
+  void commit() override;
+
+ private:
+  void apply_reset();
+
+  BlockConfig cfg_;
+  std::vector<std::unique_ptr<CamCell>> cells_;
+
+  unsigned fill_ = 0;  ///< Cell Address Controller write pointer.
+
+  std::optional<BlockRequest> pending_update_;  ///< Update beat issued this cycle.
+  std::optional<BlockRequest> pending_search_;  ///< Search beat issued this cycle.
+  bool pending_reset_ = false;
+  std::optional<BlockRequest> in_reg_;    ///< Search broadcast register.
+  sim::DelayLine<QueryTag> tags_;         ///< Tracks in-flight searches.
+  sim::DelayLine<BlockResponse> out_buf_; ///< Optional encoder output register.
+
+  std::optional<BlockResponse> response_;
+  std::optional<UpdateAck> ack_;
+};
+
+}  // namespace dspcam::cam

@@ -1,0 +1,122 @@
+#include "src/cam/cell.h"
+
+#include "src/common/error.h"
+
+namespace dspcam::cam {
+
+namespace {
+
+dsp::Dsp48e2Attributes cell_attributes(const CellConfig& cfg) {
+  dsp::Dsp48e2Attributes attrs;
+  attrs.areg = 1;   // stored word latches in one cycle (Table V update = 1)
+  attrs.breg = 1;
+  attrs.creg = 1;   // key register
+  attrs.preg = 1;   // XOR result + pattern detect register (search = 2)
+  attrs.use_mult = false;  // logic unit requires the multiplier off
+  attrs.pattern = 0;       // match means XOR result is all-zero...
+  attrs.mask = width_mask(cfg.data_width);  // ...on the active data bits
+  return attrs;
+}
+
+/// OPMODE/ALUMODE for O = (A:B) XOR C: X = A:B, Y = 0, Z = C, W = 0,
+/// ALUMODE = 0b0100 (UG579 Table 2-10, logic unit XOR).
+dsp::OpMode xor_opmode() {
+  dsp::OpMode m;
+  m.x = dsp::XMux::kAB;
+  m.y = dsp::YMux::kZero;
+  m.z = dsp::ZMux::kC;
+  m.w = dsp::WMux::kZero;
+  return m;
+}
+
+}  // namespace
+
+CamCell::CamCell(const CellConfig& cfg) : cfg_(cfg), dsp_(cell_attributes(cfg)) {
+  cfg_.validate();
+  // Control lines are static for the cell's lifetime.
+  dsp_.inputs().opmode = xor_opmode().encode();
+  dsp_.inputs().alumode = 0b0100;
+  dsp_.inputs().ce_a = false;
+  dsp_.inputs().ce_b = false;
+  dsp_.inputs().ce_c = false;
+}
+
+void CamCell::drive_write(Word value) { drive_write(value, width_mask(cfg_.data_width)); }
+
+void CamCell::drive_write(Word value, std::uint64_t entry_mask) {
+  if (write_pending_) throw SimError("CamCell: two writes driven in one cycle");
+  write_pending_ = true;
+  write_value_ = truncate(value, cfg_.data_width);
+  write_mask_ = entry_mask;
+}
+
+void CamCell::drive_search(Word key) {
+  if (search_pending_) throw SimError("CamCell: two searches driven in one cycle");
+  search_pending_ = true;
+  search_key_ = truncate(key, cfg_.data_width);
+}
+
+void CamCell::drive_clear() { clear_pending_ = true; }
+
+void CamCell::drive_invalidate() { invalidate_pending_ = true; }
+
+void CamCell::hard_clear() {
+  dsp_.reset();
+  dsp_.set_pattern_mask(0, width_mask(cfg_.data_width));
+  valid_ = false;
+  valid_at_p_ = false;
+  write_pending_ = search_pending_ = clear_pending_ = false;
+  invalidate_pending_ = false;
+}
+
+Word CamCell::stored() const noexcept { return truncate(dsp_.stored_ab(), cfg_.data_width); }
+
+void CamCell::commit() {
+  // PATTERNDETECT latched at this edge reflects the compare of pre-edge
+  // A:B/C state, so it pairs with the pre-edge valid flag.
+  valid_at_p_ = valid_;
+
+  if (clear_pending_) {
+    dsp_.reset();
+    dsp_.set_pattern_mask(0, width_mask(cfg_.data_width));
+    valid_ = false;
+    valid_at_p_ = false;
+    write_pending_ = search_pending_ = clear_pending_ = false;
+    invalidate_pending_ = false;
+    return;
+  }
+
+  auto& in = dsp_.inputs();
+  if (write_pending_) {
+    in.a = write_value_ >> 18;
+    in.b = write_value_ & low_bits(18);
+    in.ce_a = in.ce_b = true;
+    valid_ = true;
+  } else {
+    in.ce_a = in.ce_b = false;
+    if (invalidate_pending_) valid_ = false;
+  }
+
+  if (search_pending_) {
+    in.c = search_key_;
+    in.ce_c = true;
+  } else {
+    in.ce_c = false;  // hold the previous key; no new compare result consumer
+  }
+
+  dsp_.commit();
+
+  if (write_pending_) {
+    // Per-entry MASK: realised in hardware as the per-slice MASK attribute
+    // emitted by the design generator (see Dsp48e2::set_pattern_mask).
+    // Applied after the edge so a compare already in flight for the old
+    // entry still evaluates under the old mask.
+    dsp_.set_pattern_mask(0, write_mask_);
+  }
+
+  write_pending_ = false;
+  search_pending_ = false;
+  invalidate_pending_ = false;
+}
+
+}  // namespace dspcam::cam

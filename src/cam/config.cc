@@ -1,0 +1,67 @@
+#include "src/cam/config.h"
+
+#include "src/common/bitops.h"
+#include "src/common/error.h"
+
+namespace dspcam::cam {
+
+void CellConfig::validate() const {
+  if (data_width == 0 || data_width > kDspWordBits) {
+    throw ConfigError("cell data width must be 1.." + std::to_string(kDspWordBits) +
+                      " bits, got " + std::to_string(data_width));
+  }
+}
+
+void BlockConfig::validate() const {
+  cell.validate();
+  if (block_size < 2 || !is_pow2(block_size)) {
+    throw ConfigError("block size must be a power of two >= 2, got " +
+                      std::to_string(block_size));
+  }
+  if (bus_width == 0 || bus_width % cell.data_width != 0) {
+    throw ConfigError("block bus width (" + std::to_string(bus_width) +
+                      ") must be a nonzero multiple of the data width (" +
+                      std::to_string(cell.data_width) + ")");
+  }
+  if (words_per_beat() > block_size) {
+    throw ConfigError("block bus carries " + std::to_string(words_per_beat()) +
+                      " words/beat, more than the block's " +
+                      std::to_string(block_size) + " cells");
+  }
+}
+
+void UnitConfig::validate() const {
+  block.validate();
+  if (unit_size == 0) throw ConfigError("unit size must be >= 1");
+  if (bus_width == 0 || bus_width % block.cell.data_width != 0) {
+    throw ConfigError("unit bus width (" + std::to_string(bus_width) +
+                      ") must be a nonzero multiple of the data width (" +
+                      std::to_string(block.cell.data_width) + ")");
+  }
+  if (bus_width > block.bus_width) {
+    // The post-router forwards unit-bus beats to blocks 1:1, so a block must
+    // be able to absorb a full unit beat in one cycle.
+    throw ConfigError("unit bus (" + std::to_string(bus_width) +
+                      " bits) wider than the block bus (" +
+                      std::to_string(block.bus_width) +
+                      " bits); the post-router forwards beats 1:1");
+  }
+  if (initial_groups == 0 || unit_size % initial_groups != 0) {
+    throw ConfigError("group count " + std::to_string(initial_groups) +
+                      " must divide the unit size " + std::to_string(unit_size));
+  }
+}
+
+UnitConfig UnitConfig::with_auto_timing(UnitConfig cfg) {
+  cfg.block.output_buffer = unit_buffer_policy(cfg.total_entries());
+  return cfg;
+}
+
+std::string UnitConfig::to_string() const {
+  return std::to_string(total_entries()) + "x" + std::to_string(block.cell.data_width) +
+         "b (" + std::to_string(unit_size) + " blocks of " +
+         std::to_string(block.block_size) + ", " + dspcam::cam::to_string(block.cell.kind) +
+         ", bus " + std::to_string(bus_width) + "b)";
+}
+
+}  // namespace dspcam::cam

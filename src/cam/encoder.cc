@@ -1,0 +1,25 @@
+#include "src/cam/encoder.h"
+
+namespace dspcam::cam {
+
+BlockResponse encode_match_lines(const BitVec& match_lines, EncodingScheme scheme,
+                                 const QueryTag& tag) {
+  BlockResponse resp;
+  resp.tag = tag;
+  resp.hit = match_lines.any();
+  switch (scheme) {
+    case EncodingScheme::kPriorityIndex:
+      resp.first_match =
+          resp.hit ? static_cast<std::uint32_t>(match_lines.find_first()) : 0;
+      break;
+    case EncodingScheme::kOneHot:
+      resp.raw = match_lines;
+      break;
+    case EncodingScheme::kMatchCount:
+      resp.match_count = static_cast<std::uint32_t>(match_lines.count());
+      break;
+  }
+  return resp;
+}
+
+}  // namespace dspcam::cam

@@ -1,0 +1,22 @@
+// Result encoder of a CAM block (paper Fig. 3, "Encoder").
+//
+// The encoder collects the cells' match lines and produces the block's
+// result in one of the configurable schemes (Table III "Result Encoding"):
+// a priority index (lowest matching address), the raw one-hot match vector,
+// or a match count. In hardware this is the block's main LUT consumer; the
+// resource model (src/model/resources.h) accounts for each scheme's cost.
+#pragma once
+
+#include "src/common/bitvec.h"
+#include "src/cam/transactions.h"
+#include "src/cam/types.h"
+
+namespace dspcam::cam {
+
+/// Encodes a match-line vector into a BlockResponse under `scheme`.
+/// Fields not produced by the scheme are left zero/empty, mirroring wires
+/// that are simply absent from the generated hardware.
+BlockResponse encode_match_lines(const BitVec& match_lines, EncodingScheme scheme,
+                                 const QueryTag& tag);
+
+}  // namespace dspcam::cam

@@ -1,0 +1,46 @@
+#include "src/cam/mask.h"
+
+#include "src/common/bitops.h"
+#include "src/common/error.h"
+
+namespace dspcam::cam {
+
+std::uint64_t width_mask(unsigned data_width) {
+  if (data_width == 0 || data_width > kDspWordBits) {
+    throw ConfigError("data width must be 1.." + std::to_string(kDspWordBits) +
+                      ", got " + std::to_string(data_width));
+  }
+  return kDspWordMask & ~low_bits(data_width);
+}
+
+std::uint64_t bcam_mask(unsigned data_width) { return width_mask(data_width); }
+
+std::uint64_t tcam_mask(unsigned data_width, std::uint64_t dont_care) {
+  const std::uint64_t wm = width_mask(data_width);
+  if ((dont_care & ~low_bits(data_width)) != 0) {
+    throw ConfigError("TCAM don't-care bits outside the data width");
+  }
+  return wm | dont_care;
+}
+
+std::uint64_t rmcam_mask(unsigned data_width, std::uint64_t base, unsigned log2_span) {
+  const std::uint64_t wm = width_mask(data_width);
+  if (log2_span > data_width) {
+    throw ConfigError("RMCAM span 2^" + std::to_string(log2_span) +
+                      " exceeds the data width");
+  }
+  if ((base & low_bits(log2_span)) != 0) {
+    throw ConfigError("RMCAM base is not aligned to its power-of-two span");
+  }
+  if ((base & ~low_bits(data_width)) != 0) {
+    throw ConfigError("RMCAM base exceeds the data width");
+  }
+  return wm | low_bits(log2_span);
+}
+
+bool masked_match(std::uint64_t stored, std::uint64_t key, std::uint64_t mask,
+                  unsigned data_width) {
+  return (((stored ^ key) & ~mask) & low_bits(data_width)) == 0;
+}
+
+}  // namespace dspcam::cam

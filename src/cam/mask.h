@@ -1,0 +1,44 @@
+// MASK construction for the three CAM types (paper Table II).
+//
+// The DSP48E2 pattern detector ignores bit positions whose MASK bit is 1.
+// Table II's conventions:
+//   BCAM  - all active bits compared: MASK = 0 over the data width.
+//   TCAM  - don't-care positions carry MASK = 1.
+//   RMCAM - a power-of-two aligned range [base, base + 2^k) is matched by
+//           masking the low k bits; the paper notes representation is
+//           limited to ranges whose extent is a power of two because the
+//           mask is bit-granular.
+// In every type, bits above the configured storage data width are masked out
+// ("the mask is also used for the data bit width control").
+#pragma once
+
+#include <cstdint>
+
+#include "src/cam/types.h"
+
+namespace dspcam::cam {
+
+/// Mask covering the unused bits above `data_width` (those are always
+/// ignored). data_width must be 1..48.
+std::uint64_t width_mask(unsigned data_width);
+
+/// BCAM mask: compare every bit inside the data width.
+std::uint64_t bcam_mask(unsigned data_width);
+
+/// TCAM mask: `dont_care` has 1s at positions to ignore; positions above the
+/// data width are ignored regardless. Throws ConfigError if dont_care has
+/// bits above the data width set.
+std::uint64_t tcam_mask(unsigned data_width, std::uint64_t dont_care);
+
+/// RMCAM mask for the range [base, base + 2^log2_span): ignores the low
+/// log2_span bits. Throws ConfigError if log2_span exceeds the data width or
+/// if base is not aligned to the span (the paper's power-of-two limitation).
+std::uint64_t rmcam_mask(unsigned data_width, std::uint64_t base, unsigned log2_span);
+
+/// True if `key` matches `stored` under `mask` within `data_width` - the
+/// golden definition the DSP pattern detector must agree with:
+/// ((stored XOR key) & ~mask) == 0 over the data width.
+bool masked_match(std::uint64_t stored, std::uint64_t key, std::uint64_t mask,
+                  unsigned data_width);
+
+}  // namespace dspcam::cam

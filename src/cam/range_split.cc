@@ -1,0 +1,58 @@
+#include "src/cam/range_split.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "src/common/bitops.h"
+#include "src/common/error.h"
+#include "src/cam/mask.h"
+
+namespace dspcam::cam {
+
+std::vector<AlignedRange> split_range(std::uint64_t lo, std::uint64_t hi,
+                                      unsigned data_width) {
+  if (data_width == 0 || data_width > kDspWordBits) {
+    throw ConfigError("split_range: data width must be 1..48");
+  }
+  if (lo > hi) throw ConfigError("split_range: lo > hi");
+  if (hi > low_bits(data_width)) {
+    throw ConfigError("split_range: bound exceeds the data width");
+  }
+
+  // Greedy canonical decomposition: at each step take the largest aligned
+  // block that starts at `lo` and does not overshoot `hi`. This yields the
+  // minimal cover (the classic prefix-expansion argument: any cover needs
+  // at least one block per alignment "step" on each side).
+  std::vector<AlignedRange> out;
+  std::uint64_t cursor = lo;
+  for (;;) {
+    // Largest alignment of `cursor`.
+    unsigned span = cursor == 0 ? data_width
+                                : static_cast<unsigned>(std::min<std::uint64_t>(
+                                      data_width,
+                                      static_cast<std::uint64_t>(
+                                          std::countr_zero(cursor))));
+    // Shrink until the block fits inside [cursor, hi].
+    const std::uint64_t remaining = hi - cursor + 1;
+    while (span > 0 && (std::uint64_t{1} << span) > remaining) --span;
+    if ((std::uint64_t{1} << span) > remaining) {
+      throw SimError("split_range: internal cover failure");  // unreachable
+    }
+    out.push_back(AlignedRange{cursor, span});
+    const std::uint64_t block = std::uint64_t{1} << span;
+    if (hi - cursor + 1 == block) break;  // covered exactly
+    cursor += block;
+  }
+  return out;
+}
+
+std::vector<RmcamEntry> rmcam_entries_for_range(std::uint64_t lo, std::uint64_t hi,
+                                                unsigned data_width) {
+  std::vector<RmcamEntry> entries;
+  for (const auto& r : split_range(lo, hi, data_width)) {
+    entries.push_back(RmcamEntry{r.base, rmcam_mask(data_width, r.base, r.log2_span)});
+  }
+  return entries;
+}
+
+}  // namespace dspcam::cam

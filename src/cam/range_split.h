@@ -1,0 +1,46 @@
+// Arbitrary-range decomposition for RMCAM entries.
+//
+// The paper's RMCAM matches only power-of-two aligned ranges ("the
+// representation is limited to ranges where the start and end values are
+// powers of 2 ... This limitation arises from the bit-level granularity of
+// the mask control"). The standard workaround - used by every TCAM-based
+// router for port ranges - is prefix expansion: split an arbitrary
+// inclusive range [lo, hi] into the minimal set of aligned power-of-two
+// blocks, then store one RMCAM entry per block. For a w-bit field the split
+// never needs more than 2w - 2 entries.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/cam/types.h"
+
+namespace dspcam::cam {
+
+/// One aligned power-of-two block: covers [base, base + 2^log2_span).
+struct AlignedRange {
+  std::uint64_t base = 0;
+  unsigned log2_span = 0;
+
+  std::uint64_t first() const noexcept { return base; }
+  std::uint64_t last() const noexcept { return base + (std::uint64_t{1} << log2_span) - 1; }
+
+  bool operator==(const AlignedRange&) const = default;
+};
+
+/// Splits the inclusive range [lo, hi] (values of `data_width` bits) into
+/// the minimal ordered set of aligned power-of-two blocks. Throws
+/// ConfigError if lo > hi or either bound exceeds the data width.
+std::vector<AlignedRange> split_range(std::uint64_t lo, std::uint64_t hi,
+                                      unsigned data_width);
+
+/// RMCAM entry images for a split range: (stored value, MASK) pairs ready
+/// for a kRange CAM update beat.
+struct RmcamEntry {
+  Word value = 0;
+  std::uint64_t mask = 0;
+};
+std::vector<RmcamEntry> rmcam_entries_for_range(std::uint64_t lo, std::uint64_t hi,
+                                                unsigned data_width);
+
+}  // namespace dspcam::cam

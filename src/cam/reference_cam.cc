@@ -1,0 +1,48 @@
+#include "src/cam/reference_cam.h"
+
+#include "src/common/bitops.h"
+#include "src/common/error.h"
+
+namespace dspcam::cam {
+
+ReferenceCam::ReferenceCam(CamKind kind, unsigned data_width, unsigned capacity)
+    : kind_(kind), data_width_(data_width), capacity_(capacity) {
+  if (capacity == 0) throw ConfigError("ReferenceCam: zero capacity");
+  width_mask(data_width);  // validates the width
+}
+
+unsigned ReferenceCam::update(const std::vector<Word>& words,
+                              const std::vector<std::uint64_t>& masks) {
+  if (!masks.empty() && masks.size() != words.size()) {
+    throw ConfigError("ReferenceCam: mask array must parallel the data words");
+  }
+  if (!masks.empty() && kind_ == CamKind::kBinary) {
+    throw ConfigError("ReferenceCam: binary CAM entries cannot carry masks");
+  }
+  unsigned accepted = 0;
+  for (std::size_t i = 0; i < words.size() && !full(); ++i) {
+    Entry e;
+    e.value = truncate(words[i], data_width_);
+    e.mask = masks.empty() ? width_mask(data_width_) : masks[i];
+    entries_.push_back(e);
+    ++accepted;
+  }
+  return accepted;
+}
+
+ReferenceCam::Result ReferenceCam::search(Word key) const {
+  Result r;
+  const Word k = truncate(key, data_width_);
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (masked_match(entries_[i].value, k, entries_[i].mask, data_width_)) {
+      if (!r.hit) {
+        r.hit = true;
+        r.first_index = static_cast<std::uint32_t>(i);
+      }
+      ++r.match_count;
+    }
+  }
+  return r;
+}
+
+}  // namespace dspcam::cam

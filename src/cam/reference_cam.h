@@ -1,0 +1,59 @@
+// Software golden model of one CAM group.
+//
+// Stores entries in insertion order and answers searches by brute force
+// under the Table II mask semantics. Tests drive the cycle-accurate
+// CamBlock/CamUnit and this model with the same operation stream and demand
+// identical answers; the benchmark harness uses it to verify result
+// correctness while measuring.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/cam/mask.h"
+#include "src/cam/types.h"
+
+namespace dspcam::cam {
+
+/// Brute-force reference CAM (one group's contents).
+class ReferenceCam {
+ public:
+  /// `capacity` entries of `data_width` bits each.
+  ReferenceCam(CamKind kind, unsigned data_width, unsigned capacity);
+
+  /// Appends entries in order; per-entry masks optional (BCAM forbids them).
+  /// Returns the number of words accepted before the CAM filled up.
+  unsigned update(const std::vector<Word>& words,
+                  const std::vector<std::uint64_t>& masks = {});
+
+  struct Result {
+    bool hit = false;
+    std::uint32_t first_index = 0;  ///< Insertion index of the lowest match.
+    std::uint32_t match_count = 0;
+  };
+
+  /// Parallel compare of `key` against every stored entry.
+  Result search(Word key) const;
+
+  void reset() noexcept { entries_.clear(); }
+
+  unsigned size() const noexcept { return static_cast<unsigned>(entries_.size()); }
+  unsigned capacity() const noexcept { return capacity_; }
+  bool full() const noexcept { return size() >= capacity_; }
+
+  CamKind kind() const noexcept { return kind_; }
+  unsigned data_width() const noexcept { return data_width_; }
+
+ private:
+  struct Entry {
+    Word value = 0;
+    std::uint64_t mask = 0;
+  };
+
+  CamKind kind_;
+  unsigned data_width_;
+  unsigned capacity_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace dspcam::cam

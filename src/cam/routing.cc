@@ -1,0 +1,83 @@
+#include "src/cam/routing.h"
+
+namespace dspcam::cam {
+
+RoutingTable::RoutingTable(unsigned n_blocks, unsigned n_groups)
+    : block_to_group_(n_blocks) {
+  if (n_blocks == 0) throw ConfigError("RoutingTable: need at least one block");
+  rebuild(n_groups);
+}
+
+void RoutingTable::rebuild(unsigned n_groups) {
+  const unsigned n_blocks = blocks();
+  if (n_groups == 0 || n_blocks % n_groups != 0) {
+    throw ConfigError("RoutingTable: group count " + std::to_string(n_groups) +
+                      " must divide the block count " + std::to_string(n_blocks));
+  }
+  const unsigned per_group = n_blocks / n_groups;
+  group_to_blocks_.assign(n_groups, {});
+  for (unsigned b = 0; b < n_blocks; ++b) {
+    const unsigned g = b / per_group;
+    block_to_group_[b] = g;
+    group_to_blocks_[g].push_back(b);
+  }
+}
+
+unsigned RoutingTable::group_of(unsigned block) const {
+  if (block >= blocks()) throw ConfigError("RoutingTable: block id out of range");
+  return block_to_group_[block];
+}
+
+const std::vector<unsigned>& RoutingTable::blocks_of(unsigned group) const {
+  if (group >= groups()) throw ConfigError("RoutingTable: group id out of range");
+  return group_to_blocks_[group];
+}
+
+void RoutingTable::remap(unsigned block, unsigned group) {
+  if (block >= blocks()) throw ConfigError("RoutingTable: block id out of range");
+  if (group >= groups()) throw ConfigError("RoutingTable: group id out of range");
+  const unsigned old_group = block_to_group_[block];
+  if (old_group == group) return;
+  auto& old_list = group_to_blocks_[old_group];
+  for (auto it = old_list.begin(); it != old_list.end(); ++it) {
+    if (*it == block) {
+      old_list.erase(it);
+      break;
+    }
+  }
+  if (old_list.empty()) {
+    throw ConfigError("RoutingTable: remap would leave group " +
+                      std::to_string(old_group) + " empty");
+  }
+  block_to_group_[block] = group;
+  group_to_blocks_[group].push_back(block);
+}
+
+BlockAddressController::BlockAddressController(std::vector<unsigned> block_ids,
+                                               unsigned block_size)
+    : block_ids_(std::move(block_ids)), block_size_(block_size) {
+  if (block_ids_.empty()) throw ConfigError("BlockAddressController: empty group");
+  if (block_size_ == 0) throw ConfigError("BlockAddressController: zero block size");
+}
+
+std::vector<BlockAddressController::Segment> BlockAddressController::allocate(
+    unsigned n_words) {
+  std::vector<Segment> segments;
+  while (n_words > 0 && current_ < block_ids_.size()) {
+    const unsigned room = block_size_ - offset_;
+    const unsigned take = n_words < room ? n_words : room;
+    segments.push_back(Segment{block_ids_[current_], take});
+    offset_ += take;
+    stored_ += take;
+    n_words -= take;
+    if (offset_ == block_size_) {
+      // Current block full: the controller points to the next block in the
+      // group (round-robin fill order).
+      ++current_;
+      offset_ = 0;
+    }
+  }
+  return segments;
+}
+
+}  // namespace dspcam::cam

@@ -1,0 +1,87 @@
+// Routing Compute support: the Routing Table and the per-group Block
+// Address Controller (paper Fig. 4, Section III-C).
+//
+// A CAM *group* is "a logical abstraction ... not tied to the physical
+// layout": the Routing Table stores the Block ID -> Group ID mapping, so
+// groups can be rebuilt (when the user kernel reconfigures M at runtime) or
+// individual blocks reassigned without touching the blocks themselves.
+// Within each group, the Block Address Controller assigns update data to
+// blocks sequentially: fill the current block, then point to the next
+// (round-robin) - Section III-C.2.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/error.h"
+
+namespace dspcam::cam {
+
+/// Block ID -> Group ID mapping (the array in the Routing Compute module).
+class RoutingTable {
+ public:
+  /// Builds the default mapping for `n_groups` groups over `n_blocks`
+  /// blocks: contiguous runs, block b -> group b / (n_blocks / n_groups).
+  /// Throws ConfigError unless n_groups divides n_blocks.
+  RoutingTable(unsigned n_blocks, unsigned n_groups);
+
+  unsigned blocks() const noexcept { return static_cast<unsigned>(block_to_group_.size()); }
+  unsigned groups() const noexcept { return static_cast<unsigned>(group_to_blocks_.size()); }
+
+  unsigned group_of(unsigned block) const;
+  const std::vector<unsigned>& blocks_of(unsigned group) const;
+
+  /// Rebuilds the default contiguous mapping with a new group count.
+  void rebuild(unsigned n_groups);
+
+  /// Reassigns one block to another group ("dynamic reassignment of
+  /// resources"). Group sizes may become unequal; searches still broadcast
+  /// to every block of the key's group.
+  void remap(unsigned block, unsigned group);
+
+ private:
+  std::vector<unsigned> block_to_group_;
+  std::vector<std::vector<unsigned>> group_to_blocks_;
+};
+
+/// Round-robin sequential fill over one group's blocks.
+class BlockAddressController {
+ public:
+  /// `block_ids` lists the group's blocks in fill order; `block_size` is the
+  /// per-block entry capacity.
+  BlockAddressController(std::vector<unsigned> block_ids, unsigned block_size);
+
+  /// A run of consecutive cell slots inside one block.
+  struct Segment {
+    unsigned block = 0;  ///< Unit-wide block ID.
+    unsigned count = 0;  ///< Number of words directed to it.
+  };
+
+  /// Claims slots for `n_words` new entries, spilling into following blocks
+  /// when the current one fills. Returns the (possibly shortened) segment
+  /// list; the total segment count may be < n_words if the group is full.
+  std::vector<Segment> allocate(unsigned n_words);
+
+  unsigned stored() const noexcept { return stored_; }
+  unsigned capacity() const noexcept {
+    return static_cast<unsigned>(block_ids_.size()) * block_size_;
+  }
+  bool full() const noexcept { return stored_ >= capacity(); }
+
+  const std::vector<unsigned>& block_ids() const noexcept { return block_ids_; }
+
+  void reset() noexcept {
+    stored_ = 0;
+    current_ = 0;
+    offset_ = 0;
+  }
+
+ private:
+  std::vector<unsigned> block_ids_;
+  unsigned block_size_;
+  unsigned stored_ = 0;   ///< Total entries in the group.
+  unsigned current_ = 0;  ///< Index into block_ids_ of the block being filled.
+  unsigned offset_ = 0;   ///< Fill level of the current block.
+};
+
+}  // namespace dspcam::cam

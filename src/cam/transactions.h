@@ -1,0 +1,112 @@
+// Request/response records exchanged on CAM block and unit buses.
+//
+// These mirror the paper's bus contents: "The input bus for the CAM block
+// comprises both data bits and control signals that include update, search,
+// and reset" (Fig. 3); the unit bus additionally carries multiple search
+// keys for multi-query operation (Fig. 4). Tags are bookkeeping the
+// testbench uses to pair responses with requests; hardware equivalents are
+// positional (results come back in issue order at fixed latency).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/common/bitvec.h"
+#include "src/cam/types.h"
+
+namespace dspcam::cam {
+
+/// Identifies an in-flight operation end-to-end.
+struct QueryTag {
+  std::uint64_t seq = 0;      ///< Issue sequence number.
+  std::uint16_t key_index = 0;///< Which key of a multi-query bundle.
+  std::uint16_t group = 0;    ///< CAM group the key was routed to.
+
+  bool operator==(const QueryTag&) const = default;
+};
+
+/// One beat on a CAM block's input bus.
+struct BlockRequest {
+  OpKind op = OpKind::kIdle;
+
+  /// kUpdate: the data words carried by this bus beat (at most
+  /// words_per_beat). The block's Cell Address Controller stores them in
+  /// consecutive cells.
+  std::vector<Word> words;
+
+  /// kUpdate, TCAM/RMCAM only: per-entry MASK values parallel to `words`
+  /// (build with tcam_mask()/rmcam_mask()). Empty means plain width masks.
+  std::vector<std::uint64_t> masks;
+
+  /// kSearch: the search key (the paper masks the redundant bus bits so a
+  /// single word acts as the key).
+  Word key = 0;
+
+  /// kUpdate: write starting at this cell instead of the fill pointer
+  /// (extension: addressed update; the fill pointer is untouched).
+  /// kInvalidate: the cell whose valid flag clears.
+  std::optional<std::uint32_t> address;
+
+  QueryTag tag;
+};
+
+/// A CAM block's search result, shaped by the configured EncodingScheme.
+struct BlockResponse {
+  QueryTag tag;
+  bool hit = false;
+  std::uint32_t first_match = 0;  ///< Lowest matching cell (priority scheme).
+  std::uint32_t match_count = 0;  ///< Population count (match-count scheme).
+  BitVec raw;                     ///< Full match vector (one-hot scheme).
+};
+
+/// Acknowledgement of a completed block update beat.
+struct UpdateAck {
+  std::uint64_t seq = 0;
+  unsigned words_written = 0;  ///< May be < words sent if the block filled up.
+  bool block_full = false;     ///< Fill pointer reached the block size.
+};
+
+/// One beat on the CAM unit's input bus.
+struct UnitRequest {
+  OpKind op = OpKind::kIdle;
+
+  /// kUpdate: data words (at most the unit's words_per_beat). Replicated to
+  /// every CAM group by the routing logic.
+  std::vector<Word> words;
+  std::vector<std::uint64_t> masks;  ///< Optional per-entry masks.
+
+  /// kSearch: up to M keys, one per CAM group (multi-query).
+  std::vector<Word> keys;
+
+  /// kUpdate/kInvalidate extension: group-local entry index to write at /
+  /// invalidate (applied to every group's copy). Without it, updates append
+  /// at the Block Address Controller's fill pointer.
+  std::optional<std::uint32_t> address;
+
+  std::uint64_t seq = 0;
+};
+
+/// Per-key result of a unit-level search.
+struct UnitSearchResult {
+  Word key = 0;
+  bool hit = false;
+  std::uint32_t global_address = 0;  ///< block_id * block_size + cell index.
+  std::uint32_t match_count = 0;     ///< Aggregated across the group's blocks.
+  std::uint16_t group = 0;
+};
+
+/// A completed unit-level search beat (all keys of one request).
+struct UnitResponse {
+  std::uint64_t seq = 0;
+  std::vector<UnitSearchResult> results;
+};
+
+/// Acknowledgement of a completed unit update beat.
+struct UnitUpdateAck {
+  std::uint64_t seq = 0;
+  unsigned words_written = 0;  ///< Words stored per group (each group gets a copy).
+  bool unit_full = false;      ///< Every block of every group is full.
+};
+
+}  // namespace dspcam::cam

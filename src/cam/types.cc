@@ -1,0 +1,34 @@
+#include "src/cam/types.h"
+
+namespace dspcam::cam {
+
+std::string to_string(CamKind kind) {
+  switch (kind) {
+    case CamKind::kBinary: return "BCAM";
+    case CamKind::kTernary: return "TCAM";
+    case CamKind::kRange: return "RMCAM";
+  }
+  return "?";
+}
+
+std::string to_string(EncodingScheme scheme) {
+  switch (scheme) {
+    case EncodingScheme::kPriorityIndex: return "priority-index";
+    case EncodingScheme::kOneHot: return "one-hot";
+    case EncodingScheme::kMatchCount: return "match-count";
+  }
+  return "?";
+}
+
+std::string to_string(OpKind op) {
+  switch (op) {
+    case OpKind::kIdle: return "idle";
+    case OpKind::kUpdate: return "update";
+    case OpKind::kSearch: return "search";
+    case OpKind::kReset: return "reset";
+    case OpKind::kInvalidate: return "invalidate";
+  }
+  return "?";
+}
+
+}  // namespace dspcam::cam

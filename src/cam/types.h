@@ -1,0 +1,47 @@
+// Shared vocabulary types for the CAM architecture.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dspcam::cam {
+
+/// Stored word / search key. At most 48 bits are significant (the DSP48E2
+/// ALU width); the active width is the configured storage data width.
+using Word = std::uint64_t;
+
+/// CAM cell behaviour (paper Section II / Table II). All three are the same
+/// hardware; only the MASK configuration differs.
+enum class CamKind : std::uint8_t {
+  kBinary,   ///< Exact match on every active bit.
+  kTernary,  ///< Per-entry don't-care bits (MASK bit = 1 ignores that bit).
+  kRange,    ///< Power-of-two aligned range match via low-bit masking.
+};
+
+std::string to_string(CamKind kind);
+
+/// Result-encoding scheme of a CAM block's output encoder (Table III,
+/// "Result Encoding"). The scheme decides what the block drives on its
+/// result bus and what the encoder costs in LUTs.
+enum class EncodingScheme : std::uint8_t {
+  kPriorityIndex,  ///< hit flag + lowest matching cell address.
+  kOneHot,         ///< raw match-line vector (one bit per cell).
+  kMatchCount,     ///< hit flag + population count of match lines.
+};
+
+std::string to_string(EncodingScheme scheme);
+
+/// Operation selector carried on a block/unit input bus alongside the data
+/// bits (paper Fig. 3: "control signals that include update, search, and
+/// reset").
+enum class OpKind : std::uint8_t {
+  kIdle,
+  kUpdate,
+  kSearch,
+  kReset,
+  kInvalidate,  ///< Extension: clear one entry's valid flag by address.
+};
+
+std::string to_string(OpKind op);
+
+}  // namespace dspcam::cam

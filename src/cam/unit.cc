@@ -1,0 +1,324 @@
+#include "src/cam/unit.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/common/error.h"
+
+namespace dspcam::cam {
+
+CamUnit::CamUnit(const UnitConfig& cfg)
+    : cfg_(cfg),
+      routing_(cfg.unit_size, cfg.initial_groups),
+      search_pipe_(kSearchPipeStages),
+      update_pipe_(kUpdatePipeStages),
+      meta_pipe_(cfg.block.output_buffer ? 3u : 2u),
+      ack_pipe_(1) {
+  cfg_.validate();
+  blocks_.reserve(cfg_.unit_size);
+  for (unsigned i = 0; i < cfg_.unit_size; ++i) {
+    blocks_.push_back(std::make_unique<CamBlock>(cfg_.block));
+  }
+  rebuild_controllers();
+}
+
+void CamUnit::rebuild_controllers() {
+  controllers_.clear();
+  controllers_.reserve(routing_.groups());
+  for (unsigned g = 0; g < routing_.groups(); ++g) {
+    controllers_.emplace_back(routing_.blocks_of(g), cfg_.block.block_size);
+  }
+}
+
+bool CamUnit::idle() const noexcept {
+  if (pending_.has_value()) return false;
+  if (!search_pipe_.drained() || !update_pipe_.drained()) return false;
+  if (!meta_pipe_.drained() || !ack_pipe_.drained()) return false;
+  for (const auto& b : blocks_) {
+    if (!b->idle()) return false;
+  }
+  return true;
+}
+
+void CamUnit::hard_reset_state() {
+  for (auto& b : blocks_) b->hard_reset();
+  for (auto& c : controllers_) c.reset();
+  search_pipe_.clear();
+  update_pipe_.clear();
+  meta_pipe_.clear();
+  ack_pipe_.clear();
+  pending_.reset();
+  response_.reset();
+}
+
+void CamUnit::configure_groups(unsigned m) {
+  if (!idle()) {
+    throw SimError("CamUnit: group reconfiguration requires an idle unit");
+  }
+  routing_.rebuild(m);  // validates divisibility
+  rebuild_controllers();
+  hard_reset_state();  // the grouping defines the data layout -> reload
+}
+
+void CamUnit::remap_block(unsigned block, unsigned group) {
+  if (!idle()) {
+    throw SimError("CamUnit: routing-table remap requires an idle unit");
+  }
+  routing_.remap(block, group);
+  rebuild_controllers();
+  hard_reset_state();
+}
+
+void CamUnit::issue(UnitRequest request) {
+  if (pending_.has_value()) {
+    throw SimError("CamUnit: two bus beats issued in one cycle");
+  }
+  switch (request.op) {
+    case OpKind::kIdle:
+      return;
+    case OpKind::kUpdate:
+      if (request.words.empty() || request.words.size() > cfg_.words_per_beat()) {
+        throw SimError("CamUnit: update beat carries " +
+                       std::to_string(request.words.size()) + " words; bus fits 1.." +
+                       std::to_string(cfg_.words_per_beat()));
+      }
+      if (!request.masks.empty() && request.masks.size() != request.words.size()) {
+        throw SimError("CamUnit: per-entry mask array must parallel the data words");
+      }
+      break;
+    case OpKind::kSearch:
+      if (request.keys.empty() || request.keys.size() > groups()) {
+        throw SimError("CamUnit: search beat carries " +
+                       std::to_string(request.keys.size()) + " keys; the unit has " +
+                       std::to_string(groups()) + " groups (one key per group)");
+      }
+      break;
+    case OpKind::kReset:
+      break;
+    case OpKind::kInvalidate:
+      if (!request.address.has_value() ||
+          *request.address >= capacity_per_group()) {
+        throw SimError("CamUnit: invalidate needs a group-local entry index");
+      }
+      break;
+  }
+  if (request.op == OpKind::kUpdate && request.address.has_value() &&
+      *request.address + request.words.size() > capacity_per_group()) {
+    throw SimError("CamUnit: addressed update runs past the group capacity");
+  }
+  pending_ = std::move(request);
+}
+
+unsigned CamUnit::stored_per_group() const noexcept {
+  unsigned lo = ~0u;
+  for (const auto& c : controllers_) lo = std::min(lo, c.stored());
+  return controllers_.empty() ? 0 : lo;
+}
+
+unsigned CamUnit::capacity_per_group() const noexcept {
+  return controllers_.empty() ? 0 : controllers_[0].capacity();
+}
+
+// Replicates an update beat to every CAM group and routes each group's copy
+// to the block(s) chosen by its Block Address Controller.
+void CamUnit::dispatch_update(const UnitRequest& req) {
+  if (req.op == OpKind::kReset) {
+    for (auto& b : blocks_) {
+      BlockRequest r;
+      r.op = OpKind::kReset;
+      b->issue(std::move(r));
+    }
+    for (auto& c : controllers_) c.reset();
+    return;
+  }
+
+  if (req.op == OpKind::kInvalidate) {
+    // Group-local entry index -> (block offset, cell) within every group's
+    // copy, via the default sequential fill layout.
+    const std::uint32_t entry = *req.address;
+    const unsigned bs = cfg_.block.block_size;
+    UnitUpdateAck ack;
+    ack.seq = req.seq;
+    ack.words_written = 1;
+    for (unsigned g = 0; g < routing_.groups(); ++g) {
+      const auto& ids = routing_.blocks_of(g);
+      BlockRequest r;
+      r.op = OpKind::kInvalidate;
+      r.address = entry % bs;
+      r.tag.seq = req.seq;
+      r.tag.group = static_cast<std::uint16_t>(g);
+      blocks_[ids.at(entry / bs)]->issue(std::move(r));
+    }
+    ack_pipe_.push(ack);
+    return;
+  }
+
+  if (req.address.has_value()) {
+    // Addressed write: split the beat at block boundaries inside each
+    // group's copy; the Block Address Controllers are untouched.
+    const unsigned bs = cfg_.block.block_size;
+    UnitUpdateAck ack;
+    ack.seq = req.seq;
+    ack.words_written = static_cast<unsigned>(req.words.size());
+    for (unsigned g = 0; g < routing_.groups(); ++g) {
+      const auto& ids = routing_.blocks_of(g);
+      std::size_t pos = 0;
+      std::uint32_t entry = *req.address;
+      while (pos < req.words.size()) {
+        const std::uint32_t cell = entry % bs;
+        const std::size_t take =
+            std::min<std::size_t>(bs - cell, req.words.size() - pos);
+        BlockRequest r;
+        r.op = OpKind::kUpdate;
+        r.address = cell;
+        r.tag.seq = req.seq;
+        r.tag.group = static_cast<std::uint16_t>(g);
+        r.words.assign(req.words.begin() + pos, req.words.begin() + pos + take);
+        if (!req.masks.empty()) {
+          r.masks.assign(req.masks.begin() + pos, req.masks.begin() + pos + take);
+        }
+        blocks_[ids.at(entry / bs)]->issue(std::move(r));
+        pos += take;
+        entry += static_cast<std::uint32_t>(take);
+      }
+    }
+    ack_pipe_.push(ack);
+    return;
+  }
+
+  const unsigned n_words = static_cast<unsigned>(req.words.size());
+  UnitUpdateAck ack;
+  ack.seq = req.seq;
+  ack.words_written = n_words;  // reduced below if any group lacks room
+  bool all_full = true;
+  for (unsigned g = 0; g < routing_.groups(); ++g) {
+    auto segments = controllers_[g].allocate(n_words);
+    unsigned written = 0;
+    unsigned word_pos = 0;
+    for (const auto& seg : segments) {
+      BlockRequest r;
+      r.op = OpKind::kUpdate;
+      r.tag.seq = req.seq;
+      r.tag.group = static_cast<std::uint16_t>(g);
+      r.words.assign(req.words.begin() + word_pos, req.words.begin() + word_pos + seg.count);
+      if (!req.masks.empty()) {
+        r.masks.assign(req.masks.begin() + word_pos,
+                       req.masks.begin() + word_pos + seg.count);
+      }
+      blocks_[seg.block]->issue(std::move(r));
+      word_pos += seg.count;
+      written += seg.count;
+    }
+    ack.words_written = std::min(ack.words_written, written);
+    all_full = all_full && controllers_[g].full();
+  }
+  ack.unit_full = all_full;
+  ack_pipe_.push(ack);
+}
+
+// Routes each key to its CAM group, replicating it to every block of that
+// group for parallel comparison.
+void CamUnit::dispatch_search(const UnitRequest& req) {
+  SearchMeta meta;
+  meta.seq = req.seq;
+  for (std::size_t i = 0; i < req.keys.size(); ++i) {
+    // Mapping function: the i-th key of the beat is served by group i. Every
+    // group holds a full copy of the data, so any assignment of distinct
+    // groups is equivalent; this one is the paper's "each search key
+    // assigned to a distinct CAM group".
+    const unsigned g = static_cast<unsigned>(i);
+    meta.keys.push_back(req.keys[i]);
+    meta.groups.push_back(g);
+    for (unsigned block_id : routing_.blocks_of(g)) {
+      BlockRequest r;
+      r.op = OpKind::kSearch;
+      r.key = req.keys[i];
+      r.tag.seq = req.seq;
+      r.tag.key_index = static_cast<std::uint16_t>(i);
+      r.tag.group = static_cast<std::uint16_t>(g);
+      blocks_[block_id]->issue(std::move(r));
+    }
+  }
+  meta_pipe_.push(std::move(meta));
+}
+
+// Gathers this cycle's block responses into per-key unit results. All blocks
+// answer a given beat in the same cycle (their pipelines are identical), so
+// the meta record popping out of meta_pipe_ names exactly the beat whose
+// responses are on the wires now.
+void CamUnit::collect_responses() {
+  const auto& meta = meta_pipe_.output();
+  if (!meta.has_value()) {
+    response_.reset();
+    return;
+  }
+
+  UnitResponse unit_resp;
+  unit_resp.seq = meta->seq;
+  unit_resp.results.resize(meta->keys.size());
+  for (std::size_t i = 0; i < meta->keys.size(); ++i) {
+    auto& r = unit_resp.results[i];
+    r.key = meta->keys[i];
+    r.group = static_cast<std::uint16_t>(meta->groups[i]);
+    r.hit = false;
+    r.global_address = 0;
+    r.match_count = 0;
+  }
+
+  unsigned collected = 0;
+  for (unsigned b = 0; b < cfg_.unit_size; ++b) {
+    const auto& resp = blocks_[b]->response();
+    if (!resp.has_value()) continue;
+    if (resp->tag.seq != meta->seq) {
+      throw SimError("CamUnit: block response sequence mismatch (collector skew)");
+    }
+    ++collected;
+    auto& r = unit_resp.results.at(resp->tag.key_index);
+    r.match_count += resp->match_count;
+    if (resp->hit) {
+      const std::uint32_t addr = b * cfg_.block.block_size + resp->first_match;
+      if (!r.hit || addr < r.global_address) r.global_address = addr;
+      r.hit = true;
+    }
+  }
+  if (collected == 0) {
+    // A reset beat overtook this search inside the blocks and flushed it:
+    // no result beat appears on the output interface (blocks otherwise
+    // always answer, hit or miss).
+    response_.reset();
+    return;
+  }
+  response_ = std::move(unit_resp);
+}
+
+void CamUnit::commit() {
+  // 1. Clock every block; beats dispatched last cycle are processed now.
+  for (auto& b : blocks_) b->commit();
+
+  // 2. Result collection: reduce the block responses that just latched and
+  //    register the unit-level response (the output-interface register).
+  collect_responses();
+
+  // 3. Advance the unit pipelines and dispatch emerging beats to the blocks
+  //    (they will process them at the next clock edge).
+  if (pending_) {
+    if (pending_->op == OpKind::kSearch) {
+      search_pipe_.push(std::move(*pending_));
+    } else {
+      update_pipe_.push(std::move(*pending_));  // update, invalidate, reset
+    }
+    pending_.reset();
+  }
+  search_pipe_.shift();
+  update_pipe_.shift();
+
+  if (update_pipe_.output().has_value()) dispatch_update(*update_pipe_.output());
+  if (search_pipe_.output().has_value()) dispatch_search(*search_pipe_.output());
+
+  // The meta/ack side pipes shift after dispatch so records pushed above are
+  // part of this clock edge.
+  meta_pipe_.shift();
+  ack_pipe_.shift();
+}
+
+}  // namespace dspcam::cam

@@ -1,0 +1,144 @@
+// DSP-based CAM unit (paper Fig. 4, Tables VII-VIII).
+//
+// The unit combines multiple CAM blocks with a Routing Compute module, a
+// Post-Router, and input/output interfaces. Blocks are aggregated into M
+// *CAM groups* (a runtime parameter): every group stores a full copy of the
+// data set, so up to M search keys can be served per cycle, one per group -
+// the paper's multi-query mechanism.
+//
+// Update path (5 pipeline stages + the block's 1-cycle write = 6 cycles,
+// Table VIII):
+//   input interface -> routing compute (Routing Table lookup) -> replication
+//   to all M groups -> post-router crossbar -> block input; within each
+//   group the Block Address Controller fills blocks sequentially,
+//   round-robin, spilling to the next block when one fills.
+//
+// Search path (3 unit stages + block search 3-4 + result collection = 7-8
+// cycles, Table VIII):
+//   input interface -> routing compute (key -> group assignment) ->
+//   post-router (replicate the key N times, broadcast to the group's
+//   blocks) -> parallel block search -> per-group reduction register.
+// Units above 2048 entries enable the blocks' encoder output buffer for
+// timing closure, which is why Table VIII's search latency steps 7 -> 8.
+//
+// Both paths are fully pipelined with initiation interval 1, so throughput
+// is set purely by the clock frequency (and the words-per-beat factor for
+// updates) - exactly how the paper derives Tables VI and VIII.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/cam/block.h"
+#include "src/cam/config.h"
+#include "src/cam/routing.h"
+#include "src/cam/transactions.h"
+#include "src/sim/component.h"
+#include "src/sim/delay_line.h"
+
+namespace dspcam::cam {
+
+/// The full configurable CAM unit.
+class CamUnit : public sim::Component {
+ public:
+  explicit CamUnit(const UnitConfig& cfg);
+
+  const UnitConfig& config() const noexcept { return cfg_; }
+
+  /// Current runtime group count M.
+  unsigned groups() const noexcept { return routing_.groups(); }
+
+  /// Blocks per group (N = unit_size / M for the default mapping).
+  unsigned blocks_per_group(unsigned group) const {
+    return static_cast<unsigned>(routing_.blocks_of(group).size());
+  }
+
+  /// End-to-end latencies for this configuration.
+  unsigned search_latency() const noexcept {
+    return kSearchPipeStages + 1 /*block issue handoff*/ +
+           (cfg_.block.output_buffer ? 4 : 3) /*block*/ - 1 /*response overlaps*/ +
+           1 /*collect register*/;
+  }
+  static constexpr unsigned update_latency() noexcept {
+    return kUpdatePipeStages + 1 /*handoff*/ + CamBlock::update_latency();
+  }
+
+  // --- Runtime reconfiguration (user-kernel control plane). ---
+
+  /// Reconfigures the group count M. M must divide the unit size. Changing
+  /// the grouping redefines where data lives, so the unit must be idle (no
+  /// in-flight operations) and all stored contents are cleared.
+  void configure_groups(unsigned m);
+
+  /// Reassigns a block to a different group (Routing Table update). Same
+  /// idle+clear semantics as configure_groups.
+  void remap_block(unsigned block, unsigned group);
+
+  /// True when no operation is anywhere in the unit's or blocks' pipelines.
+  bool idle() const noexcept;
+
+  // --- Per-cycle bus interface (issue during the owner's eval phase). ---
+
+  /// Presents one bus beat (update with up to words_per_beat words, search
+  /// with up to M keys, or reset). One beat per cycle.
+  void issue(UnitRequest request);
+
+  bool can_accept() const noexcept { return !pending_.has_value(); }
+
+  /// Search response that became visible this cycle, if any.
+  const std::optional<UnitResponse>& response() const noexcept { return response_; }
+
+  /// Update acknowledgement that became visible this cycle, if any.
+  const std::optional<UnitUpdateAck>& update_ack() const noexcept {
+    return ack_pipe_.output();
+  }
+
+  // --- Introspection. ---
+
+  /// Entries stored per group (every group holds a full copy).
+  unsigned stored_per_group() const noexcept;
+  unsigned capacity_per_group() const noexcept;
+
+  const RoutingTable& routing() const noexcept { return routing_; }
+  const CamBlock& block(unsigned index) const { return *blocks_.at(index); }
+
+  /// Total DSP slices instantiated (= total CAM cells).
+  unsigned dsp_count() const noexcept { return cfg_.unit_size * cfg_.block.block_size; }
+
+  void eval() override {}
+  void commit() override;
+
+ private:
+  static constexpr unsigned kSearchPipeStages = 3;  // in_if, routing, post-route
+  static constexpr unsigned kUpdatePipeStages = 4;  // + replication stage
+
+  struct SearchMeta {
+    std::uint64_t seq = 0;
+    std::vector<Word> keys;
+    std::vector<unsigned> groups;  ///< Group assigned to each key.
+  };
+
+  void rebuild_controllers();
+  void hard_reset_state();
+  void dispatch_update(const UnitRequest& req);
+  void dispatch_search(const UnitRequest& req);
+  void collect_responses();
+
+  UnitConfig cfg_;
+  std::vector<std::unique_ptr<CamBlock>> blocks_;
+  RoutingTable routing_;
+  std::vector<BlockAddressController> controllers_;  ///< One per group.
+
+  std::optional<UnitRequest> pending_;
+  sim::DelayLine<UnitRequest> search_pipe_;
+  sim::DelayLine<UnitRequest> update_pipe_;
+  sim::DelayLine<SearchMeta> meta_pipe_;        ///< Aligns collection with block responses.
+  sim::DelayLine<UnitUpdateAck> ack_pipe_;      ///< Aligns acks with the stored data.
+
+  std::optional<UnitResponse> response_;
+  std::uint64_t inflight_ = 0;  ///< Operations somewhere in the pipelines.
+};
+
+}  // namespace dspcam::cam

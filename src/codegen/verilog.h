@@ -1,0 +1,50 @@
+// Verilog generation for the CAM hierarchy.
+//
+// The paper's artifact is a set of parameterized HDL templates: "We design
+// the source file in templates where all the parameters can be defined
+// before the CAM unit is generated" (Section III-D). This module is that
+// generator: given the same UnitConfig the simulator uses, it emits
+// synthesizable-style Verilog for the cell (a DSP48E2 instantiation with
+// the XOR/pattern-detect configuration of Fig. 2), the block (DeMUX, cell
+// array, cell-address controller, encoder - Fig. 3), the unit (routing
+// compute, post-router, groups - Fig. 4), and a smoke-test bench.
+//
+// The emitted RTL mirrors the simulated microarchitecture stage for stage,
+// so the latencies printed in module headers are the ones the cycle model
+// measures. Generation is deterministic: same config, same text.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "src/cam/config.h"
+
+namespace dspcam::codegen {
+
+/// One generated source tree: file name -> contents.
+using FileSet = std::map<std::string, std::string>;
+
+/// Options controlling emission.
+struct VerilogOptions {
+  std::string top_name = "dsp_cam_unit";  ///< Top module name.
+  bool emit_testbench = true;             ///< Also emit tb_<top>.v.
+  std::string header_comment;             ///< Extra text for file headers.
+};
+
+/// Emits the full RTL set for a CAM unit:
+///   dsp_cam_cell.v, dsp_cam_block.v, <top>.v [, tb_<top>.v]
+/// Throws ConfigError if the configuration is invalid.
+FileSet generate_unit_verilog(const cam::UnitConfig& cfg,
+                              const VerilogOptions& options = VerilogOptions{});
+
+/// Emits just the cell module (useful for cell-level experiments).
+std::string generate_cell_verilog(const cam::CellConfig& cfg);
+
+/// Emits just the block module.
+std::string generate_block_verilog(const cam::BlockConfig& cfg);
+
+/// Writes a FileSet to a directory (created if missing). Returns the number
+/// of files written.
+unsigned write_files(const FileSet& files, const std::string& directory);
+
+}  // namespace dspcam::codegen

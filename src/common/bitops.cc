@@ -1,0 +1,23 @@
+#include "src/common/bitops.h"
+
+namespace dspcam {
+
+std::string to_binary(std::uint64_t value, unsigned bits) {
+  std::string out(bits, '0');
+  for (unsigned i = 0; i < bits; ++i) {
+    if ((value >> (bits - 1 - i)) & 1) out[i] = '1';
+  }
+  return out;
+}
+
+std::string to_hex(std::uint64_t value, unsigned bits) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  const unsigned nibbles = (bits + 3) / 4;
+  std::string out(nibbles, '0');
+  for (unsigned i = 0; i < nibbles; ++i) {
+    out[nibbles - 1 - i] = kDigits[(value >> (4 * i)) & 0xF];
+  }
+  return out;
+}
+
+}  // namespace dspcam

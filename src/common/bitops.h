@@ -1,0 +1,75 @@
+// Bit-manipulation helpers shared across the DSP-CAM libraries.
+//
+// All CAM datapaths in this project are at most 48 bits wide (the DSP48E2
+// ALU width), so a uint64_t word comfortably holds any cell value, search
+// key, or mask. These helpers centralise the masking/extraction idioms so
+// the hardware-model code reads like the UG579 datapath description.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dspcam {
+
+/// Width of the DSP48E2 ALU datapath; the hard upper bound on CAM word width.
+inline constexpr unsigned kDspWordBits = 48;
+
+/// Mask covering the full 48-bit DSP datapath.
+inline constexpr std::uint64_t kDspWordMask = (std::uint64_t{1} << kDspWordBits) - 1;
+
+/// Returns a mask with the low `bits` bits set. `bits` may be 0..64.
+constexpr std::uint64_t low_bits(unsigned bits) noexcept {
+  return bits >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << bits) - 1;
+}
+
+/// Truncates `value` to its low `bits` bits.
+constexpr std::uint64_t truncate(std::uint64_t value, unsigned bits) noexcept {
+  return value & low_bits(bits);
+}
+
+/// True if `value` is a power of two (zero is not).
+constexpr bool is_pow2(std::uint64_t value) noexcept {
+  return value != 0 && (value & (value - 1)) == 0;
+}
+
+/// Smallest power of two >= value (value must be >= 1).
+constexpr std::uint64_t next_pow2(std::uint64_t value) noexcept {
+  std::uint64_t p = 1;
+  while (p < value) p <<= 1;
+  return p;
+}
+
+/// floor(log2(value)); value must be nonzero.
+constexpr unsigned log2_floor(std::uint64_t value) noexcept {
+  unsigned r = 0;
+  while (value >>= 1) ++r;
+  return r;
+}
+
+/// ceil(log2(value)); the number of address bits needed to index `value`
+/// distinct locations. log2_ceil(1) == 0.
+constexpr unsigned log2_ceil(std::uint64_t value) noexcept {
+  return is_pow2(value) ? log2_floor(value) : log2_floor(value) + 1;
+}
+
+/// Extracts the bit field [lo, lo+width) from `value`.
+constexpr std::uint64_t bit_field(std::uint64_t value, unsigned lo, unsigned width) noexcept {
+  return (value >> lo) & low_bits(width);
+}
+
+/// Replaces the bit field [lo, lo+width) of `value` with `field`.
+constexpr std::uint64_t set_bit_field(std::uint64_t value, unsigned lo, unsigned width,
+                                      std::uint64_t field) noexcept {
+  const std::uint64_t m = low_bits(width) << lo;
+  return (value & ~m) | ((field << lo) & m);
+}
+
+/// Renders `value` as a binary string of exactly `bits` characters
+/// (MSB first), e.g. to_binary(0b101, 4) == "0101". Used by debug dumps.
+std::string to_binary(std::uint64_t value, unsigned bits);
+
+/// Renders `value` as a fixed-width lowercase hex string covering `bits`
+/// bits (rounded up to whole nibbles), e.g. to_hex(0xab, 12) == "0ab".
+std::string to_hex(std::uint64_t value, unsigned bits);
+
+}  // namespace dspcam

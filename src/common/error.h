@@ -1,0 +1,29 @@
+// Exception types for the DSP-CAM libraries.
+//
+// Configuration mistakes (invalid Table III parameters, non-divisible group
+// counts, oversized data widths) are programming errors at design-elaboration
+// time and throw ConfigError. Runtime hardware-impossible situations in the
+// simulation kernel (popping an empty FIFO, double-driving a register) throw
+// SimError. Hot-path CAM operations (search miss, full block) are ordinary
+// results, not exceptions.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace dspcam {
+
+/// Invalid architecture parameters detected while elaborating a design.
+class ConfigError : public std::invalid_argument {
+ public:
+  explicit ConfigError(const std::string& what) : std::invalid_argument(what) {}
+};
+
+/// A simulation-kernel invariant was violated (a bug in the caller's
+/// cycle-level driving of the model, not a modelled hardware behaviour).
+class SimError : public std::logic_error {
+ public:
+  explicit SimError(const std::string& what) : std::logic_error(what) {}
+};
+
+}  // namespace dspcam

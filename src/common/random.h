@@ -1,0 +1,47 @@
+// Deterministic pseudo-random number generation for workloads and tests.
+//
+// All stochastic workloads (random update/search streams, synthetic graph
+// generation) use this generator so every benchmark and test is reproducible
+// bit-for-bit across runs and platforms. The core is splitmix64 feeding
+// xoshiro256**, both public-domain algorithms with well-studied statistical
+// quality and trivially portable semantics.
+#pragma once
+
+#include <cstdint>
+
+namespace dspcam {
+
+/// Deterministic 64-bit PRNG (xoshiro256** seeded via splitmix64).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+  /// Re-initialises the state from `seed`; the same seed always yields the
+  /// same sequence.
+  void reseed(std::uint64_t seed);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform value in [0, bound). bound must be nonzero. Uses rejection
+  /// sampling, so the distribution is exactly uniform.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform value in [lo, hi] inclusive.
+  std::uint64_t next_in(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform value with exactly `bits` significant bits of range
+  /// (i.e. in [0, 2^bits)). bits in 1..64.
+  std::uint64_t next_bits(unsigned bits);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli trial with probability p of returning true.
+  bool next_bool(double p = 0.5) { return next_double() < p; }
+
+ private:
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace dspcam

@@ -1,0 +1,70 @@
+#include "src/common/table.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace dspcam {
+
+TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("TextTable row has " + std::to_string(cells.size()) +
+                                " cells; expected " + std::to_string(headers_.size()));
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (row[c].size() > widths[c]) widths[c] = row[c].size();
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line += c == 0 ? "| " : " | ";
+      line += std::string(widths[c] - row[c].size(), ' ') + row[c];
+    }
+    line += " |\n";
+    return line;
+  };
+
+  std::string out = render_row(headers_);
+  std::string rule;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    rule += c == 0 ? "|" : "|";
+    rule += std::string(widths[c] + 2, '-');
+  }
+  rule += "|\n";
+  out += rule;
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string TextTable::to_string(const std::string& caption) const {
+  return caption + "\n" + to_string();
+}
+
+std::string TextTable::num(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, value);
+  return buf;
+}
+
+std::string TextTable::num(std::uint64_t value) {
+  std::string raw = std::to_string(value);
+  std::string out;
+  const std::size_t n = raw.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i != 0 && (n - i) % 3 == 0) out += ',';
+    out += raw[i];
+  }
+  return out;
+}
+
+}  // namespace dspcam

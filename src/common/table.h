@@ -1,0 +1,44 @@
+// Plain-text table rendering for benchmark harness output.
+//
+// Every bench binary regenerates one of the paper's tables and prints it in
+// the same row/column layout the paper uses, so the output can be eyeballed
+// against the publication directly. This tiny formatter keeps that printing
+// uniform: right-aligned numeric columns, a header rule, and an optional
+// caption line.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dspcam {
+
+/// Column-aligned text table builder.
+class TextTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends a data row; must have exactly as many cells as headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the table with padded columns and a header separator.
+  std::string to_string() const;
+
+  /// Convenience: renders with a caption line above the table.
+  std::string to_string(const std::string& caption) const;
+
+  /// Formats a double with `digits` decimal places.
+  static std::string num(double value, int digits = 2);
+
+  /// Formats an integer with thousands separators (1234567 -> "1,234,567").
+  static std::string num(std::uint64_t value);
+  static std::string num(int value) { return num(static_cast<std::uint64_t>(value)); }
+  static std::string num(unsigned value) { return num(static_cast<std::uint64_t>(value)); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dspcam

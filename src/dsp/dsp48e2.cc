@@ -1,0 +1,244 @@
+#include "src/dsp/dsp48e2.h"
+
+#include "src/common/error.h"
+
+namespace dspcam::dsp {
+
+namespace {
+constexpr std::uint64_t kMask30 = low_bits(30);
+constexpr std::uint64_t kMask27 = low_bits(27);
+constexpr std::uint64_t kMask18 = low_bits(18);
+}  // namespace
+
+void Dsp48e2Attributes::validate() const {
+  if (areg > 2 || breg > 2) throw ConfigError("DSP48E2: AREG/BREG must be 0, 1, or 2");
+  if (creg > 1 || dreg > 1 || adreg > 1 || mreg > 1 || preg > 1) {
+    throw ConfigError("DSP48E2: CREG/DREG/ADREG/MREG/PREG must be 0 or 1");
+  }
+  if (use_preadder && !use_mult) {
+    throw ConfigError("DSP48E2: pre-adder is only meaningful on the multiplier path");
+  }
+  if (pattern > kDspWordMask || mask > kDspWordMask || rnd > kDspWordMask) {
+    throw ConfigError("DSP48E2: PATTERN/MASK/RND attributes exceed 48 bits");
+  }
+  if (sel_pattern_from_c && sel_mask_from_c) {
+    throw ConfigError("DSP48E2: SEL_PATTERN and SEL_MASK cannot both take the C port");
+  }
+  if (simd != SimdMode::kOne48 && use_mult) {
+    throw ConfigError("DSP48E2: SIMD lanes require USE_MULT=NONE (UG579)");
+  }
+}
+
+Dsp48e2::Dsp48e2(const Dsp48e2Attributes& attrs) : attrs_(attrs) {
+  attrs_.validate();
+}
+
+std::uint64_t Dsp48e2::a_eff() const noexcept {
+  switch (attrs_.areg) {
+    case 0: return in_.a & kMask30;
+    case 1: return a_regs_[0];
+    default: return a_regs_[1];
+  }
+}
+
+std::uint64_t Dsp48e2::b_eff() const noexcept {
+  switch (attrs_.breg) {
+    case 0: return in_.b & kMask18;
+    case 1: return b_regs_[0];
+    default: return b_regs_[1];
+  }
+}
+
+std::uint64_t Dsp48e2::c_eff() const noexcept {
+  return attrs_.creg == 0 ? (in_.c & kDspWordMask) : c_reg_;
+}
+
+void Dsp48e2::set_pattern_mask(std::uint64_t pattern, std::uint64_t mask) {
+  if (pattern > kDspWordMask || mask > kDspWordMask) {
+    throw ConfigError("DSP48E2: PATTERN/MASK attributes exceed 48 bits");
+  }
+  attrs_.pattern = pattern;
+  attrs_.mask = mask;
+}
+
+void Dsp48e2::reset() {
+  a_regs_[0] = a_regs_[1] = 0;
+  b_regs_[0] = b_regs_[1] = 0;
+  c_reg_ = d_reg_ = ad_reg_ = m_reg_ = 0;
+  ctrl_reg_ = CtrlState{};
+  out_ = Dsp48e2Outputs{};
+}
+
+// Evaluates the combinational datapath (pre-adder/multiplier muxing, the
+// W/X/Y/Z muxes, the ALU or logic unit, and the pattern detector) against
+// the *current* register state. Called once before the clock edge (the value
+// the P register would latch) or once after it (PREG bypassed).
+Dsp48e2::AluResult Dsp48e2::compute_datapath() const {
+  const std::uint64_t a_now = a_eff();
+  const std::uint64_t b_now = b_eff();
+  const std::uint64_t c_now = c_eff();
+  const CtrlState ctrl = ctrl_reg_;  // control is registered one stage (OPMODEREG=1)
+
+  const OpMode op = OpMode::decode(ctrl.opmode);
+
+  // Multiplier path. The real slice splits M into two partial products fed
+  // through the X and Y muxes; selecting M on exactly one of them is illegal.
+  const std::uint64_t ad_now =
+      attrs_.adreg == 0 ? ((d_reg_ + a_now) & kMask27) : ad_reg_;
+  const std::uint64_t mult_a = attrs_.use_preadder ? ad_now : (a_now & kMask27);
+  const std::uint64_t m_comb = (mult_a * b_now) & low_bits(45);
+  const std::uint64_t m_now = attrs_.mreg == 0 ? m_comb : m_reg_;
+
+  const bool x_is_m = op.x == XMux::kM;
+  const bool y_is_m = op.y == YMux::kM;
+  if (x_is_m != y_is_m) {
+    throw SimError("DSP48E2: OPMODE X=M requires Y=M (partial products pair)");
+  }
+  if (x_is_m && !attrs_.use_mult) {
+    throw SimError("DSP48E2: OPMODE selects M but USE_MULT is disabled");
+  }
+
+  const std::uint64_t x_val = [&]() -> std::uint64_t {
+    switch (op.x) {
+      case XMux::kZero: return 0;
+      case XMux::kM: return m_now;
+      case XMux::kP: return out_.p;
+      case XMux::kAB: return (((a_now & kMask30) << 18) | (b_now & kMask18)) & kDspWordMask;
+    }
+    return 0;
+  }();
+  const std::uint64_t y_val = [&]() -> std::uint64_t {
+    switch (op.y) {
+      case YMux::kZero: return 0;
+      case YMux::kM: return 0;  // partial product folded into x_val above
+      case YMux::kAllOnes: return kDspWordMask;
+      case YMux::kC: return c_now;
+    }
+    return 0;
+  }();
+  const std::uint64_t z_val = [&]() -> std::uint64_t {
+    switch (op.z) {
+      case ZMux::kZero: return 0;
+      case ZMux::kPCin: return in_.pcin & kDspWordMask;
+      case ZMux::kP:
+      case ZMux::kPMacc: return out_.p;
+      case ZMux::kC: return c_now;
+      case ZMux::kPCinShift17: return (in_.pcin & kDspWordMask) >> 17;
+      case ZMux::kPShift17: return out_.p >> 17;
+    }
+    return 0;
+  }();
+  const std::uint64_t w_val = [&]() -> std::uint64_t {
+    switch (op.w) {
+      case WMux::kZero: return 0;
+      case WMux::kP: return out_.p;
+      case WMux::kRnd: return attrs_.rnd;
+      case WMux::kC: return c_now;
+    }
+    return 0;
+  }();
+
+  AluResult r;
+  if (alumode_is_logic(ctrl.alumode)) {
+    if (attrs_.use_mult) {
+      throw SimError("DSP48E2: logic-unit ALUMODE requires USE_MULT=NONE");
+    }
+    if (op.w != WMux::kZero) {
+      throw SimError("DSP48E2: logic-unit ALUMODE requires W mux = 0");
+    }
+    const LogicFunc func = decode_logic_func(ctrl.alumode, op.y);
+    r.p = apply_logic(func, x_val, z_val);
+    r.carry = false;
+  } else {
+    const unsigned lanes = attrs_.simd == SimdMode::kOne48
+                               ? 1u
+                               : (attrs_.simd == SimdMode::kTwo24 ? 2u : 4u);
+    const unsigned lane_bits = kDspWordBits / lanes;
+    r.p = 0;
+    r.carry4 = 0;
+    for (unsigned lane = 0; lane < lanes; ++lane) {
+      const unsigned lo = lane * lane_bits;
+      const std::uint64_t wl = bit_field(w_val, lo, lane_bits);
+      const std::uint64_t xl = bit_field(x_val, lo, lane_bits);
+      const std::uint64_t yl = bit_field(y_val, lo, lane_bits);
+      const std::uint64_t zl = bit_field(z_val, lo, lane_bits);
+      // CARRYIN feeds lane 0 only; SIMD lanes have independent carries.
+      const std::uint64_t cin = (lane == 0 && ctrl.carry_in) ? 1 : 0;
+      const std::uint64_t wxy = wl + xl + yl + cin;
+      std::uint64_t wide = 0;
+      switch (static_cast<AluArith>(ctrl.alumode & 0b1111)) {
+        case AluArith::kAdd: wide = zl + wxy; break;
+        case AluArith::kSubZ: wide = zl - wxy; break;
+        case AluArith::kNegAddMinus1: wide = wxy - zl - 1; break;
+        case AluArith::kNegSubMinus1: wide = ~(zl + wxy); break;
+        default: throw SimError("DSP48E2: reserved ALUMODE arithmetic encoding");
+      }
+      r.p = set_bit_field(r.p, lo, lane_bits, wide);
+      if ((wide >> lane_bits) & 1) r.carry4 |= static_cast<std::uint8_t>(1u << lane);
+    }
+    r.carry = (r.carry4 & 1) != 0;
+  }
+
+  // Pattern detector (UG579: reduced AND of (P ~^ PATTERN) | MASK).
+  // Unavailable in SIMD modes.
+  if (attrs_.simd == SimdMode::kOne48) {
+    const std::uint64_t pattern = attrs_.sel_pattern_from_c ? c_now : attrs_.pattern;
+    const std::uint64_t mask = attrs_.sel_mask_from_c ? c_now : attrs_.mask;
+    r.pattern_detect = ((r.p ^ pattern) & ~mask & kDspWordMask) == 0;
+    r.pattern_b_detect = ((r.p ^ ~pattern) & ~mask & kDspWordMask) == 0;
+  }
+  return r;
+}
+
+void Dsp48e2::commit() {
+  // Value the P register would latch at this edge (from pre-edge state).
+  std::optional<AluResult> pre;
+  if (attrs_.preg == 1 && in_.ce_p) pre = compute_datapath();
+
+  // ---- Clock edge: latch every register from its pre-edge D input. ----
+  const std::uint64_t a_pre = a_eff();
+  const std::uint64_t ad_d_input = (d_reg_ + a_pre) & kMask27;  // pre-adder sees old D reg
+  const std::uint64_t mult_a = attrs_.use_preadder
+                                   ? (attrs_.adreg == 0 ? ad_d_input : ad_reg_)
+                                   : (a_pre & kMask27);
+  const std::uint64_t m_d_input = (mult_a * b_eff()) & low_bits(45);
+
+  if (in_.ce_a) {
+    a_regs_[1] = a_regs_[0];
+    a_regs_[0] = in_.a & kMask30;
+  }
+  if (in_.ce_b) {
+    b_regs_[1] = b_regs_[0];
+    b_regs_[0] = in_.b & kMask18;
+  }
+  if (in_.ce_c) c_reg_ = in_.c & kDspWordMask;
+  ad_reg_ = ad_d_input;
+  d_reg_ = in_.d & kMask27;
+  m_reg_ = m_d_input;
+  ctrl_reg_ = CtrlState{in_.opmode, in_.alumode, in_.carry_in};
+
+  if (attrs_.preg == 1) {
+    if (pre) {
+      out_.p = pre->p;
+      out_.carry_out = pre->carry;
+      out_.carry_out4 = pre->carry4;
+      out_.pattern_detect = pre->pattern_detect;
+      out_.pattern_b_detect = pre->pattern_b_detect;
+    }
+  } else {
+    // PREG bypassed: P follows the ALU combinationally, i.e. it reflects the
+    // register state after this edge.
+    const AluResult post = compute_datapath();
+    out_.p = post.p;
+    out_.carry_out = post.carry;
+    out_.carry_out4 = post.carry4;
+    out_.pattern_detect = post.pattern_detect;
+    out_.pattern_b_detect = post.pattern_b_detect;
+  }
+
+  out_.pcout = out_.p;
+  out_.acout = attrs_.areg == 0 ? (in_.a & kMask30) : a_regs_[0];
+  out_.bcout = attrs_.breg == 0 ? (in_.b & kMask18) : b_regs_[0];
+}
+
+}  // namespace dspcam::dsp

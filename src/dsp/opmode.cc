@@ -1,0 +1,128 @@
+#include "src/dsp/opmode.h"
+
+#include "src/common/bitops.h"
+#include "src/common/error.h"
+
+namespace dspcam::dsp {
+
+std::uint16_t OpMode::encode() const noexcept {
+  return static_cast<std::uint16_t>(static_cast<std::uint16_t>(x) |
+                                    (static_cast<std::uint16_t>(y) << 2) |
+                                    (static_cast<std::uint16_t>(z) << 4) |
+                                    (static_cast<std::uint16_t>(w) << 7));
+}
+
+OpMode OpMode::decode(std::uint16_t raw) {
+  if (raw >= (1u << 9)) throw ConfigError("OPMODE wider than 9 bits");
+  const auto zbits = static_cast<std::uint8_t>((raw >> 4) & 0b111);
+  if (zbits == 0b111) throw ConfigError("OPMODE Z mux encoding 0b111 is reserved");
+  OpMode m;
+  m.x = static_cast<XMux>(raw & 0b11);
+  m.y = static_cast<YMux>((raw >> 2) & 0b11);
+  m.z = static_cast<ZMux>(zbits);
+  m.w = static_cast<WMux>((raw >> 7) & 0b11);
+  return m;
+}
+
+std::string OpMode::to_string() const {
+  auto xs = [this] {
+    switch (x) {
+      case XMux::kZero: return "0";
+      case XMux::kM: return "M";
+      case XMux::kP: return "P";
+      case XMux::kAB: return "A:B";
+    }
+    return "?";
+  }();
+  auto ys = [this] {
+    switch (y) {
+      case YMux::kZero: return "0";
+      case YMux::kM: return "M";
+      case YMux::kAllOnes: return "~0";
+      case YMux::kC: return "C";
+    }
+    return "?";
+  }();
+  auto zs = [this] {
+    switch (z) {
+      case ZMux::kZero: return "0";
+      case ZMux::kPCin: return "PCIN";
+      case ZMux::kP: return "P";
+      case ZMux::kC: return "C";
+      case ZMux::kPMacc: return "P(macc)";
+      case ZMux::kPCinShift17: return "PCIN>>17";
+      case ZMux::kPShift17: return "P>>17";
+    }
+    return "?";
+  }();
+  auto ws = [this] {
+    switch (w) {
+      case WMux::kZero: return "0";
+      case WMux::kP: return "P";
+      case WMux::kRnd: return "RND";
+      case WMux::kC: return "C";
+    }
+    return "?";
+  }();
+  return std::string("X=") + xs + " Y=" + ys + " Z=" + zs + " W=" + ws;
+}
+
+LogicFunc decode_logic_func(std::uint8_t alumode, YMux y) {
+  if (!alumode_is_logic(alumode)) {
+    throw ConfigError("ALUMODE " + std::to_string(alumode) + " is not a logic-unit encoding");
+  }
+  const bool ones = y == YMux::kAllOnes;
+  if (y != YMux::kZero && !ones) {
+    throw ConfigError("logic unit requires Y mux = 0 or all-ones");
+  }
+  // UG579 Table 2-10: the Y mux flips each function to its De Morgan dual.
+  switch (alumode & 0b1111) {
+    case 0b0100:
+    case 0b0111:
+      return ones ? LogicFunc::kXnor : LogicFunc::kXor;
+    case 0b0101:
+    case 0b0110:
+      return ones ? LogicFunc::kXor : LogicFunc::kXnor;
+    case 0b1100:
+      return ones ? LogicFunc::kOr : LogicFunc::kAnd;
+    case 0b1101:
+      return ones ? LogicFunc::kOrNotZ : LogicFunc::kAndNotZ;
+    case 0b1110:
+      return ones ? LogicFunc::kNor : LogicFunc::kNand;
+    case 0b1111:
+      return ones ? LogicFunc::kAndNotZ : LogicFunc::kOrNotZ;
+    default:
+      throw ConfigError("reserved ALUMODE logic encoding " + std::to_string(alumode));
+  }
+}
+
+std::uint64_t apply_logic(LogicFunc func, std::uint64_t x, std::uint64_t z) noexcept {
+  std::uint64_t r = 0;
+  switch (func) {
+    case LogicFunc::kXor: r = x ^ z; break;
+    case LogicFunc::kXnor: r = ~(x ^ z); break;
+    case LogicFunc::kAnd: r = x & z; break;
+    case LogicFunc::kAndNotZ: r = x & ~z; break;
+    case LogicFunc::kNand: r = ~(x & z); break;
+    case LogicFunc::kOr: r = x | z; break;
+    case LogicFunc::kOrNotZ: r = x | ~z; break;
+    case LogicFunc::kNor: r = ~(x | z); break;
+  }
+  return r & kDspWordMask;
+}
+
+std::string to_string(LogicFunc func) {
+  switch (func) {
+    case LogicFunc::kXor: return "XOR";
+    case LogicFunc::kXnor: return "XNOR";
+    case LogicFunc::kAnd: return "AND";
+    case LogicFunc::kAndNotZ: return "AND-NOT";
+    case LogicFunc::kNand: return "NAND";
+    case LogicFunc::kOr: return "OR";
+    case LogicFunc::kOrNotZ: return "OR-NOT";
+    case LogicFunc::kNor: return "NOR";
+  }
+  return "?";
+}
+
+}  // namespace dspcam::dsp

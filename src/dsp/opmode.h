@@ -1,0 +1,102 @@
+// DSP48E2 control-word encodings (OPMODE / ALUMODE / INMODE).
+//
+// Field layouts and mux selections follow UG579, "UltraScale Architecture
+// DSP Slice User Guide" (v1.9.1), the document the paper configures against:
+//
+//   OPMODE[8:0] = { W[1:0], Z[2:0], Y[1:0], X[1:0] }
+//     X (OPMODE[1:0]): 00 -> 0,   01 -> M,       10 -> P,        11 -> A:B
+//     Y (OPMODE[3:2]): 00 -> 0,   01 -> M,       10 -> all-ones, 11 -> C
+//     Z (OPMODE[6:4]): 000 -> 0,  001 -> PCIN,   010 -> P,       011 -> C,
+//                      100 -> P (MACC extend),   101 -> PCIN>>17, 110 -> P>>17
+//     W (OPMODE[8:7]): 00 -> 0,   01 -> P,       10 -> RND,      11 -> C
+//
+//   ALUMODE[3:0] selects the ALU function. 0000/0011/0001/0010 are the four
+//   arithmetic modes; 01xx/11xx with the multiplier disabled select the
+//   two-input logic unit, whose exact function also depends on the Y mux
+//   (UG579 Table 2-10). The paper's CAM cell uses the logic unit in XOR mode:
+//   O = (A:B) XOR C, i.e. X = A:B, Z = C, Y = 0, ALUMODE = 0100.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dspcam::dsp {
+
+/// X multiplexer selection (OPMODE[1:0]).
+enum class XMux : std::uint8_t { kZero = 0b00, kM = 0b01, kP = 0b10, kAB = 0b11 };
+
+/// Y multiplexer selection (OPMODE[3:2]).
+enum class YMux : std::uint8_t { kZero = 0b00, kM = 0b01, kAllOnes = 0b10, kC = 0b11 };
+
+/// Z multiplexer selection (OPMODE[6:4]).
+enum class ZMux : std::uint8_t {
+  kZero = 0b000,
+  kPCin = 0b001,
+  kP = 0b010,
+  kC = 0b011,
+  kPMacc = 0b100,
+  kPCinShift17 = 0b101,
+  kPShift17 = 0b110,
+};
+
+/// W multiplexer selection (OPMODE[8:7]).
+enum class WMux : std::uint8_t { kZero = 0b00, kP = 0b01, kRnd = 0b10, kC = 0b11 };
+
+/// Decoded 9-bit OPMODE word.
+struct OpMode {
+  XMux x = XMux::kZero;
+  YMux y = YMux::kZero;
+  ZMux z = ZMux::kZero;
+  WMux w = WMux::kZero;
+
+  /// Packs to the 9-bit OPMODE encoding.
+  std::uint16_t encode() const noexcept;
+
+  /// Unpacks a 9-bit OPMODE; throws ConfigError on a reserved Z encoding.
+  static OpMode decode(std::uint16_t raw);
+
+  /// "X=A:B Y=0 Z=C W=0" style debug rendering.
+  std::string to_string() const;
+
+  bool operator==(const OpMode&) const = default;
+};
+
+/// The four arithmetic ALU functions (ALUMODE values with ALUMODE[3:2]=00).
+enum class AluArith : std::uint8_t {
+  kAdd = 0b0000,          // Z + (W + X + Y + CIN)
+  kSubZ = 0b0011,         // Z - (W + X + Y + CIN)
+  kNegAddMinus1 = 0b0001, // -Z + (W + X + Y + CIN) - 1
+  kNegSubMinus1 = 0b0010, // -(Z + W + X + Y + CIN) - 1
+};
+
+/// Two-input logic functions computable by the logic unit.
+enum class LogicFunc : std::uint8_t {
+  kXor,
+  kXnor,
+  kAnd,
+  kAndNotZ,
+  kNand,
+  kOr,
+  kOrNotZ,
+  kNor,
+};
+
+/// Resolves the logic-unit function for a given ALUMODE and Y-mux selection
+/// per UG579 Table 2-10. `alumode` must have ALUMODE[2] == 1 semantics
+/// (i.e. a logic-unit encoding: 0b01xx or 0b11xx); `y` must be kZero or
+/// kAllOnes. Throws ConfigError otherwise.
+LogicFunc decode_logic_func(std::uint8_t alumode, YMux y);
+
+/// Applies a LogicFunc to 48-bit operands, truncated to 48 bits.
+std::uint64_t apply_logic(LogicFunc func, std::uint64_t x, std::uint64_t z) noexcept;
+
+/// True if the 4-bit ALUMODE encodes a logic-unit operation (requires the
+/// multiplier to be unused).
+constexpr bool alumode_is_logic(std::uint8_t alumode) noexcept {
+  return (alumode & 0b0100) != 0;
+}
+
+/// Human-readable name of a logic function.
+std::string to_string(LogicFunc func);
+
+}  // namespace dspcam::dsp

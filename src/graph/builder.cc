@@ -1,0 +1,68 @@
+#include "src/graph/builder.h"
+
+#include <algorithm>
+
+#include "src/common/error.h"
+
+namespace dspcam::graph {
+
+CsrGraph build_undirected(VertexId num_vertices, const std::vector<Edge>& edges) {
+  std::vector<Edge> arcs;
+  arcs.reserve(edges.size() * 2);
+  for (const auto& [u, v] : edges) {
+    if (u == v) continue;  // drop self-loops
+    if (u >= num_vertices || v >= num_vertices) {
+      throw ConfigError("build_undirected: vertex id out of range");
+    }
+    arcs.emplace_back(u, v);
+    arcs.emplace_back(v, u);
+  }
+  std::sort(arcs.begin(), arcs.end());
+  arcs.erase(std::unique(arcs.begin(), arcs.end()), arcs.end());
+
+  std::vector<std::uint64_t> offsets(num_vertices + 1, 0);
+  for (const auto& [u, v] : arcs) ++offsets[u + 1];
+  for (VertexId v = 0; v < num_vertices; ++v) offsets[v + 1] += offsets[v];
+  std::vector<VertexId> neighbors(arcs.size());
+  for (std::size_t i = 0; i < arcs.size(); ++i) neighbors[i] = arcs[i].second;
+  return CsrGraph(std::move(offsets), std::move(neighbors));
+}
+
+CsrGraph orient_by_degree(const CsrGraph& g) {
+  const VertexId n = g.num_vertices();
+  auto precedes = [&](VertexId a, VertexId b) {
+    const auto da = g.degree(a);
+    const auto db = g.degree(b);
+    return da != db ? da < db : a < b;
+  };
+
+  std::vector<std::uint64_t> offsets(n + 1, 0);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v : g.neighbors(u)) {
+      if (precedes(u, v)) ++offsets[u + 1];
+    }
+  }
+  for (VertexId v = 0; v < n; ++v) offsets[v + 1] += offsets[v];
+  std::vector<VertexId> neighbors(offsets.back());
+  std::vector<std::uint64_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v : g.neighbors(u)) {
+      if (precedes(u, v)) neighbors[cursor[u]++] = v;
+    }
+  }
+  // Adjacency stays sorted by vertex id because the source lists were
+  // sorted; the merge-based intersection relies on that.
+  return CsrGraph(std::move(offsets), std::move(neighbors));
+}
+
+std::vector<Edge> undirected_edges(const CsrGraph& g) {
+  std::vector<Edge> edges;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v : g.neighbors(u)) {
+      if (u < v) edges.emplace_back(u, v);
+    }
+  }
+  return edges;
+}
+
+}  // namespace dspcam::graph

@@ -1,0 +1,30 @@
+// Edge-list to CSR construction, cleaning, and triangle-counting
+// orientation.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/graph/csr.h"
+
+namespace dspcam::graph {
+
+using Edge = std::pair<VertexId, VertexId>;
+
+/// Builds an undirected simple graph in CSR form from an arbitrary edge
+/// list: self-loops dropped, duplicates (in either direction) merged, both
+/// arcs stored, adjacency lists sorted ascending.
+CsrGraph build_undirected(VertexId num_vertices, const std::vector<Edge>& edges);
+
+/// Degree-ordered orientation for triangle counting: keeps only the arc
+/// u -> v where (deg(u), u) < (deg(v), v). Every triangle of the undirected
+/// graph appears exactly once as a directed wedge, and out-degrees are
+/// bounded by O(sqrt(|E|)) on real graphs - the standard forward/merge
+/// counting preprocessing (also what the Vitis baseline relies on).
+CsrGraph orient_by_degree(const CsrGraph& undirected);
+
+/// Undirected edge list of a CSR graph (u < v arcs only).
+std::vector<Edge> undirected_edges(const CsrGraph& graph);
+
+}  // namespace dspcam::graph

@@ -1,0 +1,30 @@
+#include "src/graph/csr.h"
+
+#include <algorithm>
+
+#include "src/common/error.h"
+
+namespace dspcam::graph {
+
+CsrGraph::CsrGraph(std::vector<std::uint64_t> offsets, std::vector<VertexId> neighbors)
+    : offsets_(std::move(offsets)), neighbors_(std::move(neighbors)) {
+  if (offsets_.empty()) throw ConfigError("CsrGraph: offsets must have >= 1 entry");
+  if (offsets_.front() != 0 || offsets_.back() != neighbors_.size()) {
+    throw ConfigError("CsrGraph: offsets must start at 0 and end at |E|");
+  }
+  if (!std::is_sorted(offsets_.begin(), offsets_.end())) {
+    throw ConfigError("CsrGraph: offsets must be non-decreasing");
+  }
+  const auto n = static_cast<VertexId>(offsets_.size() - 1);
+  for (VertexId u : neighbors_) {
+    if (u >= n) throw ConfigError("CsrGraph: neighbor id out of range");
+  }
+}
+
+std::uint32_t CsrGraph::max_degree() const noexcept {
+  std::uint32_t best = 0;
+  for (VertexId v = 0; v < num_vertices(); ++v) best = std::max(best, degree(v));
+  return best;
+}
+
+}  // namespace dspcam::graph

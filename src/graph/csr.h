@@ -1,0 +1,59 @@
+// Compressed Sparse Row graph storage.
+//
+// The paper's case study stores graphs in CSR: "each vertex is associated
+// with an offset and length pointing to its neighbors in a column list".
+// This type is that exact structure: offsets_[v] / offsets_[v+1] bracket
+// vertex v's adjacency slice in neighbors_.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dspcam::graph {
+
+using VertexId = std::uint32_t;
+
+/// Immutable CSR graph (directed; undirected graphs store both arcs).
+class CsrGraph {
+ public:
+  CsrGraph() : offsets_{0} {}
+
+  /// Builds from raw CSR arrays. offsets.size() == num_vertices + 1 and
+  /// offsets.back() == neighbors.size().
+  CsrGraph(std::vector<std::uint64_t> offsets, std::vector<VertexId> neighbors);
+
+  VertexId num_vertices() const noexcept {
+    return static_cast<VertexId>(offsets_.size() - 1);
+  }
+  std::uint64_t num_edges() const noexcept { return neighbors_.size(); }
+
+  /// Out-degree of v (the paper's "length").
+  std::uint32_t degree(VertexId v) const {
+    return static_cast<std::uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Start of v's adjacency slice (the paper's "offset").
+  std::uint64_t offset(VertexId v) const { return offsets_[v]; }
+
+  /// v's adjacency list.
+  std::span<const VertexId> neighbors(VertexId v) const {
+    return {neighbors_.data() + offsets_[v], degree(v)};
+  }
+
+  const std::vector<std::uint64_t>& offsets() const noexcept { return offsets_; }
+  const std::vector<VertexId>& neighbor_array() const noexcept { return neighbors_; }
+
+  std::uint32_t max_degree() const noexcept;
+  double average_degree() const noexcept {
+    return num_vertices() == 0
+               ? 0.0
+               : static_cast<double>(num_edges()) / static_cast<double>(num_vertices());
+  }
+
+ private:
+  std::vector<std::uint64_t> offsets_;
+  std::vector<VertexId> neighbors_;
+};
+
+}  // namespace dspcam::graph

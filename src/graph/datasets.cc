@@ -1,0 +1,121 @@
+#include "src/graph/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/error.h"
+#include "src/graph/generators.h"
+
+namespace dspcam::graph {
+
+namespace {
+
+VertexId scaled(std::uint64_t value, double scale, std::uint64_t minimum = 16) {
+  const auto v = static_cast<std::uint64_t>(std::llround(value * scale));
+  return static_cast<VertexId>(std::max(v, minimum));
+}
+
+/// Side length of a square grid with ~n vertices.
+unsigned grid_side(std::uint64_t n) {
+  return std::max(2u, static_cast<unsigned>(std::lround(std::sqrt(static_cast<double>(n)))));
+}
+
+}  // namespace
+
+std::vector<DatasetSpec> table9_datasets() {
+  std::vector<DatasetSpec> v;
+
+  // Social ego-networks: dense clustered communities (each ego's friend
+  // circle is nearly a clique), bounded hubs.
+  v.push_back({"facebook_combined", "community (ego circles)", 4039, 88234, 1.0,
+               {1612010, 5.054, 18.7},
+               [](double s, Rng& rng) {
+                 const VertexId n = scaled(4039, s);
+                 return community_graph(
+                     n, static_cast<std::uint64_t>(88234 * s), 80, 0.85, rng);
+               }});
+
+  // Co-purchase networks: small tight product clusters ("customers who
+  // bought X also bought Y"), degree bounded, no giant hubs.
+  v.push_back({"amazon0302", "community (co-purchase clusters)", 262111, 899792, 1.0,
+               {717719, 23.086, 89.5},
+               [](double s, Rng& rng) {
+                 const VertexId n = scaled(262111, s);
+                 return community_graph(
+                     n, static_cast<std::uint64_t>(899792 * s), 10, 0.8, rng);
+               }});
+  v.push_back({"amazon0601", "community (co-purchase clusters)", 403394, 2443408, 1.0,
+               {3986507, 71.210, 230.3},
+               [](double s, Rng& rng) {
+                 const VertexId n = scaled(403394, s);
+                 return community_graph(
+                     n, static_cast<std::uint64_t>(2443408 * s), 14, 0.8, rng);
+               }});
+
+  // AS-level internet topology: hub-dominated.
+  v.push_back({"as20000102", "hub topology (AS-level)", 6474, 13895, 1.0,
+               {6584, 0.422, 7.4},
+               [](double s, Rng& rng) {
+                 const VertexId n = scaled(6474, s);
+                 return hub_topology(n, std::max(8u, static_cast<unsigned>(90 * s)), rng);
+               }});
+
+  // Patent citations: very large, mostly tree-like with sparse triangle
+  // pockets (0.45 triangles/edge in the real data). Scaled by 1/4 by
+  // default (16.5M edges full size).
+  v.push_back({"cit-Patents", "community (sparse citation pockets)", 3774768, 16518948,
+               0.25,
+               {7515023, 415.808, 800.0},
+               [](double s, Rng& rng) {
+                 const VertexId n = scaled(3774768, s);
+                 return community_graph(
+                     n, static_cast<std::uint64_t>(16518948 * s), 5, 0.45, rng);
+               }});
+
+  // Dense collaboration/citation multinetwork: 28K vertices, 4.6M edges -
+  // huge co-authorship cliques. Scaled by 1/2 by default.
+  v.push_back({"ca-cit-HepPh", "community (dense collaboration cliques)", 28093,
+               4596803, 0.5,
+               {195758685, 1526.05, 5361.1},
+               [](double s, Rng& rng) {
+                 const VertexId n = scaled(28093, s);
+                 return community_graph(
+                     n, static_cast<std::uint64_t>(4596803 * s), 350, 0.9, rng);
+               }});
+
+  // Road networks: near-planar lattices, degree <= 4, few triangles.
+  auto road = [](std::uint64_t nv, double drop, double extra) {
+    return [nv, drop, extra](double s, Rng& rng) {
+      const unsigned side = grid_side(static_cast<std::uint64_t>(nv * s));
+      return road_network(side, side, extra, drop, rng);
+    };
+  };
+  v.push_back({"roadNet-CA", "perturbed lattice (road)", 1965206, 2766607, 1.0,
+               {120676, 62.058, 108.8}, road(1965206, 0.30, 0.031)});
+  v.push_back({"roadNet-PA", "perturbed lattice (road)", 1088092, 1541898, 1.0,
+               {67150, 34.559, 88.7}, road(1088092, 0.29, 0.031)});
+  v.push_back({"roadNet-TX", "perturbed lattice (road)", 1379917, 1921660, 1.0,
+               {82869, 42.323, 96.8}, road(1379917, 0.30, 0.030)});
+
+  // Slashdot: social network, power-law.
+  v.push_back({"soc-Slashdot0811", "Barabasi-Albert (social)", 77360, 469180, 1.0,
+               {551724, 29.402, 259.7},
+               [](double s, Rng& rng) {
+                 const VertexId n = scaled(77360, s);
+                 const unsigned m = std::max<unsigned>(
+                     2, static_cast<unsigned>(469180.0 * s / n));
+                 return barabasi_albert(n, m, rng);
+               }});
+
+  return v;
+}
+
+const DatasetSpec& dataset_by_name(const std::string& name) {
+  static const std::vector<DatasetSpec> all = table9_datasets();
+  for (const auto& d : all) {
+    if (d.name == name) return d;
+  }
+  throw ConfigError("unknown dataset: " + name);
+}
+
+}  // namespace dspcam::graph

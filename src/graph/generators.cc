@@ -1,0 +1,176 @@
+#include "src/graph/generators.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/common/error.h"
+
+namespace dspcam::graph {
+
+CsrGraph erdos_renyi(VertexId n, std::uint64_t m, Rng& rng) {
+  if (n < 2) throw ConfigError("erdos_renyi: need >= 2 vertices");
+  const std::uint64_t max_edges = static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  if (m > max_edges) throw ConfigError("erdos_renyi: too many edges requested");
+  std::set<Edge> chosen;
+  while (chosen.size() < m) {
+    auto u = static_cast<VertexId>(rng.next_below(n));
+    auto v = static_cast<VertexId>(rng.next_below(n));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    chosen.emplace(u, v);
+  }
+  return build_undirected(n, {chosen.begin(), chosen.end()});
+}
+
+CsrGraph barabasi_albert(VertexId n, unsigned edges_per_vertex, Rng& rng) {
+  if (edges_per_vertex == 0) throw ConfigError("barabasi_albert: m must be >= 1");
+  if (n <= edges_per_vertex) throw ConfigError("barabasi_albert: n must exceed m");
+  std::vector<Edge> edges;
+  // Attachment targets drawn from this multiset give degree-proportional
+  // probability (each edge endpoint appears once).
+  std::vector<VertexId> endpoints;
+  // Seed: a small clique over the first m+1 vertices.
+  for (VertexId u = 0; u <= edges_per_vertex; ++u) {
+    for (VertexId v = u + 1; v <= edges_per_vertex; ++v) {
+      edges.emplace_back(u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  for (VertexId v = edges_per_vertex + 1; v < n; ++v) {
+    std::set<VertexId> targets;
+    while (targets.size() < edges_per_vertex) {
+      const VertexId t = endpoints[rng.next_below(endpoints.size())];
+      if (t != v) targets.insert(t);
+    }
+    for (VertexId t : targets) {
+      edges.emplace_back(v, t);
+      endpoints.push_back(v);
+      endpoints.push_back(t);
+    }
+  }
+  return build_undirected(n, edges);
+}
+
+CsrGraph rmat(unsigned scale, std::uint64_t num_edges, double a, double b, double c,
+              Rng& rng) {
+  if (scale == 0 || scale > 30) throw ConfigError("rmat: scale must be 1..30");
+  const double d = 1.0 - a - b - c;
+  if (a < 0 || b < 0 || c < 0 || d < 0) {
+    throw ConfigError("rmat: quadrant probabilities must be a partition");
+  }
+  const VertexId n = VertexId{1} << scale;
+  std::vector<Edge> edges;
+  edges.reserve(num_edges);
+  for (std::uint64_t e = 0; e < num_edges; ++e) {
+    VertexId u = 0;
+    VertexId v = 0;
+    for (unsigned bit = 0; bit < scale; ++bit) {
+      const double r = rng.next_double();
+      const bool right = r >= a && r < a + b;
+      const bool down = r >= a + b && r < a + b + c;
+      const bool both = r >= a + b + c;
+      u = (u << 1) | (down || both ? 1u : 0u);
+      v = (v << 1) | (right || both ? 1u : 0u);
+    }
+    if (u != v) edges.emplace_back(u, v);
+  }
+  return build_undirected(n, edges);
+}
+
+CsrGraph road_network(unsigned rows, unsigned cols, double extra_fraction,
+                      double drop_fraction, Rng& rng) {
+  if (rows < 2 || cols < 2) throw ConfigError("road_network: grid too small");
+  const VertexId n = rows * cols;
+  auto id = [cols](unsigned r, unsigned c) { return static_cast<VertexId>(r * cols + c); };
+  std::vector<Edge> edges;
+  for (unsigned r = 0; r < rows; ++r) {
+    for (unsigned c = 0; c < cols; ++c) {
+      if (c + 1 < cols && !rng.next_bool(drop_fraction)) {
+        edges.emplace_back(id(r, c), id(r, c + 1));
+      }
+      if (r + 1 < rows && !rng.next_bool(drop_fraction)) {
+        edges.emplace_back(id(r, c), id(r + 1, c));
+      }
+      // Occasional diagonal - road networks have some triangles (the
+      // paper's roadNet rows count 67K-120K of them).
+      if (c + 1 < cols && r + 1 < rows && rng.next_bool(extra_fraction)) {
+        edges.emplace_back(id(r, c), id(r + 1, c + 1));
+      }
+    }
+  }
+  return build_undirected(n, edges);
+}
+
+CsrGraph hub_topology(VertexId n, unsigned hubs, Rng& rng) {
+  if (hubs < 2 || n <= hubs) throw ConfigError("hub_topology: need hubs < n");
+  // Assign logical roles, then scatter through a random id permutation:
+  // real graphs are not degree-sorted, and id order matters to the
+  // merge-intersection cost model (sorted adjacency positions).
+  std::vector<VertexId> perm(n);
+  for (VertexId i = 0; i < n; ++i) perm[i] = i;
+  for (VertexId i = n; i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng.next_below(i)]);
+  }
+
+  std::vector<Edge> edges;
+  // Core: providers are moderately meshed among themselves.
+  for (VertexId u = 0; u < hubs; ++u) {
+    for (VertexId v = u + 1; v < hubs; ++v) {
+      if (rng.next_bool(0.3)) edges.emplace_back(perm[u], perm[v]);
+    }
+  }
+  // Customers: one provider each, occasionally two, with quadratic skew
+  // toward the top providers - the r^2 law puts ~1/sqrt(hubs) of all
+  // attachments on hub 0, matching as20000102's top AS (~10% of edges,
+  // degree ~1.5K) at hubs ~= 90.
+  for (VertexId v = hubs; v < n; ++v) {
+    const unsigned links = 2;  // "1-3 providers"; duplicates merge in the builder
+    for (unsigned l = 0; l < links; ++l) {
+      const double r = rng.next_double();
+      const auto h = static_cast<VertexId>(r * r * hubs);
+      edges.emplace_back(perm[v], perm[std::min(h, static_cast<VertexId>(hubs - 1))]);
+    }
+  }
+  return build_undirected(n, edges);
+}
+
+CsrGraph community_graph(VertexId n, std::uint64_t target_edges, unsigned community_size,
+                         double in_fraction, Rng& rng) {
+  if (community_size < 2 || n < 2) {
+    throw ConfigError("community_graph: need community_size >= 2 and n >= 2");
+  }
+  community_size = std::min(community_size, n);  // tiny graphs: one community
+  if (in_fraction < 0 || in_fraction > 1) {
+    throw ConfigError("community_graph: in_fraction must be in [0, 1]");
+  }
+  const std::uint64_t n_comm = (n + community_size - 1) / community_size;
+  // Pairs available inside one full community.
+  const double pairs_per_comm =
+      community_size * (community_size - 1) / 2.0;
+  const double want_in = static_cast<double>(target_edges) * in_fraction;
+  const double p_in =
+      std::min(0.95, want_in / (static_cast<double>(n_comm) * pairs_per_comm));
+
+  std::vector<Edge> edges;
+  edges.reserve(target_edges + target_edges / 8);
+  for (std::uint64_t c = 0; c < n_comm; ++c) {
+    const VertexId lo = static_cast<VertexId>(c * community_size);
+    const VertexId hi =
+        std::min<VertexId>(n, static_cast<VertexId>(lo + community_size));
+    for (VertexId u = lo; u < hi; ++u) {
+      for (VertexId v = u + 1; v < hi; ++v) {
+        if (rng.next_bool(p_in)) edges.emplace_back(u, v);
+      }
+    }
+  }
+  // Inter-community shortcuts up to the edge budget.
+  while (edges.size() < target_edges) {
+    const auto u = static_cast<VertexId>(rng.next_below(n));
+    const auto v = static_cast<VertexId>(rng.next_below(n));
+    if (u != v) edges.emplace_back(u, v);
+  }
+  return build_undirected(n, edges);
+}
+
+}  // namespace dspcam::graph

@@ -1,0 +1,56 @@
+// Synthetic graph generators standing in for the SNAP datasets.
+//
+// The paper evaluates on ten SNAP graphs we cannot download offline. Each
+// generator below reproduces the *structural class* that drives the
+// CAM-vs-merge comparison - the adjacency-length distribution:
+//   - erdos_renyi:      near-uniform short lists (control case).
+//   - barabasi_albert:  heavy-tailed power-law degrees (social/collaboration
+//                       networks: facebook, slashdot, HepPh).
+//   - rmat:             skewed power-law with community structure
+//                       (citation/co-purchase networks: amazon, patents).
+//   - road_network:     ~constant degree <= 4 lattice with perturbation
+//                       (roadNet-CA/PA/TX).
+//   - hub_topology:     few massive hubs + leaf tiers (AS-level internet
+//                       topology: as20000102).
+// All generators are deterministic in the seed.
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/random.h"
+#include "src/graph/builder.h"
+#include "src/graph/csr.h"
+
+namespace dspcam::graph {
+
+/// G(n, m): m uniformly random distinct undirected edges.
+CsrGraph erdos_renyi(VertexId n, std::uint64_t m, Rng& rng);
+
+/// Preferential attachment: each new vertex attaches to `edges_per_vertex`
+/// existing vertices with probability proportional to degree.
+CsrGraph barabasi_albert(VertexId n, unsigned edges_per_vertex, Rng& rng);
+
+/// Recursive-matrix generator (Chakrabarti et al.): 2^scale vertices,
+/// `edges` samples with quadrant probabilities (a, b, c, implicit d).
+CsrGraph rmat(unsigned scale, std::uint64_t edges, double a, double b, double c,
+              Rng& rng);
+
+/// rows x cols lattice; each node links right/down, plus `extra_fraction`
+/// random shortcuts; `drop_fraction` of lattice edges removed (dead ends).
+CsrGraph road_network(unsigned rows, unsigned cols, double extra_fraction,
+                      double drop_fraction, Rng& rng);
+
+/// Internet-AS-like topology: `hubs` core vertices form a clique-ish core;
+/// every other vertex attaches to 1-3 hubs (hub degrees grow to thousands).
+CsrGraph hub_topology(VertexId n, unsigned hubs, Rng& rng);
+
+/// Community-structured graph: vertices fall into consecutive communities
+/// of `community_size`; `in_fraction` of the ~`edges` edges are sampled
+/// inside communities (dense, triangle-rich, bounded degree) and the rest
+/// uniformly between communities. This is the right family for ego/
+/// co-purchase/collaboration networks (facebook, amazon, HepPh): lots of
+/// triangles and clustered degree without BA's extreme hubs.
+CsrGraph community_graph(VertexId n, std::uint64_t edges, unsigned community_size,
+                         double in_fraction, Rng& rng);
+
+}  // namespace dspcam::graph

@@ -1,0 +1,62 @@
+#include "src/graph/io.h"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "src/common/error.h"
+
+namespace dspcam::graph {
+
+namespace {
+
+CsrGraph parse_stream(std::istream& in, const std::string& what) {
+  std::unordered_map<std::uint64_t, VertexId> remap;
+  std::vector<Edge> edges;
+  auto intern = [&](std::uint64_t raw) {
+    auto [it, inserted] = remap.emplace(raw, static_cast<VertexId>(remap.size()));
+    return it->second;
+  };
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::uint64_t u = 0;
+    std::uint64_t v = 0;
+    if (!(ls >> u)) continue;  // blank/comment line
+    if (!(ls >> v)) {
+      throw ConfigError(what + ":" + std::to_string(lineno) +
+                        ": expected two vertex ids");
+    }
+    edges.emplace_back(intern(u), intern(v));
+  }
+  return build_undirected(static_cast<VertexId>(remap.size()), edges);
+}
+
+}  // namespace
+
+CsrGraph load_edge_list(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ConfigError("load_edge_list: cannot open " + path);
+  return parse_stream(in, path);
+}
+
+CsrGraph parse_edge_list(const std::string& text) {
+  std::istringstream in(text);
+  return parse_stream(in, "<string>");
+}
+
+void save_edge_list(const CsrGraph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw ConfigError("save_edge_list: cannot open " + path);
+  out << "# dspcam edge list: " << graph.num_vertices() << " vertices, "
+      << graph.num_edges() / 2 << " undirected edges\n";
+  for (const auto& [u, v] : undirected_edges(graph)) {
+    out << u << '\t' << v << '\n';
+  }
+}
+
+}  // namespace dspcam::graph

@@ -1,0 +1,27 @@
+// Plain-text edge-list I/O (SNAP format).
+//
+// SNAP datasets ship as whitespace-separated "u v" lines with '#' comments;
+// these helpers read/write that format so users with the real datasets can
+// run the Table IX bench on them directly (see README).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/graph/builder.h"
+#include "src/graph/csr.h"
+
+namespace dspcam::graph {
+
+/// Parses a SNAP-style edge list ("u v" per line, '#' comments). Vertex ids
+/// are compacted to 0..n-1 in first-seen order. Throws ConfigError on
+/// malformed input.
+CsrGraph load_edge_list(const std::string& path);
+
+/// Writes the graph as a SNAP-style edge list (u < v arcs once).
+void save_edge_list(const CsrGraph& graph, const std::string& path);
+
+/// Parses edge-list text from a string (used by tests).
+CsrGraph parse_edge_list(const std::string& text);
+
+}  // namespace dspcam::graph

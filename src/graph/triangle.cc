@@ -1,0 +1,89 @@
+#include "src/graph/triangle.h"
+
+#include <unordered_set>
+
+namespace dspcam::graph {
+
+std::uint32_t intersect_sorted(std::span<const VertexId> a, std::span<const VertexId> b) {
+  std::uint32_t count = 0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+std::uint32_t merge_steps(std::span<const VertexId> a, std::span<const VertexId> b) {
+  std::uint32_t steps = 0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    ++steps;
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++i;
+      ++j;
+    }
+  }
+  return steps;
+}
+
+MergeStats merge_stats(std::span<const VertexId> a, std::span<const VertexId> b) {
+  MergeStats s;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    ++s.steps;
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++s.common;
+      ++i;
+      ++j;
+    }
+  }
+  return s;
+}
+
+std::uint64_t count_triangles_merge(const CsrGraph& g) {
+  std::uint64_t total = 0;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const auto nu = g.neighbors(u);
+    for (VertexId v : nu) {
+      total += intersect_sorted(nu, g.neighbors(v));
+    }
+  }
+  return total;
+}
+
+std::uint64_t count_triangles_hash(const CsrGraph& g) {
+  std::uint64_t total = 0;
+  std::unordered_set<VertexId> set;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const auto nu = g.neighbors(u);
+    set.clear();
+    set.insert(nu.begin(), nu.end());
+    for (VertexId v : nu) {
+      for (VertexId w : g.neighbors(v)) {
+        if (set.contains(w)) ++total;
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace dspcam::graph

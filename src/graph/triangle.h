@@ -1,0 +1,41 @@
+// Reference CPU triangle counting (paper Fig. 5 and Section V-A).
+//
+// Both counters take the degree-oriented DAG (orient_by_degree) and count
+// each triangle exactly once: for every directed edge (u, v), the number of
+// common out-neighbours of u and v is accumulated. The merge counter is the
+// algorithm the Vitis baseline implements in hardware (two sorted cursors,
+// one comparison per step, O(n+m) per edge); the hash counter is an
+// independent oracle used to cross-check it.
+#pragma once
+
+#include <cstdint>
+
+#include "src/graph/csr.h"
+
+namespace dspcam::graph {
+
+/// Sorted-list merge intersection count (requires sorted adjacency).
+std::uint64_t count_triangles_merge(const CsrGraph& oriented);
+
+/// Hash-set based count (independent oracle).
+std::uint64_t count_triangles_hash(const CsrGraph& oriented);
+
+/// Size of the intersection of two sorted vertex lists (the per-edge kernel
+/// of Fig. 5; exposed for the accelerator models and tests).
+std::uint32_t intersect_sorted(std::span<const VertexId> a, std::span<const VertexId> b);
+
+/// Merge-intersection *step count* for two sorted lists: the number of
+/// compare-and-advance iterations a one-comparison-per-cycle pipeline
+/// executes. This is exactly the cycle cost of the baseline accelerator's
+/// intersection stage.
+std::uint32_t merge_steps(std::span<const VertexId> a, std::span<const VertexId> b);
+
+/// Intersection size and merge step count in a single pass (the accelerator
+/// models need both per edge).
+struct MergeStats {
+  std::uint32_t common = 0;
+  std::uint32_t steps = 0;
+};
+MergeStats merge_stats(std::span<const VertexId> a, std::span<const VertexId> b);
+
+}  // namespace dspcam::graph

@@ -1,0 +1,78 @@
+#include "src/model/characteristics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dspcam::model {
+
+namespace {
+
+/// log-scaled 0..5 score of `bits` against the survey's best.
+double scale_log(double value, double best) {
+  if (value <= 0 || best <= 0) return 0;
+  return std::clamp(5.0 * std::log2(1 + value) / std::log2(1 + best), 0.0, 5.0);
+}
+
+/// Latency score: 5 for the fastest combined update+search, scaled down
+/// proportionally (missing figures are treated pessimistically).
+double latency_score(const SurveyEntry& e, double best_total) {
+  const double upd = e.update_cycles < 0 ? 256 : static_cast<double>(e.update_cycles);
+  const double srch = e.search_cycles < 0 ? 64 : static_cast<double>(e.search_cycles);
+  return std::clamp(5.0 * best_total / (upd + srch), 0.0, 5.0);
+}
+
+}  // namespace
+
+std::vector<Characteristics> characteristic_scores() {
+  const auto survey = full_survey();
+
+  double best_entries = 0;
+  double best_freq = 0;
+  for (const auto& e : survey) {
+    best_entries = std::max(best_entries, static_cast<double>(e.entries));
+    best_freq = std::max(best_freq, e.freq_mhz);
+  }
+  const double best_total_latency = 6 + 8;  // our design's combined latency
+
+  // "Scalability denotes the achieved CAM size" (Fig. 1): the paper scores
+  // entry depth, the Max-CAM-Size column of Table I.
+  auto entries_of = [](const SurveyEntry& e) { return static_cast<double>(e.entries); };
+  auto freq_of = [](const SurveyEntry& e) { return e.freq_mhz; };
+
+  auto family = [&](const std::string& name, CamCategory cat, double integration,
+                    double multi_query, bool ours) {
+    Characteristics c;
+    c.family = name;
+    double entries = 0;
+    double freq = 0;
+    double perf = 0;
+    for (const auto& e : survey) {
+      const bool is_ours = e.name.rfind("Ours", 0) == 0;
+      if (e.category != cat || is_ours != ours) continue;
+      entries = std::max(entries, entries_of(e));
+      freq = std::max(freq, freq_of(e));
+      perf = std::max(perf, latency_score(e, best_total_latency));
+    }
+    c.scalability = scale_log(entries, best_entries);
+    c.frequency = std::clamp(5.0 * freq / best_freq, 0.0, 5.0);
+    c.performance = perf;
+    c.integration = integration;
+    c.multi_query = multi_query;
+    return c;
+  };
+
+  // Qualitative axes per the paper: LUTRAM designs need input preprocessing
+  // (hard updates, middling integration); BRAM designs integrate easily but
+  // serialise; hybrids have complex update management; the prior DSP design
+  // has no multi-query and long search; ours is parameterised for
+  // integration and supports M concurrent queries.
+  return {
+      family("LUT-based", CamCategory::kLut, 2.5, 1.0, false),
+      family("BRAM-based", CamCategory::kBram, 3.0, 1.0, false),
+      family("Hybrid", CamCategory::kHybrid, 2.0, 1.0, false),
+      family("DSP (prior)", CamCategory::kDsp, 3.0, 1.0, false),
+      family("DSP (ours)", CamCategory::kDsp, 4.5, 5.0, true),
+  };
+}
+
+}  // namespace dspcam::model

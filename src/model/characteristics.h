@@ -1,0 +1,37 @@
+// Characteristic scoring of CAM design families (paper Fig. 1).
+//
+// Fig. 1 is a radar chart comparing LUT-, BRAM-, Hybrid- and DSP-based CAM
+// families on five axes. The paper defines the axes as:
+//   Scalability   - the achieved CAM size,
+//   Performance   - normalised search and update latency (higher = faster),
+//   Frequency     - maximum achievable clock,
+//   Integration   - ease of integrating into an application,
+//   Multi-query   - concurrent support for multiple input queries.
+// The quantitative axes are derived here from the Table I survey data
+// (best-in-family, normalised to a 0..5 scale); the two qualitative axes
+// carry the paper's own assessment, stated per family in Sections I-II.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "src/model/survey.h"
+
+namespace dspcam::model {
+
+/// One radar-chart polygon.
+struct Characteristics {
+  std::string family;
+  double scalability = 0;  ///< 0..5, from max stored bits (log scale).
+  double performance = 0;  ///< 0..5, from combined update+search latency.
+  double frequency = 0;    ///< 0..5, from max clock frequency.
+  double integration = 0;  ///< 0..5, qualitative (paper's assessment).
+  double multi_query = 0;  ///< 0..5, qualitative (paper's assessment).
+};
+
+/// Scores for the four prior families plus this design, derived from
+/// full_survey().
+std::vector<Characteristics> characteristic_scores();
+
+}  // namespace dspcam::model

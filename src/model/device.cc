@@ -1,0 +1,17 @@
+#include "src/model/device.h"
+
+namespace dspcam::model {
+
+Device alveo_u250() {
+  Device d;
+  d.name = "AMD Alveo U250 (XCU250, UltraScale+)";
+  d.luts = 1728 * 1000ULL;
+  d.registers = 3456 * 1000ULL;
+  d.bram = 2688;
+  d.uram = 1280;
+  d.dsp = 12288;
+  d.slr_count = 4;
+  return d;
+}
+
+}  // namespace dspcam::model

@@ -1,0 +1,28 @@
+// FPGA device resource capacities (paper Table IV).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dspcam::model {
+
+/// Resource capacity of one FPGA device.
+struct Device {
+  std::string name;
+  std::uint64_t luts = 0;
+  std::uint64_t registers = 0;
+  std::uint64_t bram = 0;   ///< 36Kb BRAM tiles.
+  std::uint64_t uram = 0;
+  std::uint64_t dsp = 0;
+  unsigned slr_count = 1;   ///< Super logic regions (dies).
+};
+
+/// The paper's evaluation platform: AMD Alveo U250 (Table IV).
+/// Note the paper's text mentions 11,508 *usable* DSPs after shell overhead;
+/// Table IV lists the raw 12,288. Both are captured here.
+Device alveo_u250();
+
+/// DSPs actually available to user logic on the U250 after the XDMA shell.
+inline constexpr std::uint64_t kU250UsableDsps = 11508;
+
+}  // namespace dspcam::model

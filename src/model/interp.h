@@ -1,0 +1,50 @@
+// Piecewise-linear calibration curves.
+//
+// The resource and timing models are calibrated to the paper's published
+// datapoints (Tables V-VII): the model reproduces every anchor exactly and
+// interpolates linearly between anchors / extrapolates with the boundary
+// slope outside them. This keeps the model honest: no hidden fit, just the
+// paper's own numbers plus declared interpolation.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "src/common/error.h"
+
+namespace dspcam::model {
+
+/// y = f(x) defined by (x, y) anchor points, piecewise linear, extrapolated
+/// with the first/last segment's slope.
+class PiecewiseLinear {
+ public:
+  /// Anchors must be strictly increasing in x; at least one is required.
+  explicit PiecewiseLinear(std::vector<std::pair<double, double>> anchors)
+      : anchors_(std::move(anchors)) {
+    if (anchors_.empty()) throw ConfigError("PiecewiseLinear: no anchors");
+    for (std::size_t i = 1; i < anchors_.size(); ++i) {
+      if (anchors_[i].first <= anchors_[i - 1].first) {
+        throw ConfigError("PiecewiseLinear: anchors must be strictly increasing");
+      }
+    }
+  }
+
+  double operator()(double x) const {
+    if (anchors_.size() == 1) return anchors_.front().second;
+    std::size_t hi = 1;
+    while (hi + 1 < anchors_.size() && anchors_[hi].first < x) ++hi;
+    const auto& [x0, y0] = anchors_[hi - 1];
+    const auto& [x1, y1] = anchors_[hi];
+    return y0 + (y1 - y0) * (x - x0) / (x1 - x0);
+  }
+
+  const std::vector<std::pair<double, double>>& anchors() const noexcept {
+    return anchors_;
+  }
+
+ private:
+  std::vector<std::pair<double, double>> anchors_;
+};
+
+}  // namespace dspcam::model

@@ -1,0 +1,117 @@
+#include "src/model/resources.h"
+
+#include <cmath>
+
+#include "src/common/bitops.h"
+#include "src/model/interp.h"
+
+namespace dspcam::model {
+
+namespace {
+
+/// Table VI LUT anchors (48-bit data, 512-bit bus, priority encoding).
+const PiecewiseLinear& block_lut_curve() {
+  static const PiecewiseLinear curve({{32, 694}, {64, 745}, {128, 808},
+                                      {256, 1225}, {512, 1371}});
+  return curve;
+}
+
+/// Table VII LUT anchors (256-cell blocks, 512-bit bus, 48-bit data).
+const PiecewiseLinear& unit_lut_curve() {
+  static const PiecewiseLinear curve({{512, 2491}, {1024, 5072}, {2048, 10167},
+                                      {4096, 20330}, {6144, 29385},
+                                      {8192, 38191}, {9728, 45244}});
+  return curve;
+}
+
+/// Width scaling: the anchors are measured at 48-bit datapaths; narrower
+/// data shrinks the DeMUX/broadcast wiring but not the control logic.
+double width_factor(unsigned data_width) {
+  return 0.6 + 0.4 * static_cast<double>(data_width) / kDspWordBits;
+}
+
+/// Encoder scheme cost relative to the priority encoder the anchors used.
+double encoding_factor(cam::EncodingScheme scheme) {
+  switch (scheme) {
+    case cam::EncodingScheme::kPriorityIndex: return 1.0;
+    case cam::EncodingScheme::kOneHot: return 0.85;  // wires + buffer only
+    case cam::EncodingScheme::kMatchCount: return 1.10;  // popcount tree
+  }
+  return 1.0;
+}
+
+/// Per-block glue inside a unit beyond what the entry-count curve covers
+/// (crossbar ports + result-collection muxing), charged when the unit uses
+/// more, smaller blocks than the 256-cell anchors assumed.
+constexpr double kInUnitPerBlockLuts = 64.0;
+
+}  // namespace
+
+ResourceUsage cell_resources(const cam::CellConfig& cfg) {
+  cfg.validate();
+  ResourceUsage r;
+  r.dsps = 1;   // Table V: the cell is exactly one DSP48E2
+  r.luts = 0;
+  r.brams = 0;
+  r.ffs = 1;    // the valid flag (kind/width do not change the footprint)
+  return r;
+}
+
+ResourceUsage block_resources(const cam::BlockConfig& cfg) {
+  cfg.validate();
+  ResourceUsage r;
+  r.dsps = cfg.block_size;
+  r.brams = 0;
+  r.luts = static_cast<std::uint64_t>(
+      std::llround(block_lut_curve()(cfg.block_size) *
+                   width_factor(cfg.cell.data_width) * encoding_factor(cfg.encoding)));
+  // Structural register estimate (the paper does not report FFs): broadcast
+  // register (bus + control), fill pointer, per-cell valid flags, and the
+  // optional encoder output buffer.
+  r.ffs = cfg.bus_width + 8 + log2_ceil(cfg.block_size) + cfg.block_size +
+          (cfg.output_buffer ? log2_ceil(cfg.block_size) + 2 : 0);
+  return r;
+}
+
+ResourceUsage unit_resources(const cam::UnitConfig& cfg) {
+  cfg.validate();
+  ResourceUsage r;
+  r.dsps = static_cast<std::uint64_t>(cfg.unit_size) * cfg.block.block_size;
+  r.brams = 0;
+  const double anchor_blocks = cfg.total_entries() / 256.0;
+  const double extra_blocks =
+      static_cast<double>(cfg.unit_size) > anchor_blocks
+          ? static_cast<double>(cfg.unit_size) - anchor_blocks
+          : 0.0;
+  r.luts = static_cast<std::uint64_t>(
+      std::llround(unit_lut_curve()(cfg.total_entries()) *
+                       width_factor(cfg.block.cell.data_width) *
+                       encoding_factor(cfg.block.encoding) +
+                   kInUnitPerBlockLuts * extra_blocks));
+  // Pipeline registers: 4 update + 3 search stages of bus width, the routing
+  // table, per-block valid flags and the collection register.
+  r.ffs = 7ULL * (cfg.bus_width + 16) +
+          static_cast<std::uint64_t>(cfg.unit_size) * log2_ceil(cfg.unit_size) +
+          static_cast<std::uint64_t>(cfg.unit_size) * cfg.block.block_size +
+          2ULL * (cfg.block.cell.data_width + 32);
+  return r;
+}
+
+ResourceUsage system_resources(const cam::UnitConfig& cfg) {
+  ResourceUsage r = unit_resources(cfg);
+  // Table I reports the full system at the maximum configuration: 72178 LUTs
+  // and 4 BRAMs versus Table VII's 45244 LUTs for the bare unit. The delta
+  // (26934 LUTs + 4 FIFO BRAMs) is the bus-interface wrapper, which does not
+  // grow with CAM size.
+  r.luts += 26934;
+  r.brams += 4;
+  r.ffs += 4096;  // interface FIFO pointers/synchronisers (estimate)
+  return r;
+}
+
+double utilisation_pct(std::uint64_t used, std::uint64_t capacity) {
+  return capacity == 0 ? 0.0
+                       : 100.0 * static_cast<double>(used) / static_cast<double>(capacity);
+}
+
+}  // namespace dspcam::model

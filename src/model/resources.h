@@ -1,0 +1,58 @@
+// FPGA resource estimation for the CAM hierarchy.
+//
+// The paper reports implementation (post-place-and-route) resource numbers
+// from Vivado 2021.2 on the U250. Without the tools, this model reproduces
+// those numbers by calibration: the published datapoints of Table V (cell),
+// Table VI (block) and Table VII (unit) are anchors, and configurations
+// between/beyond anchors are interpolated piecewise-linearly. The DSP count
+// is structural (one slice per cell, exactly); BRAM is zero inside the CAM
+// (the paper's 4 BRAMs are the bus-interface FIFOs of the full system
+// wrapper, modelled separately).
+#pragma once
+
+#include <cstdint>
+
+#include "src/cam/config.h"
+
+namespace dspcam::model {
+
+/// Post-implementation resource usage of one design.
+struct ResourceUsage {
+  std::uint64_t luts = 0;
+  std::uint64_t ffs = 0;   ///< Registers (structural estimate; not in the paper).
+  std::uint64_t brams = 0;
+  std::uint64_t dsps = 0;
+
+  ResourceUsage& operator+=(const ResourceUsage& o) {
+    luts += o.luts;
+    ffs += o.ffs;
+    brams += o.brams;
+    dsps += o.dsps;
+    return *this;
+  }
+};
+
+/// CAM cell (Table V): 1 DSP, 0 LUT, 0 BRAM regardless of kind/width; the
+/// valid flag costs one register.
+ResourceUsage cell_resources(const cam::CellConfig& cfg);
+
+/// Standalone CAM block (Table VI anchors: 694/745/808/1225/1371 LUTs at
+/// sizes 32/64/128/256/512).
+ResourceUsage block_resources(const cam::BlockConfig& cfg);
+
+/// CAM unit (Table VII anchors: 2491..45244 LUTs at 512..9728 entries with
+/// 256-cell blocks and a 512-bit bus). LUTs scale linearly with entry count
+/// - "the required number of LUT increases linearly when the size of the
+/// CAM unit increases".
+ResourceUsage unit_resources(const cam::UnitConfig& cfg);
+
+/// The full system wrapper around the CAM unit (bus interfaces + FIFOs).
+/// Adds the 4 interface BRAMs the paper notes for Table I and the interface
+/// LUT overhead implied by Table I's 72178 total vs Table VII's 45244 for
+/// the same 9728-entry unit.
+ResourceUsage system_resources(const cam::UnitConfig& cfg);
+
+/// Utilisation percentage of `used` against `capacity` (0..100).
+double utilisation_pct(std::uint64_t used, std::uint64_t capacity);
+
+}  // namespace dspcam::model

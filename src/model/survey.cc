@@ -1,0 +1,77 @@
+#include "src/model/survey.h"
+
+#include "src/model/resources.h"
+#include "src/model/timing.h"
+
+namespace dspcam::model {
+
+std::string to_string(CamCategory c) {
+  switch (c) {
+    case CamCategory::kLut: return "LUT";
+    case CamCategory::kBram: return "BRAM";
+    case CamCategory::kHybrid: return "Hybrid";
+    case CamCategory::kDsp: return "DSP";
+  }
+  return "?";
+}
+
+std::vector<SurveyEntry> prior_designs() {
+  // Values transcribed from Table I; -1 marks fields the source did not
+  // report. Latencies are single end-to-end operations.
+  return {
+      {"Scale-TCAM", CamCategory::kLut, "XC7V2000T", 4096, 150, 139, 322648, 0, 0,
+       33, -1, "LUTs = 80662 slices x 4"},
+      {"DURE", CamCategory::kLut, "Virtex-6", 1024, 144, 175, 35807, 0, 0, 65, 1,
+       "latencies on a single 512x36 block"},
+      {"BPR-CAM", CamCategory::kLut, "XC6VLX760", 1024, 144, 111, 15260, 0, 0, -1, 2,
+       ""},
+      {"Frac-TCAM", CamCategory::kLut, "XC7V2000T", 1024, 160, 357, 16384, 0, 0, 38,
+       -1, ""},
+      {"HP-TCAM", CamCategory::kBram, "Virtex-6", 512, 36, 118, 5326, 56, 0, -1, 5,
+       ""},
+      {"PUMP-CAM", CamCategory::kBram, "XC6VLX760", 1024, 140, 87, 7516, 80, 0, 129,
+       -1, ""},
+      {"IO-CAM", CamCategory::kBram, "Arria V 5ASTD5", 8192, 32, 135, 19017, 2112, 0,
+       -1, -1, "ALMs / M10Ks on Intel"},
+      {"REST-CAM", CamCategory::kHybrid, "Kintex-7", 72, 28, 50, 130, 1, 0, 513, 5,
+       ""},
+      {"Preusser et al.", CamCategory::kDsp, "XCVU9P", 1000, 24, 350, 2843, 0, 1022,
+       -1, 42, "DSP-based update queue"},
+  };
+}
+
+SurveyEntry our_design() {
+  // Maximum configuration of Section IV-C: 9728 x 48 bits (38 blocks of 256
+  // cells would not divide evenly; the paper's build is 38 x 256 = 9728).
+  cam::UnitConfig cfg;
+  cfg.block.cell.data_width = 48;
+  cfg.block.block_size = 256;
+  cfg.block.bus_width = 480;  // 10 words of 48 bits on the 512-bit channel
+  cfg.unit_size = 38;
+  cfg.bus_width = 480;
+  cfg = cam::UnitConfig::with_auto_timing(cfg);
+
+  const ResourceUsage sys = system_resources(cfg);
+  SurveyEntry e;
+  e.name = "Ours (DSP-CAM)";
+  e.category = CamCategory::kDsp;
+  e.platform = "Alveo U250";
+  e.entries = cfg.total_entries();
+  e.width = 48;
+  e.freq_mhz = unit_frequency_mhz(cfg);
+  e.luts = static_cast<std::int64_t>(sys.luts);
+  e.brams = static_cast<std::int64_t>(sys.brams);
+  e.dsps = static_cast<std::int64_t>(sys.dsps);
+  e.update_cycles = 6;  // verified by the cycle model (Table VIII)
+  e.search_cycles = 8;
+  e.note = "4 BRAMs are bus-interface FIFOs";
+  return e;
+}
+
+std::vector<SurveyEntry> full_survey() {
+  auto v = prior_designs();
+  v.push_back(our_design());
+  return v;
+}
+
+}  // namespace dspcam::model

@@ -1,0 +1,52 @@
+// Survey of recent FPGA CAM designs (paper Table I).
+//
+// These are the literature's published numbers, reproduced verbatim so the
+// Table I bench can print the comparison and the Fig. 1 characteristic
+// scores can be derived from real data. "Ours" is filled in from this
+// project's own model/measurement at the paper's maximum configuration.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dspcam::model {
+
+/// Primary-resource family of a CAM design.
+enum class CamCategory { kLut, kBram, kHybrid, kDsp };
+
+std::string to_string(CamCategory c);
+
+/// One Table I row. Value -1 means "not reported" in the literature.
+struct SurveyEntry {
+  std::string name;
+  CamCategory category = CamCategory::kLut;
+  std::string platform;
+  std::uint32_t entries = 0;   ///< Max CAM size: number of entries.
+  std::uint32_t width = 0;     ///< Entry width in bits.
+  double freq_mhz = 0;
+  std::int64_t luts = -1;
+  std::int64_t brams = -1;
+  std::int64_t dsps = -1;
+  std::int64_t update_cycles = -1;
+  std::int64_t search_cycles = -1;
+  std::string note;
+
+  /// Total stored bits (the scalability axis of Fig. 1).
+  std::uint64_t bits() const noexcept {
+    return static_cast<std::uint64_t>(entries) * width;
+  }
+};
+
+/// The nine prior designs of Table I, in the paper's order.
+std::vector<SurveyEntry> prior_designs();
+
+/// This paper's design at maximum configuration (9728 x 48 bits on the
+/// U250), with latencies as measured by our cycle model and resources from
+/// the calibrated system model.
+SurveyEntry our_design();
+
+/// prior_designs() + our_design().
+std::vector<SurveyEntry> full_survey();
+
+}  // namespace dspcam::model

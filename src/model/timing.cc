@@ -1,0 +1,65 @@
+#include "src/model/timing.h"
+
+#include <algorithm>
+
+#include "src/model/interp.h"
+
+namespace dspcam::model {
+
+namespace {
+
+constexpr double kMinFreqMhz = 100.0;
+
+/// Table VII anchors (48-bit data).
+const PiecewiseLinear& unit_freq_curve_48() {
+  static const PiecewiseLinear curve({{512, 300}, {1024, 300}, {2048, 300},
+                                      {4096, 265}, {6144, 252}, {8192, 240},
+                                      {9728, 235}});
+  return curve;
+}
+
+/// Table VIII-implied anchors (32-bit data): 4800/300 up to 2048 entries,
+/// then 4064 Mop/s = 254 MHz at 4096 and 3840 Mop/s = 240 MHz at 8192.
+const PiecewiseLinear& unit_freq_curve_32() {
+  static const PiecewiseLinear curve({{128, 300}, {2048, 300}, {4096, 254},
+                                      {8192, 240}});
+  return curve;
+}
+
+}  // namespace
+
+double block_frequency_mhz(const cam::BlockConfig& cfg) {
+  cfg.validate();
+  return 300.0;  // Table VI: every evaluated block size closes at 300 MHz
+}
+
+double unit_frequency_mhz(const cam::UnitConfig& cfg) {
+  cfg.validate();
+  const auto& curve = cfg.block.cell.data_width > 32 ? unit_freq_curve_48()
+                                                     : unit_freq_curve_32();
+  const double entries = static_cast<double>(cfg.total_entries());
+  // Below the smallest anchor the design trivially closes at the plateau.
+  const double lo = curve.anchors().front().first;
+  const double f = entries < lo ? curve(lo) : curve(entries);
+  return std::max(f, kMinFreqMhz);
+}
+
+OperationRates block_rates(const cam::BlockConfig& cfg) {
+  OperationRates r;
+  const double f = block_frequency_mhz(cfg);
+  r.update_mops = f * cfg.words_per_beat();
+  r.search_mops = f;
+  r.aggregate_search_mops = f;
+  return r;
+}
+
+OperationRates unit_rates(const cam::UnitConfig& cfg, unsigned groups) {
+  OperationRates r;
+  const double f = unit_frequency_mhz(cfg);
+  r.update_mops = f * cfg.words_per_beat();
+  r.search_mops = f;
+  r.aggregate_search_mops = f * groups;
+  return r;
+}
+
+}  // namespace dspcam::model

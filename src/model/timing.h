@@ -1,0 +1,37 @@
+// Clock-frequency model for the CAM hierarchy.
+//
+// Calibrated to the paper's implementation results:
+//   - Standalone blocks close timing at 300 MHz at every size (Table VI).
+//   - Units hold 300 MHz up to 2048 entries, then degrade with routing
+//     congestion: Table VII (48-bit) anchors 4096->265, 6144->252,
+//     8192->240, 9728->235 MHz.
+//   - The 32-bit re-implementations of Table VIII imply slightly different
+//     mid-size timing (4096 -> 254 MHz, from 4064 Mop/s / 16 words); both
+//     anchor sets are kept and selected by data width.
+// Between anchors the model interpolates linearly; beyond the last anchor it
+// extrapolates with the final slope (floored at 100 MHz).
+#pragma once
+
+#include "src/cam/config.h"
+
+namespace dspcam::model {
+
+/// Achievable clock of a standalone CAM block (Table VI: 300 MHz flat).
+double block_frequency_mhz(const cam::BlockConfig& cfg);
+
+/// Achievable clock of a CAM unit for its total entry count and data width.
+double unit_frequency_mhz(const cam::UnitConfig& cfg);
+
+/// Derived operation throughput in Mop/s, the unit of the paper's
+/// Tables VI and VIII ("op/s" there; updates count data words, searches
+/// count keys, both pipelined at initiation interval 1).
+struct OperationRates {
+  double update_mops = 0;           ///< freq x words-per-bus-beat.
+  double search_mops = 0;           ///< freq x 1 (per query port).
+  double aggregate_search_mops = 0; ///< freq x M (all query ports).
+};
+
+OperationRates block_rates(const cam::BlockConfig& cfg);
+OperationRates unit_rates(const cam::UnitConfig& cfg, unsigned groups = 1);
+
+}  // namespace dspcam::model

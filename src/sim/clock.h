@@ -1,0 +1,34 @@
+// Simulation clock.
+//
+// The kernel models a single synchronous clock domain (the paper's CAM unit
+// runs in one kernel clock domain on the U250). The Clock is nothing more
+// than a monotonically advancing cycle counter that components and
+// measurement code share; converting cycles to wall time is the timing
+// model's job (src/model/timing.h), not the kernel's.
+#pragma once
+
+#include <cstdint>
+
+namespace dspcam::sim {
+
+/// Cycle count type used throughout the simulator.
+using Cycle = std::uint64_t;
+
+/// A single-domain synchronous clock: a shared cycle counter.
+class Clock {
+ public:
+  /// Current cycle number. Cycle 0 is the first cycle ever evaluated.
+  Cycle now() const noexcept { return now_; }
+
+  /// Advances to the next cycle. Called by the Scheduler only.
+  void advance() noexcept { ++now_; }
+
+  /// Resets time to cycle 0 (used when re-running a workload on the same
+  /// elaborated design).
+  void reset() noexcept { now_ = 0; }
+
+ private:
+  Cycle now_ = 0;
+};
+
+}  // namespace dspcam::sim

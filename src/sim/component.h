@@ -1,0 +1,35 @@
+// Synchronous component interface.
+//
+// Hardware in this project is modelled as a set of components in one clock
+// domain, advanced with two-phase semantics per cycle:
+//
+//   1. eval()   - combinational phase: read the *registered* outputs of other
+//                 components (their state as of the previous commit) and
+//                 compute next-state values internally.
+//   2. commit() - register update phase: make the computed next state
+//                 visible. After every component has committed, the cycle is
+//                 over.
+//
+// Because every component sees only pre-commit state during eval(), the
+// result is independent of component ordering - exactly like flip-flops
+// sampling their D inputs on one clock edge. Components that are pure
+// pipelines (DelayLine-based) often only need commit().
+#pragma once
+
+namespace dspcam::sim {
+
+/// One synchronous hardware block. Components are registered with a
+/// Scheduler, which drives eval()/commit() once per cycle.
+class Component {
+ public:
+  virtual ~Component() = default;
+
+  /// Combinational phase: observe other components' registered state and
+  /// compute this component's next state. Must not expose new state.
+  virtual void eval() {}
+
+  /// Register-update phase: publish the state computed by eval().
+  virtual void commit() {}
+};
+
+}  // namespace dspcam::sim

@@ -1,0 +1,78 @@
+// Fixed-latency pipeline register chain.
+//
+// A DelayLine<T> models a chain of N pipeline registers with initiation
+// interval 1: a value pushed in cycle c emerges in cycle c+N. Empty stages
+// carry std::nullopt (a pipeline bubble). This is the workhorse used to give
+// the CAM cell, block, and unit their exact register-stage latencies.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "src/common/error.h"
+#include "src/sim/component.h"
+
+namespace dspcam::sim {
+
+/// N-stage pipeline register chain with two-phase semantics.
+///
+/// Usage per cycle: call push() (or push_bubble()) during the eval phase,
+/// read output() during eval of *downstream* logic (it reflects the value
+/// that left the final register at the last commit), and let the owning
+/// component call shift() from its commit().
+template <typename T>
+class DelayLine {
+ public:
+  /// Creates a chain of `stages` registers; stages must be >= 1.
+  explicit DelayLine(unsigned stages) : stages_(stages), regs_(stages) {
+    if (stages == 0) throw SimError("DelayLine: stages must be >= 1");
+  }
+
+  /// Number of register stages (the latency in cycles).
+  unsigned stages() const noexcept { return stages_; }
+
+  /// Stages the next input value. At most one push per cycle.
+  void push(T value) {
+    if (next_.has_value()) throw SimError("DelayLine: double push in one cycle");
+    next_ = std::move(value);
+  }
+
+  /// Explicitly stages a bubble (equivalent to not pushing at all).
+  void push_bubble() noexcept {}
+
+  /// The value that emerged from the final register at the last commit,
+  /// or nullopt if a bubble emerged.
+  const std::optional<T>& output() const noexcept { return output_; }
+
+  /// Commit phase: advance every register by one stage.
+  void shift() {
+    output_ = std::move(regs_.back());
+    for (std::size_t i = regs_.size() - 1; i > 0; --i) regs_[i] = std::move(regs_[i - 1]);
+    regs_.front() = std::move(next_);
+    next_.reset();
+  }
+
+  /// Clears all stages and the output (models a synchronous reset).
+  void clear() {
+    for (auto& r : regs_) r.reset();
+    next_.reset();
+    output_.reset();
+  }
+
+  /// True if every stage, the pending input and the output are bubbles.
+  bool drained() const noexcept {
+    if (next_.has_value() || output_.has_value()) return false;
+    for (const auto& r : regs_) {
+      if (r.has_value()) return false;
+    }
+    return true;
+  }
+
+ private:
+  unsigned stages_;
+  std::vector<std::optional<T>> regs_;  // regs_[0] is the stage nearest input
+  std::optional<T> next_;
+  std::optional<T> output_;
+};
+
+}  // namespace dspcam::sim

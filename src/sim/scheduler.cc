@@ -1,0 +1,30 @@
+#include "src/sim/scheduler.h"
+
+#include "src/common/error.h"
+
+namespace dspcam::sim {
+
+void Scheduler::add(Component* component) {
+  if (component == nullptr) throw SimError("Scheduler::add: null component");
+  components_.push_back(component);
+}
+
+void Scheduler::step() {
+  for (Component* c : components_) c->eval();
+  for (Component* c : components_) c->commit();
+  clock_.advance();
+}
+
+void Scheduler::run(std::uint64_t cycles) {
+  for (std::uint64_t i = 0; i < cycles; ++i) step();
+}
+
+bool Scheduler::run_until(const std::function<bool()>& done, std::uint64_t max_cycles) {
+  for (std::uint64_t i = 0; i < max_cycles; ++i) {
+    if (done()) return true;
+    step();
+  }
+  return done();
+}
+
+}  // namespace dspcam::sim

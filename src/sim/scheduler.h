@@ -1,0 +1,48 @@
+// Cycle scheduler for one synchronous clock domain.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/sim/clock.h"
+#include "src/sim/component.h"
+
+namespace dspcam::sim {
+
+/// Drives a set of Components with two-phase (eval/commit) semantics.
+///
+/// The scheduler does not own the components; the testbench or accelerator
+/// model that elaborates the design owns them and registers raw pointers,
+/// which must outlive the scheduler's use. This mirrors a netlist: the
+/// top-level design owns its instances and the clock tree merely reaches
+/// them.
+class Scheduler {
+ public:
+  /// Registers a component; it will be ticked every cycle from now on.
+  void add(Component* component);
+
+  /// Runs exactly one cycle: eval() on all components, then commit() on all,
+  /// then advances the clock.
+  void step();
+
+  /// Runs `cycles` cycles.
+  void run(std::uint64_t cycles);
+
+  /// Runs until `done()` returns true (checked after each cycle) or
+  /// `max_cycles` elapse. Returns true if `done()` fired, false on timeout.
+  bool run_until(const std::function<bool()>& done, std::uint64_t max_cycles);
+
+  /// The shared clock.
+  Clock& clock() noexcept { return clock_; }
+  const Clock& clock() const noexcept { return clock_; }
+
+  /// Current cycle, forwarded from the clock for convenience.
+  Cycle now() const noexcept { return clock_.now(); }
+
+ private:
+  Clock clock_;
+  std::vector<Component*> components_;
+};
+
+}  // namespace dspcam::sim

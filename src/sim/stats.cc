@@ -1,0 +1,32 @@
+#include "src/sim/stats.h"
+
+#include <cstdio>
+
+namespace dspcam::sim {
+
+void LatencyStats::record(Cycle latency) {
+  ++count_;
+  sum_ += latency;
+  if (latency < min_) min_ = latency;
+  if (latency > max_) max_ = latency;
+  ++histogram_[latency];
+}
+
+std::string LatencyStats::summary() const {
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "n=%llu min=%llu mean=%.2f max=%llu",
+                static_cast<unsigned long long>(count_),
+                static_cast<unsigned long long>(min()), mean(),
+                static_cast<unsigned long long>(max_));
+  return buf;
+}
+
+void LatencyStats::reset() {
+  count_ = 0;
+  min_ = ~Cycle{0};
+  max_ = 0;
+  sum_ = 0;
+  histogram_.clear();
+}
+
+}  // namespace dspcam::sim

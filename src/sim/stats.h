@@ -1,0 +1,95 @@
+// Latency and throughput measurement for cycle simulations.
+//
+// Every benchmark in this project reports the same metrics the paper uses:
+// end-to-end latency in cycles and operations per second. LatencyStats
+// accumulates per-operation cycle latencies (issue cycle stamped on the
+// request, completion cycle observed at the response); ThroughputStats
+// derives op/s from completed-op counts, elapsed cycles, and the timing
+// model's clock frequency.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/sim/clock.h"
+
+namespace dspcam::sim {
+
+/// Accumulates per-operation latencies measured in cycles.
+class LatencyStats {
+ public:
+  /// Records one completed operation with the given latency.
+  void record(Cycle latency);
+
+  std::uint64_t count() const noexcept { return count_; }
+  Cycle min() const noexcept { return count_ == 0 ? 0 : min_; }
+  Cycle max() const noexcept { return max_; }
+  double mean() const noexcept {
+    return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+
+  /// True if every recorded latency equals `latency` (the paper's tables
+  /// report a single deterministic latency per configuration; this checks
+  /// the simulation agrees).
+  bool constant_at(Cycle latency) const noexcept {
+    return count_ > 0 && min_ == latency && max_ == latency;
+  }
+
+  /// Latency histogram: latency value -> number of operations.
+  const std::map<Cycle, std::uint64_t>& histogram() const noexcept { return histogram_; }
+
+  /// Human-readable one-line summary ("n=100 min=7 mean=7.00 max=7").
+  std::string summary() const;
+
+  void reset();
+
+ private:
+  std::uint64_t count_ = 0;
+  Cycle min_ = ~Cycle{0};
+  Cycle max_ = 0;
+  std::uint64_t sum_ = 0;
+  std::map<Cycle, std::uint64_t> histogram_;
+};
+
+/// Derives throughput figures from completed operations over elapsed cycles.
+class ThroughputStats {
+ public:
+  /// Records `ops` operations completing (typically called once per cycle
+  /// with the number of ops retired that cycle).
+  void record_ops(std::uint64_t ops) noexcept { ops_ += ops; }
+
+  /// Marks the measurement window [start, end) in cycles.
+  void set_window(Cycle start_cycle, Cycle end_cycle) noexcept {
+    start_ = start_cycle;
+    end_ = end_cycle;
+  }
+
+  std::uint64_t ops() const noexcept { return ops_; }
+  Cycle cycles() const noexcept { return end_ > start_ ? end_ - start_ : 0; }
+
+  /// Operations per cycle over the window.
+  double ops_per_cycle() const noexcept {
+    const Cycle c = cycles();
+    return c == 0 ? 0.0 : static_cast<double>(ops_) / static_cast<double>(c);
+  }
+
+  /// Mega-operations per second at the given clock frequency. The paper's
+  /// Tables VI and VIII report this unit (printed as "op/s" there; 4800
+  /// means 4800 Mop/s = 16 words/cycle x 300 MHz).
+  double mops_per_second(double freq_mhz) const noexcept {
+    return ops_per_cycle() * freq_mhz;
+  }
+
+  void reset() noexcept {
+    ops_ = 0;
+    start_ = end_ = 0;
+  }
+
+ private:
+  std::uint64_t ops_ = 0;
+  Cycle start_ = 0;
+  Cycle end_ = 0;
+};
+
+}  // namespace dspcam::sim

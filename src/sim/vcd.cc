@@ -1,0 +1,88 @@
+#include "src/sim/vcd.h"
+
+#include "src/common/bitops.h"
+#include "src/common/error.h"
+
+namespace dspcam::sim {
+
+VcdTrace::VcdTrace(const std::string& path, std::string scope)
+    : out_(path), scope_(std::move(scope)) {
+  if (!out_) throw ConfigError("VcdTrace: cannot open " + path);
+}
+
+VcdTrace::~VcdTrace() { close(); }
+
+std::string VcdTrace::id_for(std::uint32_t index) {
+  // Printable-ASCII base-94 identifiers, as the format intends.
+  std::string id;
+  do {
+    id += static_cast<char>('!' + index % 94);
+    index /= 94;
+  } while (index != 0);
+  return id;
+}
+
+VcdSignal VcdTrace::add_signal(const std::string& name, unsigned width) {
+  if (header_written_) {
+    throw SimError("VcdTrace: signals must be registered before the first tick");
+  }
+  if (width == 0 || width > 64) throw ConfigError("VcdTrace: width must be 1..64");
+  Entry e;
+  e.name = name;
+  e.width = width;
+  e.id = id_for(static_cast<std::uint32_t>(signals_.size()));
+  signals_.push_back(std::move(e));
+  return VcdSignal{static_cast<std::uint32_t>(signals_.size() - 1)};
+}
+
+void VcdTrace::sample(VcdSignal signal, std::uint64_t value) {
+  Entry& e = signals_.at(signal.index);
+  value = truncate(value, e.width);
+  if (value != e.value || time_ == 0) {
+    e.value = value;
+    e.dirty = true;
+  }
+}
+
+void VcdTrace::write_header() {
+  out_ << "$date dspcam simulation $end\n";
+  out_ << "$version dspcam VcdTrace $end\n";
+  out_ << "$timescale 1 ns $end\n";  // one cycle = 1 ns nominal
+  out_ << "$scope module " << scope_ << " $end\n";
+  for (const auto& e : signals_) {
+    out_ << "$var wire " << e.width << ' ' << e.id << ' ' << e.name << " $end\n";
+  }
+  out_ << "$upscope $end\n$enddefinitions $end\n";
+  header_written_ = true;
+}
+
+void VcdTrace::tick() {
+  if (closed_) throw SimError("VcdTrace: tick after close");
+  if (!header_written_) write_header();
+  bool stamped = false;
+  for (auto& e : signals_) {
+    if (!e.dirty) continue;
+    if (!stamped) {
+      out_ << '#' << time_ << '\n';
+      stamped = true;
+    }
+    if (e.width == 1) {
+      out_ << (e.value & 1) << e.id << '\n';
+    } else {
+      out_ << 'b' << to_binary(e.value, e.width) << ' ' << e.id << '\n';
+    }
+    e.dirty = false;
+  }
+  ++time_;
+}
+
+void VcdTrace::close() {
+  if (closed_) return;
+  if (!header_written_ && !signals_.empty()) write_header();
+  out_ << '#' << time_ << '\n';
+  out_.flush();
+  out_.close();
+  closed_ = true;
+}
+
+}  // namespace dspcam::sim

@@ -1,0 +1,78 @@
+// Value Change Dump (VCD) waveform tracing.
+//
+// A hardware-model library needs waveform-level debugging: this tracer
+// records named signals once per cycle and writes an IEEE-1364 VCD file any
+// waveform viewer (GTKWave etc.) opens directly. Signals are registered
+// once with a width and sampled by value each cycle; only changes are
+// dumped, as the format requires.
+//
+// Usage:
+//   VcdTrace trace("cam.vcd", "dspcam");
+//   auto match = trace.add_signal("cell.match", 1);
+//   auto key   = trace.add_signal("cell.key", 32);
+//   per cycle: trace.sample(match, cell.match()); trace.sample(key, k);
+//              trace.tick();
+//   trace.close();  // or let the destructor flush
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace dspcam::sim {
+
+/// Handle to a registered trace signal.
+struct VcdSignal {
+  std::uint32_t index = 0;
+};
+
+/// Streams a VCD file while the simulation runs.
+class VcdTrace {
+ public:
+  /// Opens `path` and writes the header when the first tick happens (so all
+  /// signals can still be registered after construction). `scope` names the
+  /// enclosing VCD module scope.
+  VcdTrace(const std::string& path, std::string scope = "dspcam");
+  ~VcdTrace();
+
+  VcdTrace(const VcdTrace&) = delete;
+  VcdTrace& operator=(const VcdTrace&) = delete;
+
+  /// Registers a signal of `width` bits (1..64). Must happen before the
+  /// first tick(). Returns the handle used by sample().
+  VcdSignal add_signal(const std::string& name, unsigned width);
+
+  /// Stages the signal's value for the current cycle.
+  void sample(VcdSignal signal, std::uint64_t value);
+
+  /// Ends the current cycle: dumps every changed signal at the current
+  /// timestamp and advances time by one cycle.
+  void tick();
+
+  /// Flushes and closes the file (idempotent).
+  void close();
+
+  std::uint64_t cycles() const noexcept { return time_; }
+
+ private:
+  struct Entry {
+    std::string name;
+    unsigned width = 1;
+    std::string id;           // VCD short identifier
+    std::uint64_t value = 0;
+    bool dirty = true;        // dump at time 0
+  };
+
+  void write_header();
+  static std::string id_for(std::uint32_t index);
+
+  std::ofstream out_;
+  std::string scope_;
+  std::vector<Entry> signals_;
+  bool header_written_ = false;
+  bool closed_ = false;
+  std::uint64_t time_ = 0;
+};
+
+}  // namespace dspcam::sim

@@ -1,0 +1,79 @@
+#include "src/system/cam_system.h"
+
+namespace dspcam::system {
+
+CamSystem::CamSystem(const Config& cfg)
+    : cfg_(cfg),
+      unit_(cfg.unit),
+      request_fifo_(cfg.request_fifo_depth),
+      response_fifo_(cfg.response_fifo_depth),
+      ack_fifo_(cfg.ack_fifo_depth) {}
+
+bool CamSystem::try_submit(cam::UnitRequest request) {
+  if (request_fifo_.full()) return false;
+  request_fifo_.push(std::move(request));
+  return true;
+}
+
+std::optional<cam::UnitResponse> CamSystem::try_pop_response() {
+  if (response_fifo_.empty()) return std::nullopt;
+  return response_fifo_.pop();
+}
+
+std::optional<cam::UnitUpdateAck> CamSystem::try_pop_ack() {
+  if (ack_fifo_.empty()) return std::nullopt;
+  return ack_fifo_.pop();
+}
+
+void CamSystem::eval() {
+  // Pop at most one request per cycle into the unit, but only when its
+  // eventual result has guaranteed FIFO space once it pops out - the unit
+  // pipeline cannot stall, so credit must be reserved at issue time.
+  if (!request_fifo_.empty() && unit_.can_accept()) {
+    const auto& front = request_fifo_.front();
+    bool ok = true;
+    const bool acks = front.op == cam::OpKind::kUpdate ||
+                      front.op == cam::OpKind::kInvalidate;
+    if (front.op == cam::OpKind::kSearch) {
+      ok = searches_in_flight_ + response_fifo_.size() < response_fifo_.capacity();
+    } else if (acks) {
+      ok = updates_in_flight_ + ack_fifo_.size() < ack_fifo_.capacity();
+    }
+    if (ok) {
+      cam::UnitRequest req = request_fifo_.pop();
+      if (req.op == cam::OpKind::kSearch) ++searches_in_flight_;
+      if (req.op == cam::OpKind::kUpdate || req.op == cam::OpKind::kInvalidate) {
+        ++updates_in_flight_;
+      }
+      unit_.issue(std::move(req));
+      ++stats_.issued;
+    } else {
+      ++stats_.stall_cycles;
+    }
+  }
+  unit_.eval();
+}
+
+void CamSystem::commit() {
+  unit_.commit();
+  ++stats_.cycles;
+
+  // Drain the unit's registered outputs into the interface FIFOs. Space was
+  // reserved at issue time, so these pushes cannot overflow.
+  if (unit_.response().has_value()) {
+    response_fifo_.push(*unit_.response());
+    --searches_in_flight_;
+    ++stats_.responses;
+  }
+  if (unit_.update_ack().has_value()) {
+    ack_fifo_.push(*unit_.update_ack());
+    --updates_in_flight_;
+    ++stats_.acks;
+  }
+}
+
+model::ResourceUsage CamSystem::resources() const {
+  return model::system_resources(cfg_.unit);
+}
+
+}  // namespace dspcam::system

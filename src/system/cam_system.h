@@ -1,0 +1,91 @@
+// System wrapper: the CAM unit behind its bus interfaces (paper Fig. 4's
+// "input and output interfaces that communicate with the user kernel").
+//
+// The cycle-accurate CamUnit is a raw pipeline: one beat per cycle in, fixed
+// latency out, no flow control. Real integrations (and the paper's own
+// maximum build) wrap it in interface FIFOs - the "4 BRAMs ... utilized by
+// the bus interfaces for FIFOs, which we add to facilitate complete
+// synthesis and implementation" of Table I. CamSystem models exactly that:
+//
+//   host -> request FIFO -> CamUnit -> {response FIFO, ack FIFO} -> host
+//
+// with credit-based backpressure: a request is only popped into the unit
+// when the matching output FIFO is guaranteed to have room for its result
+// once it emerges (the unit itself cannot stall mid-pipeline).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+#include "src/cam/unit.h"
+#include "src/model/resources.h"
+#include "src/sim/component.h"
+#include "src/sim/fifo.h"
+
+namespace dspcam::system {
+
+/// The CAM unit plus its bus-interface FIFOs.
+class CamSystem : public sim::Component {
+ public:
+  struct Config {
+    cam::UnitConfig unit;
+    std::size_t request_fifo_depth = 64;
+    std::size_t response_fifo_depth = 64;
+    std::size_t ack_fifo_depth = 64;
+  };
+
+  explicit CamSystem(const Config& cfg);
+
+  const Config& config() const noexcept { return cfg_; }
+  cam::CamUnit& unit() noexcept { return unit_; }
+  const cam::CamUnit& unit() const noexcept { return unit_; }
+
+  // --- Host side (call any time; takes effect at the next clock edge). ---
+
+  /// Enqueues a request; returns false (and drops nothing) when the request
+  /// FIFO is full - the host must retry, exactly like a full AXI stream.
+  bool try_submit(cam::UnitRequest request);
+
+  /// Pops the oldest completed search response, if any.
+  std::optional<cam::UnitResponse> try_pop_response();
+
+  /// Pops the oldest update acknowledgement, if any.
+  std::optional<cam::UnitUpdateAck> try_pop_ack();
+
+  bool request_fifo_full() const noexcept { return request_fifo_.full(); }
+  std::size_t pending_requests() const noexcept { return request_fifo_.size(); }
+
+  // --- Statistics. ---
+
+  struct Stats {
+    std::uint64_t cycles = 0;
+    std::uint64_t issued = 0;           ///< Beats entering the unit.
+    std::uint64_t stall_cycles = 0;     ///< Beats held back by backpressure.
+    std::uint64_t responses = 0;
+    std::uint64_t acks = 0;
+  };
+  const Stats& stats() const noexcept { return stats_; }
+
+  /// Full-system resource estimate: the unit plus the interface FIFOs
+  /// (Table I's system row).
+  model::ResourceUsage resources() const;
+
+  void eval() override;
+  void commit() override;
+
+ private:
+  Config cfg_;
+  cam::CamUnit unit_;
+  sim::Fifo<cam::UnitRequest> request_fifo_;
+  sim::Fifo<cam::UnitResponse> response_fifo_;
+  sim::Fifo<cam::UnitUpdateAck> ack_fifo_;
+
+  // Credits: results guaranteed space in the output FIFOs.
+  std::size_t searches_in_flight_ = 0;
+  std::size_t updates_in_flight_ = 0;
+
+  Stats stats_;
+};
+
+}  // namespace dspcam::system

@@ -1,0 +1,91 @@
+#include "src/system/cam_table.h"
+
+#include "src/common/error.h"
+
+namespace dspcam::system {
+
+namespace {
+
+CamSystem::Config single_group(CamSystem::Config cfg) {
+  cfg.unit.initial_groups = 1;  // slot index == global address
+  return cfg;
+}
+
+}  // namespace
+
+CamTable::CamTable(const CamSystem::Config& cfg)
+    : driver_(single_group(cfg)),
+      capacity_(driver_.system().unit().capacity_per_group()),
+      occupied_(capacity_, false) {
+  free_slots_.reserve(capacity_);
+  for (unsigned s = capacity_; s > 0; --s) free_slots_.push_back(s - 1);
+}
+
+std::optional<std::uint32_t> CamTable::insert(cam::Word value,
+                                              std::optional<std::uint64_t> mask) {
+  if (free_slots_.empty()) return std::nullopt;
+  const std::uint32_t slot = free_slots_.back();
+  free_slots_.pop_back();
+
+  cam::UnitRequest req;
+  req.op = cam::OpKind::kUpdate;
+  req.words = {value};
+  if (mask.has_value()) req.masks = {*mask};
+  req.address = slot;
+  auto& sys = driver_.system();
+  while (!sys.try_submit(req)) {
+    sys.eval();
+    sys.commit();
+  }
+  // Wait for the ack so a following lookup is ordered behind the write.
+  for (unsigned guard = 0; guard < 256; ++guard) {
+    sys.eval();
+    sys.commit();
+    if (sys.try_pop_ack().has_value()) {
+      occupied_[slot] = true;
+      ++used_;
+      return slot;
+    }
+  }
+  throw SimError("CamTable: insert ack never arrived");
+}
+
+void CamTable::erase(std::uint32_t slot) {
+  if (slot >= capacity_ || !occupied_[slot]) {
+    throw SimError("CamTable: erase of an unoccupied slot");
+  }
+  cam::UnitRequest req;
+  req.op = cam::OpKind::kInvalidate;
+  req.address = slot;
+  auto& sys = driver_.system();
+  while (!sys.try_submit(req)) {
+    sys.eval();
+    sys.commit();
+  }
+  for (unsigned guard = 0; guard < 256; ++guard) {
+    sys.eval();
+    sys.commit();
+    if (sys.try_pop_ack().has_value()) {
+      occupied_[slot] = false;
+      --used_;
+      free_slots_.push_back(slot);
+      return;
+    }
+  }
+  throw SimError("CamTable: erase ack never arrived");
+}
+
+CamTable::Lookup CamTable::lookup(cam::Word key) {
+  const auto res = driver_.search(key);
+  return Lookup{res.hit, res.global_address};
+}
+
+void CamTable::clear() {
+  driver_.reset();
+  occupied_.assign(capacity_, false);
+  free_slots_.clear();
+  for (unsigned s = capacity_; s > 0; --s) free_slots_.push_back(s - 1);
+  used_ = 0;
+}
+
+}  // namespace dspcam::system

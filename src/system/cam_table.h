@@ -1,0 +1,63 @@
+// Host-side CAM entry manager: insert / erase / lookup over addressed slots.
+//
+// The paper's CAM is append-only (sequential fill + global reset), which
+// fits load-then-search phases like the triangle counter. Long-lived tables
+// (flow caches, rule sets) also need to *remove* entries; this manager
+// builds that on the addressed-update/invalidate extension: every entry
+// lives in a host-chosen slot, erased slots go on a free list and are
+// reused by later inserts. Hardware cost of the extension is a demux on the
+// write address plus a clear line on each valid flag.
+//
+// The table drives a single-group unit (M = 1): slot indices are then
+// exactly the global addresses search responses report, so lookups can name
+// the entry that matched.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/system/driver.h"
+
+namespace dspcam::system {
+
+/// Slot-managed CAM table over a CamDriver.
+class CamTable {
+ public:
+  explicit CamTable(const CamSystem::Config& cfg);
+
+  /// Total slots (the unit's single-group capacity).
+  unsigned capacity() const noexcept { return capacity_; }
+  unsigned size() const noexcept { return used_; }
+  bool full() const noexcept { return used_ >= capacity_; }
+
+  /// Inserts an entry; returns its slot, or nullopt when the table is full.
+  /// `mask` is the per-entry TCAM/RMCAM mask (omit for binary).
+  std::optional<std::uint32_t> insert(cam::Word value,
+                                      std::optional<std::uint64_t> mask = std::nullopt);
+
+  /// Erases the entry at `slot` (must be occupied).
+  void erase(std::uint32_t slot);
+
+  struct Lookup {
+    bool hit = false;
+    std::uint32_t slot = 0;  ///< Lowest matching slot.
+  };
+
+  /// Searches for `key`.
+  Lookup lookup(cam::Word key);
+
+  /// Clears every entry.
+  void clear();
+
+  CamDriver& driver() noexcept { return driver_; }
+
+ private:
+  CamDriver driver_;
+  unsigned capacity_ = 0;
+  unsigned used_ = 0;
+  std::vector<bool> occupied_;
+  std::vector<std::uint32_t> free_slots_;  ///< LIFO reuse order.
+};
+
+}  // namespace dspcam::system

@@ -1,0 +1,110 @@
+#include "src/system/driver.h"
+
+#include <algorithm>
+
+#include "src/common/error.h"
+
+namespace dspcam::system {
+
+void CamDriver::tick() {
+  sys_.eval();
+  sys_.commit();
+}
+
+void CamDriver::drain_idle() {
+  for (unsigned guard = 0; guard < 1024; ++guard) {
+    if (sys_.pending_requests() == 0 && sys_.unit().idle()) return;
+    tick();
+  }
+  throw SimError("CamDriver: unit failed to drain");
+}
+
+unsigned CamDriver::store(std::span<const cam::Word> words,
+                          std::span<const std::uint64_t> masks) {
+  if (!masks.empty() && masks.size() != words.size()) {
+    throw ConfigError("CamDriver::store: mask array must parallel the words");
+  }
+  const unsigned per_beat = sys_.config().unit.words_per_beat();
+  std::size_t pos = 0;
+  unsigned beats = 0;
+  unsigned accepted = 0;
+  unsigned acks = 0;
+  while (pos < words.size() || acks < beats) {
+    if (pos < words.size()) {
+      const std::size_t n = std::min<std::size_t>(per_beat, words.size() - pos);
+      cam::UnitRequest req;
+      req.op = cam::OpKind::kUpdate;
+      req.seq = next_seq_++;
+      req.words.assign(words.begin() + pos, words.begin() + pos + n);
+      if (!masks.empty()) {
+        req.masks.assign(masks.begin() + pos, masks.begin() + pos + n);
+      }
+      if (sys_.try_submit(std::move(req))) {
+        pos += n;
+        ++beats;
+      }
+    }
+    tick();
+    while (auto ack = sys_.try_pop_ack()) {
+      accepted += ack->words_written;
+      ++acks;
+    }
+  }
+  return accepted;
+}
+
+cam::UnitSearchResult CamDriver::search(cam::Word key) {
+  return search_many(std::span<const cam::Word>(&key, 1)).front();
+}
+
+std::vector<cam::UnitSearchResult> CamDriver::search_many(
+    std::span<const cam::Word> keys) {
+  cam::UnitRequest req;
+  req.op = cam::OpKind::kSearch;
+  req.seq = next_seq_++;
+  req.keys.assign(keys.begin(), keys.end());
+  while (!sys_.try_submit(req)) tick();
+  for (unsigned guard = 0; guard < 1024; ++guard) {
+    tick();
+    if (auto resp = sys_.try_pop_response()) {
+      return std::move(resp->results);
+    }
+  }
+  throw SimError("CamDriver: search response never arrived");
+}
+
+std::vector<cam::UnitSearchResult> CamDriver::search_stream(
+    std::span<const cam::Word> keys) {
+  std::vector<cam::UnitSearchResult> out;
+  out.reserve(keys.size());
+  std::size_t submitted = 0;
+  while (out.size() < keys.size()) {
+    if (submitted < keys.size()) {
+      cam::UnitRequest req;
+      req.op = cam::OpKind::kSearch;
+      req.seq = next_seq_++;
+      req.keys = {keys[submitted]};
+      if (sys_.try_submit(std::move(req))) ++submitted;
+    }
+    tick();
+    while (auto resp = sys_.try_pop_response()) {
+      out.push_back(resp->results.front());
+    }
+  }
+  return out;
+}
+
+void CamDriver::reset() {
+  cam::UnitRequest req;
+  req.op = cam::OpKind::kReset;
+  req.seq = next_seq_++;
+  while (!sys_.try_submit(req)) tick();
+  drain_idle();
+}
+
+void CamDriver::configure_groups(unsigned m) {
+  drain_idle();
+  sys_.unit().configure_groups(m);
+}
+
+}  // namespace dspcam::system

@@ -1,0 +1,58 @@
+// Host-side driver facade over CamSystem.
+//
+// The cycle-level API (issue / eval / commit / poll) is exact but verbose;
+// integrations that just want "store these, search those" use this driver,
+// which advances the clock internally and returns completed results - the
+// software equivalent of the paper's user kernel talking to the CAM through
+// its bus interfaces.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/system/cam_system.h"
+
+namespace dspcam::system {
+
+/// Synchronous convenience driver; owns the clock of one CamSystem.
+class CamDriver {
+ public:
+  explicit CamDriver(const CamSystem::Config& cfg) : sys_(cfg) {}
+
+  CamSystem& system() noexcept { return sys_; }
+  const CamSystem& system() const noexcept { return sys_; }
+
+  /// Stores `words` (splitting into bus beats), waits for all acks, and
+  /// returns the number of words actually accepted (capacity permitting).
+  unsigned store(std::span<const cam::Word> words,
+                 std::span<const std::uint64_t> masks = {});
+
+  /// Searches one key; blocks until the response arrives.
+  cam::UnitSearchResult search(cam::Word key);
+
+  /// Multi-query: searches up to M keys in one beat.
+  std::vector<cam::UnitSearchResult> search_many(std::span<const cam::Word> keys);
+
+  /// Batch search with full pipelining: streams one beat per cycle and
+  /// returns per-key results in order. Throughput-optimal (II = 1).
+  std::vector<cam::UnitSearchResult> search_stream(std::span<const cam::Word> keys);
+
+  /// Clears the CAM contents.
+  void reset();
+
+  /// Reconfigures the group count (waits for idle first).
+  void configure_groups(unsigned m);
+
+  /// Total cycles this driver has clocked (for throughput accounting).
+  std::uint64_t cycles() const noexcept { return sys_.stats().cycles; }
+
+ private:
+  void tick();
+  void drain_idle();
+
+  CamSystem sys_;
+  std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace dspcam::system

@@ -1,0 +1,31 @@
+// Common result record for the triangle-counting accelerator models.
+#pragma once
+
+#include <cstdint>
+
+namespace dspcam::tc {
+
+/// Outcome of one accelerator run over one graph.
+struct AccelResult {
+  std::uint64_t triangles = 0;      ///< Exact triangle count.
+  std::uint64_t cycles = 0;         ///< Modelled kernel cycles.
+  double freq_mhz = 0;              ///< Kernel clock used for time conversion.
+  std::uint64_t edges_processed = 0;///< Undirected edges the kernel iterated.
+
+  // Diagnostic breakdown (cycles attributed to the binding resource).
+  std::uint64_t memory_bound_cycles = 0;   ///< Edges where DDR was the bottleneck.
+  std::uint64_t compute_bound_cycles = 0;  ///< Edges where the intersection was.
+
+  /// Wall-clock milliseconds at the modelled frequency.
+  double milliseconds() const noexcept {
+    return freq_mhz == 0 ? 0 : static_cast<double>(cycles) / (freq_mhz * 1e3);
+  }
+
+  double cycles_per_edge() const noexcept {
+    return edges_processed == 0
+               ? 0
+               : static_cast<double>(cycles) / static_cast<double>(edges_processed);
+  }
+};
+
+}  // namespace dspcam::tc

@@ -1,0 +1,82 @@
+// CAM-based triangle-counting accelerator (paper Fig. 6, Section V).
+//
+// Architecture: the user kernels (Load edge / Load offset+length / Load
+// adjacency lists) stream the CSR graph from one DDR channel into the CAM
+// unit. Per the paper's configuration: 32-bit binary cells, block size 128,
+// 512-bit system bus, priority encoding, 2K entries (one SLR, matching the
+// baseline's single-channel constraint).
+//
+// Execution model: per edge, the *longer* adjacency list is loaded into the
+// CAM and the shorter streams through as search keys (Section V-B). Edges
+// are scheduled grouped by their longer endpoint, so a hub's list is loaded
+// once and stays *resident* while every neighbour's short list probes it:
+//
+//   per resident vertex r: reset the unit, stream adj(r) into the CAM
+//                  (words-per-beat ids/cycle), pick M = number of CAM
+//                  groups by the resident list's length ("the number of
+//                  groups is decided by the length of the longer list";
+//                  lists < 128 occupy a whole block);
+//   per edge (r,o): stream adj(o) as search keys at min(M, key_lanes)
+//                  keys/cycle; every hit is a common neighbour.
+//
+// Lists longer than the CAM capacity are processed in chunks: each chunk is
+// loaded in turn and the edge's keys replayed against it.
+//
+// Cost per edge: max(fetch(adj(o)), ceil(|adj(o)| / min(M, key_lanes))) +
+// per-edge overhead; per resident vertex: max(fetch(adj(r)), load beats) +
+// turnaround. Matches per edge = |adj(r) cap adj(o)|, so the run's total is
+// 3x the triangle count, divided out at the end.
+#pragma once
+
+#include "src/cam/config.h"
+#include "src/graph/csr.h"
+#include "src/tc/accel_result.h"
+#include "src/tc/memory_model.h"
+
+namespace dspcam::tc {
+
+/// Cycle model of the CAM-based TC accelerator.
+class CamTcAccelerator {
+ public:
+  struct Config {
+    unsigned cam_entries = 2048;    ///< Unit capacity (paper: 2K, one SLR).
+    unsigned block_size = 128;      ///< Paper Section V-B.
+    unsigned data_width = 32;
+    unsigned bus_width = 512;
+    MemoryModel::Config memory;
+    double freq_mhz = 300.0;        ///< From the timing model at 2048x32.
+    unsigned per_vertex_turnaround = 2;  ///< Reset + update->search gap,
+                                         ///< amortised across double-buffered
+                                         ///< groups.
+    unsigned per_edge_overhead = 3; ///< Offset/length issue + result drain.
+    unsigned key_lanes = 4;         ///< Width of the key-issue datapath in
+                                    ///< keys/cycle; effective search rate is
+                                    ///< min(M, key_lanes). Back-solved from
+                                    ///< the paper's Table IX per-edge costs.
+    unsigned pipeline_fill = 32;    ///< One-off startup cost.
+
+    /// The equivalent CAM-unit configuration (for the resource/timing
+    /// models and for validation against the cycle-accurate unit).
+    cam::UnitConfig unit_config() const;
+  };
+
+  CamTcAccelerator();  // default Config
+  explicit CamTcAccelerator(const Config& cfg);
+
+  const Config& config() const noexcept { return cfg_; }
+
+  /// Counts triangles of the undirected graph `g` under the cost model.
+  AccelResult run(const graph::CsrGraph& g) const;
+
+  /// Number of parallel query groups chosen for a resident list of length
+  /// `resident_len` (paper: a list shorter than a block still occupies the
+  /// whole block; M is the largest power-of-two group count whose groups
+  /// can each hold the list).
+  unsigned groups_for(std::uint64_t resident_len) const;
+
+ private:
+  Config cfg_;
+  unsigned num_blocks_;
+};
+
+}  // namespace dspcam::tc

@@ -1,0 +1,88 @@
+#include "src/tc/dynamic_tc.h"
+
+#include <algorithm>
+
+#include "src/common/error.h"
+#include "src/graph/triangle.h"
+
+namespace dspcam::tc {
+
+DynamicTcModel::DynamicTcModel() : DynamicTcModel(Config{}) {}
+
+DynamicTcModel::DynamicTcModel(const Config& cfg) : cfg_(cfg) {
+  CamTcAccelerator check(cfg_.cam);  // validates the CAM geometry
+  (void)check;
+}
+
+AccelResult DynamicTcModel::run(graph::VertexId n,
+                                const std::vector<graph::Edge>& insertions) const {
+  const MemoryModel mem(cfg_.memory);
+  const CamTcAccelerator cam(cfg_.cam);
+  const unsigned words_per_beat = cfg_.cam.bus_width / cfg_.cam.data_width;
+
+  std::vector<std::vector<graph::VertexId>> adj(n);
+  AccelResult r;
+  r.freq_mhz = cfg_.freq_mhz;
+
+  auto contains = [](const std::vector<graph::VertexId>& list, graph::VertexId v) {
+    return std::binary_search(list.begin(), list.end(), v);
+  };
+  auto insert_sorted = [](std::vector<graph::VertexId>& list, graph::VertexId v) {
+    list.insert(std::upper_bound(list.begin(), list.end(), v), v);
+  };
+
+  for (const auto& [a, b] : insertions) {
+    if (a == b) continue;
+    if (a >= n || b >= n) throw ConfigError("DynamicTcModel: vertex out of range");
+    if (contains(adj[a], b)) continue;  // duplicate edge
+
+    const auto& na = adj[a];
+    const auto& nb = adj[b];
+    const auto stats = graph::merge_stats(na, nb);
+    r.triangles += stats.common;
+    ++r.edges_processed;
+
+    const std::uint64_t la = na.size();
+    const std::uint64_t lb = nb.size();
+    const std::uint64_t ll = std::max(la, lb);
+    const std::uint64_t ls = std::min(la, lb);
+
+    std::uint64_t cycles = 0;
+    if (cfg_.engine == DynamicEngine::kMerge) {
+      const std::uint64_t compute = stats.steps;
+      const std::uint64_t memory = mem.fetch_cycles(la) + mem.fetch_cycles(lb);
+      cycles = std::max(compute, memory) + cfg_.merge_per_edge_overhead;
+      if (compute >= memory) {
+        r.compute_bound_cycles += cycles;
+      } else {
+        r.memory_bound_cycles += cycles;
+      }
+    } else {
+      // CAM path per insertion: reset + load the longer list (chunked if it
+      // exceeds the CAM), then stream the shorter list as keys.
+      const std::uint64_t cap = cfg_.cam.cam_entries;
+      const std::uint64_t chunks = ll == 0 ? 1 : (ll + cap - 1) / cap;
+      const unsigned m = cam.groups_for(std::min<std::uint64_t>(ll, cap));
+      const unsigned rate = std::min(m, cfg_.cam.key_lanes);
+      const std::uint64_t load =
+          std::max(mem.fetch_cycles(ll), (ll + words_per_beat - 1) / words_per_beat) +
+          chunks * cfg_.cam.per_vertex_turnaround;
+      const std::uint64_t search =
+          chunks * std::max<std::uint64_t>((ls + rate - 1) / rate, 1);
+      const std::uint64_t fetch_short = chunks * mem.fetch_cycles(ls);
+      cycles = load + std::max(search, fetch_short) + cfg_.cam.per_edge_overhead;
+      if (search >= fetch_short) {
+        r.compute_bound_cycles += cycles;
+      } else {
+        r.memory_bound_cycles += cycles;
+      }
+    }
+    r.cycles += cycles;
+
+    insert_sorted(adj[a], b);
+    insert_sorted(adj[b], a);
+  }
+  return r;
+}
+
+}  // namespace dspcam::tc

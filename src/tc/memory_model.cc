@@ -1,0 +1,17 @@
+#include "src/tc/memory_model.h"
+
+#include "src/common/error.h"
+
+namespace dspcam::tc {
+
+MemoryModel::MemoryModel() : MemoryModel(Config{}) {}
+
+MemoryModel::MemoryModel(const Config& cfg) : cfg_(cfg) {
+  if (cfg_.bus_bytes == 0 || cfg_.word_bytes == 0 ||
+      cfg_.bus_bytes % cfg_.word_bytes != 0) {
+    throw ConfigError("MemoryModel: bus width must be a multiple of the word size");
+  }
+  if (cfg_.channels == 0) throw ConfigError("MemoryModel: need >= 1 channel");
+}
+
+}  // namespace dspcam::tc

@@ -1,0 +1,61 @@
+// Single-channel DDR4 memory model for the triangle-counting case study.
+//
+// The paper constrains both accelerators to one DDR4 channel of the U250
+// (Section V-C) so the comparison is purely architectural. One channel's
+// peak bandwidth (~19.2 GB/s) equals one 512-bit beat per 300 MHz kernel
+// cycle, so memory cost is naturally expressed in kernel cycles:
+//
+//   fetch(list of L words) = ceil(L * word_bytes / 64) beats
+//                            + request_overhead cycles
+//
+// The per-request overhead models DRAM row activation and AXI address
+// latency as seen *in steady state with many outstanding reads* - a small
+// number of cycles of lost throughput per random request, not the full
+// ~40 ns idle latency (both accelerators keep dozens of requests in
+// flight).
+#pragma once
+
+#include <cstdint>
+
+namespace dspcam::tc {
+
+/// Cost model of one DDR channel at kernel clock granularity.
+class MemoryModel {
+ public:
+  struct Config {
+    unsigned bus_bytes = 64;          ///< 512-bit data path.
+    unsigned word_bytes = 4;          ///< 32-bit vertex ids.
+    unsigned request_overhead = 1;    ///< Effective per-request cycles lost.
+    unsigned channels = 1;            ///< DDR channels striped across (the
+                                      ///< paper's evaluation uses 1; the
+                                      ///< U250 has 4).
+  };
+
+  MemoryModel();  // default Config
+  explicit MemoryModel(const Config& cfg);
+
+  const Config& config() const noexcept { return cfg_; }
+
+  /// Beats needed to stream `words` vertex ids (>= 1 for a nonempty list),
+  /// striped across the configured channels.
+  std::uint64_t beats(std::uint64_t words) const noexcept {
+    const std::uint64_t bytes = words * cfg_.word_bytes;
+    const std::uint64_t per_channel = cfg_.bus_bytes * cfg_.channels;
+    return (bytes + per_channel - 1) / per_channel;
+  }
+
+  /// Total cycles to fetch one randomly-addressed list of `words` ids.
+  /// Zero-length lists cost nothing (the offset pair already told the
+  /// kernel there is no data).
+  std::uint64_t fetch_cycles(std::uint64_t words) const noexcept {
+    return words == 0 ? 0 : beats(words) + cfg_.request_overhead;
+  }
+
+  /// Words carried per beat.
+  unsigned words_per_beat() const noexcept { return cfg_.bus_bytes / cfg_.word_bytes; }
+
+ private:
+  Config cfg_;
+};
+
+}  // namespace dspcam::tc

@@ -1,0 +1,49 @@
+// Merge-based triangle-counting baseline (the AMD Vitis graph library
+// design the paper compares against, Section V-C).
+//
+// The baseline is a fine-grained pipeline that, per undirected edge (u, v),
+// loads the two adjacency lists and intersects them with a sorted two-cursor
+// merge at one comparison per cycle - the "inherently sequential" kernel
+// whose O(n+m) per-edge cost the paper's CAM removes. Edges are processed
+// in CSR order, so the u-side list is streamed once per vertex while the
+// v-side list is fetched per edge; memory transfers overlap the pipeline,
+// and a fixed number of per-edge bubbles models the offset->length->data
+// dependency chain that even the optimized pipeline cannot hide.
+//
+// Cost per edge: max(merge_steps(adj(u), adj(v)), fetch(adj(v))) +
+//                per_edge_overhead,
+// plus once per vertex: fetch(adj(u)) amortised over its edges.
+#pragma once
+
+#include "src/graph/csr.h"
+#include "src/tc/accel_result.h"
+#include "src/tc/memory_model.h"
+
+namespace dspcam::tc {
+
+/// Cycle model of the Vitis-style merge-intersection TC accelerator.
+class MergeTcAccelerator {
+ public:
+  struct Config {
+    MemoryModel::Config memory;
+    double freq_mhz = 300.0;        ///< Vitis kernels close ~300 MHz on the U250.
+    unsigned per_edge_overhead = 8; ///< Pipeline bubbles per edge (dependency
+                                    ///< chain: offset -> length -> data).
+    unsigned pipeline_fill = 32;    ///< One-off startup cost.
+  };
+
+  MergeTcAccelerator();  // default Config
+  explicit MergeTcAccelerator(const Config& cfg);
+
+  const Config& config() const noexcept { return cfg_; }
+
+  /// Counts triangles of the undirected graph `g` (full adjacency, each
+  /// undirected edge visited once; matches per edge = common neighbours, so
+  /// the total is exactly 3x the triangle count - divided out here).
+  AccelResult run(const graph::CsrGraph& g) const;
+
+ private:
+  Config cfg_;
+};
+
+}  // namespace dspcam::tc

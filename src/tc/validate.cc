@@ -1,0 +1,117 @@
+#include "src/tc/validate.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/cam/unit.h"
+
+namespace dspcam::tc {
+
+namespace {
+
+void step(cam::CamUnit& unit) {
+  unit.eval();
+  unit.commit();
+}
+
+void drain(cam::CamUnit& unit, unsigned cycles) {
+  for (unsigned i = 0; i < cycles; ++i) step(unit);
+}
+
+/// Streams `words` into the unit as full update beats and waits for them to
+/// land.
+void load_words(cam::CamUnit& unit, std::span<const graph::VertexId> words,
+                std::uint64_t& seq) {
+  const unsigned per_beat = unit.config().words_per_beat();
+  std::size_t pos = 0;
+  while (pos < words.size()) {
+    const std::size_t n = std::min<std::size_t>(per_beat, words.size() - pos);
+    cam::UnitRequest req;
+    req.op = cam::OpKind::kUpdate;
+    req.seq = seq++;
+    for (std::size_t i = 0; i < n; ++i) req.words.push_back(words[pos + i]);
+    unit.issue(std::move(req));
+    step(unit);
+    pos += n;
+  }
+  drain(unit, cam::CamUnit::update_latency() + 1);
+}
+
+/// Searches `keys` through all M groups, M keys per beat; returns hits.
+std::uint64_t search_keys(cam::CamUnit& unit, std::span<const graph::VertexId> keys,
+                          std::uint64_t& seq) {
+  const unsigned m = unit.groups();
+  std::uint64_t hits = 0;
+  std::size_t pos = 0;
+  std::uint64_t outstanding = 0;
+  auto collect = [&] {
+    if (unit.response().has_value()) {
+      for (const auto& res : unit.response()->results) {
+        if (res.hit) ++hits;
+      }
+      --outstanding;
+    }
+  };
+  while (pos < keys.size()) {
+    const std::size_t n = std::min<std::size_t>(m, keys.size() - pos);
+    cam::UnitRequest req;
+    req.op = cam::OpKind::kSearch;
+    req.seq = seq++;
+    for (std::size_t i = 0; i < n; ++i) req.keys.push_back(keys[pos + i]);
+    unit.issue(std::move(req));
+    ++outstanding;
+    step(unit);
+    collect();
+    pos += n;
+  }
+  while (outstanding > 0) {
+    step(unit);
+    collect();
+  }
+  return hits;
+}
+
+}  // namespace
+
+std::uint64_t count_triangles_with_unit(const graph::CsrGraph& g,
+                                        const CamTcAccelerator::Config& cfg) {
+  const CamTcAccelerator accel(cfg);  // validates the configuration
+  cam::CamUnit unit(cfg.unit_config());
+  std::uint64_t seq = 1;
+  std::uint64_t matches = 0;
+
+  for (graph::VertexId u = 0; u < g.num_vertices(); ++u) {
+    const auto nu = g.neighbors(u);
+    if (nu.empty()) continue;
+    bool any_edge = false;
+    for (graph::VertexId v : nu) {
+      if (v > u) {
+        any_edge = true;
+        break;
+      }
+    }
+    if (!any_edge) continue;
+
+    const std::uint64_t cap = cfg.cam_entries;
+    const std::uint64_t chunks = (nu.size() + cap - 1) / cap;
+    const std::uint64_t chunk_len = std::min<std::uint64_t>(nu.size(), cap);
+    const unsigned m = accel.groups_for(chunk_len);
+
+    for (std::uint64_t c = 0; c < chunks; ++c) {
+      const std::size_t lo = c * cap;
+      const std::size_t len = std::min<std::size_t>(cap, nu.size() - lo);
+      // Let the tail of the previous batch clear every pipeline register
+      // before reconfiguring the groups.
+      drain(unit, cam::CamUnit::update_latency() + 4);
+      unit.configure_groups(m);  // also clears contents (reset)
+      load_words(unit, nu.subspan(lo, len), seq);
+      for (graph::VertexId v : nu) {
+        if (v <= u) continue;
+        matches += search_keys(unit, g.neighbors(v), seq);
+      }
+    }
+  }
+  return matches / 3;
+}
+
+}  // namespace dspcam::tc

@@ -1,0 +1,343 @@
+#include "src/cam/block.h"
+
+#include <gtest/gtest.h>
+
+#include "src/cam/reference_cam.h"
+#include "src/common/error.h"
+#include "src/common/random.h"
+#include "tests/cam/testbench.h"
+
+namespace dspcam::cam {
+namespace {
+
+using test::load_block;
+using test::run_search;
+using test::step;
+using test::steps;
+
+BlockConfig small_block(unsigned size = 32, unsigned width = 32) {
+  BlockConfig b;
+  b.cell.data_width = width;
+  b.block_size = size;
+  b.bus_width = 512;
+  return b;
+}
+
+TEST(CamBlock, UpdateLatencyIsOneCycle) {
+  // Table VI: update latency = 1 for every block size.
+  CamBlock block(small_block());
+  BlockRequest req;
+  req.op = OpKind::kUpdate;
+  req.words = {1, 2, 3};
+  req.tag.seq = 9;
+  block.issue(std::move(req));
+  step(block);
+  EXPECT_EQ(block.fill(), 3u);
+  ASSERT_TRUE(block.update_ack().has_value());
+  EXPECT_EQ(block.update_ack()->seq, 9u);
+  EXPECT_EQ(block.update_ack()->words_written, 3u);
+}
+
+TEST(CamBlock, SearchLatencyIsThreeCyclesUnbuffered) {
+  // Table VI: search latency = 3 cycles for block sizes up to 128.
+  CamBlock block(small_block());
+  load_block(block, {10, 20, 30});
+  unsigned latency = 0;
+  const auto resp = run_search(block, 20, &latency);
+  EXPECT_TRUE(resp.hit);
+  EXPECT_EQ(resp.first_match, 1u);
+  EXPECT_EQ(latency, 3u);
+  EXPECT_EQ(block.search_latency(), 3u);
+}
+
+TEST(CamBlock, SearchLatencyIsFourCyclesWithOutputBuffer) {
+  // Table VI: blocks of 256+ cells buffer the encoder output -> 4 cycles.
+  auto cfg = small_block(256);
+  cfg.output_buffer = BlockConfig::standalone_buffer_policy(cfg.block_size);
+  ASSERT_TRUE(cfg.output_buffer);
+  CamBlock block(cfg);
+  load_block(block, {10, 20, 30});
+  unsigned latency = 0;
+  const auto resp = run_search(block, 30, &latency);
+  EXPECT_TRUE(resp.hit);
+  EXPECT_EQ(resp.first_match, 2u);
+  EXPECT_EQ(latency, 4u);
+  EXPECT_EQ(block.search_latency(), 4u);
+}
+
+TEST(CamBlock, MissReturnsNoHit) {
+  CamBlock block(small_block());
+  load_block(block, {1, 2, 3});
+  const auto resp = run_search(block, 99);
+  EXPECT_FALSE(resp.hit);
+}
+
+TEST(CamBlock, EmptyBlockNeverHits) {
+  CamBlock block(small_block());
+  const auto resp = run_search(block, 0);
+  EXPECT_FALSE(resp.hit);
+}
+
+TEST(CamBlock, WideBusWritesManyWordsPerBeat) {
+  // A 512-bit bus carries 16x 32-bit words: all stored in one cycle.
+  CamBlock block(small_block());
+  std::vector<Word> words;
+  for (Word i = 0; i < 16; ++i) words.push_back(100 + i);
+  BlockRequest req;
+  req.op = OpKind::kUpdate;
+  req.words = words;
+  block.issue(std::move(req));
+  step(block);
+  EXPECT_EQ(block.fill(), 16u);
+  for (unsigned i = 0; i < 16; ++i) EXPECT_EQ(block.cell(i).stored(), 100 + i);
+}
+
+TEST(CamBlock, CellAddressControllerFillsSequentially) {
+  CamBlock block(small_block());
+  load_block(block, {5, 6});
+  load_block(block, {7});
+  EXPECT_EQ(block.fill(), 3u);
+  EXPECT_EQ(block.cell(0).stored(), 5u);
+  EXPECT_EQ(block.cell(1).stored(), 6u);
+  EXPECT_EQ(block.cell(2).stored(), 7u);
+}
+
+TEST(CamBlock, OverfillReportsTruncatedWrite) {
+  CamBlock block(small_block(32));
+  std::vector<Word> words(30);
+  for (std::size_t i = 0; i < words.size(); ++i) words[i] = i;
+  load_block(block, words);
+  // 2 slots left; send 4 words.
+  BlockRequest req;
+  req.op = OpKind::kUpdate;
+  req.words = {100, 101, 102, 103};
+  req.tag.seq = 1;
+  block.issue(std::move(req));
+  step(block);
+  ASSERT_TRUE(block.update_ack().has_value());
+  EXPECT_EQ(block.update_ack()->words_written, 2u);
+  EXPECT_TRUE(block.update_ack()->block_full);
+  EXPECT_TRUE(block.full());
+  // The two words that fit are searchable; the dropped ones are not.
+  EXPECT_TRUE(run_search(block, 101).hit);
+  EXPECT_FALSE(run_search(block, 102).hit);
+}
+
+TEST(CamBlock, ResetClearsContentsAndState) {
+  CamBlock block(small_block());
+  load_block(block, {1, 2, 3});
+  BlockRequest reset;
+  reset.op = OpKind::kReset;
+  block.issue(std::move(reset));
+  step(block);
+  EXPECT_EQ(block.fill(), 0u);
+  EXPECT_FALSE(run_search(block, 2).hit);
+  // And the block is reusable after reset.
+  load_block(block, {42});
+  EXPECT_TRUE(run_search(block, 42).hit);
+}
+
+TEST(CamBlock, PipelinedSearchesEveryCycle) {
+  // Initiation interval 1: issue a key per cycle, responses stream out at
+  // the same rate after the 3-cycle fill.
+  CamBlock block(small_block());
+  load_block(block, {0, 1, 2, 3, 4, 5, 6, 7});
+  constexpr unsigned kOps = 32;
+  unsigned responses = 0;
+  for (unsigned cyc = 0; cyc < kOps + 3; ++cyc) {
+    if (cyc < kOps) {
+      BlockRequest req;
+      req.op = OpKind::kSearch;
+      req.key = cyc % 10;  // some hit, some miss
+      req.tag.seq = cyc;
+      block.issue(std::move(req));
+    }
+    step(block);
+    if (block.response().has_value()) {
+      const auto& r = *block.response();
+      EXPECT_EQ(r.tag.seq, responses);  // in order
+      EXPECT_EQ(r.hit, (responses % 10) < 8);
+      ++responses;
+    }
+  }
+  EXPECT_EQ(responses, kOps);
+}
+
+TEST(CamBlock, ConcurrentUpdateAndSearchBeats) {
+  // The post-router can deliver an update and a search in the same cycle.
+  CamBlock block(small_block());
+  load_block(block, {1, 2});
+  BlockRequest upd;
+  upd.op = OpKind::kUpdate;
+  upd.words = {3};
+  BlockRequest srch;
+  srch.op = OpKind::kSearch;
+  srch.key = 3;
+  srch.tag.seq = 50;
+  block.issue(std::move(upd));
+  block.issue(std::move(srch));
+  // The search key latches one cycle after the write, so it sees entry 3.
+  for (int i = 0; i < 8; ++i) {
+    step(block);
+    if (block.response().has_value()) {
+      EXPECT_TRUE(block.response()->hit);
+      EXPECT_EQ(block.response()->first_match, 2u);
+      return;
+    }
+  }
+  FAIL() << "no response";
+}
+
+TEST(CamBlock, DoubleIssueSameKindRejected) {
+  CamBlock block(small_block());
+  BlockRequest a;
+  a.op = OpKind::kSearch;
+  BlockRequest b;
+  b.op = OpKind::kSearch;
+  block.issue(std::move(a));
+  EXPECT_THROW(block.issue(std::move(b)), SimError);
+}
+
+TEST(CamBlock, OversizedBeatRejected) {
+  CamBlock block(small_block());
+  BlockRequest req;
+  req.op = OpKind::kUpdate;
+  req.words.assign(17, 0);  // 512/32 = 16 words max
+  EXPECT_THROW(block.issue(std::move(req)), SimError);
+}
+
+TEST(CamBlock, BinaryBlockRejectsMaskedUpdate) {
+  CamBlock block(small_block());
+  BlockRequest req;
+  req.op = OpKind::kUpdate;
+  req.words = {1};
+  req.masks = {0xFF};
+  EXPECT_THROW(block.issue(std::move(req)), SimError);
+}
+
+TEST(CamBlock, TernaryBlockStoresPerEntryMasks) {
+  BlockConfig cfg = small_block();
+  cfg.cell.kind = CamKind::kTernary;
+  cfg.cell.data_width = 16;
+  CamBlock block(cfg);
+  load_block(block, {0x1200, 0x3400}, {tcam_mask(16, 0x00FF), tcam_mask(16, 0x0000)});
+  EXPECT_TRUE(run_search(block, 0x12AB).hit);   // don't-care low byte
+  EXPECT_FALSE(run_search(block, 0x34AB).hit);  // exact entry
+  EXPECT_TRUE(run_search(block, 0x3400).hit);
+}
+
+TEST(CamBlock, EncodingSchemesReportPerConfiguration) {
+  for (auto scheme : {EncodingScheme::kPriorityIndex, EncodingScheme::kOneHot,
+                      EncodingScheme::kMatchCount}) {
+    BlockConfig cfg = small_block();
+    cfg.encoding = scheme;
+    CamBlock block(cfg);
+    load_block(block, {7, 8, 7});  // duplicate entries -> multi-match
+    const auto r = run_search(block, 7);
+    EXPECT_TRUE(r.hit);
+    switch (scheme) {
+      case EncodingScheme::kPriorityIndex:
+        EXPECT_EQ(r.first_match, 0u);
+        break;
+      case EncodingScheme::kOneHot:
+        EXPECT_TRUE(r.raw.test(0));
+        EXPECT_FALSE(r.raw.test(1));
+        EXPECT_TRUE(r.raw.test(2));
+        break;
+      case EncodingScheme::kMatchCount:
+        EXPECT_EQ(r.match_count, 2u);
+        break;
+    }
+  }
+}
+
+// Property test: a block must agree with the brute-force reference model
+// over randomized update/search streams, across sizes.
+class BlockVsReference : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BlockVsReference, RandomOpStreamAgrees) {
+  const unsigned size = GetParam();
+  auto cfg = small_block(size, 16);
+  cfg.output_buffer = BlockConfig::standalone_buffer_policy(size);
+  CamBlock block(cfg);
+  ReferenceCam ref(CamKind::kBinary, 16, size);
+  Rng rng(size);
+
+  for (int round = 0; round < 200; ++round) {
+    if (rng.next_bool(0.3) && !ref.full()) {
+      std::vector<Word> words;
+      const unsigned n = 1 + static_cast<unsigned>(rng.next_below(4));
+      for (unsigned i = 0; i < n; ++i) words.push_back(rng.next_bits(10));
+      load_block(block, words);
+      ref.update(words);
+    } else {
+      const Word key = rng.next_bits(10);
+      const auto got = run_search(block, key);
+      const auto want = ref.search(key);
+      ASSERT_EQ(got.hit, want.hit) << "key " << key << " round " << round;
+      if (want.hit) {
+        ASSERT_EQ(got.first_match, want.first_index);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BlockVsReference, ::testing::Values(32u, 64u, 128u, 256u));
+
+}  // namespace
+}  // namespace dspcam::cam
+
+namespace dspcam::cam {
+namespace {
+
+using test::load_block;
+using test::run_search;
+using test::step;
+
+TEST(CamBlockExtensions, AddressedWriteAndInvalidate) {
+  BlockConfig cfg;
+  cfg.cell.data_width = 32;
+  cfg.block_size = 32;
+  cfg.bus_width = 512;
+  CamBlock block(cfg);
+  load_block(block, {10, 20, 30});
+
+  BlockRequest wr;
+  wr.op = OpKind::kUpdate;
+  wr.words = {99};
+  wr.address = 1;  // replace the 20
+  block.issue(std::move(wr));
+  step(block);
+  EXPECT_EQ(block.fill(), 3u) << "fill pointer untouched by addressed write";
+  EXPECT_FALSE(run_search(block, 20).hit);
+  EXPECT_EQ(run_search(block, 99).first_match, 1u);
+
+  BlockRequest inv;
+  inv.op = OpKind::kInvalidate;
+  inv.address = 0;
+  block.issue(std::move(inv));
+  step(block);
+  ASSERT_TRUE(block.update_ack().has_value());
+  EXPECT_EQ(block.update_ack()->words_written, 1u);
+  EXPECT_FALSE(run_search(block, 10).hit);
+  EXPECT_TRUE(run_search(block, 30).hit) << "neighbours untouched";
+}
+
+TEST(CamBlockExtensions, Validation) {
+  BlockConfig cfg;
+  cfg.cell.data_width = 32;
+  cfg.block_size = 32;
+  cfg.bus_width = 512;
+  CamBlock block(cfg);
+  BlockRequest inv;
+  inv.op = OpKind::kInvalidate;  // missing address
+  EXPECT_THROW(block.issue(std::move(inv)), SimError);
+  BlockRequest far_wr;
+  far_wr.op = OpKind::kUpdate;
+  far_wr.words = {1, 2};
+  far_wr.address = 31;  // 31 + 2 > 32
+  EXPECT_THROW(block.issue(std::move(far_wr)), SimError);
+}
+
+}  // namespace
+}  // namespace dspcam::cam

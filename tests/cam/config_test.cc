@@ -1,0 +1,119 @@
+#include "src/cam/config.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.h"
+
+namespace dspcam::cam {
+namespace {
+
+TEST(CellConfig, WidthBounds) {
+  CellConfig c;
+  c.data_width = 48;
+  EXPECT_NO_THROW(c.validate());
+  c.data_width = 0;
+  EXPECT_THROW(c.validate(), ConfigError);
+  c.data_width = 49;
+  EXPECT_THROW(c.validate(), ConfigError);
+}
+
+TEST(BlockConfig, SizeMustBePowerOfTwo) {
+  BlockConfig b;
+  b.block_size = 128;
+  EXPECT_NO_THROW(b.validate());
+  b.block_size = 100;
+  EXPECT_THROW(b.validate(), ConfigError);
+  b.block_size = 1;
+  EXPECT_THROW(b.validate(), ConfigError);
+}
+
+TEST(BlockConfig, BusMustBeMultipleOfDataWidth) {
+  BlockConfig b;
+  b.cell.data_width = 32;
+  b.bus_width = 512;
+  EXPECT_NO_THROW(b.validate());
+  EXPECT_EQ(b.words_per_beat(), 16u);
+  b.bus_width = 500;
+  EXPECT_THROW(b.validate(), ConfigError);
+}
+
+TEST(BlockConfig, BusCannotExceedBlockCapacityPerBeat) {
+  BlockConfig b;
+  b.cell.data_width = 8;
+  b.block_size = 32;
+  b.bus_width = 512;  // 64 words/beat > 32 cells
+  EXPECT_THROW(b.validate(), ConfigError);
+}
+
+TEST(BlockConfig, StandaloneBufferPolicyMatchesTableVI) {
+  // Table VI: search latency 3 at sizes 32-128, 4 at 256-512.
+  EXPECT_FALSE(BlockConfig::standalone_buffer_policy(32));
+  EXPECT_FALSE(BlockConfig::standalone_buffer_policy(128));
+  EXPECT_TRUE(BlockConfig::standalone_buffer_policy(256));
+  EXPECT_TRUE(BlockConfig::standalone_buffer_policy(512));
+}
+
+TEST(UnitConfig, GroupCountMustDivideUnitSize) {
+  UnitConfig u;
+  u.unit_size = 16;
+  u.initial_groups = 4;
+  EXPECT_NO_THROW(u.validate());
+  u.initial_groups = 3;
+  EXPECT_THROW(u.validate(), ConfigError);
+  u.initial_groups = 0;
+  EXPECT_THROW(u.validate(), ConfigError);
+}
+
+TEST(UnitConfig, UnitBusMustNotExceedBlockBus) {
+  UnitConfig u;
+  u.block.bus_width = 256;
+  u.bus_width = 512;
+  EXPECT_THROW(u.validate(), ConfigError);
+  u.bus_width = 256;
+  EXPECT_NO_THROW(u.validate());
+  u.bus_width = 128;
+  EXPECT_NO_THROW(u.validate());
+}
+
+TEST(UnitConfig, TotalsAndWordsPerBeat) {
+  UnitConfig u;
+  u.block.block_size = 256;
+  u.unit_size = 8;
+  u.block.cell.data_width = 32;
+  u.bus_width = 512;
+  EXPECT_EQ(u.total_entries(), 2048u);
+  EXPECT_EQ(u.words_per_beat(), 16u);
+}
+
+TEST(UnitConfig, UnitBufferPolicyMatchesTableVIII) {
+  // Table VIII: search latency 7 below 2048 entries, 8 from 2048 up.
+  EXPECT_FALSE(UnitConfig::unit_buffer_policy(128));
+  EXPECT_FALSE(UnitConfig::unit_buffer_policy(512));
+  EXPECT_TRUE(UnitConfig::unit_buffer_policy(2048));
+  EXPECT_TRUE(UnitConfig::unit_buffer_policy(4096));
+  EXPECT_TRUE(UnitConfig::unit_buffer_policy(8192));
+}
+
+TEST(UnitConfig, WithAutoTimingSetsBuffer) {
+  UnitConfig u;
+  u.block.block_size = 256;
+  u.unit_size = 32;  // 8192 entries
+  u = UnitConfig::with_auto_timing(u);
+  EXPECT_TRUE(u.block.output_buffer);
+  u.unit_size = 4;  // 1024 entries
+  u = UnitConfig::with_auto_timing(u);
+  EXPECT_FALSE(u.block.output_buffer);
+}
+
+TEST(UnitConfig, ToStringDescribesGeometry) {
+  UnitConfig u;
+  u.block.block_size = 128;
+  u.unit_size = 16;
+  u.block.cell.data_width = 32;
+  const auto s = u.to_string();
+  EXPECT_NE(s.find("2048x32b"), std::string::npos);
+  EXPECT_NE(s.find("16 blocks of 128"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dspcam::cam

@@ -1,0 +1,76 @@
+#include "src/cam/encoder.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+
+namespace dspcam::cam {
+namespace {
+
+BitVec lines(std::size_t n, std::initializer_list<std::size_t> set) {
+  BitVec v(n);
+  for (auto i : set) v.set(i);
+  return v;
+}
+
+TEST(Encoder, PriorityIndexPicksLowestMatch) {
+  const auto r =
+      encode_match_lines(lines(128, {77, 5, 9}), EncodingScheme::kPriorityIndex, {});
+  EXPECT_TRUE(r.hit);
+  EXPECT_EQ(r.first_match, 5u);
+  EXPECT_EQ(r.match_count, 0u);  // not wired in this scheme
+  EXPECT_TRUE(r.raw.empty());
+}
+
+TEST(Encoder, PriorityIndexMiss) {
+  const auto r = encode_match_lines(lines(128, {}), EncodingScheme::kPriorityIndex, {});
+  EXPECT_FALSE(r.hit);
+  EXPECT_EQ(r.first_match, 0u);
+}
+
+TEST(Encoder, OneHotCarriesRawVector) {
+  const auto v = lines(64, {0, 63});
+  const auto r = encode_match_lines(v, EncodingScheme::kOneHot, {});
+  EXPECT_TRUE(r.hit);
+  EXPECT_EQ(r.raw, v);
+}
+
+TEST(Encoder, MatchCountCounts) {
+  const auto r = encode_match_lines(lines(256, {1, 2, 3, 200}), EncodingScheme::kMatchCount, {});
+  EXPECT_TRUE(r.hit);
+  EXPECT_EQ(r.match_count, 4u);
+}
+
+TEST(Encoder, TagIsPreserved) {
+  QueryTag tag;
+  tag.seq = 42;
+  tag.key_index = 3;
+  tag.group = 1;
+  const auto r = encode_match_lines(lines(8, {0}), EncodingScheme::kPriorityIndex, tag);
+  EXPECT_EQ(r.tag, tag);
+}
+
+TEST(Encoder, RandomizedAgreementAcrossSchemes) {
+  Rng rng(77);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 1 + rng.next_below(512);
+    BitVec v(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rng.next_bool(0.05)) v.set(i);
+    }
+    const auto pri = encode_match_lines(v, EncodingScheme::kPriorityIndex, {});
+    const auto hot = encode_match_lines(v, EncodingScheme::kOneHot, {});
+    const auto cnt = encode_match_lines(v, EncodingScheme::kMatchCount, {});
+    EXPECT_EQ(pri.hit, v.any());
+    EXPECT_EQ(hot.hit, v.any());
+    EXPECT_EQ(cnt.hit, v.any());
+    EXPECT_EQ(cnt.match_count, v.count());
+    if (v.any()) {
+      EXPECT_EQ(pri.first_match, v.find_first());
+    }
+    EXPECT_EQ(hot.raw, v);
+  }
+}
+
+}  // namespace
+}  // namespace dspcam::cam

@@ -1,0 +1,100 @@
+#include "src/cam/mask.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/bitops.h"
+#include "src/common/error.h"
+#include "src/common/random.h"
+
+namespace dspcam::cam {
+namespace {
+
+TEST(Mask, WidthMaskIgnoresBitsAboveDataWidth) {
+  EXPECT_EQ(width_mask(48), 0u);
+  EXPECT_EQ(width_mask(32), kDspWordMask & ~low_bits(32));
+  EXPECT_EQ(width_mask(1), kDspWordMask & ~1ULL);
+}
+
+TEST(Mask, WidthValidation) {
+  EXPECT_THROW(width_mask(0), ConfigError);
+  EXPECT_THROW(width_mask(49), ConfigError);
+}
+
+TEST(Mask, BcamComparesEveryActiveBit) {
+  // Table II: BCAM - all bits are zero (within the data width).
+  const auto m = bcam_mask(16);
+  EXPECT_EQ(m & low_bits(16), 0u);
+  EXPECT_TRUE(masked_match(0x1234, 0x1234, m, 16));
+  EXPECT_FALSE(masked_match(0x1234, 0x1235, m, 16));
+}
+
+TEST(Mask, TcamDontCareBits) {
+  // Table II: TCAM - ignored bits = 1.
+  const auto m = tcam_mask(16, 0x00FF);  // low byte is don't-care
+  EXPECT_TRUE(masked_match(0x12AB, 0x12CD, m, 16));
+  EXPECT_FALSE(masked_match(0x12AB, 0x13AB, m, 16));
+}
+
+TEST(Mask, TcamRejectsDontCareOutsideWidth) {
+  EXPECT_THROW(tcam_mask(8, 0x100), ConfigError);
+  EXPECT_NO_THROW(tcam_mask(8, 0xFF));
+}
+
+TEST(Mask, RmcamPowerOfTwoRange) {
+  // Range [0x40, 0x50) = base 0x40, span 2^4.
+  const auto m = rmcam_mask(16, 0x40, 4);
+  for (std::uint64_t v = 0x40; v < 0x50; ++v) {
+    EXPECT_TRUE(masked_match(0x40, v, m, 16)) << v;
+  }
+  EXPECT_FALSE(masked_match(0x40, 0x3F, m, 16));
+  EXPECT_FALSE(masked_match(0x40, 0x50, m, 16));
+}
+
+TEST(Mask, RmcamAlignmentEnforced) {
+  // The paper's documented limitation: ranges must be power-of-two sized and
+  // aligned because the mask is bit-granular.
+  EXPECT_THROW(rmcam_mask(16, 0x41, 4), ConfigError);  // unaligned base
+  EXPECT_NO_THROW(rmcam_mask(16, 0x40, 4));
+  EXPECT_THROW(rmcam_mask(8, 0, 9), ConfigError);      // span wider than data
+  EXPECT_THROW(rmcam_mask(8, 0x100, 2), ConfigError);  // base above width
+}
+
+TEST(Mask, RmcamFullWidthSpanMatchesEverything) {
+  const auto m = rmcam_mask(8, 0, 8);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(masked_match(0, rng.next_bits(8), m, 8));
+  }
+}
+
+TEST(Mask, MaskedMatchIgnoresBitsAboveWidth) {
+  // Garbage above the data width must never affect a match.
+  EXPECT_TRUE(masked_match(0xFFFF'0000'0012ULL, 0x0000'0000'0012ULL, bcam_mask(8), 8));
+}
+
+// Property sweep: for random (stored, key, don't-care) triples, masked_match
+// must equal the bit-by-bit definition.
+class MaskProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(MaskProperty, MatchesBitwiseDefinition) {
+  const unsigned width = GetParam();
+  Rng rng(width * 7919);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::uint64_t stored = rng.next_bits(width);
+    const std::uint64_t key = rng.next_bits(width);
+    const std::uint64_t dc = rng.next_bits(width);
+    const auto m = tcam_mask(width, dc);
+    bool expect = true;
+    for (unsigned b = 0; b < width; ++b) {
+      const bool ignore = (dc >> b) & 1;
+      if (!ignore && (((stored ^ key) >> b) & 1)) expect = false;
+    }
+    EXPECT_EQ(masked_match(stored, key, m, width), expect);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, MaskProperty,
+                         ::testing::Values(1u, 8u, 16u, 32u, 47u, 48u));
+
+}  // namespace
+}  // namespace dspcam::cam

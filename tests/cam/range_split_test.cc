@@ -1,0 +1,151 @@
+#include "src/cam/range_split.h"
+
+#include <gtest/gtest.h>
+
+#include "src/cam/cell.h"
+#include "src/common/error.h"
+#include "src/common/random.h"
+#include "tests/cam/testbench.h"
+
+namespace dspcam::cam {
+namespace {
+
+/// Brute-force check: does the split cover exactly [lo, hi]?
+bool covers_exactly(const std::vector<AlignedRange>& split, std::uint64_t lo,
+                    std::uint64_t hi, std::uint64_t probe_limit) {
+  auto in_split = [&](std::uint64_t v) {
+    for (const auto& r : split) {
+      if (v >= r.first() && v <= r.last()) return true;
+    }
+    return false;
+  };
+  for (std::uint64_t v = 0; v <= probe_limit; ++v) {
+    const bool want = v >= lo && v <= hi;
+    if (in_split(v) != want) return false;
+  }
+  return true;
+}
+
+TEST(RangeSplit, AlignedRangeIsOneBlock) {
+  const auto s = split_range(0x40, 0x4F, 16);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0], (AlignedRange{0x40, 4}));
+}
+
+TEST(RangeSplit, SingleValue) {
+  const auto s = split_range(77, 77, 16);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0], (AlignedRange{77, 0}));
+}
+
+TEST(RangeSplit, FullDomain) {
+  const auto s = split_range(0, 0xFF, 8);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0], (AlignedRange{0, 8}));
+}
+
+TEST(RangeSplit, ClassicPortRange) {
+  // The textbook example: [1, 14] in 4 bits needs 6 blocks.
+  const auto s = split_range(1, 14, 4);
+  EXPECT_EQ(s.size(), 6u);
+  EXPECT_TRUE(covers_exactly(s, 1, 14, 15));
+}
+
+TEST(RangeSplit, WorstCaseBound) {
+  // Never more than 2w - 2 blocks for a w-bit field.
+  for (unsigned w : {4u, 8u, 12u}) {
+    const std::uint64_t max = low_bits(w);
+    const auto s = split_range(1, max - 1, w);
+    EXPECT_LE(s.size(), 2 * w - 2) << "w=" << w;
+    EXPECT_TRUE(covers_exactly(s, 1, max - 1, max));
+  }
+}
+
+TEST(RangeSplit, Validation) {
+  EXPECT_THROW(split_range(5, 4, 8), ConfigError);
+  EXPECT_THROW(split_range(0, 0x100, 8), ConfigError);
+  EXPECT_THROW(split_range(0, 1, 0), ConfigError);
+  EXPECT_THROW(split_range(0, 1, 49), ConfigError);
+}
+
+TEST(RangeSplit, RandomizedCoverageExactness) {
+  Rng rng(314);
+  for (int trial = 0; trial < 200; ++trial) {
+    const unsigned w = 10;
+    std::uint64_t lo = rng.next_bits(w);
+    std::uint64_t hi = rng.next_bits(w);
+    if (lo > hi) std::swap(lo, hi);
+    const auto s = split_range(lo, hi, w);
+    ASSERT_TRUE(covers_exactly(s, lo, hi, low_bits(w))) << lo << ".." << hi;
+    // Blocks are ordered and disjoint.
+    for (std::size_t i = 1; i < s.size(); ++i) {
+      ASSERT_EQ(s[i].first(), s[i - 1].last() + 1);
+    }
+  }
+}
+
+TEST(RangeSplit, RmcamEntriesMatchOnLiveCells) {
+  // Store the split of [100, 1000] in RMCAM cells; every in-range key must
+  // hit exactly one entry, every out-of-range key none.
+  const unsigned w = 16;
+  const auto entries = rmcam_entries_for_range(100, 1000, w);
+  std::vector<CamCell> cells;
+  CellConfig cfg;
+  cfg.kind = CamKind::kRange;
+  cfg.data_width = w;
+  cells.reserve(entries.size());
+  for (const auto& e : entries) {
+    cells.emplace_back(cfg);
+    cells.back().drive_write(e.value, e.mask);
+    test::step(cells.back());
+  }
+  Rng rng(7);
+  for (int probe = 0; probe < 300; ++probe) {
+    const Word key = rng.next_bits(11);  // 0..2047
+    unsigned hits = 0;
+    for (auto& cell : cells) {
+      cell.drive_search(key);
+      test::steps(cell, 2);
+      if (cell.match()) ++hits;
+    }
+    const bool in_range = key >= 100 && key <= 1000;
+    ASSERT_EQ(hits, in_range ? 1u : 0u) << "key " << key;
+  }
+}
+
+}  // namespace
+}  // namespace dspcam::cam
+
+namespace dspcam::cam {
+namespace {
+
+/// Exact minimal aligned-cover size by dynamic programming (small widths).
+unsigned minimal_cover_dp(std::uint64_t lo, std::uint64_t hi, unsigned w) {
+  // Greedy canonical decomposition is provably minimal for interval covers
+  // by aligned power-of-two blocks; cross-check with an independent
+  // recursion: min blocks covering [lo, hi].
+  if (lo > hi) return 0;
+  // Largest aligned block starting at lo that fits.
+  unsigned span = 0;
+  while (span < w) {
+    const std::uint64_t size = 1ULL << (span + 1);
+    if (lo % size != 0 || lo + size - 1 > hi) break;
+    ++span;
+  }
+  return 1 + minimal_cover_dp(lo + (1ULL << span), hi, w);
+}
+
+TEST(RangeSplitProperty, GreedyIsMinimal) {
+  Rng rng(2718);
+  for (int trial = 0; trial < 100; ++trial) {
+    const unsigned w = 8;
+    std::uint64_t lo = rng.next_bits(w);
+    std::uint64_t hi = rng.next_bits(w);
+    if (lo > hi) std::swap(lo, hi);
+    const auto s = split_range(lo, hi, w);
+    ASSERT_EQ(s.size(), minimal_cover_dp(lo, hi, w)) << lo << ".." << hi;
+  }
+}
+
+}  // namespace
+}  // namespace dspcam::cam

@@ -1,0 +1,66 @@
+#include "src/cam/reference_cam.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.h"
+
+namespace dspcam::cam {
+namespace {
+
+TEST(ReferenceCam, InsertionOrderAndFirstMatch) {
+  ReferenceCam cam(CamKind::kBinary, 16, 8);
+  cam.update({5, 7, 5});
+  const auto r = cam.search(5);
+  EXPECT_TRUE(r.hit);
+  EXPECT_EQ(r.first_index, 0u);
+  EXPECT_EQ(r.match_count, 2u);
+  EXPECT_FALSE(cam.search(6).hit);
+}
+
+TEST(ReferenceCam, CapacityTruncatesUpdates) {
+  ReferenceCam cam(CamKind::kBinary, 16, 2);
+  EXPECT_EQ(cam.update({1, 2, 3}), 2u);
+  EXPECT_TRUE(cam.full());
+  EXPECT_FALSE(cam.search(3).hit);
+}
+
+TEST(ReferenceCam, TernaryMasks) {
+  ReferenceCam cam(CamKind::kTernary, 16, 4);
+  cam.update({0xAB00}, {tcam_mask(16, 0x00FF)});
+  EXPECT_TRUE(cam.search(0xAB42).hit);
+  EXPECT_FALSE(cam.search(0xAC42).hit);
+}
+
+TEST(ReferenceCam, BinaryRejectsMasks) {
+  ReferenceCam cam(CamKind::kBinary, 16, 4);
+  EXPECT_THROW(cam.update({1}, {0xFF}), ConfigError);
+}
+
+TEST(ReferenceCam, MaskArityChecked) {
+  ReferenceCam cam(CamKind::kTernary, 16, 4);
+  EXPECT_THROW(cam.update({1, 2}, {0xFF}), ConfigError);
+}
+
+TEST(ReferenceCam, ResetEmpties) {
+  ReferenceCam cam(CamKind::kBinary, 16, 4);
+  cam.update({1});
+  cam.reset();
+  EXPECT_EQ(cam.size(), 0u);
+  EXPECT_FALSE(cam.search(1).hit);
+}
+
+TEST(ReferenceCam, WidthTruncationOnStoreAndSearch) {
+  ReferenceCam cam(CamKind::kBinary, 8, 4);
+  cam.update({0x1FF});  // stored as 0xFF
+  EXPECT_TRUE(cam.search(0xFF).hit);
+  EXPECT_TRUE(cam.search(0x2FF).hit);  // key truncated too
+}
+
+TEST(ReferenceCam, InvalidConstruction) {
+  EXPECT_THROW(ReferenceCam(CamKind::kBinary, 0, 4), ConfigError);
+  EXPECT_THROW(ReferenceCam(CamKind::kBinary, 49, 4), ConfigError);
+  EXPECT_THROW(ReferenceCam(CamKind::kBinary, 8, 0), ConfigError);
+}
+
+}  // namespace
+}  // namespace dspcam::cam

@@ -1,0 +1,110 @@
+#include "src/cam/routing.h"
+
+#include <gtest/gtest.h>
+
+namespace dspcam::cam {
+namespace {
+
+TEST(RoutingTable, DefaultContiguousMapping) {
+  RoutingTable rt(8, 4);
+  EXPECT_EQ(rt.blocks(), 8u);
+  EXPECT_EQ(rt.groups(), 4u);
+  EXPECT_EQ(rt.group_of(0), 0u);
+  EXPECT_EQ(rt.group_of(1), 0u);
+  EXPECT_EQ(rt.group_of(2), 1u);
+  EXPECT_EQ(rt.group_of(7), 3u);
+  EXPECT_EQ(rt.blocks_of(0), (std::vector<unsigned>{0, 1}));
+  EXPECT_EQ(rt.blocks_of(3), (std::vector<unsigned>{6, 7}));
+}
+
+TEST(RoutingTable, DivisibilityEnforced) {
+  EXPECT_THROW(RoutingTable(8, 3), ConfigError);
+  EXPECT_THROW(RoutingTable(8, 0), ConfigError);
+  EXPECT_THROW(RoutingTable(0, 1), ConfigError);
+  RoutingTable rt(8, 2);
+  EXPECT_THROW(rt.rebuild(5), ConfigError);
+  EXPECT_NO_THROW(rt.rebuild(8));
+  EXPECT_EQ(rt.groups(), 8u);
+}
+
+TEST(RoutingTable, RebuildRedistributes) {
+  RoutingTable rt(8, 1);
+  EXPECT_EQ(rt.blocks_of(0).size(), 8u);
+  rt.rebuild(4);
+  for (unsigned g = 0; g < 4; ++g) EXPECT_EQ(rt.blocks_of(g).size(), 2u);
+}
+
+TEST(RoutingTable, RemapMovesABlock) {
+  RoutingTable rt(8, 4);
+  rt.remap(2, 0);  // group 1 loses block 2
+  EXPECT_EQ(rt.group_of(2), 0u);
+  EXPECT_EQ(rt.blocks_of(0), (std::vector<unsigned>{0, 1, 2}));
+  EXPECT_EQ(rt.blocks_of(1), (std::vector<unsigned>{3}));
+}
+
+TEST(RoutingTable, RemapCannotEmptyAGroup) {
+  RoutingTable rt(4, 4);  // one block per group
+  EXPECT_THROW(rt.remap(0, 1), ConfigError);
+}
+
+TEST(RoutingTable, RemapBoundsChecked) {
+  RoutingTable rt(4, 2);
+  EXPECT_THROW(rt.remap(9, 0), ConfigError);
+  EXPECT_THROW(rt.remap(0, 9), ConfigError);
+  EXPECT_THROW(rt.group_of(4), ConfigError);
+  EXPECT_THROW(rt.blocks_of(2), ConfigError);
+}
+
+TEST(BlockAddressController, SequentialFillThenSpill) {
+  BlockAddressController bac({4, 5, 6}, 8);
+  auto segs = bac.allocate(6);
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0].block, 4u);
+  EXPECT_EQ(segs[0].count, 6u);
+  // 2 slots left in block 4; 5 more words spill into block 5.
+  segs = bac.allocate(7);
+  ASSERT_EQ(segs.size(), 2u);
+  EXPECT_EQ(segs[0].block, 4u);
+  EXPECT_EQ(segs[0].count, 2u);
+  EXPECT_EQ(segs[1].block, 5u);
+  EXPECT_EQ(segs[1].count, 5u);
+  EXPECT_EQ(bac.stored(), 13u);
+}
+
+TEST(BlockAddressController, StopsWhenGroupFull) {
+  BlockAddressController bac({0, 1}, 4);
+  auto segs = bac.allocate(10);  // capacity is 8
+  unsigned total = 0;
+  for (const auto& s : segs) total += s.count;
+  EXPECT_EQ(total, 8u);
+  EXPECT_TRUE(bac.full());
+  EXPECT_TRUE(bac.allocate(1).empty());
+}
+
+TEST(BlockAddressController, ExactBlockBoundary) {
+  BlockAddressController bac({0, 1}, 4);
+  auto segs = bac.allocate(4);
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0].count, 4u);
+  segs = bac.allocate(1);
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0].block, 1u) << "controller advanced to the next block";
+}
+
+TEST(BlockAddressController, ResetRestartsFromFirstBlock) {
+  BlockAddressController bac({3, 4}, 2);
+  bac.allocate(3);
+  bac.reset();
+  EXPECT_EQ(bac.stored(), 0u);
+  auto segs = bac.allocate(1);
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0].block, 3u);
+}
+
+TEST(BlockAddressController, InvalidConstruction) {
+  EXPECT_THROW(BlockAddressController({}, 4), ConfigError);
+  EXPECT_THROW(BlockAddressController({0}, 0), ConfigError);
+}
+
+}  // namespace
+}  // namespace dspcam::cam

@@ -1,0 +1,415 @@
+#include "src/cam/unit.h"
+
+#include <gtest/gtest.h>
+
+#include "src/cam/reference_cam.h"
+#include "src/common/error.h"
+#include "src/common/random.h"
+#include "tests/cam/testbench.h"
+
+namespace dspcam::cam {
+namespace {
+
+using test::load_unit;
+using test::run_unit_search;
+using test::step;
+using test::steps;
+
+UnitConfig small_unit(unsigned unit_size = 4, unsigned block_size = 32,
+                      unsigned groups = 1) {
+  UnitConfig u;
+  u.block.cell.data_width = 32;
+  u.block.block_size = block_size;
+  u.block.bus_width = 512;
+  u.unit_size = unit_size;
+  u.bus_width = 512;
+  u.initial_groups = groups;
+  return u;
+}
+
+TEST(CamUnit, UpdateLatencyIsSixCycles) {
+  // Table VIII: update latency = 6 for every unit size.
+  CamUnit unit(small_unit());
+  UnitRequest req;
+  req.op = OpKind::kUpdate;
+  req.words = {123};
+  req.seq = 1;
+  unit.issue(std::move(req));
+  unsigned cycle = 0;
+  for (; cycle < 12; ++cycle) {
+    step(unit);
+    if (unit.update_ack().has_value()) break;
+  }
+  EXPECT_EQ(cycle + 1, CamUnit::update_latency());
+  EXPECT_EQ(CamUnit::update_latency(), 6u);
+  EXPECT_EQ(unit.update_ack()->words_written, 1u);
+  // The data really is stored at that point.
+  EXPECT_EQ(unit.block(0).cell(0).stored(), 123u);
+}
+
+TEST(CamUnit, SearchLatencyIsSevenCyclesSmallUnit) {
+  // Table VIII: search latency = 7 up to 2048 entries.
+  CamUnit unit(small_unit());
+  load_unit(unit, {10, 20, 30});
+  unsigned latency = 0;
+  const auto resp = run_unit_search(unit, {20}, &latency);
+  ASSERT_EQ(resp.results.size(), 1u);
+  EXPECT_TRUE(resp.results[0].hit);
+  EXPECT_EQ(resp.results[0].global_address, 1u);
+  EXPECT_EQ(latency, 7u);
+  EXPECT_EQ(unit.search_latency(), 7u);
+}
+
+TEST(CamUnit, SearchLatencyIsEightCyclesLargeUnit) {
+  // Table VIII: above 2K entries the encoder buffer adds one cycle.
+  auto cfg = UnitConfig::with_auto_timing(small_unit(16, 256));  // 4096 entries
+  ASSERT_TRUE(cfg.block.output_buffer);
+  CamUnit unit(cfg);
+  load_unit(unit, {5, 6, 7});
+  unsigned latency = 0;
+  const auto resp = run_unit_search(unit, {6}, &latency);
+  EXPECT_TRUE(resp.results[0].hit);
+  EXPECT_EQ(latency, 8u);
+  EXPECT_EQ(unit.search_latency(), 8u);
+}
+
+TEST(CamUnit, UpdateSpillsAcrossBlocksInFillOrder) {
+  CamUnit unit(small_unit(4, 32));
+  std::vector<Word> words;
+  for (Word i = 0; i < 40; ++i) words.push_back(1000 + i);
+  load_unit(unit, words);
+  // 32 entries fill block 0, the next 8 land in block 1.
+  EXPECT_EQ(unit.block(0).fill(), 32u);
+  EXPECT_EQ(unit.block(1).fill(), 8u);
+  const auto resp = run_unit_search(unit, {1035});
+  EXPECT_TRUE(resp.results[0].hit);
+  EXPECT_EQ(resp.results[0].global_address, 35u);
+}
+
+TEST(CamUnit, MultiQuerySearchesRunConcurrently) {
+  // M = 4 groups: every group stores a copy, four keys answered per beat.
+  CamUnit unit(small_unit(4, 32, 4));
+  load_unit(unit, {10, 20, 30, 40});
+  // Every block (one per group) holds all four entries.
+  for (unsigned b = 0; b < 4; ++b) EXPECT_EQ(unit.block(b).fill(), 4u);
+
+  const auto resp = run_unit_search(unit, {10, 20, 99, 40});
+  ASSERT_EQ(resp.results.size(), 4u);
+  EXPECT_TRUE(resp.results[0].hit);
+  EXPECT_EQ(resp.results[0].group, 0u);
+  EXPECT_TRUE(resp.results[1].hit);
+  EXPECT_EQ(resp.results[1].group, 1u);
+  EXPECT_FALSE(resp.results[2].hit);
+  EXPECT_TRUE(resp.results[3].hit);
+  // Addresses are group-local block addresses offset by the group's blocks.
+  EXPECT_EQ(resp.results[0].global_address, 0u * 32 + 0u);
+  EXPECT_EQ(resp.results[1].global_address, 1u * 32 + 1u);
+  EXPECT_EQ(resp.results[3].global_address, 3u * 32 + 3u);
+}
+
+TEST(CamUnit, GroupedSearchBroadcastsToAllBlocksOfGroup) {
+  // 4 blocks, 2 groups of 2: entries spill across both blocks of a group,
+  // and a single search still finds entries in either block.
+  CamUnit unit(small_unit(4, 32, 2));
+  std::vector<Word> words;
+  for (Word i = 0; i < 40; ++i) words.push_back(i);
+  load_unit(unit, words);
+  EXPECT_EQ(unit.block(0).fill(), 32u);
+  EXPECT_EQ(unit.block(1).fill(), 8u);
+  EXPECT_EQ(unit.block(2).fill(), 32u);  // group 1's copy
+  EXPECT_EQ(unit.block(3).fill(), 8u);
+
+  const auto in_first = run_unit_search(unit, {3});
+  EXPECT_TRUE(in_first.results[0].hit);
+  EXPECT_EQ(in_first.results[0].global_address, 3u);
+  const auto in_second = run_unit_search(unit, {37});
+  EXPECT_TRUE(in_second.results[0].hit);
+  EXPECT_EQ(in_second.results[0].global_address, 37u);
+}
+
+TEST(CamUnit, SearchThroughputIsOneBeatPerCycle) {
+  // Pipelined with initiation interval 1 (the basis of Table VIII's
+  // throughput rows).
+  CamUnit unit(small_unit());
+  std::vector<Word> words;
+  for (Word i = 0; i < 16; ++i) words.push_back(i);
+  load_unit(unit, words);
+
+  constexpr unsigned kOps = 64;
+  unsigned responses = 0;
+  for (unsigned cyc = 0; cyc < kOps + 16; ++cyc) {
+    if (cyc < kOps) {
+      UnitRequest req;
+      req.op = OpKind::kSearch;
+      req.keys = {cyc % 20};
+      req.seq = cyc;
+      unit.issue(std::move(req));
+    }
+    step(unit);
+    if (unit.response().has_value()) {
+      EXPECT_EQ(unit.response()->seq, responses);
+      EXPECT_EQ(unit.response()->results[0].hit, (responses % 20) < 16);
+      ++responses;
+    }
+  }
+  EXPECT_EQ(responses, kOps);
+}
+
+TEST(CamUnit, UpdateThroughputIsOneBeatPerCycle) {
+  CamUnit unit(small_unit(4, 32));
+  constexpr unsigned kBeats = 8;  // 8 beats x 16 words = 128 entries = capacity
+  unsigned acks = 0;
+  for (unsigned cyc = 0; cyc < kBeats + 8; ++cyc) {
+    if (cyc < kBeats) {
+      UnitRequest req;
+      req.op = OpKind::kUpdate;
+      req.seq = cyc;
+      for (Word w = 0; w < 16; ++w) req.words.push_back(cyc * 16 + w);
+      unit.issue(std::move(req));
+    }
+    step(unit);
+    if (unit.update_ack().has_value()) {
+      EXPECT_EQ(unit.update_ack()->seq, acks);
+      EXPECT_EQ(unit.update_ack()->words_written, 16u);
+      ++acks;
+    }
+  }
+  EXPECT_EQ(acks, kBeats);
+  EXPECT_EQ(unit.stored_per_group(), 128u);
+}
+
+TEST(CamUnit, ConfigureGroupsRevalidatesAndClears) {
+  CamUnit unit(small_unit(4, 32, 1));
+  load_unit(unit, {1, 2, 3});
+  EXPECT_EQ(unit.groups(), 1u);
+  unit.configure_groups(4);
+  EXPECT_EQ(unit.groups(), 4u);
+  EXPECT_EQ(unit.stored_per_group(), 0u) << "reconfiguration clears contents";
+  EXPECT_THROW(unit.configure_groups(3), ConfigError);
+  // Reload under the new grouping and search with 4 parallel keys.
+  load_unit(unit, {7, 8});
+  const auto resp = run_unit_search(unit, {7, 8, 7, 9});
+  EXPECT_TRUE(resp.results[0].hit);
+  EXPECT_TRUE(resp.results[1].hit);
+  EXPECT_TRUE(resp.results[2].hit);
+  EXPECT_FALSE(resp.results[3].hit);
+}
+
+TEST(CamUnit, ConfigureGroupsRequiresIdle) {
+  CamUnit unit(small_unit());
+  UnitRequest req;
+  req.op = OpKind::kSearch;
+  req.keys = {1};
+  unit.issue(std::move(req));
+  EXPECT_THROW(unit.configure_groups(2), SimError);
+  steps(unit, 16);  // drain
+  EXPECT_NO_THROW(unit.configure_groups(2));
+}
+
+TEST(CamUnit, TooManyKeysRejected) {
+  CamUnit unit(small_unit(4, 32, 2));
+  UnitRequest req;
+  req.op = OpKind::kSearch;
+  req.keys = {1, 2, 3};  // only 2 groups
+  EXPECT_THROW(unit.issue(std::move(req)), SimError);
+}
+
+TEST(CamUnit, ResetOpClearsEverything) {
+  CamUnit unit(small_unit());
+  load_unit(unit, {1, 2, 3});
+  UnitRequest reset;
+  reset.op = OpKind::kReset;
+  unit.issue(std::move(reset));
+  steps(unit, CamUnit::update_latency() + 2);
+  EXPECT_EQ(unit.stored_per_group(), 0u);
+  EXPECT_FALSE(run_unit_search(unit, {2}).results[0].hit);
+}
+
+TEST(CamUnit, OverfillReportsPartialWrite) {
+  CamUnit unit(small_unit(2, 32));  // 64-entry capacity
+  std::vector<Word> words(60);
+  for (std::size_t i = 0; i < words.size(); ++i) words[i] = i;
+  load_unit(unit, words);
+  UnitRequest req;
+  req.op = OpKind::kUpdate;
+  req.seq = 999;
+  for (Word w = 0; w < 16; ++w) req.words.push_back(100 + w);
+  unit.issue(std::move(req));
+  unsigned seen = 0;
+  for (unsigned i = 0; i < 10; ++i) {
+    step(unit);
+    if (unit.update_ack().has_value() && unit.update_ack()->seq == 999) {
+      EXPECT_EQ(unit.update_ack()->words_written, 4u);
+      EXPECT_TRUE(unit.update_ack()->unit_full);
+      ++seen;
+    }
+  }
+  EXPECT_EQ(seen, 1u);
+  EXPECT_TRUE(run_unit_search(unit, {103}).results[0].hit);
+  EXPECT_FALSE(run_unit_search(unit, {104}).results[0].hit);
+}
+
+TEST(CamUnit, RemapBlockChangesGroupShape) {
+  CamUnit unit(small_unit(4, 32, 2));
+  unit.remap_block(3, 0);  // group 0: blocks {0,1,3}; group 1: {2}
+  EXPECT_EQ(unit.blocks_per_group(0), 3u);
+  EXPECT_EQ(unit.blocks_per_group(1), 1u);
+  // Capacity is asymmetric now; 40 entries fit in group 0's copy but
+  // overflow group 1's single block.
+  std::vector<Word> words;
+  for (Word i = 0; i < 40; ++i) words.push_back(i);
+  load_unit(unit, words);
+  const auto resp = run_unit_search(unit, {39, 39});
+  EXPECT_TRUE(resp.results[0].hit) << "group 0 holds all 40 entries";
+  EXPECT_FALSE(resp.results[1].hit) << "group 1 overflowed at 32";
+}
+
+TEST(CamUnit, DspCountEqualsCells) {
+  CamUnit unit(small_unit(4, 32));
+  EXPECT_EQ(unit.dsp_count(), 128u);
+}
+
+// Integration property test: the unit with M groups must agree with M
+// reference models fed the same stream.
+class UnitVsReference : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(UnitVsReference, RandomStreamAgrees) {
+  const unsigned groups = GetParam();
+  CamUnit unit(small_unit(4, 32, groups));
+  ReferenceCam ref(CamKind::kBinary, 32, unit.capacity_per_group());
+  Rng rng(groups * 17);
+
+  for (int round = 0; round < 150; ++round) {
+    if (rng.next_bool(0.35) && !ref.full()) {
+      std::vector<Word> words;
+      const unsigned n = 1 + static_cast<unsigned>(rng.next_below(8));
+      for (unsigned i = 0; i < n; ++i) words.push_back(rng.next_bits(8));
+      load_unit(unit, words);
+      ref.update(words);
+    } else {
+      std::vector<Word> keys;
+      const unsigned nk = 1 + static_cast<unsigned>(rng.next_below(groups));
+      for (unsigned i = 0; i < nk; ++i) keys.push_back(rng.next_bits(8));
+      const auto resp = run_unit_search(unit, keys);
+      ASSERT_EQ(resp.results.size(), keys.size());
+      for (unsigned i = 0; i < nk; ++i) {
+        const auto want = ref.search(keys[i]);
+        ASSERT_EQ(resp.results[i].hit, want.hit)
+            << "group " << i << " key " << keys[i] << " round " << round;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(GroupCounts, UnitVsReference, ::testing::Values(1u, 2u, 4u));
+
+}  // namespace
+}  // namespace dspcam::cam
+
+namespace dspcam::cam {
+namespace {
+
+using test::load_unit;
+using test::run_unit_search;
+using test::step;
+using test::steps;
+
+UnitConfig ext_unit(unsigned groups = 1) {
+  UnitConfig u;
+  u.block.cell.data_width = 32;
+  u.block.block_size = 32;
+  u.block.bus_width = 512;
+  u.unit_size = 4;
+  u.bus_width = 512;
+  u.initial_groups = groups;
+  return u;
+}
+
+TEST(CamUnitExtensions, AddressedUpdateOverwritesWithoutMovingFill) {
+  CamUnit unit(ext_unit());
+  load_unit(unit, {10, 20, 30});
+  EXPECT_EQ(unit.stored_per_group(), 3u);
+
+  UnitRequest req;
+  req.op = OpKind::kUpdate;
+  req.words = {99};
+  req.address = 1;  // replace the 20
+  req.seq = 42;
+  unit.issue(std::move(req));
+  steps(unit, CamUnit::update_latency() + 2);
+
+  EXPECT_EQ(unit.stored_per_group(), 3u) << "fill pointer untouched";
+  EXPECT_FALSE(run_unit_search(unit, {20}).results[0].hit);
+  const auto hit = run_unit_search(unit, {99});
+  EXPECT_TRUE(hit.results[0].hit);
+  EXPECT_EQ(hit.results[0].global_address, 1u);
+  EXPECT_TRUE(run_unit_search(unit, {10}).results[0].hit);
+  EXPECT_TRUE(run_unit_search(unit, {30}).results[0].hit);
+}
+
+TEST(CamUnitExtensions, AddressedUpdateSpansBlockBoundary) {
+  CamUnit unit(ext_unit());
+  UnitRequest req;
+  req.op = OpKind::kUpdate;
+  for (Word w = 0; w < 6; ++w) req.words.push_back(100 + w);
+  req.address = 30;  // cells 30,31 of block 0 and 0..3 of block 1
+  unit.issue(std::move(req));
+  steps(unit, CamUnit::update_latency() + 2);
+  for (Word w = 0; w < 6; ++w) {
+    const auto r = run_unit_search(unit, {100 + w});
+    ASSERT_TRUE(r.results[0].hit) << w;
+    EXPECT_EQ(r.results[0].global_address, 30 + w);
+  }
+}
+
+TEST(CamUnitExtensions, InvalidateClearsOneEntryInEveryGroup) {
+  CamUnit unit(ext_unit(2));  // 2 groups of 2 blocks
+  load_unit(unit, {5, 6, 7});
+  UnitRequest inv;
+  inv.op = OpKind::kInvalidate;
+  inv.address = 1;  // the 6
+  unit.issue(std::move(inv));
+  steps(unit, CamUnit::update_latency() + 2);
+  // Both groups' copies must agree: probe via a 2-key multi-query.
+  const auto r = run_unit_search(unit, {6, 6});
+  EXPECT_FALSE(r.results[0].hit);
+  EXPECT_FALSE(r.results[1].hit);
+  EXPECT_TRUE(run_unit_search(unit, {5, 7}).results[0].hit);
+}
+
+TEST(CamUnitExtensions, InvalidatedSlotCanBeRewritten) {
+  CamUnit unit(ext_unit());
+  load_unit(unit, {1, 2, 3});
+  UnitRequest inv;
+  inv.op = OpKind::kInvalidate;
+  inv.address = 2;
+  unit.issue(std::move(inv));
+  steps(unit, CamUnit::update_latency() + 2);
+  UnitRequest wr;
+  wr.op = OpKind::kUpdate;
+  wr.words = {77};
+  wr.address = 2;
+  unit.issue(std::move(wr));
+  steps(unit, CamUnit::update_latency() + 2);
+  EXPECT_FALSE(run_unit_search(unit, {3}).results[0].hit);
+  EXPECT_TRUE(run_unit_search(unit, {77}).results[0].hit);
+}
+
+TEST(CamUnitExtensions, Validation) {
+  CamUnit unit(ext_unit());
+  UnitRequest inv;
+  inv.op = OpKind::kInvalidate;  // no address
+  EXPECT_THROW(unit.issue(std::move(inv)), SimError);
+  UnitRequest far_inv;
+  far_inv.op = OpKind::kInvalidate;
+  far_inv.address = 9999;
+  EXPECT_THROW(unit.issue(std::move(far_inv)), SimError);
+  UnitRequest wr;
+  wr.op = OpKind::kUpdate;
+  wr.words = {1, 2, 3};
+  wr.address = 127;  // 127+3 > 128 capacity
+  EXPECT_THROW(unit.issue(std::move(wr)), SimError);
+}
+
+}  // namespace
+}  // namespace dspcam::cam

@@ -1,0 +1,155 @@
+#include "src/codegen/verilog.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "src/common/error.h"
+
+namespace dspcam::codegen {
+namespace {
+
+cam::UnitConfig small_unit() {
+  cam::UnitConfig u;
+  u.block.cell.data_width = 32;
+  u.block.block_size = 128;
+  u.block.bus_width = 512;
+  u.unit_size = 16;
+  u.bus_width = 512;
+  return cam::UnitConfig::with_auto_timing(u);
+}
+
+bool contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+std::size_t count_of(const std::string& haystack, const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+TEST(VerilogCell, InstantiatesDsp48e2InXorMode) {
+  cam::CellConfig cfg;
+  cfg.data_width = 32;
+  const auto v = generate_cell_verilog(cfg);
+  EXPECT_TRUE(contains(v, "module dsp_cam_cell"));
+  EXPECT_TRUE(contains(v, "DSP48E2 #("));
+  // The paper's configuration: logic-unit XOR between A:B and C.
+  EXPECT_TRUE(contains(v, ".OPMODE(9'b000110011)"));
+  EXPECT_TRUE(contains(v, ".ALUMODE(4'b0100)"));
+  EXPECT_TRUE(contains(v, ".USE_MULT(\"NONE\")"));
+  EXPECT_TRUE(contains(v, ".USE_PATTERN_DETECT(\"PATDET\")"));
+  EXPECT_TRUE(contains(v, ".PATTERN(48'h000000000000)"));
+  EXPECT_TRUE(contains(v, "parameter DATA_WIDTH  = 32"));
+  // Width-control mask: bits above 32 ignored.
+  EXPECT_TRUE(contains(v, "48'hffff00000000"));
+  EXPECT_TRUE(contains(v, "endmodule"));
+}
+
+TEST(VerilogCell, MaskParameterFollowsWidth) {
+  cam::CellConfig cfg;
+  cfg.data_width = 48;
+  EXPECT_TRUE(contains(generate_cell_verilog(cfg), "48'h000000000000"));
+  cfg.data_width = 8;
+  EXPECT_TRUE(contains(generate_cell_verilog(cfg), "48'hffffffffff00"));
+}
+
+TEST(VerilogBlock, ParametersMatchConfig) {
+  cam::BlockConfig cfg;
+  cfg.cell.data_width = 32;
+  cfg.block_size = 256;
+  cfg.bus_width = 512;
+  cfg.output_buffer = true;
+  const auto v = generate_block_verilog(cfg);
+  EXPECT_TRUE(contains(v, "parameter BLOCK_SIZE     = 256"));
+  EXPECT_TRUE(contains(v, "parameter BUS_WIDTH      = 512"));
+  EXPECT_TRUE(contains(v, "parameter WORDS_PER_BEAT = 16"));
+  EXPECT_TRUE(contains(v, "parameter ADDR_BITS      = 8"));
+  EXPECT_TRUE(contains(v, "parameter OUTPUT_BUFFER  = 1"));
+  EXPECT_TRUE(contains(v, "dsp_cam_cell #(.DATA_WIDTH(DATA_WIDTH)) cell_i"));
+  EXPECT_TRUE(contains(v, "search 4 cycles"));  // buffered block
+}
+
+TEST(VerilogBlock, UnbufferedHasThreeCycleHeader) {
+  cam::BlockConfig cfg;
+  cfg.block_size = 64;
+  cfg.cell.data_width = 32;
+  EXPECT_TRUE(contains(generate_block_verilog(cfg), "search 3 cycles"));
+}
+
+TEST(VerilogUnit, FileSetIsComplete) {
+  const auto files = generate_unit_verilog(small_unit());
+  ASSERT_EQ(files.size(), 4u);
+  EXPECT_TRUE(files.contains("dsp_cam_cell.v"));
+  EXPECT_TRUE(files.contains("dsp_cam_block.v"));
+  EXPECT_TRUE(files.contains("dsp_cam_unit.v"));
+  EXPECT_TRUE(files.contains("tb_dsp_cam_unit.v"));
+}
+
+TEST(VerilogUnit, TopReflectsGeometryAndLatency) {
+  const auto files = generate_unit_verilog(small_unit());
+  const auto& top = files.at("dsp_cam_unit.v");
+  EXPECT_TRUE(contains(top, "parameter UNIT_SIZE  = 16"));
+  EXPECT_TRUE(contains(top, "parameter BLOCK_SIZE = 128"));
+  EXPECT_TRUE(contains(top, "update 6 cycles, search 8 cycles"));  // 2048 entries
+  // Pipeline depths: 4-stage update, 3-stage search.
+  EXPECT_TRUE(contains(top, "reg [3:0]           upd_en_pipe"));
+  EXPECT_TRUE(contains(top, "reg [2:0]                       srch_en_pipe"));
+  EXPECT_TRUE(contains(top, "dsp_cam_block #("));
+}
+
+TEST(VerilogUnit, CustomTopNameAndNoTestbench) {
+  VerilogOptions opt;
+  opt.top_name = "my_cam";
+  opt.emit_testbench = false;
+  const auto files = generate_unit_verilog(small_unit(), opt);
+  EXPECT_EQ(files.size(), 3u);
+  EXPECT_TRUE(files.contains("my_cam.v"));
+  EXPECT_TRUE(contains(files.at("my_cam.v"), "module my_cam #("));
+}
+
+TEST(VerilogUnit, DeterministicOutput) {
+  const auto a = generate_unit_verilog(small_unit());
+  const auto b = generate_unit_verilog(small_unit());
+  EXPECT_EQ(a, b);
+}
+
+TEST(VerilogUnit, BalancedConstructs) {
+  // Structural sanity on every emitted file.
+  for (const auto& [name, text] : generate_unit_verilog(small_unit())) {
+    EXPECT_EQ(count_of(text, "module "), count_of(text, "endmodule")) << name;
+    // "generate" appears once per opener and once inside each
+    // "endgenerate", so the total is exactly twice the closer count.
+    EXPECT_EQ(count_of(text, "generate"), 2 * count_of(text, "endgenerate")) << name;
+    EXPECT_GT(text.size(), 500u) << name;
+  }
+}
+
+TEST(VerilogUnit, InvalidConfigRejected) {
+  cam::UnitConfig bad = small_unit();
+  bad.initial_groups = 3;  // does not divide 16
+  EXPECT_THROW(generate_unit_verilog(bad), ConfigError);
+}
+
+TEST(VerilogUnit, WriteFilesRoundTrip) {
+  const auto dir = std::filesystem::temp_directory_path() / "dspcam_rtl_test";
+  std::filesystem::remove_all(dir);
+  const auto files = generate_unit_verilog(small_unit());
+  EXPECT_EQ(write_files(files, dir.string()), 4u);
+  for (const auto& [name, contents] : files) {
+    std::ifstream in(dir / name);
+    ASSERT_TRUE(in.good()) << name;
+    std::string on_disk((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    EXPECT_EQ(on_disk, contents) << name;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace dspcam::codegen

@@ -1,0 +1,71 @@
+#include "src/common/bitops.h"
+
+#include <gtest/gtest.h>
+
+namespace dspcam {
+namespace {
+
+TEST(Bitops, LowBitsCoversFullRange) {
+  EXPECT_EQ(low_bits(0), 0u);
+  EXPECT_EQ(low_bits(1), 1u);
+  EXPECT_EQ(low_bits(16), 0xFFFFu);
+  EXPECT_EQ(low_bits(48), kDspWordMask);
+  EXPECT_EQ(low_bits(64), ~std::uint64_t{0});
+  EXPECT_EQ(low_bits(200), ~std::uint64_t{0});
+}
+
+TEST(Bitops, TruncateKeepsOnlyLowBits) {
+  EXPECT_EQ(truncate(0xFFFF'FFFF'FFFF'FFFFULL, 48), kDspWordMask);
+  EXPECT_EQ(truncate(0x1'0000'0001ULL, 32), 1u);
+  EXPECT_EQ(truncate(0xAB, 4), 0xBu);
+}
+
+TEST(Bitops, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1ULL << 47));
+  EXPECT_FALSE(is_pow2((1ULL << 47) + 1));
+}
+
+TEST(Bitops, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1000), 1024u);
+  EXPECT_EQ(next_pow2(1024), 1024u);
+}
+
+TEST(Bitops, Log2FloorAndCeil) {
+  EXPECT_EQ(log2_floor(1), 0u);
+  EXPECT_EQ(log2_floor(2), 1u);
+  EXPECT_EQ(log2_floor(3), 1u);
+  EXPECT_EQ(log2_floor(1024), 10u);
+  EXPECT_EQ(log2_ceil(1), 0u);
+  EXPECT_EQ(log2_ceil(2), 1u);
+  EXPECT_EQ(log2_ceil(3), 2u);
+  EXPECT_EQ(log2_ceil(1024), 10u);
+  EXPECT_EQ(log2_ceil(1025), 11u);
+}
+
+TEST(Bitops, BitFieldExtractAndSet) {
+  const std::uint64_t v = 0xABCD'1234ULL;
+  EXPECT_EQ(bit_field(v, 0, 16), 0x1234u);
+  EXPECT_EQ(bit_field(v, 16, 16), 0xABCDu);
+  EXPECT_EQ(set_bit_field(v, 0, 16, 0xFFFF), 0xABCD'FFFFULL);
+  EXPECT_EQ(set_bit_field(0, 4, 4, 0xF), 0xF0u);
+  // Field value wider than the field is clipped.
+  EXPECT_EQ(set_bit_field(0, 0, 4, 0x1F), 0xFu);
+}
+
+TEST(Bitops, BinaryAndHexRendering) {
+  EXPECT_EQ(to_binary(0b101, 4), "0101");
+  EXPECT_EQ(to_binary(0, 3), "000");
+  EXPECT_EQ(to_hex(0xab, 12), "0ab");
+  EXPECT_EQ(to_hex(0xDEAD, 16), "dead");
+  EXPECT_EQ(to_hex(0x1, 5), "01");  // 5 bits -> 2 nibbles
+}
+
+}  // namespace
+}  // namespace dspcam

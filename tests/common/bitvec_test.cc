@@ -1,0 +1,81 @@
+#include "src/common/bitvec.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.h"
+#include "src/common/random.h"
+
+namespace dspcam {
+namespace {
+
+TEST(BitVec, StartsClear) {
+  BitVec v(130);
+  EXPECT_EQ(v.size(), 130u);
+  EXPECT_FALSE(v.any());
+  EXPECT_EQ(v.count(), 0u);
+  EXPECT_EQ(v.find_first(), 130u);
+}
+
+TEST(BitVec, SetTestClear) {
+  BitVec v(70);
+  v.set(0);
+  v.set(63);
+  v.set(64);
+  v.set(69);
+  EXPECT_TRUE(v.test(0));
+  EXPECT_TRUE(v.test(63));
+  EXPECT_TRUE(v.test(64));
+  EXPECT_TRUE(v.test(69));
+  EXPECT_FALSE(v.test(1));
+  EXPECT_EQ(v.count(), 4u);
+  v.set(63, false);
+  EXPECT_FALSE(v.test(63));
+  EXPECT_EQ(v.count(), 3u);
+  v.clear_all();
+  EXPECT_FALSE(v.any());
+}
+
+TEST(BitVec, FindFirstScansWordBoundaries) {
+  BitVec v(200);
+  v.set(199);
+  EXPECT_EQ(v.find_first(), 199u);
+  v.set(64);
+  EXPECT_EQ(v.find_first(), 64u);
+  v.set(3);
+  EXPECT_EQ(v.find_first(), 3u);
+}
+
+TEST(BitVec, OutOfRangeThrows) {
+  BitVec v(10);
+  EXPECT_THROW(v.test(10), SimError);
+  EXPECT_THROW(v.set(11), SimError);
+}
+
+TEST(BitVec, EqualityComparesContents) {
+  BitVec a(65);
+  BitVec b(65);
+  EXPECT_EQ(a, b);
+  a.set(64);
+  EXPECT_NE(a, b);
+  b.set(64);
+  EXPECT_EQ(a, b);
+}
+
+TEST(BitVec, CountMatchesBruteForceRandomized) {
+  Rng rng(42);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 1 + rng.next_below(300);
+    BitVec v(n);
+    std::size_t expected = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rng.next_bool(0.3)) {
+        if (!v.test(i)) ++expected;
+        v.set(i);
+      }
+    }
+    EXPECT_EQ(v.count(), expected);
+  }
+}
+
+}  // namespace
+}  // namespace dspcam

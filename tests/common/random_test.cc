@@ -1,0 +1,82 @@
+#include "src/common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dspcam {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng a(7);
+  const auto first = a.next();
+  a.next();
+  a.reseed(7);
+  EXPECT_EQ(a.next(), first);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+    EXPECT_LT(rng.next_below(1), 1u);
+  }
+}
+
+TEST(Rng, NextInIsInclusive) {
+  Rng rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.next_in(10, 13);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 13u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all four values appear
+}
+
+TEST(Rng, NextBitsBoundsWidth) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_bits(5), 32u);
+    EXPECT_LE(rng.next_bits(48), (std::uint64_t{1} << 48) - 1);
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(3);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);  // rough uniformity
+}
+
+TEST(Rng, BernoulliRoughlyCalibrated) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.next_bool(0.25) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.25, 0.02);
+}
+
+}  // namespace
+}  // namespace dspcam

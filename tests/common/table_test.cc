@@ -1,0 +1,40 @@
+#include "src/common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace dspcam {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"long-name", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("|      name | value |"), std::string::npos);
+  EXPECT_NE(s.find("| long-name |    22 |"), std::string::npos);
+}
+
+TEST(TextTable, RowArityChecked) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TextTable, CaptionPrepended) {
+  TextTable t({"x"});
+  t.add_row({"1"});
+  EXPECT_EQ(t.to_string("Caption").substr(0, 8), "Caption\n");
+}
+
+TEST(TextTable, NumberFormatting) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(3.0, 0), "3");
+  EXPECT_EQ(TextTable::num(std::uint64_t{1234567}), "1,234,567");
+  EXPECT_EQ(TextTable::num(std::uint64_t{999}), "999");
+  EXPECT_EQ(TextTable::num(std::uint64_t{1000}), "1,000");
+  EXPECT_EQ(TextTable::num(0u), "0");
+}
+
+}  // namespace
+}  // namespace dspcam

@@ -1,0 +1,95 @@
+#include "src/dsp/opmode.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/bitops.h"
+#include "src/common/error.h"
+
+namespace dspcam::dsp {
+namespace {
+
+TEST(OpMode, EncodeDecodeRoundTrip) {
+  for (std::uint16_t raw = 0; raw < (1u << 9); ++raw) {
+    const auto zbits = (raw >> 4) & 0b111;
+    if (zbits == 0b111) {
+      EXPECT_THROW(OpMode::decode(raw), ConfigError);
+      continue;
+    }
+    const OpMode m = OpMode::decode(raw);
+    EXPECT_EQ(m.encode(), raw);
+  }
+}
+
+TEST(OpMode, CamConfigurationEncoding) {
+  // The paper's CAM cell: X = A:B, Y = 0, Z = C, W = 0.
+  OpMode m;
+  m.x = XMux::kAB;
+  m.y = YMux::kZero;
+  m.z = ZMux::kC;
+  m.w = WMux::kZero;
+  EXPECT_EQ(m.encode(), 0b00'011'00'11u);
+  EXPECT_EQ(m.to_string(), "X=A:B Y=0 Z=C W=0");
+}
+
+TEST(OpMode, WideEncodingRejected) {
+  EXPECT_THROW(OpMode::decode(1u << 9), ConfigError);
+}
+
+TEST(LogicFunc, AlumodeClassification) {
+  EXPECT_FALSE(alumode_is_logic(0b0000));
+  EXPECT_FALSE(alumode_is_logic(0b0001));
+  EXPECT_FALSE(alumode_is_logic(0b0010));
+  EXPECT_FALSE(alumode_is_logic(0b0011));
+  EXPECT_TRUE(alumode_is_logic(0b0100));
+  EXPECT_TRUE(alumode_is_logic(0b0111));
+  EXPECT_TRUE(alumode_is_logic(0b1100));
+  EXPECT_TRUE(alumode_is_logic(0b1111));
+}
+
+TEST(LogicFunc, Ug579Table210Mapping) {
+  // Y = 0 column.
+  EXPECT_EQ(decode_logic_func(0b0100, YMux::kZero), LogicFunc::kXor);
+  EXPECT_EQ(decode_logic_func(0b0101, YMux::kZero), LogicFunc::kXnor);
+  EXPECT_EQ(decode_logic_func(0b0110, YMux::kZero), LogicFunc::kXnor);
+  EXPECT_EQ(decode_logic_func(0b0111, YMux::kZero), LogicFunc::kXor);
+  EXPECT_EQ(decode_logic_func(0b1100, YMux::kZero), LogicFunc::kAnd);
+  EXPECT_EQ(decode_logic_func(0b1101, YMux::kZero), LogicFunc::kAndNotZ);
+  EXPECT_EQ(decode_logic_func(0b1110, YMux::kZero), LogicFunc::kNand);
+  EXPECT_EQ(decode_logic_func(0b1111, YMux::kZero), LogicFunc::kOrNotZ);
+  // Y = all-ones column: each function flips to its De Morgan dual.
+  EXPECT_EQ(decode_logic_func(0b0100, YMux::kAllOnes), LogicFunc::kXnor);
+  EXPECT_EQ(decode_logic_func(0b0101, YMux::kAllOnes), LogicFunc::kXor);
+  EXPECT_EQ(decode_logic_func(0b1100, YMux::kAllOnes), LogicFunc::kOr);
+  EXPECT_EQ(decode_logic_func(0b1110, YMux::kAllOnes), LogicFunc::kNor);
+}
+
+TEST(LogicFunc, InvalidSelectionsThrow) {
+  EXPECT_THROW(decode_logic_func(0b0000, YMux::kZero), ConfigError);  // arithmetic
+  EXPECT_THROW(decode_logic_func(0b0100, YMux::kC), ConfigError);     // Y must be 0/~0
+  EXPECT_THROW(decode_logic_func(0b0100, YMux::kM), ConfigError);
+}
+
+TEST(LogicFunc, ApplyTruncatesTo48Bits) {
+  const std::uint64_t x = 0xF0F0'F0F0'F0F0ULL;
+  const std::uint64_t z = 0x0F0F'0F0F'0F0FULL;
+  EXPECT_EQ(apply_logic(LogicFunc::kXor, x, z), 0xFFFF'FFFF'FFFFULL);
+  EXPECT_EQ(apply_logic(LogicFunc::kXnor, x, z), 0u);  // high bits clipped
+  EXPECT_EQ(apply_logic(LogicFunc::kAnd, x, z), 0u);
+  EXPECT_EQ(apply_logic(LogicFunc::kOr, x, z), 0xFFFF'FFFF'FFFFULL);
+  EXPECT_EQ(apply_logic(LogicFunc::kNor, x, z), 0u);
+  EXPECT_EQ(apply_logic(LogicFunc::kNand, x, z), kDspWordMask);
+  EXPECT_EQ(apply_logic(LogicFunc::kAndNotZ, x, z), x);
+  EXPECT_EQ(apply_logic(LogicFunc::kOrNotZ, x, z), kDspWordMask & ~z);
+}
+
+TEST(LogicFunc, XorIdentities) {
+  // x XOR x == 0 and x XOR 0 == x: the properties the CAM match relies on.
+  for (std::uint64_t v : {std::uint64_t{0}, std::uint64_t{1},
+                          std::uint64_t{0xDEADBEEF}, kDspWordMask}) {
+    EXPECT_EQ(apply_logic(LogicFunc::kXor, v, v), 0u);
+    EXPECT_EQ(apply_logic(LogicFunc::kXor, v, 0), v & kDspWordMask);
+  }
+}
+
+}  // namespace
+}  // namespace dspcam::dsp

@@ -1,0 +1,89 @@
+#include "src/graph/csr.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.h"
+#include "src/graph/builder.h"
+
+namespace dspcam::graph {
+namespace {
+
+TEST(CsrGraph, EmptyGraph) {
+  CsrGraph g;
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(CsrGraph, BasicAccessors) {
+  // 0 -> {1, 2}, 1 -> {2}, 2 -> {}
+  CsrGraph g({0, 2, 3, 3}, {1, 2, 2});
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(2), 0u);
+  EXPECT_EQ(g.offset(1), 2u);
+  ASSERT_EQ(g.neighbors(0).size(), 2u);
+  EXPECT_EQ(g.neighbors(0)[1], 2u);
+  EXPECT_EQ(g.max_degree(), 2u);
+  EXPECT_DOUBLE_EQ(g.average_degree(), 1.0);
+}
+
+TEST(CsrGraph, Validation) {
+  EXPECT_THROW(CsrGraph({}, {}), ConfigError);
+  EXPECT_THROW(CsrGraph({0, 1}, {}), ConfigError);        // offsets end != |E|
+  EXPECT_THROW(CsrGraph({1, 1}, {}), ConfigError);        // must start at 0
+  EXPECT_THROW(CsrGraph({0, 2, 1}, {0, 0}), ConfigError); // non-monotonic
+  EXPECT_THROW(CsrGraph({0, 1}, {5}), ConfigError);       // neighbor out of range
+}
+
+TEST(Builder, UndirectedDedupeAndSelfLoops) {
+  const auto g = build_undirected(4, {{0, 1}, {1, 0}, {0, 1}, {2, 2}, {1, 3}});
+  EXPECT_EQ(g.num_edges(), 4u);  // (0,1) and (1,3), both directions
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.degree(2), 0u);  // self-loop dropped
+  EXPECT_EQ(g.degree(3), 1u);
+}
+
+TEST(Builder, AdjacencySorted) {
+  const auto g = build_undirected(5, {{0, 4}, {0, 2}, {0, 1}, {0, 3}});
+  const auto n = g.neighbors(0);
+  EXPECT_TRUE(std::is_sorted(n.begin(), n.end()));
+}
+
+TEST(Builder, VertexRangeChecked) {
+  EXPECT_THROW(build_undirected(2, {{0, 2}}), ConfigError);
+}
+
+TEST(Builder, OrientByDegreeHalvesArcs) {
+  const auto g = build_undirected(4, {{0, 1}, {1, 2}, {2, 0}, {2, 3}});
+  const auto d = orient_by_degree(g);
+  EXPECT_EQ(d.num_edges(), g.num_edges() / 2);
+  // Each undirected edge appears exactly once, from the lower-degree side.
+  std::uint64_t arcs = 0;
+  for (VertexId u = 0; u < d.num_vertices(); ++u) arcs += d.degree(u);
+  EXPECT_EQ(arcs, 4u);
+}
+
+TEST(Builder, OrientationPointsLowDegreeToHigh) {
+  // Star: center 0 with leaves 1..4. Leaves (deg 1) point at the center.
+  const auto g = build_undirected(5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}});
+  const auto d = orient_by_degree(g);
+  EXPECT_EQ(d.degree(0), 0u);
+  for (VertexId v = 1; v < 5; ++v) {
+    ASSERT_EQ(d.degree(v), 1u);
+    EXPECT_EQ(d.neighbors(v)[0], 0u);
+  }
+}
+
+TEST(Builder, UndirectedEdgesRoundTrip) {
+  std::vector<Edge> in = {{0, 1}, {1, 2}, {0, 3}};
+  const auto g = build_undirected(4, in);
+  auto out = undirected_edges(g);
+  std::sort(out.begin(), out.end());
+  std::sort(in.begin(), in.end());
+  EXPECT_EQ(out, in);
+}
+
+}  // namespace
+}  // namespace dspcam::graph

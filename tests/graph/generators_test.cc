@@ -1,0 +1,131 @@
+#include "src/graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.h"
+#include "src/graph/datasets.h"
+#include "src/graph/triangle.h"
+
+namespace dspcam::graph {
+namespace {
+
+TEST(Generators, ErdosRenyiExactEdgeCount) {
+  Rng rng(1);
+  const auto g = erdos_renyi(100, 500, rng);
+  EXPECT_EQ(g.num_vertices(), 100u);
+  EXPECT_EQ(g.num_edges(), 1000u);  // both arcs
+}
+
+TEST(Generators, ErdosRenyiValidation) {
+  Rng rng(1);
+  EXPECT_THROW(erdos_renyi(1, 0, rng), ConfigError);
+  EXPECT_THROW(erdos_renyi(4, 100, rng), ConfigError);  // > n(n-1)/2
+}
+
+TEST(Generators, ErdosRenyiDeterministic) {
+  Rng a(7);
+  Rng b(7);
+  const auto ga = erdos_renyi(50, 100, a);
+  const auto gb = erdos_renyi(50, 100, b);
+  EXPECT_EQ(ga.neighbor_array(), gb.neighbor_array());
+}
+
+TEST(Generators, BarabasiAlbertHeavyTail) {
+  Rng rng(2);
+  const auto g = barabasi_albert(2000, 4, rng);
+  EXPECT_EQ(g.num_vertices(), 2000u);
+  // Power-law graphs have hubs far above the average degree.
+  EXPECT_GT(g.max_degree(), 5 * g.average_degree());
+  // Edge count ~ n * m.
+  EXPECT_NEAR(static_cast<double>(g.num_edges()) / 2.0, 2000.0 * 4, 1000.0);
+}
+
+TEST(Generators, BarabasiAlbertValidation) {
+  Rng rng(1);
+  EXPECT_THROW(barabasi_albert(4, 0, rng), ConfigError);
+  EXPECT_THROW(barabasi_albert(4, 4, rng), ConfigError);
+}
+
+TEST(Generators, RmatSkewedDegrees) {
+  Rng rng(3);
+  const auto g = rmat(12, 20000, 0.57, 0.19, 0.19, rng);
+  EXPECT_EQ(g.num_vertices(), 4096u);
+  EXPECT_GT(g.max_degree(), 4 * g.average_degree());
+}
+
+TEST(Generators, RmatValidation) {
+  Rng rng(1);
+  EXPECT_THROW(rmat(0, 10, 0.25, 0.25, 0.25, rng), ConfigError);
+  EXPECT_THROW(rmat(4, 10, 0.6, 0.3, 0.2, rng), ConfigError);  // probs > 1
+}
+
+TEST(Generators, RoadNetworkLowConstantDegree) {
+  Rng rng(4);
+  const auto g = road_network(60, 60, 0.03, 0.3, rng);
+  EXPECT_EQ(g.num_vertices(), 3600u);
+  EXPECT_LE(g.max_degree(), 8u);
+  EXPECT_NEAR(g.average_degree(), 2.9, 0.7);
+  // Road networks have *some* triangles (diagonal shortcuts).
+  const auto t = count_triangles_merge(orient_by_degree(g));
+  EXPECT_GT(t, 0u);
+  EXPECT_LT(t, g.num_edges());
+}
+
+TEST(Generators, HubTopologyHasMassiveHubs) {
+  Rng rng(5);
+  const auto g = hub_topology(6474, 60, rng);
+  EXPECT_EQ(g.num_vertices(), 6474u);
+  // AS topology: top hub degree in the hundreds-to-thousands while the
+  // average stays tiny.
+  EXPECT_GT(g.max_degree(), 400u);
+  EXPECT_LT(g.average_degree(), 8.0);
+}
+
+TEST(Generators, HubTopologyValidation) {
+  Rng rng(1);
+  EXPECT_THROW(hub_topology(10, 1, rng), ConfigError);
+  EXPECT_THROW(hub_topology(10, 10, rng), ConfigError);
+}
+
+TEST(Datasets, RegistryHasAllTableIXRows) {
+  const auto all = table9_datasets();
+  ASSERT_EQ(all.size(), 10u);
+  EXPECT_EQ(all[0].name, "facebook_combined");
+  EXPECT_EQ(all[9].name, "soc-Slashdot0811");
+  EXPECT_EQ(all[0].paper.triangles, 1612010u);
+  EXPECT_NEAR(all[3].paper.speedup(), 17.54, 0.01);  // as20000102
+  double total = 0;
+  for (const auto& d : all) total += d.paper.speedup();
+  EXPECT_NEAR(total / 10.0, 4.92, 0.05);  // the paper's average speedup
+}
+
+TEST(Datasets, LookupByName) {
+  EXPECT_EQ(dataset_by_name("roadNet-PA").paper.triangles, 67150u);
+  EXPECT_THROW(dataset_by_name("nope"), ConfigError);
+}
+
+TEST(Datasets, StandInsGenerateAtTinyScale) {
+  // Every generator must run end-to-end; tiny scale keeps the test fast.
+  for (const auto& d : table9_datasets()) {
+    Rng rng(99);
+    const auto g = d.generate(0.01, rng);
+    EXPECT_GT(g.num_vertices(), 0u) << d.name;
+    EXPECT_GT(g.num_edges(), 0u) << d.name;
+  }
+}
+
+TEST(Datasets, FacebookStandInMatchesStructure) {
+  Rng rng(42);
+  const auto& spec = dataset_by_name("facebook_combined");
+  const auto g = spec.generate(1.0, rng);
+  EXPECT_NEAR(static_cast<double>(g.num_vertices()), 4039.0, 50.0);
+  EXPECT_NEAR(static_cast<double>(g.num_edges()) / 2.0, 88234.0, 10000.0);
+  // Dense social network: plenty of triangles (the BA stand-in forms fewer
+  // than the real ego-network's 1.6M, but far more than a random graph of
+  // the same size would).
+  const auto t = count_triangles_merge(orient_by_degree(g));
+  EXPECT_GT(t, 50000u);
+}
+
+}  // namespace
+}  // namespace dspcam::graph

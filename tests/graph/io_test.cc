@@ -1,0 +1,53 @@
+#include "src/graph/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "src/common/error.h"
+#include "src/common/random.h"
+#include "src/graph/generators.h"
+
+namespace dspcam::graph {
+namespace {
+
+TEST(Io, ParseEdgeList) {
+  const auto g = parse_edge_list(
+      "# a comment\n"
+      "0 1\n"
+      "1 2\n"
+      "\n"
+      "2 0  # trailing comment\n");
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 6u);
+}
+
+TEST(Io, VertexIdsCompacted) {
+  // SNAP ids are arbitrary; they get remapped to 0..n-1.
+  const auto g = parse_edge_list("1000 42\n42 77\n");
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 4u);
+}
+
+TEST(Io, MalformedLineThrows) {
+  EXPECT_THROW(parse_edge_list("0\n"), ConfigError);
+}
+
+TEST(Io, SaveLoadRoundTrip) {
+  Rng rng(3);
+  const auto g = erdos_renyi(40, 100, rng);
+  const auto path = std::filesystem::temp_directory_path() / "dspcam_io_test.el";
+  save_edge_list(g, path.string());
+  const auto g2 = load_edge_list(path.string());
+  EXPECT_EQ(g2.num_vertices(), g.num_vertices());
+  EXPECT_EQ(g2.num_edges(), g.num_edges());
+  std::remove(path.string().c_str());
+}
+
+TEST(Io, MissingFileThrows) {
+  EXPECT_THROW(load_edge_list("/nonexistent/file.el"), ConfigError);
+}
+
+}  // namespace
+}  // namespace dspcam::graph

@@ -1,0 +1,90 @@
+#include "src/graph/triangle.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/graph/builder.h"
+#include "src/graph/generators.h"
+
+namespace dspcam::graph {
+namespace {
+
+TEST(Intersect, SortedIntersection) {
+  const std::vector<VertexId> a = {1, 3, 5, 7, 9};
+  const std::vector<VertexId> b = {2, 3, 4, 7, 10};
+  EXPECT_EQ(intersect_sorted(a, b), 2u);
+  EXPECT_EQ(intersect_sorted(a, {}), 0u);
+  EXPECT_EQ(intersect_sorted(a, a), 5u);
+}
+
+TEST(Intersect, MergeStepsBounds) {
+  const std::vector<VertexId> a = {1, 3, 5, 7, 9};
+  const std::vector<VertexId> b = {2, 3, 4, 7, 10};
+  const auto steps = merge_steps(a, b);
+  EXPECT_GE(steps, 5u);           // at least min(|a|,|b|) comparisons
+  EXPECT_LE(steps, 10u);          // at most |a|+|b|
+  const auto st = merge_stats(a, b);
+  EXPECT_EQ(st.common, 2u);
+  EXPECT_EQ(st.steps, steps);
+}
+
+TEST(Intersect, MergeStopsAtShorterListEnd) {
+  const std::vector<VertexId> shorter = {100};
+  std::vector<VertexId> longer;
+  for (VertexId i = 0; i < 1000; ++i) longer.push_back(i);
+  // The merge ends once the shorter cursor passes its single element.
+  EXPECT_LE(merge_steps(shorter, longer), 102u);
+}
+
+TEST(Triangle, TriangleGraph) {
+  const auto g = build_undirected(3, {{0, 1}, {1, 2}, {2, 0}});
+  const auto d = orient_by_degree(g);
+  EXPECT_EQ(count_triangles_merge(d), 1u);
+  EXPECT_EQ(count_triangles_hash(d), 1u);
+}
+
+TEST(Triangle, CompleteGraphK5) {
+  std::vector<Edge> edges;
+  for (VertexId u = 0; u < 5; ++u) {
+    for (VertexId v = u + 1; v < 5; ++v) edges.emplace_back(u, v);
+  }
+  const auto d = orient_by_degree(build_undirected(5, edges));
+  EXPECT_EQ(count_triangles_merge(d), 10u);  // C(5,3)
+}
+
+TEST(Triangle, TriangleFreeBipartite) {
+  // K_{3,3} has no triangles.
+  std::vector<Edge> edges;
+  for (VertexId u = 0; u < 3; ++u) {
+    for (VertexId v = 3; v < 6; ++v) edges.emplace_back(u, v);
+  }
+  const auto d = orient_by_degree(build_undirected(6, edges));
+  EXPECT_EQ(count_triangles_merge(d), 0u);
+}
+
+TEST(Triangle, MergeAndHashAgreeOnRandomGraphs) {
+  Rng rng(11);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto g = erdos_renyi(60, 250, rng);
+    const auto d = orient_by_degree(g);
+    EXPECT_EQ(count_triangles_merge(d), count_triangles_hash(d));
+  }
+}
+
+TEST(Triangle, FullListEdgeSumEqualsThreeT) {
+  // The accelerator flow: sum of |adj(u) cap adj(v)| over undirected edges
+  // equals exactly 3x the triangle count.
+  Rng rng(13);
+  const auto g = erdos_renyi(50, 300, rng);
+  const auto t = count_triangles_merge(orient_by_degree(g));
+  std::uint64_t matches = 0;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v : g.neighbors(u)) {
+      if (v > u) matches += intersect_sorted(g.neighbors(u), g.neighbors(v));
+    }
+  }
+  EXPECT_EQ(matches, 3 * t);
+}
+
+}  // namespace
+}  // namespace dspcam::graph

@@ -1,0 +1,148 @@
+#include "src/model/resources.h"
+
+#include <gtest/gtest.h>
+
+#include "src/model/device.h"
+#include "src/model/interp.h"
+
+namespace dspcam::model {
+namespace {
+
+cam::BlockConfig block48(unsigned size) {
+  cam::BlockConfig b;
+  b.cell.data_width = 48;
+  b.block_size = size;
+  b.bus_width = 480;  // 10 words of 48 bits
+  return b;
+}
+
+cam::UnitConfig unit48(unsigned entries) {
+  cam::UnitConfig u;
+  u.block = block48(256);
+  u.unit_size = entries / 256;
+  u.bus_width = 480;
+  return u;
+}
+
+TEST(Resources, CellIsExactlyOneDsp) {
+  // Table V: 1 DSP, 0 LUT, 0 BRAM for all three kinds.
+  for (auto kind : {cam::CamKind::kBinary, cam::CamKind::kTernary, cam::CamKind::kRange}) {
+    cam::CellConfig c;
+    c.kind = kind;
+    c.data_width = 48;
+    const auto r = cell_resources(c);
+    EXPECT_EQ(r.dsps, 1u);
+    EXPECT_EQ(r.luts, 0u);
+    EXPECT_EQ(r.brams, 0u);
+  }
+}
+
+TEST(Resources, BlockLutAnchorsMatchTableVI) {
+  const std::pair<unsigned, std::uint64_t> anchors[] = {
+      {32, 694}, {64, 745}, {128, 808}, {256, 1225}, {512, 1371}};
+  for (const auto& [size, luts] : anchors) {
+    const auto r = block_resources(block48(size));
+    EXPECT_EQ(r.luts, luts) << "block size " << size;
+    EXPECT_EQ(r.dsps, size);
+    EXPECT_EQ(r.brams, 0u);
+  }
+}
+
+TEST(Resources, UnitLutAnchorsMatchTableVII) {
+  const std::pair<unsigned, std::uint64_t> anchors[] = {
+      {512, 2491},  {1024, 5072},  {2048, 10167}, {4096, 20330},
+      {6144, 29385}, {8192, 38191}};
+  for (const auto& [entries, luts] : anchors) {
+    const auto r = unit_resources(unit48(entries));
+    EXPECT_EQ(r.luts, luts) << entries << " entries";
+    EXPECT_EQ(r.dsps, entries);
+    EXPECT_EQ(r.brams, 0u);
+  }
+}
+
+TEST(Resources, MaxConfigMatchesTableVIIAndTableI) {
+  // 9728 x 48: Table VII reports 45244 unit LUTs; Table I reports the full
+  // system at 72178 LUTs + 4 BRAMs + 9728 DSPs.
+  cam::UnitConfig u = unit48(9728);
+  EXPECT_EQ(u.unit_size, 38u);
+  EXPECT_EQ(unit_resources(u).luts, 45244u);
+  const auto sys = system_resources(u);
+  EXPECT_EQ(sys.luts, 72178u);
+  EXPECT_EQ(sys.brams, 4u);
+  EXPECT_EQ(sys.dsps, 9728u);
+}
+
+TEST(Resources, LutGrowthIsMonotonic) {
+  std::uint64_t prev = 0;
+  for (unsigned entries = 512; entries <= 12288; entries += 256) {
+    if (entries % 256 != 0) continue;
+    const auto r = unit_resources(unit48(entries));
+    EXPECT_GT(r.luts, prev) << entries;
+    prev = r.luts;
+  }
+}
+
+TEST(Resources, NarrowDataCostsFewerLuts) {
+  cam::UnitConfig wide = unit48(2048);
+  cam::UnitConfig narrow = wide;
+  narrow.block.cell.data_width = 32;
+  narrow.block.bus_width = 512;
+  narrow.bus_width = 512;
+  EXPECT_LT(unit_resources(narrow).luts, unit_resources(wide).luts);
+}
+
+TEST(Resources, EncodingSchemeAdjustsCost) {
+  cam::BlockConfig pri = block48(128);
+  cam::BlockConfig hot = pri;
+  hot.encoding = cam::EncodingScheme::kOneHot;
+  cam::BlockConfig cnt = pri;
+  cnt.encoding = cam::EncodingScheme::kMatchCount;
+  EXPECT_LT(block_resources(hot).luts, block_resources(pri).luts);
+  EXPECT_GT(block_resources(cnt).luts, block_resources(pri).luts);
+}
+
+TEST(Resources, UtilisationPercentages) {
+  // Table VI: 512-cell block = 4.17% of the U250's 12288 DSPs.
+  EXPECT_NEAR(utilisation_pct(512, alveo_u250().dsp), 4.17, 0.01);
+  // Table VII text: 9728 DSPs = 79.25% of the 11508 usable.
+  EXPECT_NEAR(utilisation_pct(9728, kU250UsableDsps), 84.53, 0.01);
+  EXPECT_NEAR(utilisation_pct(9728, 12288), 79.17, 0.01);
+  EXPECT_EQ(utilisation_pct(1, 0), 0.0);
+}
+
+TEST(PiecewiseLinear, AnchorsExactAndInterpolated) {
+  PiecewiseLinear f({{0, 0}, {10, 100}});
+  EXPECT_DOUBLE_EQ(f(0), 0.0);
+  EXPECT_DOUBLE_EQ(f(10), 100.0);
+  EXPECT_DOUBLE_EQ(f(5), 50.0);
+  EXPECT_DOUBLE_EQ(f(20), 200.0);   // extrapolates with last slope
+  EXPECT_DOUBLE_EQ(f(-5), -50.0);   // and first slope below
+}
+
+TEST(PiecewiseLinear, Validation) {
+  EXPECT_THROW(PiecewiseLinear({}), ConfigError);
+  EXPECT_THROW(PiecewiseLinear({{1, 0}, {1, 5}}), ConfigError);
+  PiecewiseLinear constant({{3, 7}});
+  EXPECT_DOUBLE_EQ(constant(0), 7.0);
+  EXPECT_DOUBLE_EQ(constant(100), 7.0);
+}
+
+TEST(Device, TableIVCapacities) {
+  const Device d = alveo_u250();
+  EXPECT_EQ(d.luts, 1728000u);
+  EXPECT_EQ(d.registers, 3456000u);
+  EXPECT_EQ(d.bram, 2688u);
+  EXPECT_EQ(d.uram, 1280u);
+  EXPECT_EQ(d.dsp, 12288u);
+  EXPECT_EQ(d.slr_count, 4u);
+}
+
+TEST(Resources, MaxCamSizeFitsUsableDsps) {
+  // The paper: "with the given 11,508 DSPs ... we can easily achieve a CAM
+  // size that reaches 9K x 48 bits".
+  EXPECT_LE(unit48(9728).total_entries(), kU250UsableDsps);
+  EXPECT_GT(unit48(9728).total_entries() + 2048, kU250UsableDsps);
+}
+
+}  // namespace
+}  // namespace dspcam::model

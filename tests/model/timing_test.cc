@@ -1,0 +1,94 @@
+#include "src/model/timing.h"
+
+#include <gtest/gtest.h>
+
+namespace dspcam::model {
+namespace {
+
+cam::UnitConfig unit(unsigned entries, unsigned width) {
+  cam::UnitConfig u;
+  u.block.cell.data_width = width;
+  u.block.block_size = 256;
+  u.block.bus_width = width == 48 ? 480u : 512u;
+  u.unit_size = entries / 256;
+  u.bus_width = u.block.bus_width;
+  return u;
+}
+
+TEST(Timing, BlockClosesAt300MHz) {
+  // Table VI: 300 MHz at every block size.
+  for (unsigned size : {32u, 64u, 128u, 256u, 512u}) {
+    cam::BlockConfig b;
+    b.cell.data_width = 48;
+    b.block_size = size;
+    b.bus_width = 480;
+    EXPECT_DOUBLE_EQ(block_frequency_mhz(b), 300.0) << size;
+  }
+}
+
+TEST(Timing, UnitFrequencyAnchorsMatchTableVII) {
+  const std::pair<unsigned, double> anchors[] = {
+      {512, 300}, {1024, 300}, {2048, 300}, {4096, 265},
+      {6144, 252}, {8192, 240}};
+  for (const auto& [entries, mhz] : anchors) {
+    EXPECT_DOUBLE_EQ(unit_frequency_mhz(unit(entries, 48)), mhz) << entries;
+  }
+  // 9728 = 38 blocks: check via a 38-block config.
+  cam::UnitConfig max_cfg = unit(9728, 48);
+  EXPECT_EQ(max_cfg.total_entries(), 9728u);
+  EXPECT_DOUBLE_EQ(unit_frequency_mhz(max_cfg), 235.0);
+}
+
+TEST(Timing, UnitFrequency32BitAnchorsMatchTableVIII) {
+  // Table VIII implies 300 MHz to 2048 entries, 254 at 4096, 240 at 8192.
+  EXPECT_DOUBLE_EQ(unit_frequency_mhz(unit(512, 32)), 300.0);
+  EXPECT_DOUBLE_EQ(unit_frequency_mhz(unit(2048, 32)), 300.0);
+  EXPECT_DOUBLE_EQ(unit_frequency_mhz(unit(4096, 32)), 254.0);
+  EXPECT_DOUBLE_EQ(unit_frequency_mhz(unit(8192, 32)), 240.0);
+}
+
+TEST(Timing, SmallUnitsHoldThePlateau) {
+  cam::UnitConfig tiny = unit(256, 32);
+  tiny.unit_size = 1;
+  EXPECT_DOUBLE_EQ(unit_frequency_mhz(tiny), 300.0);
+}
+
+TEST(Timing, FrequencyNeverBelowFloor) {
+  cam::UnitConfig huge = unit(12288, 48);
+  EXPECT_GE(unit_frequency_mhz(huge), 100.0);
+}
+
+TEST(Timing, BlockRatesMatchTableVI) {
+  // Table VI: update 4800 Mop/s (16 words x 300 MHz... at 48-bit data the
+  // paper drives a 10-word bus; its "4800" rows correspond to the 32-bit
+  // interpretation used throughout - verify both forms).
+  cam::BlockConfig b32;
+  b32.cell.data_width = 32;
+  b32.block_size = 128;
+  b32.bus_width = 512;
+  const auto r = block_rates(b32);
+  EXPECT_DOUBLE_EQ(r.update_mops, 4800.0);
+  EXPECT_DOUBLE_EQ(r.search_mops, 300.0);
+}
+
+TEST(Timing, UnitRatesMatchTableVIII) {
+  // Table VIII: 32-bit data, 512-bit bus.
+  const auto small = unit_rates(unit(512, 32));
+  EXPECT_DOUBLE_EQ(small.update_mops, 4800.0);
+  EXPECT_DOUBLE_EQ(small.search_mops, 300.0);
+  const auto big4k = unit_rates(unit(4096, 32));
+  EXPECT_DOUBLE_EQ(big4k.update_mops, 4064.0);
+  EXPECT_DOUBLE_EQ(big4k.search_mops, 254.0);
+  const auto big8k = unit_rates(unit(8192, 32));
+  EXPECT_DOUBLE_EQ(big8k.update_mops, 3840.0);
+  EXPECT_DOUBLE_EQ(big8k.search_mops, 240.0);
+}
+
+TEST(Timing, MultiQueryScalesAggregateSearch) {
+  const auto r = unit_rates(unit(2048, 32), 8);
+  EXPECT_DOUBLE_EQ(r.search_mops, 300.0);
+  EXPECT_DOUBLE_EQ(r.aggregate_search_mops, 2400.0);
+}
+
+}  // namespace
+}  // namespace dspcam::model

@@ -1,0 +1,58 @@
+#include "src/sim/fifo.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.h"
+
+namespace dspcam::sim {
+namespace {
+
+TEST(Fifo, FifoOrdering) {
+  Fifo<int> f(4);
+  f.push(1);
+  f.push(2);
+  f.push(3);
+  EXPECT_EQ(f.pop(), 1);
+  EXPECT_EQ(f.pop(), 2);
+  EXPECT_EQ(f.pop(), 3);
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(Fifo, CapacityEnforced) {
+  Fifo<int> f(2);
+  f.push(1);
+  f.push(2);
+  EXPECT_TRUE(f.full());
+  EXPECT_THROW(f.push(3), SimError);
+}
+
+TEST(Fifo, EmptyAccessThrows) {
+  Fifo<int> f(1);
+  EXPECT_THROW(f.pop(), SimError);
+  EXPECT_THROW(f.front(), SimError);
+}
+
+TEST(Fifo, ZeroCapacityRejected) {
+  EXPECT_THROW(Fifo<int>(0), SimError);
+}
+
+TEST(Fifo, FrontPeeksWithoutConsuming) {
+  Fifo<int> f(2);
+  f.push(9);
+  EXPECT_EQ(f.front(), 9);
+  EXPECT_EQ(f.size(), 1u);
+  EXPECT_EQ(f.pop(), 9);
+}
+
+TEST(Fifo, ClearEmpties) {
+  Fifo<int> f(3);
+  f.push(1);
+  f.push(2);
+  f.clear();
+  EXPECT_TRUE(f.empty());
+  f.push(7);
+  EXPECT_EQ(f.pop(), 7);
+}
+
+}  // namespace
+}  // namespace dspcam::sim

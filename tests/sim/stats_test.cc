@@ -1,0 +1,74 @@
+#include "src/sim/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace dspcam::sim {
+namespace {
+
+TEST(LatencyStats, BasicAccumulation) {
+  LatencyStats s;
+  s.record(3);
+  s.record(5);
+  s.record(4);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_EQ(s.min(), 3u);
+  EXPECT_EQ(s.max(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+}
+
+TEST(LatencyStats, ConstantAtDetectsDeterministicLatency) {
+  LatencyStats s;
+  for (int i = 0; i < 10; ++i) s.record(7);
+  EXPECT_TRUE(s.constant_at(7));
+  EXPECT_FALSE(s.constant_at(8));
+  s.record(8);
+  EXPECT_FALSE(s.constant_at(7));
+}
+
+TEST(LatencyStats, EmptyIsSafe) {
+  LatencyStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.min(), 0u);
+  EXPECT_EQ(s.max(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_FALSE(s.constant_at(0));
+}
+
+TEST(LatencyStats, HistogramBucketsByLatency) {
+  LatencyStats s;
+  s.record(2);
+  s.record(2);
+  s.record(9);
+  const auto& h = s.histogram();
+  EXPECT_EQ(h.at(2), 2u);
+  EXPECT_EQ(h.at(9), 1u);
+  EXPECT_EQ(h.size(), 2u);
+}
+
+TEST(LatencyStats, ResetClears) {
+  LatencyStats s;
+  s.record(1);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_TRUE(s.histogram().empty());
+}
+
+TEST(ThroughputStats, OpsPerCycleAndMops) {
+  ThroughputStats t;
+  t.set_window(100, 200);  // 100 cycles
+  t.record_ops(1600);      // 16 ops/cycle
+  EXPECT_DOUBLE_EQ(t.ops_per_cycle(), 16.0);
+  // The paper's headline figure: 16 words/cycle x 300 MHz = 4800 Mop/s.
+  EXPECT_DOUBLE_EQ(t.mops_per_second(300.0), 4800.0);
+}
+
+TEST(ThroughputStats, EmptyWindowIsZero) {
+  ThroughputStats t;
+  t.record_ops(5);
+  EXPECT_DOUBLE_EQ(t.ops_per_cycle(), 0.0);
+  t.set_window(5, 5);
+  EXPECT_DOUBLE_EQ(t.mops_per_second(300.0), 0.0);
+}
+
+}  // namespace
+}  // namespace dspcam::sim

@@ -1,0 +1,133 @@
+#include "src/sim/vcd.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/cam/cell.h"
+#include "src/common/error.h"
+
+namespace dspcam::sim {
+namespace {
+
+std::string slurp(const std::filesystem::path& p) {
+  std::ifstream in(p);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::filesystem::path temp_vcd(const std::string& name) {
+  return std::filesystem::temp_directory_path() / name;
+}
+
+TEST(VcdTrace, HeaderAndInitialValues) {
+  const auto path = temp_vcd("dspcam_vcd_hdr.vcd");
+  {
+    VcdTrace trace(path.string(), "tb");
+    auto a = trace.add_signal("clk_q", 1);
+    auto b = trace.add_signal("bus", 8);
+    trace.sample(a, 1);
+    trace.sample(b, 0xAB);
+    trace.tick();
+  }
+  const auto text = slurp(path);
+  EXPECT_NE(text.find("$timescale 1 ns $end"), std::string::npos);
+  EXPECT_NE(text.find("$scope module tb $end"), std::string::npos);
+  EXPECT_NE(text.find("$var wire 1 ! clk_q $end"), std::string::npos);
+  EXPECT_NE(text.find("$var wire 8 \" bus $end"), std::string::npos);
+  EXPECT_NE(text.find("#0\n"), std::string::npos);
+  EXPECT_NE(text.find("1!"), std::string::npos);
+  EXPECT_NE(text.find("b10101011 \""), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(VcdTrace, OnlyChangesAreDumped) {
+  const auto path = temp_vcd("dspcam_vcd_chg.vcd");
+  {
+    VcdTrace trace(path.string());
+    auto s = trace.add_signal("s", 4);
+    trace.sample(s, 1);
+    trace.tick();  // #0: dump
+    trace.sample(s, 1);
+    trace.tick();  // #1: no change, no timestamp
+    trace.sample(s, 2);
+    trace.tick();  // #2: dump
+  }
+  const auto text = slurp(path);
+  EXPECT_NE(text.find("#0\n"), std::string::npos);
+  EXPECT_EQ(text.find("#1\n"), std::string::npos);
+  EXPECT_NE(text.find("#2\n"), std::string::npos);
+  EXPECT_NE(text.find("b0010 !"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(VcdTrace, RegistrationAfterTickRejected) {
+  const auto path = temp_vcd("dspcam_vcd_reg.vcd");
+  VcdTrace trace(path.string());
+  trace.add_signal("x", 1);
+  trace.tick();
+  EXPECT_THROW(trace.add_signal("late", 1), SimError);
+  trace.close();
+  std::filesystem::remove(path);
+}
+
+TEST(VcdTrace, WidthValidation) {
+  const auto path = temp_vcd("dspcam_vcd_w.vcd");
+  VcdTrace trace(path.string());
+  EXPECT_THROW(trace.add_signal("bad", 0), ConfigError);
+  EXPECT_THROW(trace.add_signal("bad", 65), ConfigError);
+  trace.close();
+  std::filesystem::remove(path);
+}
+
+TEST(VcdTrace, TracesALiveCamCell) {
+  // End-to-end: trace a cell's search and check the match edge appears.
+  const auto path = temp_vcd("dspcam_vcd_cell.vcd");
+  {
+    cam::CellConfig cfg;
+    cfg.data_width = 16;
+    cam::CamCell cell(cfg);
+    VcdTrace trace(path.string(), "cam");
+    auto match = trace.add_signal("match", 1);
+    auto valid = trace.add_signal("valid", 1);
+
+    cell.drive_write(0x1234);
+    for (int cyc = 0; cyc < 6; ++cyc) {
+      if (cyc == 1) cell.drive_search(0x1234);
+      cell.eval();
+      cell.commit();
+      trace.sample(match, cell.match() ? 1 : 0);
+      trace.sample(valid, cell.valid() ? 1 : 0);
+      trace.tick();
+    }
+  }
+  const auto text = slurp(path);
+  // match rises exactly once: search issued during cycle 1, key latched at
+  // that cycle's edge, pattern detect at cycle 2's edge -> sampled high at
+  // time 2 (the cell's 2-cycle search latency on the waveform).
+  EXPECT_NE(text.find("#2\n1!"), std::string::npos) << text;
+  std::filesystem::remove(path);
+}
+
+TEST(VcdTrace, ManySignalsGetDistinctIds) {
+  const auto path = temp_vcd("dspcam_vcd_ids.vcd");
+  VcdTrace trace(path.string());
+  std::vector<VcdSignal> sigs;
+  for (int i = 0; i < 200; ++i) {
+    sigs.push_back(trace.add_signal("s" + std::to_string(i), 1));
+  }
+  for (std::size_t i = 0; i < sigs.size(); ++i) trace.sample(sigs[i], i % 2);
+  trace.tick();
+  trace.close();
+  const auto text = slurp(path);
+  EXPECT_NE(text.find("$var wire 1 ! s0 $end"), std::string::npos);
+  // Index 94 rolls over to a two-character identifier: '!' + '"' (base 94).
+  EXPECT_NE(text.find(" !\" s94 $end"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace dspcam::sim

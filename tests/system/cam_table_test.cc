@@ -1,0 +1,124 @@
+#include "src/system/cam_table.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/cam/mask.h"
+#include "src/common/error.h"
+#include "src/common/random.h"
+
+namespace dspcam::system {
+namespace {
+
+CamSystem::Config table_config(unsigned unit_size = 2, unsigned block = 32,
+                               cam::CamKind kind = cam::CamKind::kBinary,
+                               unsigned width = 32) {
+  CamSystem::Config cfg;
+  cfg.unit.block.cell.kind = kind;
+  cfg.unit.block.cell.data_width = width;
+  cfg.unit.block.block_size = block;
+  cfg.unit.block.bus_width = 512;
+  cfg.unit.unit_size = unit_size;
+  cfg.unit.bus_width = 512;
+  return cfg;
+}
+
+TEST(CamTable, InsertLookupErase) {
+  CamTable table(table_config());
+  EXPECT_EQ(table.capacity(), 64u);
+  const auto slot = table.insert(0xABCD);
+  ASSERT_TRUE(slot.has_value());
+  EXPECT_EQ(table.size(), 1u);
+
+  const auto hit = table.lookup(0xABCD);
+  EXPECT_TRUE(hit.hit);
+  EXPECT_EQ(hit.slot, *slot);
+
+  table.erase(*slot);
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_FALSE(table.lookup(0xABCD).hit);
+}
+
+TEST(CamTable, SlotsAreReused) {
+  CamTable table(table_config());
+  const auto a = table.insert(1);
+  table.erase(*a);
+  const auto b = table.insert(2);
+  EXPECT_EQ(*b, *a) << "freed slot reused (LIFO)";
+  EXPECT_TRUE(table.lookup(2).hit);
+  EXPECT_FALSE(table.lookup(1).hit) << "old value replaced, not resurrected";
+}
+
+TEST(CamTable, FillsToCapacityThenRefuses) {
+  CamTable table(table_config(1, 32));  // 32 slots
+  for (unsigned i = 0; i < 32; ++i) {
+    ASSERT_TRUE(table.insert(1000 + i).has_value()) << i;
+  }
+  EXPECT_TRUE(table.full());
+  EXPECT_FALSE(table.insert(9999).has_value());
+  // Erase one, insert again.
+  table.erase(table.lookup(1005).slot);
+  EXPECT_TRUE(table.insert(9999).has_value());
+  EXPECT_TRUE(table.lookup(9999).hit);
+  EXPECT_FALSE(table.lookup(1005).hit);
+}
+
+TEST(CamTable, EraseValidation) {
+  CamTable table(table_config());
+  EXPECT_THROW(table.erase(0), SimError);    // unoccupied
+  EXPECT_THROW(table.erase(999), SimError);  // out of range
+}
+
+TEST(CamTable, ClearEmptiesEverything) {
+  CamTable table(table_config());
+  table.insert(1);
+  table.insert(2);
+  table.clear();
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_FALSE(table.lookup(1).hit);
+  EXPECT_TRUE(table.insert(3).has_value());
+  EXPECT_TRUE(table.lookup(3).hit);
+}
+
+TEST(CamTable, TernaryEntriesWithMasks) {
+  CamTable table(table_config(2, 32, cam::CamKind::kTernary, 16));
+  const auto slot = table.insert(0xAB00, cam::tcam_mask(16, 0x00FF));
+  ASSERT_TRUE(slot.has_value());
+  EXPECT_TRUE(table.lookup(0xAB42).hit);
+  table.erase(*slot);
+  EXPECT_FALSE(table.lookup(0xAB42).hit);
+}
+
+TEST(CamTable, RandomizedChurnAgainstStdMap) {
+  // Long insert/erase/lookup churn versus a software map. Exercises slot
+  // reuse, addressed overwrites, and invalidation interleaving.
+  CamTable table(table_config(2, 32));
+  std::map<cam::Word, std::uint32_t> model;  // value -> slot
+  Rng rng(555);
+  for (int round = 0; round < 300; ++round) {
+    const double dice = rng.next_double();
+    const cam::Word value = rng.next_bits(7);  // small space -> collisions
+    if (dice < 0.40 && !table.full()) {
+      if (model.contains(value)) continue;  // keep values unique in-model
+      const auto slot = table.insert(value);
+      ASSERT_TRUE(slot.has_value());
+      model[value] = *slot;
+    } else if (dice < 0.60 && !model.empty()) {
+      auto it = model.begin();
+      std::advance(it, rng.next_below(model.size()));
+      table.erase(it->second);
+      model.erase(it);
+    } else {
+      const auto got = table.lookup(value);
+      const auto want = model.find(value);
+      ASSERT_EQ(got.hit, want != model.end()) << "round " << round << " value " << value;
+      if (want != model.end()) {
+        ASSERT_EQ(got.slot, want->second);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dspcam::system

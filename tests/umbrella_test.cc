@@ -1,0 +1,25 @@
+// The umbrella header must compile standalone and expose every layer.
+#include "src/dspcam.h"
+
+#include <gtest/gtest.h>
+
+namespace dspcam {
+namespace {
+
+TEST(Umbrella, EveryLayerReachable) {
+  cam::UnitConfig cfg;
+  cfg.block.cell.data_width = 32;
+  cfg.block.block_size = 32;
+  cfg.block.bus_width = 512;
+  cfg.unit_size = 2;
+  cfg.bus_width = 512;
+  cam::CamUnit unit(cfg);
+  EXPECT_EQ(unit.dsp_count(), 64u);
+  EXPECT_GT(model::unit_frequency_mhz(cfg), 0.0);
+  EXPECT_FALSE(codegen::generate_cell_verilog(cfg.block.cell).empty());
+  Rng rng(1);
+  EXPECT_GT(graph::erdos_renyi(10, 9, rng).num_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace dspcam
