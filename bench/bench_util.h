@@ -1,14 +1,102 @@
 // Shared helpers for the table-reproduction bench binaries.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
+#include <fstream>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/cam/unit.h"
 #include "src/common/table.h"
 
 namespace dspcam::bench {
+
+/// Machine-readable bench output: when a harness is invoked with
+/// `--json <path>`, every result row is also appended to <path> as one JSON
+/// object per line (JSON Lines), so sweeps can be diffed and plotted without
+/// scraping the human tables. Without the flag the logger is inert.
+class JsonLog {
+ public:
+  JsonLog() = default;
+
+  /// Parses `--json <path>` out of the command line (other args ignored).
+  static JsonLog from_args(int argc, char** argv) {
+    JsonLog log;
+    for (int i = 1; i + 1 < argc; ++i) {
+      if (std::string(argv[i]) == "--json") {
+        log.path_ = argv[i + 1];
+        break;
+      }
+    }
+    return log;
+  }
+
+  bool enabled() const noexcept { return !path_.empty(); }
+
+  /// One result row under construction; fields keep insertion order.
+  class Row {
+   public:
+    explicit Row(std::string bench) { str("bench", std::move(bench)); }
+    Row& str(const std::string& key, const std::string& value) {
+      fields_.emplace_back(key, "\"" + escape(value) + "\"");
+      return *this;
+    }
+    Row& num(const std::string& key, double value) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.6g", value);
+      fields_.emplace_back(key, buf);
+      return *this;
+    }
+    Row& num(const std::string& key, std::uint64_t value) {
+      fields_.emplace_back(key, std::to_string(value));
+      return *this;
+    }
+    Row& boolean(const std::string& key, bool value) {
+      fields_.emplace_back(key, value ? "true" : "false");
+      return *this;
+    }
+    std::string to_json() const {
+      std::string out = "{";
+      for (std::size_t i = 0; i < fields_.size(); ++i) {
+        if (i != 0) out += ", ";
+        out += "\"" + escape(fields_[i].first) + "\": " + fields_[i].second;
+      }
+      return out + "}";
+    }
+
+   private:
+    static std::string escape(const std::string& s) {
+      std::string out;
+      out.reserve(s.size());
+      for (const char c : s) {
+        if (c == '"' || c == '\\') out += '\\';
+        if (c == '\n') {
+          out += "\\n";
+        } else {
+          out += c;
+        }
+      }
+      return out;
+    }
+    std::vector<std::pair<std::string, std::string>> fields_;
+  };
+
+  /// Appends one row (no-op when --json was not given). The file is
+  /// truncated on the first emit of the process, appended after.
+  void emit(const Row& row) {
+    if (!enabled()) return;
+    std::ofstream out(path_, opened_ ? std::ios::app : std::ios::trunc);
+    opened_ = true;
+    out << row.to_json() << "\n";
+  }
+
+ private:
+  std::string path_;
+  bool opened_ = false;
+};
 
 /// Prints a section banner.
 inline void banner(const std::string& title) {

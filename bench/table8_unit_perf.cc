@@ -15,8 +15,9 @@
 
 using namespace dspcam;
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("Table VIII: CAM performance for 32-bit data (paper in parentheses)");
+  auto json = bench::JsonLog::from_args(argc, argv);
 
   struct PaperRow {
     unsigned entries;
@@ -69,6 +70,15 @@ int main() {
                bench::vs_paper(TextTable::num(rates.search_mops, 0),
                                TextTable::num(std::uint64_t{row.srch_mops})),
                TextTable::num(ii, 2)});
+    json.emit(bench::JsonLog::Row("table8_unit_perf")
+                  .num("entries", std::uint64_t{row.entries})
+                  .num("update_latency_cycles", std::uint64_t{upd_lat})
+                  .num("search_latency_cycles", std::uint64_t{srch_lat})
+                  .num("update_mops", rates.update_mops)
+                  .num("search_mops", rates.search_mops)
+                  .num("search_ii", ii)
+                  .num("paper_update_latency_cycles", std::uint64_t{row.update})
+                  .num("paper_search_latency_cycles", std::uint64_t{row.search}));
   }
   std::printf("%s\n", t.to_string().c_str());
   std::printf(

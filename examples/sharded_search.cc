@@ -1,0 +1,78 @@
+// Scaling past one CAM unit: a ShardedCamEngine spreads the key space over
+// S independent backends behind the ordinary CamBackend interface, and the
+// async CamDriver keeps every shard's pipeline busy with ticketed batches.
+//
+// The same code path drives S = 1 (a plain unit) and S = 4 (four units in
+// lockstep); the only observable differences are capacity, aggregate lanes,
+// and cycles per key.
+#include <cstdio>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/system/driver.h"
+#include "src/system/sharded_engine.h"
+
+using namespace dspcam;
+
+namespace {
+
+system::CamSystem::Config unit_config() {
+  system::CamSystem::Config cfg;
+  cfg.unit.block.cell.data_width = 32;
+  cfg.unit.block.block_size = 32;
+  cfg.unit.unit_size = 4;  // 128 entries per shard
+  cfg.unit.block.bus_width = 512;
+  cfg.unit.bus_width = 512;
+  return cfg;
+}
+
+void run(unsigned shards) {
+  system::ShardedCamEngine::Config ecfg;
+  ecfg.shards = shards;
+  ecfg.partition = system::ShardedCamEngine::Partition::kHash;
+  system::ShardedCamEngine engine(ecfg, unit_config());
+  system::CamDriver drv(engine);
+
+  std::printf("S = %u: capacity %u entries, %u search lanes per beat\n",
+              shards, engine.capacity(), engine.max_keys_per_beat());
+
+  // Fill half the table, then stream 2048 lookups through the async path:
+  // submit_async() hands back a ticket immediately, drain() runs the clock
+  // until every ticket completes.
+  Rng rng(7);
+  std::vector<cam::Word> words(engine.capacity() / 2);
+  for (auto& w : words) w = rng.next_bits(16);
+  drv.store(words);
+
+  const auto start = drv.cycles();
+  constexpr unsigned kKeys = 2048;
+  for (unsigned i = 0; i < kKeys; ++i) {
+    cam::UnitRequest req;
+    req.op = cam::OpKind::kSearch;
+    req.keys = {words[i % words.size()]};
+    drv.submit_async(std::move(req));
+  }
+  drv.drain();
+
+  unsigned hits = 0;
+  while (auto c = drv.try_pop_completion()) {
+    for (const auto& r : c->results) hits += r.hit;
+  }
+  const auto cycles = drv.cycles() - start;
+  std::printf("  %u/%u hits in %llu cycles -> %.2f keys/cycle\n\n", hits,
+              kKeys, static_cast<unsigned long long>(cycles),
+              static_cast<double>(kKeys) / static_cast<double>(cycles));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Sharded CAM search: same driver code, one unit vs four\n\n");
+  run(1);
+  run(4);
+  std::printf(
+      "Hash partitioning routes each key to one shard, so the four units\n"
+      "answer disjoint slices of the stream concurrently - the aggregate\n"
+      "rate approaches S keys per cycle as the stream load-balances.\n");
+  return 0;
+}

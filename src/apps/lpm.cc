@@ -42,6 +42,21 @@ LpmTable::LpmTable() : LpmTable(default_config()) {}
 LpmTable::LpmTable(const Config& cfg)
     : cfg_(cfg), driver_(validated(cfg)), slots_(33ull * cfg.slots_per_length) {}
 
+LpmTable::LpmTable(system::CamBackend& backend, unsigned slots_per_length)
+    : driver_(backend), slots_(33ull * slots_per_length) {
+  cfg_.slots_per_length = slots_per_length;
+  if (backend.kind() != cam::CamKind::kTernary || backend.data_width() != 32) {
+    throw ConfigError("LpmTable: needs a 32-bit ternary CAM backend");
+  }
+  driver_.configure_groups(1);  // slot index == global match address
+  driver_.reset();
+  if (slots_per_length == 0 ||
+      33ull * slots_per_length > driver_.backend().capacity()) {
+    throw ConfigError("LpmTable: CAM too small for 33 x " +
+                      std::to_string(slots_per_length) + " slots");
+  }
+}
+
 std::optional<unsigned> LpmTable::find_route(std::uint32_t prefix, unsigned len) const {
   const unsigned base = region_base(len);
   for (unsigned s = base; s < base + cfg_.slots_per_length; ++s) {
@@ -63,26 +78,12 @@ bool LpmTable::add_route(std::uint32_t prefix, unsigned len, std::uint32_t next_
   while (slot < base + cfg_.slots_per_length && slots_[slot].occupied) ++slot;
   if (slot == base + cfg_.slots_per_length) return false;  // region full
 
-  cam::UnitRequest req;
-  req.op = cam::OpKind::kUpdate;
-  req.words = {canonical};
-  req.masks = {cam::tcam_mask(32, low_bits(32 - len))};  // host bits don't-care
-  req.address = slot;
-  auto& sys = driver_.system();
-  while (!sys.try_submit(req)) {
-    sys.eval();
-    sys.commit();
-  }
-  for (unsigned guard = 0; guard < 256; ++guard) {
-    sys.eval();
-    sys.commit();
-    if (sys.try_pop_ack().has_value()) {
-      slots_[slot] = Slot{true, canonical, len, next_hop};
-      ++routes_;
-      return true;
-    }
-  }
-  throw SimError("LpmTable: route install ack never arrived");
+  // Blocking on the ack orders a following lookup behind the install.
+  driver_.store_at(slot, canonical,
+                   cam::tcam_mask(32, low_bits(32 - len)));  // host bits don't-care
+  slots_[slot] = Slot{true, canonical, len, next_hop};
+  ++routes_;
+  return true;
 }
 
 bool LpmTable::remove_route(std::uint32_t prefix, unsigned len) {
@@ -92,24 +93,10 @@ bool LpmTable::remove_route(std::uint32_t prefix, unsigned len) {
   const auto slot = find_route(canonical, len);
   if (!slot.has_value()) return false;
 
-  cam::UnitRequest req;
-  req.op = cam::OpKind::kInvalidate;
-  req.address = *slot;
-  auto& sys = driver_.system();
-  while (!sys.try_submit(req)) {
-    sys.eval();
-    sys.commit();
-  }
-  for (unsigned guard = 0; guard < 256; ++guard) {
-    sys.eval();
-    sys.commit();
-    if (sys.try_pop_ack().has_value()) {
-      slots_[*slot] = Slot{};
-      --routes_;
-      return true;
-    }
-  }
-  throw SimError("LpmTable: route removal ack never arrived");
+  driver_.invalidate_at(*slot);
+  slots_[*slot] = Slot{};
+  --routes_;
+  return true;
 }
 
 std::optional<std::uint32_t> LpmTable::lookup(std::uint32_t address) {

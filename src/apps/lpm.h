@@ -35,6 +35,11 @@ class LpmTable {
   LpmTable();  // default Config (a 2K-entry ternary unit)
   explicit LpmTable(const Config& cfg);
 
+  /// Borrows any ternary 32-bit CamBackend (e.g. a BRAM-family baseline or
+  /// a sharded engine); the backend is reconfigured to one group and
+  /// cleared. `slots_per_length` regions must fit its capacity.
+  LpmTable(system::CamBackend& backend, unsigned slots_per_length);
+
   /// Installs prefix/len -> next_hop. Returns false if the length's region
   /// is full or the route already exists (update it by remove + add).
   bool add_route(std::uint32_t prefix, unsigned len, std::uint32_t next_hop);

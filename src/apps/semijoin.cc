@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "src/common/error.h"
+#include "src/system/driver.h"
 
 namespace dspcam::apps {
 
@@ -49,6 +50,59 @@ SemiJoinResult CamSemiJoin::run(std::span<const std::uint32_t> build,
     r.cycles += load + probe_cycles;
   }
   r.cycles += cfg_.pipeline_fill;
+  return r;
+}
+
+SemiJoinResult run_semijoin_on_backend(system::CamBackend& backend,
+                                       std::span<const std::uint32_t> build,
+                                       std::span<const std::uint32_t> probe,
+                                       double freq_mhz) {
+  system::CamDriver driver(backend);
+  driver.configure_groups(1);
+  driver.reset();
+
+  SemiJoinResult r;
+  r.freq_mhz = freq_mhz;
+  const std::uint64_t start = driver.cycles();
+
+  // Deduplicate the build side so a probe row matches in exactly one
+  // partition pass.
+  std::unordered_set<std::uint32_t> seen;
+  std::vector<cam::Word> keys;
+  keys.reserve(build.size());
+  for (const auto key : build) {
+    if (seen.insert(key).second) keys.push_back(key);
+  }
+
+  const std::size_t cap = std::max<std::size_t>(backend.capacity(), 1);
+  const std::size_t per_beat =
+      std::max<std::size_t>(backend.max_keys_per_beat(), 1);
+  std::size_t lo = 0;
+  do {
+    const std::size_t len = std::min(cap, keys.size() - lo);
+    driver.reset();  // drop the previous partition
+    driver.store(std::span<const cam::Word>(keys.data() + lo, len));
+
+    // Probe replay: pipelined multi-key search beats.
+    std::size_t pos = 0;
+    while (pos < probe.size()) {
+      const std::size_t n = std::min(per_beat, probe.size() - pos);
+      cam::UnitRequest req;
+      req.op = cam::OpKind::kSearch;
+      for (std::size_t i = 0; i < n; ++i) req.keys.push_back(probe[pos + i]);
+      driver.submit_async(std::move(req));
+      pos += n;
+    }
+    driver.drain();
+    while (auto c = driver.try_pop_completion()) {
+      for (const auto& res : c->results) {
+        if (res.hit) ++r.matches;
+      }
+    }
+    lo += len;
+  } while (lo < keys.size());
+
+  r.cycles = driver.cycles() - start;
   return r;
 }
 

@@ -22,6 +22,7 @@
 #include <span>
 #include <vector>
 
+#include "src/system/backend.h"
 #include "src/tc/cam_accel.h"
 #include "src/tc/memory_model.h"
 
@@ -49,6 +50,17 @@ class CamSemiJoin {
  private:
   tc::CamTcAccelerator::Config cfg_;
 };
+
+/// Executes the semi-join on a real cycle-stepped CamBackend via the async
+/// driver (instead of the analytic cost model): build keys are deduplicated
+/// and loaded in partition passes sized to the backend capacity; the probe
+/// column streams through as pipelined multi-key search beats. `matches` is
+/// exact; `cycles` is the backend clock consumed. Works with the DSP
+/// CamSystem, the LUT/BRAM baseline backends, and the sharded engine.
+SemiJoinResult run_semijoin_on_backend(system::CamBackend& backend,
+                                       std::span<const std::uint32_t> build,
+                                       std::span<const std::uint32_t> probe,
+                                       double freq_mhz = 0.0);
 
 /// Hash-table baseline engine.
 class HashSemiJoin {

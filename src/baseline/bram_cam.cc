@@ -9,7 +9,10 @@
 namespace dspcam::baseline {
 
 BramCam::BramCam(const Config& cfg)
-    : cfg_(cfg), values_(cfg.entries, 0), valid_(cfg.entries, false) {
+    : cfg_(cfg),
+      values_(cfg.entries, 0),
+      masks_(cfg.entries, 0),
+      valid_(cfg.entries, false) {
   if (cfg_.entries == 0) throw ConfigError("BramCam: zero entries");
   if (cfg_.width == 0) throw ConfigError("BramCam: zero width");
   if (cfg_.chunk_bits < 5 || cfg_.chunk_bits > 12) {
@@ -17,11 +20,17 @@ BramCam::BramCam(const Config& cfg)
   }
 }
 
-unsigned BramCam::update(std::uint32_t index, std::uint64_t value) {
+unsigned BramCam::update(std::uint32_t index, std::uint64_t value, std::uint64_t mask) {
   if (index >= cfg_.entries) throw SimError("BramCam: index out of range");
   values_[index] = value;
+  masks_[index] = mask;
   valid_[index] = true;
   return update_latency();
+}
+
+void BramCam::invalidate(std::uint32_t index) {
+  if (index >= cfg_.entries) throw SimError("BramCam: index out of range");
+  valid_[index] = false;
 }
 
 BramCam::OpResult BramCam::search(std::uint64_t key) const {
@@ -29,7 +38,7 @@ BramCam::OpResult BramCam::search(std::uint64_t key) const {
   r.cycles = search_latency();
   const unsigned w = std::min(cfg_.width, 64u);
   for (std::uint32_t i = 0; i < cfg_.entries; ++i) {
-    if (valid_[i] && truncate(values_[i] ^ key, w) == 0) {
+    if (valid_[i] && truncate((values_[i] ^ key) & ~masks_[i], w) == 0) {
       r.hit = true;
       r.index = i;
       return r;

@@ -41,8 +41,13 @@ class BramCam {
     unsigned cycles = 0;
   };
 
-  /// Writes `value` at `index`; returns the update latency.
-  unsigned update(std::uint32_t index, std::uint64_t value);
+  /// Writes `value` at `index` with optional per-entry don't-care `mask`
+  /// (mask bit 1 ignores that key bit - the HP-TCAM ternary presence
+  /// encoding); returns the update latency.
+  unsigned update(std::uint32_t index, std::uint64_t value, std::uint64_t mask = 0);
+
+  /// Clears the valid flag at `index` (single-cycle: one column clear).
+  void invalidate(std::uint32_t index);
 
   /// Searches for `key`; 5-cycle latency (2 BRAM read + AND + encode + out).
   OpResult search(std::uint64_t key) const;
@@ -62,6 +67,7 @@ class BramCam {
  private:
   Config cfg_;
   std::vector<std::uint64_t> values_;
+  std::vector<std::uint64_t> masks_;
   std::vector<bool> valid_;
 };
 

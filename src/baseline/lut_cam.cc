@@ -28,6 +28,11 @@ unsigned LutTcam::update(std::uint32_t index, std::uint64_t value, std::uint64_t
   return update_latency();
 }
 
+void LutTcam::invalidate(std::uint32_t index) {
+  if (index >= cfg_.entries) throw SimError("LutTcam: index out of range");
+  valid_[index] = false;
+}
+
 LutTcam::OpResult LutTcam::search(std::uint64_t key) const {
   OpResult r;
   r.cycles = search_latency();

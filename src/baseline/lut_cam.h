@@ -44,6 +44,9 @@ class LutTcam {
   /// (2^chunk_bits row rewrites + fixed control overhead).
   unsigned update(std::uint32_t index, std::uint64_t value, std::uint64_t mask = 0);
 
+  /// Clears the valid flag at `index` (single-cycle: one column clear).
+  void invalidate(std::uint32_t index);
+
   /// Searches for `key`; pipelined, 2-cycle latency.
   OpResult search(std::uint64_t key) const;
 

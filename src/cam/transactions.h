@@ -22,6 +22,8 @@ struct QueryTag {
   std::uint64_t seq = 0;      ///< Issue sequence number.
   std::uint16_t key_index = 0;///< Which key of a multi-query bundle.
   std::uint16_t group = 0;    ///< CAM group the key was routed to.
+  std::uint16_t shard = 0;    ///< Engine shard the operation was routed to
+                              ///< (0 for unsharded deployments).
 
   bool operator==(const QueryTag&) const = default;
 };
@@ -94,6 +96,7 @@ struct UnitSearchResult {
   std::uint32_t global_address = 0;  ///< block_id * block_size + cell index.
   std::uint32_t match_count = 0;     ///< Aggregated across the group's blocks.
   std::uint16_t group = 0;
+  std::uint16_t shard = 0;  ///< Shard that answered (engine deployments).
 };
 
 /// A completed unit-level search beat (all keys of one request).

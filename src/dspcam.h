@@ -54,10 +54,14 @@
 // RTL generation (the paper's template flow).
 #include "src/codegen/verilog.h"
 
-// System integration: interface FIFOs, host driver, entry management.
+// System integration: the backend interface, engines, async host driver,
+// multi-unit sharding, entry management.
+#include "src/system/backend.h"
+#include "src/system/baseline_backend.h"
 #include "src/system/cam_system.h"
 #include "src/system/cam_table.h"
 #include "src/system/driver.h"
+#include "src/system/sharded_engine.h"
 
 // Graph substrate and the triangle-counting case study.
 #include "src/graph/builder.h"

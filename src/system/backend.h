@@ -1,0 +1,111 @@
+// Backend abstraction for the system scaling layer.
+//
+// Every CAM storage engine in this library - the paper's DSP unit behind its
+// bus FIFOs (CamSystem), the LUT/BRAM baseline families (baseline_backend.h)
+// and the multi-unit ShardedCamEngine - speaks the same cycle-stepped
+// submit / poll-response / poll-ack protocol. Hosts, the async CamDriver,
+// and the applications (CamTable, LpmTable, SemiJoin, the TC flow) target
+// this interface only, so any backend can be dropped behind any consumer:
+// the integration seam that backend-specific APIs ("ad-hoc wrapper per CAM
+// family") otherwise turn into a porting project.
+//
+// Contract:
+//  - try_submit() either accepts the whole request or rejects it leaving all
+//    state untouched (AXI-stream style; the host retries after step()).
+//  - step() advances exactly one clock cycle. Responses/acks become poppable
+//    no earlier than the backend's modelled latency allows.
+//  - Search responses and update acks each pop in issue order.
+//  - kReset clears contents; it produces no ack (poll idle() instead).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+#include "src/cam/transactions.h"
+#include "src/cam/types.h"
+#include "src/model/resources.h"
+
+namespace dspcam::system {
+
+/// Abstract cycle-stepped CAM engine.
+class CamBackend {
+ public:
+  /// Cycle/throughput counters every backend aggregates the same way.
+  struct Stats {
+    std::uint64_t cycles = 0;
+    std::uint64_t issued = 0;        ///< Requests entering the datapath.
+    std::uint64_t stall_cycles = 0;  ///< Cycles a ready request was held back.
+    std::uint64_t responses = 0;
+    std::uint64_t acks = 0;
+
+    Stats& operator+=(const Stats& o) {
+      cycles = std::max(cycles, o.cycles);  // shards tick in lockstep
+      issued += o.issued;
+      stall_cycles += o.stall_cycles;
+      responses += o.responses;
+      acks += o.acks;
+      return *this;
+    }
+  };
+
+  virtual ~CamBackend() = default;
+
+  // --- Geometry / capabilities. ---
+
+  /// Stored-entry width in bits.
+  virtual unsigned data_width() const = 0;
+
+  /// Cell matching behaviour (binary / ternary / range).
+  virtual cam::CamKind kind() const = 0;
+
+  /// Entries the backend can hold (per replicated group for the DSP unit).
+  virtual unsigned capacity() const = 0;
+
+  /// Update words accepted per request beat.
+  virtual unsigned words_per_beat() const = 0;
+
+  /// Search keys accepted per request beat at the current configuration.
+  virtual unsigned max_keys_per_beat() const = 0;
+
+  /// Largest group count configure_groups() accepts (1 = fixed single-group).
+  virtual unsigned max_groups() const { return 1; }
+
+  /// Reconfigures multi-query grouping; requires idle, clears contents.
+  /// Backends without grouping accept only m == 1.
+  virtual void configure_groups(unsigned m) = 0;
+
+  // --- Host-side request/response protocol. ---
+
+  /// Enqueues a request; returns false (dropping nothing) when the backend
+  /// cannot accept it this cycle - the host must retry.
+  virtual bool try_submit(cam::UnitRequest request) = 0;
+
+  /// Pops the oldest completed search response, if any.
+  virtual std::optional<cam::UnitResponse> try_pop_response() = 0;
+
+  /// Pops the oldest update/invalidate acknowledgement, if any.
+  virtual std::optional<cam::UnitUpdateAck> try_pop_ack() = 0;
+
+  /// True when try_submit would currently refuse every request.
+  virtual bool request_full() const = 0;
+
+  /// Requests accepted but not yet issued into the datapath.
+  virtual std::size_t pending_requests() const = 0;
+
+  // --- Clocking. ---
+
+  /// Advances one clock cycle.
+  virtual void step() = 0;
+
+  /// True when nothing is queued or in flight anywhere in the backend.
+  virtual bool idle() const = 0;
+
+  // --- Reporting. ---
+
+  virtual Stats stats() const = 0;
+  virtual model::ResourceUsage resources() const = 0;
+};
+
+}  // namespace dspcam::system

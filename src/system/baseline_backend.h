@@ -1,0 +1,237 @@
+// Cycle-model CamBackend wrappers over the LUT/BRAM baseline CAMs.
+//
+// The baseline families (src/baseline/) are behavioral models with latency
+// *constants*; this wrapper turns them into cycle-stepped engines speaking
+// the CamBackend protocol so they can sit behind the async driver, the
+// sharded engine, and every application - the apples-to-apples harness the
+// survey comparisons need.
+//
+// Cycle model (faithful to the families' published behaviour):
+//  - One request FIFO in front of a single op engine.
+//  - Searches pipeline at II = 1 with the family's fixed search latency; a
+//    beat carrying k keys serialises over the single match port (k issue
+//    cycles).
+//  - An update BLOCKS the engine for words * update_latency cycles (the
+//    2^chunk_bits row-rewrite cost that defines the LUT/BRAM families);
+//    searches stall behind it - exactly the update-throughput weakness the
+//    paper's DSP CAM removes.
+//  - Appends follow a fill pointer; addressed update / invalidate use the
+//    same extension semantics as the DSP unit.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "src/baseline/bram_cam.h"
+#include "src/baseline/lut_cam.h"
+#include "src/common/error.h"
+#include "src/sim/fifo.h"
+#include "src/system/backend.h"
+
+namespace dspcam::system {
+
+/// Cycle-stepped CamBackend over a behavioral baseline model (LutTcam or
+/// BramCam - anything with update/invalidate/search/reset and the latency
+/// constants).
+template <typename Model>
+class BehavioralCamBackend : public CamBackend {
+ public:
+  struct Config {
+    typename Model::Config model;
+    cam::CamKind kind = cam::CamKind::kBinary;  ///< Matching mode reported.
+    std::size_t request_fifo_depth = 64;
+  };
+
+  explicit BehavioralCamBackend(const Config& cfg)
+      : cfg_(cfg), model_(cfg.model), request_fifo_(cfg.request_fifo_depth) {}
+
+  const Config& config() const noexcept { return cfg_; }
+  Model& model() noexcept { return model_; }
+
+  // --- CamBackend geometry. ---
+
+  unsigned data_width() const override { return cfg_.model.width; }
+  cam::CamKind kind() const override { return cfg_.kind; }
+  unsigned capacity() const override { return cfg_.model.entries; }
+  unsigned words_per_beat() const override { return 1; }  ///< Serial update port.
+  unsigned max_keys_per_beat() const override { return 1; }  ///< Single match port.
+
+  void configure_groups(unsigned m) override {
+    if (m != 1) {
+      throw ConfigError("BehavioralCamBackend: baseline CAMs have no groups");
+    }
+    if (!idle()) {
+      throw SimError("BehavioralCamBackend: configure_groups requires idle");
+    }
+    model_.reset();
+    fill_ = 0;
+  }
+
+  // --- Protocol. ---
+
+  bool try_submit(cam::UnitRequest request) override {
+    if (request_fifo_.full()) return false;
+    request_fifo_.push(std::move(request));
+    return true;
+  }
+
+  std::optional<cam::UnitResponse> try_pop_response() override {
+    if (responses_.empty() || responses_.front().ready > stats_.cycles) {
+      return std::nullopt;
+    }
+    auto resp = std::move(responses_.front().payload);
+    responses_.pop_front();
+    return resp;
+  }
+
+  std::optional<cam::UnitUpdateAck> try_pop_ack() override {
+    if (acks_.empty() || acks_.front().ready > stats_.cycles) return std::nullopt;
+    auto ack = acks_.front().payload;
+    acks_.pop_front();
+    return ack;
+  }
+
+  bool request_full() const override { return request_fifo_.full(); }
+  std::size_t pending_requests() const override { return request_fifo_.size(); }
+
+  void step() override {
+    const std::uint64_t now = stats_.cycles;
+    if (!request_fifo_.empty()) {
+      if (now >= engine_free_at_) {
+        issue(request_fifo_.pop(), now);
+        ++stats_.issued;
+      } else {
+        ++stats_.stall_cycles;
+      }
+    }
+    ++stats_.cycles;
+  }
+
+  bool idle() const override {
+    const std::uint64_t now = stats_.cycles;
+    return request_fifo_.empty() && engine_free_at_ <= now &&
+           (responses_.empty() || responses_.back().ready <= now) &&
+           (acks_.empty() || acks_.back().ready <= now);
+  }
+
+  // --- Reporting. ---
+
+  Stats stats() const override { return stats_; }
+  model::ResourceUsage resources() const override { return model_.resources(); }
+
+  /// Representative clock of the underlying family (for throughput math).
+  double frequency_mhz() const { return model_.frequency_mhz(); }
+
+ private:
+  template <typename T>
+  struct Timed {
+    std::uint64_t ready = 0;
+    T payload;
+  };
+
+  void issue(cam::UnitRequest req, std::uint64_t now) {
+    switch (req.op) {
+      case cam::OpKind::kSearch: {
+        cam::UnitResponse resp;
+        resp.seq = req.seq;
+        for (const cam::Word key : req.keys) {
+          const auto res = model_.search(key);
+          cam::UnitSearchResult r;
+          r.key = key;
+          r.hit = res.hit;
+          r.global_address = res.index;
+          r.match_count = res.hit ? 1 : 0;
+          resp.results.push_back(r);
+        }
+        // k keys serialise over the single match port: the engine frees
+        // after k issue slots and the bundled response completes with the
+        // last key.
+        const std::uint64_t k =
+            req.keys.empty() ? 1 : static_cast<std::uint64_t>(req.keys.size());
+        engine_free_at_ = now + k;
+        responses_.push_back({now + (k - 1) + Model::search_latency(),
+                              std::move(resp)});
+        ++stats_.responses;
+        break;
+      }
+      case cam::OpKind::kUpdate: {
+        cam::UnitUpdateAck ack;
+        ack.seq = req.seq;
+        std::uint64_t busy = 0;
+        for (std::size_t i = 0; i < req.words.size(); ++i) {
+          std::uint32_t slot;
+          if (req.address.has_value()) {
+            slot = *req.address + static_cast<std::uint32_t>(i);
+            if (slot >= cfg_.model.entries) break;
+          } else {
+            if (fill_ >= cfg_.model.entries) break;
+            slot = fill_++;
+          }
+          const std::uint64_t mask = i < req.masks.size() ? req.masks[i] : 0;
+          busy += model_.update(slot, req.words[i], mask);
+          ++ack.words_written;
+        }
+        ack.unit_full = !req.address.has_value() && fill_ >= cfg_.model.entries;
+        engine_free_at_ = now + std::max<std::uint64_t>(busy, 1);
+        acks_.push_back({engine_free_at_, ack});
+        ++stats_.acks;
+        break;
+      }
+      case cam::OpKind::kInvalidate: {
+        if (req.address.has_value() && *req.address < cfg_.model.entries) {
+          model_.invalidate(*req.address);
+        }
+        cam::UnitUpdateAck ack;
+        ack.seq = req.seq;
+        engine_free_at_ = now + 1;
+        acks_.push_back({engine_free_at_, ack});
+        ++stats_.acks;
+        break;
+      }
+      case cam::OpKind::kReset:
+        model_.reset();
+        fill_ = 0;
+        engine_free_at_ = now + 1;
+        break;
+      case cam::OpKind::kIdle:
+        break;
+    }
+  }
+
+  Config cfg_;
+  Model model_;
+  sim::Fifo<cam::UnitRequest> request_fifo_;
+  std::uint64_t engine_free_at_ = 0;
+  std::uint32_t fill_ = 0;  ///< Append fill pointer (addressed ops skip it).
+  std::deque<Timed<cam::UnitResponse>> responses_;
+  std::deque<Timed<cam::UnitUpdateAck>> acks_;
+  Stats stats_;
+};
+
+/// LUTRAM-family backend (ternary by construction: per-entry masks).
+using LutCamBackend = BehavioralCamBackend<baseline::LutTcam>;
+
+/// BRAM-family backend (binary by default; configure kind = kTernary to use
+/// the HP-TCAM-style per-entry masks).
+using BramCamBackend = BehavioralCamBackend<baseline::BramCam>;
+
+/// Convenience factories with the family's idiomatic defaults.
+inline LutCamBackend::Config lut_backend_config(unsigned entries, unsigned width) {
+  LutCamBackend::Config cfg;
+  cfg.model.entries = entries;
+  cfg.model.width = width;
+  cfg.kind = cam::CamKind::kTernary;
+  return cfg;
+}
+
+inline BramCamBackend::Config bram_backend_config(unsigned entries, unsigned width,
+                                                  cam::CamKind kind = cam::CamKind::kBinary) {
+  BramCamBackend::Config cfg;
+  cfg.model.entries = entries;
+  cfg.model.width = width;
+  cfg.kind = kind;
+  return cfg;
+}
+
+}  // namespace dspcam::system

@@ -1,5 +1,7 @@
 #include "src/system/cam_system.h"
 
+#include "src/common/error.h"
+
 namespace dspcam::system {
 
 CamSystem::CamSystem(const Config& cfg)
@@ -70,6 +72,13 @@ void CamSystem::commit() {
     --updates_in_flight_;
     ++stats_.acks;
   }
+}
+
+void CamSystem::configure_groups(unsigned m) {
+  if (!idle()) {
+    throw SimError("CamSystem: configure_groups requires an idle system");
+  }
+  unit_.configure_groups(m);
 }
 
 model::ResourceUsage CamSystem::resources() const {

@@ -22,11 +22,12 @@
 #include "src/model/resources.h"
 #include "src/sim/component.h"
 #include "src/sim/fifo.h"
+#include "src/system/backend.h"
 
 namespace dspcam::system {
 
 /// The CAM unit plus its bus-interface FIFOs.
-class CamSystem : public sim::Component {
+class CamSystem : public sim::Component, public CamBackend {
  public:
   struct Config {
     cam::UnitConfig unit;
@@ -45,31 +46,46 @@ class CamSystem : public sim::Component {
 
   /// Enqueues a request; returns false (and drops nothing) when the request
   /// FIFO is full - the host must retry, exactly like a full AXI stream.
-  bool try_submit(cam::UnitRequest request);
+  bool try_submit(cam::UnitRequest request) override;
 
   /// Pops the oldest completed search response, if any.
-  std::optional<cam::UnitResponse> try_pop_response();
+  std::optional<cam::UnitResponse> try_pop_response() override;
 
   /// Pops the oldest update acknowledgement, if any.
-  std::optional<cam::UnitUpdateAck> try_pop_ack();
+  std::optional<cam::UnitUpdateAck> try_pop_ack() override;
 
   bool request_fifo_full() const noexcept { return request_fifo_.full(); }
-  std::size_t pending_requests() const noexcept { return request_fifo_.size(); }
+  bool request_full() const override { return request_fifo_.full(); }
+  std::size_t pending_requests() const override { return request_fifo_.size(); }
+
+  // --- CamBackend geometry / clocking. ---
+
+  unsigned data_width() const override { return cfg_.unit.block.cell.data_width; }
+  cam::CamKind kind() const override { return cfg_.unit.block.cell.kind; }
+  unsigned capacity() const override { return unit_.capacity_per_group(); }
+  unsigned words_per_beat() const override { return cfg_.unit.words_per_beat(); }
+  unsigned max_keys_per_beat() const override { return unit_.groups(); }
+  unsigned max_groups() const override { return cfg_.unit.unit_size; }
+
+  /// Forwards to the unit; requires the whole system to be idle.
+  void configure_groups(unsigned m) override;
+
+  /// One clock cycle (eval + commit).
+  void step() override {
+    eval();
+    commit();
+  }
+
+  /// No queued requests and nothing in the unit's pipelines.
+  bool idle() const override { return request_fifo_.empty() && unit_.idle(); }
 
   // --- Statistics. ---
 
-  struct Stats {
-    std::uint64_t cycles = 0;
-    std::uint64_t issued = 0;           ///< Beats entering the unit.
-    std::uint64_t stall_cycles = 0;     ///< Beats held back by backpressure.
-    std::uint64_t responses = 0;
-    std::uint64_t acks = 0;
-  };
-  const Stats& stats() const noexcept { return stats_; }
+  Stats stats() const override { return stats_; }
 
   /// Full-system resource estimate: the unit plus the interface FIFOs
   /// (Table I's system row).
-  model::ResourceUsage resources() const;
+  model::ResourceUsage resources() const override;
 
   void eval() override;
   void commit() override;

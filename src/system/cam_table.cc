@@ -14,9 +14,20 @@ CamSystem::Config single_group(CamSystem::Config cfg) {
 }  // namespace
 
 CamTable::CamTable(const CamSystem::Config& cfg)
-    : driver_(single_group(cfg)),
-      capacity_(driver_.system().unit().capacity_per_group()),
-      occupied_(capacity_, false) {
+    : driver_(single_group(cfg)), capacity_(driver_.backend().capacity()) {
+  init_slots();
+}
+
+CamTable::CamTable(CamBackend& backend) : driver_(backend) {
+  driver_.configure_groups(1);
+  driver_.reset();
+  capacity_ = driver_.backend().capacity();
+  init_slots();
+}
+
+void CamTable::init_slots() {
+  occupied_.assign(capacity_, false);
+  free_slots_.clear();
   free_slots_.reserve(capacity_);
   for (unsigned s = capacity_; s > 0; --s) free_slots_.push_back(s - 1);
 }
@@ -27,52 +38,21 @@ std::optional<std::uint32_t> CamTable::insert(cam::Word value,
   const std::uint32_t slot = free_slots_.back();
   free_slots_.pop_back();
 
-  cam::UnitRequest req;
-  req.op = cam::OpKind::kUpdate;
-  req.words = {value};
-  if (mask.has_value()) req.masks = {*mask};
-  req.address = slot;
-  auto& sys = driver_.system();
-  while (!sys.try_submit(req)) {
-    sys.eval();
-    sys.commit();
-  }
-  // Wait for the ack so a following lookup is ordered behind the write.
-  for (unsigned guard = 0; guard < 256; ++guard) {
-    sys.eval();
-    sys.commit();
-    if (sys.try_pop_ack().has_value()) {
-      occupied_[slot] = true;
-      ++used_;
-      return slot;
-    }
-  }
-  throw SimError("CamTable: insert ack never arrived");
+  // Blocking on the ack orders a following lookup behind the write.
+  driver_.store_at(slot, value, mask);
+  occupied_[slot] = true;
+  ++used_;
+  return slot;
 }
 
 void CamTable::erase(std::uint32_t slot) {
   if (slot >= capacity_ || !occupied_[slot]) {
     throw SimError("CamTable: erase of an unoccupied slot");
   }
-  cam::UnitRequest req;
-  req.op = cam::OpKind::kInvalidate;
-  req.address = slot;
-  auto& sys = driver_.system();
-  while (!sys.try_submit(req)) {
-    sys.eval();
-    sys.commit();
-  }
-  for (unsigned guard = 0; guard < 256; ++guard) {
-    sys.eval();
-    sys.commit();
-    if (sys.try_pop_ack().has_value()) {
-      occupied_[slot] = false;
-      --used_;
-      free_slots_.push_back(slot);
-      return;
-    }
-  }
-  throw SimError("CamTable: erase ack never arrived");
+  driver_.invalidate_at(slot);
+  occupied_[slot] = false;
+  --used_;
+  free_slots_.push_back(slot);
 }
 
 CamTable::Lookup CamTable::lookup(cam::Word key) {
@@ -82,9 +62,7 @@ CamTable::Lookup CamTable::lookup(cam::Word key) {
 
 void CamTable::clear() {
   driver_.reset();
-  occupied_.assign(capacity_, false);
-  free_slots_.clear();
-  for (unsigned s = capacity_; s > 0; --s) free_slots_.push_back(s - 1);
+  init_slots();
   used_ = 0;
 }
 

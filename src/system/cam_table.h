@@ -8,9 +8,10 @@
 // reused by later inserts. Hardware cost of the extension is a demux on the
 // write address plus a clear line on each valid flag.
 //
-// The table drives a single-group unit (M = 1): slot indices are then
+// The table drives a single-group deployment (M = 1): slot indices are then
 // exactly the global addresses search responses report, so lookups can name
-// the entry that matched.
+// the entry that matched. Any CamBackend works - the DSP CamSystem, a
+// LUT/BRAM baseline backend, or a ShardedCamEngine.
 #pragma once
 
 #include <cstdint>
@@ -24,9 +25,13 @@ namespace dspcam::system {
 /// Slot-managed CAM table over a CamDriver.
 class CamTable {
  public:
+  /// Owns a single-group DSP CamSystem built from `cfg`.
   explicit CamTable(const CamSystem::Config& cfg);
 
-  /// Total slots (the unit's single-group capacity).
+  /// Borrows any backend (reconfigured to one group; contents cleared).
+  explicit CamTable(CamBackend& backend);
+
+  /// Total slots (the backend's single-group capacity).
   unsigned capacity() const noexcept { return capacity_; }
   unsigned size() const noexcept { return used_; }
   bool full() const noexcept { return used_ >= capacity_; }
@@ -53,6 +58,8 @@ class CamTable {
   CamDriver& driver() noexcept { return driver_; }
 
  private:
+  void init_slots();
+
   CamDriver driver_;
   unsigned capacity_ = 0;
   unsigned used_ = 0;

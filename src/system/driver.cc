@@ -1,56 +1,197 @@
 #include "src/system/driver.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "src/common/error.h"
 
 namespace dspcam::system {
 
-void CamDriver::tick() {
-  sys_.eval();
-  sys_.commit();
+namespace {
+
+/// Cycles without a completion before drain()/wait_idle() declare the
+/// backend wedged. Generous: a full-capacity store on the BRAM baseline
+/// keeps the engine busy for update_latency cycles per word, but every ack
+/// that lands resets the stagnation counter.
+constexpr unsigned kStallGuard = 1u << 20;
+
+}  // namespace
+
+CamDriver::CamDriver(const CamSystem::Config& cfg)
+    : owned_(std::make_unique<CamSystem>(cfg)), backend_(owned_.get()) {}
+
+CamDriver::CamDriver(std::unique_ptr<CamBackend> backend)
+    : owned_(std::move(backend)), backend_(owned_.get()) {
+  if (backend_ == nullptr) throw ConfigError("CamDriver: null backend");
 }
 
-void CamDriver::drain_idle() {
-  for (unsigned guard = 0; guard < 1024; ++guard) {
-    if (sys_.pending_requests() == 0 && sys_.unit().idle()) return;
-    tick();
+CamDriver::CamDriver(CamBackend& backend) : backend_(&backend) {}
+
+CamSystem& CamDriver::system() {
+  auto* sys = dynamic_cast<CamSystem*>(backend_);
+  if (sys == nullptr) {
+    throw SimError("CamDriver: backend is not a CamSystem");
   }
-  throw SimError("CamDriver: unit failed to drain");
+  return *sys;
 }
+
+const CamSystem& CamDriver::system() const {
+  const auto* sys = dynamic_cast<const CamSystem*>(backend_);
+  if (sys == nullptr) {
+    throw SimError("CamDriver: backend is not a CamSystem");
+  }
+  return *sys;
+}
+
+// --- Async core. ---
+
+CamDriver::Ticket CamDriver::submit_async(cam::UnitRequest request) {
+  switch (request.op) {
+    case cam::OpKind::kSearch:
+      break;
+    case cam::OpKind::kUpdate:
+    case cam::OpKind::kInvalidate:
+      ack_ops_.push_back(request.op);
+      break;
+    default:
+      throw ConfigError(
+          "CamDriver::submit_async: only search/update/invalidate take "
+          "tickets (use reset())");
+  }
+  const Ticket ticket = next_ticket_++;
+  request.seq = ticket;
+  submit_queue_.push_back(std::move(request));
+  ++inflight_;
+  pump();  // Opportunistic: front beats reach the FIFO before the next poll.
+  return ticket;
+}
+
+std::optional<CamDriver::Completion> CamDriver::try_pop_completion() {
+  if (completions_.empty()) return std::nullopt;
+  Completion c = std::move(completions_.front());
+  completions_.pop_front();
+  return c;
+}
+
+void CamDriver::pump() {
+  while (!submit_queue_.empty()) {
+    if (!backend_->try_submit(submit_queue_.front())) break;  // copies; retry later
+    submit_queue_.pop_front();
+  }
+}
+
+void CamDriver::harvest() {
+  while (auto resp = backend_->try_pop_response()) {
+    Completion c;
+    c.ticket = resp->seq;
+    c.op = cam::OpKind::kSearch;
+    c.results = std::move(resp->results);
+    completions_.push_back(std::move(c));
+    --inflight_;
+  }
+  while (auto ack = backend_->try_pop_ack()) {
+    Completion c;
+    c.ticket = ack->seq;
+    c.op = ack_ops_.empty() ? cam::OpKind::kUpdate : ack_ops_.front();
+    if (!ack_ops_.empty()) ack_ops_.pop_front();
+    c.words_written = ack->words_written;
+    c.full = ack->unit_full;
+    completions_.push_back(std::move(c));
+    --inflight_;
+  }
+}
+
+void CamDriver::poll() {
+  pump();
+  backend_->step();
+  harvest();
+}
+
+void CamDriver::drain() {
+  unsigned stagnant = 0;
+  while (inflight_ > 0) {
+    const std::size_t before = inflight_;
+    poll();
+    stagnant = inflight_ < before ? 0 : stagnant + 1;
+    if (stagnant > kStallGuard) {
+      throw SimError("CamDriver::drain: backend stopped making progress");
+    }
+  }
+}
+
+void CamDriver::wait_idle() {
+  unsigned guard = 0;
+  while (!submit_queue_.empty() || !backend_->idle()) {
+    poll();
+    if (++guard > kStallGuard) {
+      throw SimError("CamDriver: backend failed to go idle");
+    }
+  }
+}
+
+CamDriver::Completion CamDriver::take_completion(Ticket ticket) {
+  for (auto it = completions_.begin(); it != completions_.end(); ++it) {
+    if (it->ticket == ticket) {
+      Completion c = std::move(*it);
+      completions_.erase(it);
+      return c;
+    }
+  }
+  throw SimError("CamDriver: completion not found for ticket");
+}
+
+// --- Synchronous wrappers. ---
 
 unsigned CamDriver::store(std::span<const cam::Word> words,
                           std::span<const std::uint64_t> masks) {
   if (!masks.empty() && masks.size() != words.size()) {
     throw ConfigError("CamDriver::store: mask array must parallel the words");
   }
-  const unsigned per_beat = sys_.config().unit.words_per_beat();
+  const unsigned per_beat = std::max(1u, backend_->words_per_beat());
+  std::vector<Ticket> tickets;
+  tickets.reserve(words.size() / per_beat + 1);
   std::size_t pos = 0;
-  unsigned beats = 0;
-  unsigned accepted = 0;
-  unsigned acks = 0;
-  while (pos < words.size() || acks < beats) {
-    if (pos < words.size()) {
-      const std::size_t n = std::min<std::size_t>(per_beat, words.size() - pos);
-      cam::UnitRequest req;
-      req.op = cam::OpKind::kUpdate;
-      req.seq = next_seq_++;
-      req.words.assign(words.begin() + pos, words.begin() + pos + n);
-      if (!masks.empty()) {
-        req.masks.assign(masks.begin() + pos, masks.begin() + pos + n);
-      }
-      if (sys_.try_submit(std::move(req))) {
-        pos += n;
-        ++beats;
-      }
+  while (pos < words.size()) {
+    const std::size_t n = std::min<std::size_t>(per_beat, words.size() - pos);
+    cam::UnitRequest req;
+    req.op = cam::OpKind::kUpdate;
+    req.words.assign(words.begin() + pos, words.begin() + pos + n);
+    if (!masks.empty()) {
+      req.masks.assign(masks.begin() + pos, masks.begin() + pos + n);
     }
-    tick();
-    while (auto ack = sys_.try_pop_ack()) {
-      accepted += ack->words_written;
-      ++acks;
-    }
+    tickets.push_back(submit_async(std::move(req)));
+    pos += n;
   }
+  drain();
+  unsigned accepted = 0;
+  for (const Ticket t : tickets) accepted += take_completion(t).words_written;
   return accepted;
+}
+
+cam::UnitUpdateAck CamDriver::store_at(std::uint32_t address, cam::Word value,
+                                       std::optional<std::uint64_t> mask) {
+  cam::UnitRequest req;
+  req.op = cam::OpKind::kUpdate;
+  req.words = {value};
+  if (mask.has_value()) req.masks = {*mask};
+  req.address = address;
+  const Ticket t = submit_async(std::move(req));
+  drain();
+  const Completion c = take_completion(t);
+  cam::UnitUpdateAck ack;
+  ack.seq = c.ticket;
+  ack.words_written = c.words_written;
+  ack.unit_full = c.full;
+  return ack;
+}
+
+void CamDriver::invalidate_at(std::uint32_t address) {
+  cam::UnitRequest req;
+  req.op = cam::OpKind::kInvalidate;
+  req.address = address;
+  const Ticket t = submit_async(std::move(req));
+  drain();
+  take_completion(t);
 }
 
 cam::UnitSearchResult CamDriver::search(cam::Word key) {
@@ -61,50 +202,50 @@ std::vector<cam::UnitSearchResult> CamDriver::search_many(
     std::span<const cam::Word> keys) {
   cam::UnitRequest req;
   req.op = cam::OpKind::kSearch;
-  req.seq = next_seq_++;
   req.keys.assign(keys.begin(), keys.end());
-  while (!sys_.try_submit(req)) tick();
-  for (unsigned guard = 0; guard < 1024; ++guard) {
-    tick();
-    if (auto resp = sys_.try_pop_response()) {
-      return std::move(resp->results);
-    }
-  }
-  throw SimError("CamDriver: search response never arrived");
+  const Ticket t = submit_async(std::move(req));
+  drain();
+  return take_completion(t).results;
 }
 
 std::vector<cam::UnitSearchResult> CamDriver::search_stream(
     std::span<const cam::Word> keys) {
+  std::vector<Ticket> tickets;
+  tickets.reserve(keys.size());
+  for (const cam::Word key : keys) {
+    cam::UnitRequest req;
+    req.op = cam::OpKind::kSearch;
+    req.keys = {key};
+    tickets.push_back(submit_async(std::move(req)));
+  }
+  drain();
   std::vector<cam::UnitSearchResult> out;
   out.reserve(keys.size());
-  std::size_t submitted = 0;
-  while (out.size() < keys.size()) {
-    if (submitted < keys.size()) {
-      cam::UnitRequest req;
-      req.op = cam::OpKind::kSearch;
-      req.seq = next_seq_++;
-      req.keys = {keys[submitted]};
-      if (sys_.try_submit(std::move(req))) ++submitted;
-    }
-    tick();
-    while (auto resp = sys_.try_pop_response()) {
-      out.push_back(resp->results.front());
-    }
+  for (const Ticket t : tickets) {
+    auto results = take_completion(t).results;
+    out.push_back(results.front());
   }
   return out;
 }
 
 void CamDriver::reset() {
+  drain();  // Outstanding tickets complete before the wipe.
   cam::UnitRequest req;
   req.op = cam::OpKind::kReset;
-  req.seq = next_seq_++;
-  while (!sys_.try_submit(req)) tick();
-  drain_idle();
+  unsigned guard = 0;
+  while (!backend_->try_submit(req)) {
+    poll();
+    if (++guard > kStallGuard) {
+      throw SimError("CamDriver::reset: backend never accepted the reset");
+    }
+  }
+  wait_idle();
 }
 
 void CamDriver::configure_groups(unsigned m) {
-  drain_idle();
-  sys_.unit().configure_groups(m);
+  drain();
+  wait_idle();
+  backend_->configure_groups(m);
 }
 
 }  // namespace dspcam::system

@@ -1,32 +1,107 @@
-// Host-side driver facade over CamSystem.
+// Host-side driver over any CamBackend.
 //
-// The cycle-level API (issue / eval / commit / poll) is exact but verbose;
-// integrations that just want "store these, search those" use this driver,
-// which advances the clock internally and returns completed results - the
-// software equivalent of the paper's user kernel talking to the CAM through
-// its bus interfaces.
+// The cycle-level API (submit / step / poll) is exact but verbose. This
+// driver provides two levels above it:
+//
+//  - An ASYNC core: submit_async() queues a request (retrying FIFO-full
+//    backpressure internally - no beat is ever silently dropped or
+//    under-counted) and returns a Ticket; poll() advances the clock one
+//    cycle; completed operations appear on a completion queue; drain() runs
+//    the clock until every outstanding ticket has completed. This is the
+//    software equivalent of a user kernel keeping many requests in flight
+//    to hit the CAM's II = 1 throughput.
+//  - SYNC wrappers (store / search / search_many / search_stream / reset)
+//    reimplemented as thin shims over the async core, so existing callers
+//    keep their blocking semantics unchanged.
+//
+// The driver targets the CamBackend interface, so the same host code runs
+// against the DSP CamSystem, the LUT/BRAM baseline backends, or a
+// ShardedCamEngine.
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
+#include "src/system/backend.h"
 #include "src/system/cam_system.h"
 
 namespace dspcam::system {
 
-/// Synchronous convenience driver; owns the clock of one CamSystem.
+/// Async-core host driver; owns the clock of one CamBackend.
 class CamDriver {
  public:
-  explicit CamDriver(const CamSystem::Config& cfg) : sys_(cfg) {}
+  /// Identifies one asynchronously submitted operation.
+  using Ticket = std::uint64_t;
 
-  CamSystem& system() noexcept { return sys_; }
-  const CamSystem& system() const noexcept { return sys_; }
+  /// A finished operation from the completion queue.
+  struct Completion {
+    Ticket ticket = 0;
+    cam::OpKind op = cam::OpKind::kIdle;
+    std::vector<cam::UnitSearchResult> results;  ///< kSearch only.
+    unsigned words_written = 0;                  ///< kUpdate/kInvalidate only.
+    bool full = false;                           ///< Backend reported full.
+  };
+
+  /// Owns a DSP CamSystem built from `cfg` (the classic deployment).
+  explicit CamDriver(const CamSystem::Config& cfg);
+
+  /// Owns an arbitrary backend.
+  explicit CamDriver(std::unique_ptr<CamBackend> backend);
+
+  /// Borrows `backend`; the caller keeps ownership and must outlive the
+  /// driver. The driver still owns the clock (nobody else may step it).
+  explicit CamDriver(CamBackend& backend);
+
+  CamBackend& backend() noexcept { return *backend_; }
+  const CamBackend& backend() const noexcept { return *backend_; }
+
+  /// Legacy accessor for CamSystem-backed drivers; throws SimError when the
+  /// backend is a different engine.
+  CamSystem& system();
+  const CamSystem& system() const;
+
+  // --- Async core. ---
+
+  /// Queues a request (kSearch, kUpdate or kInvalidate) and returns its
+  /// ticket. The driver owns the sequence space: request.seq is overwritten
+  /// with the ticket. Backend backpressure is absorbed by an internal retry
+  /// queue, so submission never fails and never drops a beat.
+  Ticket submit_async(cam::UnitRequest request);
+
+  /// Pops the oldest completion, if any.
+  std::optional<Completion> try_pop_completion();
+
+  /// Operations submitted but not yet on the completion queue.
+  std::size_t inflight() const noexcept { return inflight_; }
+
+  /// One clock cycle: pump queued submissions, step the backend, harvest
+  /// finished responses/acks onto the completion queue.
+  void poll();
+
+  /// Polls until every outstanding ticket has completed (completions stay
+  /// queued until popped). Throws SimError if the backend stops making
+  /// progress.
+  void drain();
+
+  // --- Synchronous wrappers (thin shims over the async core). ---
 
   /// Stores `words` (splitting into bus beats), waits for all acks, and
   /// returns the number of words actually accepted (capacity permitting).
+  /// FIFO-full backpressure mid-batch is retried, never under-counted.
   unsigned store(std::span<const cam::Word> words,
                  std::span<const std::uint64_t> masks = {});
+
+  /// Addressed store at `address` (slot-managed tables); waits for the ack
+  /// and returns it.
+  cam::UnitUpdateAck store_at(std::uint32_t address, cam::Word value,
+                              std::optional<std::uint64_t> mask = std::nullopt);
+
+  /// Invalidates the entry at `address`; waits for the ack.
+  void invalidate_at(std::uint32_t address);
 
   /// Searches one key; blocks until the response arrives.
   cam::UnitSearchResult search(cam::Word key);
@@ -41,18 +116,26 @@ class CamDriver {
   /// Clears the CAM contents.
   void reset();
 
-  /// Reconfigures the group count (waits for idle first).
+  /// Reconfigures the group count (drains outstanding work first).
   void configure_groups(unsigned m);
 
   /// Total cycles this driver has clocked (for throughput accounting).
-  std::uint64_t cycles() const noexcept { return sys_.stats().cycles; }
+  std::uint64_t cycles() const noexcept { return backend_->stats().cycles; }
 
  private:
-  void tick();
-  void drain_idle();
+  void pump();
+  void harvest();
+  void wait_idle();
+  Completion take_completion(Ticket ticket);
 
-  CamSystem sys_;
-  std::uint64_t next_seq_ = 1;
+  std::unique_ptr<CamBackend> owned_;
+  CamBackend* backend_ = nullptr;
+
+  std::deque<cam::UnitRequest> submit_queue_;  ///< Accepted, awaiting FIFO room.
+  std::deque<cam::OpKind> ack_ops_;            ///< Op kinds of outstanding acks.
+  std::deque<Completion> completions_;
+  std::size_t inflight_ = 0;
+  Ticket next_ticket_ = 1;
 };
 
 }  // namespace dspcam::system

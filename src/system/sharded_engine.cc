@@ -1,0 +1,387 @@
+#include "src/system/sharded_engine.h"
+
+#include <algorithm>
+
+#include "src/common/error.h"
+
+namespace dspcam::system {
+
+ShardedCamEngine::ShardedCamEngine(const Config& cfg, const ShardFactory& make_shard)
+    : cfg_(cfg) {
+  if (cfg_.shards == 0) throw ConfigError("ShardedCamEngine: need >= 1 shard");
+  if (cfg_.key_bits == 0 || cfg_.key_bits > 64) {
+    throw ConfigError("ShardedCamEngine: key_bits must be 1..64");
+  }
+  if (cfg_.credits_per_shard == 0) {
+    throw ConfigError("ShardedCamEngine: need >= 1 credit per shard");
+  }
+  shards_.reserve(cfg_.shards);
+  for (unsigned s = 0; s < cfg_.shards; ++s) {
+    auto shard = make_shard(s);
+    if (!shard) throw ConfigError("ShardedCamEngine: factory returned null shard");
+    shards_.push_back(std::move(shard));
+  }
+  const auto& first = *shards_.front();
+  for (const auto& shard : shards_) {
+    if (shard->data_width() != first.data_width() || shard->kind() != first.kind() ||
+        shard->capacity() != first.capacity()) {
+      throw ConfigError("ShardedCamEngine: shards must be homogeneous");
+    }
+  }
+  credits_.assign(cfg_.shards, cfg_.credits_per_shard);
+  resetting_.assign(cfg_.shards, 0);
+  pending_issue_.resize(cfg_.shards);
+  expected_search_.resize(cfg_.shards);
+  expected_ack_.resize(cfg_.shards);
+}
+
+ShardedCamEngine::ShardedCamEngine(const Config& cfg, const CamSystem::Config& shard_cfg)
+    : ShardedCamEngine(cfg, [&shard_cfg](unsigned) {
+        return std::make_unique<CamSystem>(shard_cfg);
+      }) {}
+
+unsigned ShardedCamEngine::shard_of(cam::Word key) const {
+  const unsigned s = shard_count();
+  if (s == 1) return 0;
+  if (cfg_.partition == Partition::kHash) {
+    std::uint64_t x = key;  // splitmix64 finaliser
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ULL;
+    x ^= x >> 27;
+    x *= 0x94D049BB133111EBULL;
+    x ^= x >> 31;
+    return static_cast<unsigned>(x % s);
+  }
+  const std::uint64_t space =
+      cfg_.key_bits >= 64 ? ~0ULL : (1ULL << cfg_.key_bits);
+  const std::uint64_t span = (space + s - 1) / s;
+  return static_cast<unsigned>(std::min<std::uint64_t>(key / span, s - 1));
+}
+
+unsigned ShardedCamEngine::capacity() const {
+  unsigned total = 0;
+  for (const auto& shard : shards_) total += shard->capacity();
+  return total;
+}
+
+unsigned ShardedCamEngine::words_per_beat() const {
+  unsigned total = 0;
+  for (const auto& shard : shards_) total += shard->words_per_beat();
+  return total;
+}
+
+unsigned ShardedCamEngine::max_keys_per_beat() const {
+  unsigned total = 0;
+  for (const auto& shard : shards_) total += shard->max_keys_per_beat();
+  return total;
+}
+
+unsigned ShardedCamEngine::max_groups() const {
+  unsigned m = shards_.front()->max_groups();
+  for (const auto& shard : shards_) m = std::min(m, shard->max_groups());
+  return m;
+}
+
+void ShardedCamEngine::configure_groups(unsigned m) {
+  if (!idle()) {
+    throw SimError("ShardedCamEngine: configure_groups requires an idle engine");
+  }
+  for (auto& shard : shards_) shard->configure_groups(m);
+}
+
+bool ShardedCamEngine::plan(const cam::UnitRequest& request,
+                            std::vector<SubRequest>& out) const {
+  const unsigned s_count = shard_count();
+  switch (request.op) {
+    case cam::OpKind::kSearch: {
+      std::vector<std::vector<std::uint32_t>> buckets(s_count);
+      for (std::uint32_t i = 0; i < request.keys.size(); ++i) {
+        buckets[shard_of(request.keys[i])].push_back(i);
+      }
+      for (unsigned s = 0; s < s_count; ++s) {
+        const unsigned lanes = std::max(1u, shards_[s]->max_keys_per_beat());
+        for (std::size_t lo = 0; lo < buckets[s].size(); lo += lanes) {
+          const std::size_t hi = std::min(buckets[s].size(), lo + lanes);
+          SubRequest sub;
+          sub.shard = s;
+          sub.req.op = cam::OpKind::kSearch;
+          sub.req.seq = request.seq;
+          for (std::size_t i = lo; i < hi; ++i) {
+            sub.positions.push_back(buckets[s][i]);
+            sub.req.keys.push_back(request.keys[buckets[s][i]]);
+          }
+          out.push_back(std::move(sub));
+        }
+      }
+      break;
+    }
+    case cam::OpKind::kUpdate: {
+      const unsigned shard_cap = shards_.front()->capacity();
+      if (request.address.has_value()) {
+        // Addressed writes use the global (range-partitioned) address space.
+        const std::uint32_t addr = *request.address;
+        const unsigned s = addr / shard_cap;
+        if (s >= s_count) {
+          throw SimError("ShardedCamEngine: addressed update beyond capacity");
+        }
+        const unsigned per_beat = std::max(1u, shards_[s]->words_per_beat());
+        for (std::size_t lo = 0; lo < request.words.size(); lo += per_beat) {
+          const std::size_t hi = std::min(request.words.size(), lo + per_beat);
+          SubRequest sub;
+          sub.shard = s;
+          sub.req.op = cam::OpKind::kUpdate;
+          sub.req.seq = request.seq;
+          sub.req.address = addr % shard_cap + static_cast<std::uint32_t>(lo);
+          sub.req.words.assign(request.words.begin() + lo, request.words.begin() + hi);
+          if (!request.masks.empty()) {
+            sub.req.masks.assign(request.masks.begin() + lo,
+                                 request.masks.begin() + std::min(hi, request.masks.size()));
+          }
+          out.push_back(std::move(sub));
+        }
+      } else {
+        // Append: each word lands on the shard its key value hashes to.
+        std::vector<std::vector<std::uint32_t>> buckets(s_count);
+        for (std::uint32_t i = 0; i < request.words.size(); ++i) {
+          buckets[shard_of(request.words[i])].push_back(i);
+        }
+        for (unsigned s = 0; s < s_count; ++s) {
+          const unsigned per_beat = std::max(1u, shards_[s]->words_per_beat());
+          for (std::size_t lo = 0; lo < buckets[s].size(); lo += per_beat) {
+            const std::size_t hi = std::min(buckets[s].size(), lo + per_beat);
+            SubRequest sub;
+            sub.shard = s;
+            sub.req.op = cam::OpKind::kUpdate;
+            sub.req.seq = request.seq;
+            for (std::size_t i = lo; i < hi; ++i) {
+              const std::uint32_t w = buckets[s][i];
+              sub.req.words.push_back(request.words[w]);
+              if (!request.masks.empty() && w < request.masks.size()) {
+                sub.req.masks.push_back(request.masks[w]);
+              }
+            }
+            out.push_back(std::move(sub));
+          }
+        }
+      }
+      break;
+    }
+    case cam::OpKind::kInvalidate: {
+      const unsigned shard_cap = shards_.front()->capacity();
+      const std::uint32_t addr = request.address.value_or(0);
+      const unsigned s = addr / shard_cap;
+      if (s >= s_count) {
+        throw SimError("ShardedCamEngine: invalidate beyond capacity");
+      }
+      SubRequest sub;
+      sub.shard = s;
+      sub.req.op = cam::OpKind::kInvalidate;
+      sub.req.seq = request.seq;
+      sub.req.address = addr % shard_cap;
+      out.push_back(std::move(sub));
+      break;
+    }
+    case cam::OpKind::kReset: {
+      for (unsigned s = 0; s < s_count; ++s) {
+        SubRequest sub;
+        sub.shard = s;
+        sub.req.op = cam::OpKind::kReset;
+        sub.req.seq = request.seq;
+        out.push_back(std::move(sub));
+      }
+      break;
+    }
+    case cam::OpKind::kIdle:
+      break;
+  }
+  return true;
+}
+
+void ShardedCamEngine::settle() {
+  for (unsigned s = 0; s < shard_count(); ++s) {
+    if (resetting_[s] && shards_[s]->idle()) resetting_[s] = 0;
+  }
+}
+
+bool ShardedCamEngine::try_submit(cam::UnitRequest request) {
+  settle();
+  std::vector<SubRequest> subs;
+  plan(request, subs);
+
+  // Feasibility first: the whole beat is accepted or refused atomically.
+  std::vector<unsigned> need(shard_count(), 0);
+  for (const auto& sub : subs) ++need[sub.shard];
+  const bool completes = request.op == cam::OpKind::kSearch ||
+                         request.op == cam::OpKind::kUpdate ||
+                         request.op == cam::OpKind::kInvalidate;
+  for (unsigned s = 0; s < shard_count(); ++s) {
+    if (need[s] == 0) continue;
+    if (!pending_issue_[s].empty() || shards_[s]->request_full()) return false;
+    if (completes && credits_[s] < need[s]) return false;
+    // A reset beat flushes any search still inside the unit pipeline (the
+    // hardware produces no result beat for it), which would orphan the
+    // engine's completion bookkeeping. The engine therefore fences: a reset
+    // waits for the shard's outstanding completions, and fresh work waits
+    // for a settling reset.
+    if (resetting_[s]) return false;
+    if (request.op == cam::OpKind::kReset &&
+        (!expected_search_[s].empty() || !expected_ack_[s].empty())) {
+      return false;
+    }
+  }
+
+  // Allocate the reorder-buffer entry.
+  if (request.op == cam::OpKind::kSearch) {
+    SearchBeat beat;
+    beat.seq = request.seq;
+    beat.pending = static_cast<unsigned>(subs.size());
+    beat.results.resize(request.keys.size());
+    const std::uint64_t beat_id = search_rob_base_ + search_rob_.size();
+    search_rob_.push_back(std::move(beat));
+    for (const auto& sub : subs) {
+      expected_search_[sub.shard].push_back({beat_id, sub.positions});
+    }
+  } else if (completes) {
+    AckBeat beat;
+    beat.seq = request.seq;
+    beat.pending = static_cast<unsigned>(subs.size());
+    beat.ack.seq = request.seq;
+    const std::uint64_t beat_id = ack_rob_base_ + ack_rob_.size();
+    ack_rob_.push_back(std::move(beat));
+    for (const auto& sub : subs) expected_ack_[sub.shard].push_back(beat_id);
+  }
+
+  // Issue: straight into the shard FIFO when it has room, else park in the
+  // per-shard issue queue (pumped every cycle). Credits are held from issue
+  // to collection either way.
+  for (auto& sub : subs) {
+    if (request.op == cam::OpKind::kReset) resetting_[sub.shard] = 1;
+    if (completes) --credits_[sub.shard];
+    if (shards_[sub.shard]->request_full()) {
+      pending_issue_[sub.shard].push_back(std::move(sub.req));
+    } else if (!shards_[sub.shard]->try_submit(std::move(sub.req))) {
+      throw SimError("ShardedCamEngine: shard refused despite request_full() == false");
+    }
+  }
+  return true;
+}
+
+void ShardedCamEngine::pump(unsigned s) {
+  auto& queue = pending_issue_[s];
+  while (!queue.empty() && !shards_[s]->request_full()) {
+    if (!shards_[s]->try_submit(std::move(queue.front()))) {
+      throw SimError("ShardedCamEngine: shard refused despite request_full() == false");
+    }
+    queue.pop_front();
+  }
+}
+
+void ShardedCamEngine::collect() {
+  const unsigned s_count = shard_count();
+  const unsigned shard_cap = shards_.front()->capacity();
+  for (unsigned i = 0; i < s_count; ++i) {
+    const unsigned s = (rr_start_ + i) % s_count;
+    while (auto resp = shards_[s]->try_pop_response()) {
+      if (expected_search_[s].empty()) {
+        throw SimError("ShardedCamEngine: unexpected shard response");
+      }
+      const ExpectedSearch exp = std::move(expected_search_[s].front());
+      expected_search_[s].pop_front();
+      auto& beat = search_rob_.at(exp.beat_id - search_rob_base_);
+      for (std::size_t j = 0; j < resp->results.size(); ++j) {
+        cam::UnitSearchResult r = resp->results[j];
+        r.shard = static_cast<std::uint16_t>(s);
+        r.global_address += s * shard_cap;
+        beat.results.at(exp.positions.at(j)) = r;
+      }
+      --beat.pending;
+      ++credits_[s];
+    }
+    while (auto ack = shards_[s]->try_pop_ack()) {
+      if (expected_ack_[s].empty()) {
+        throw SimError("ShardedCamEngine: unexpected shard ack");
+      }
+      const std::uint64_t beat_id = expected_ack_[s].front();
+      expected_ack_[s].pop_front();
+      auto& beat = ack_rob_.at(beat_id - ack_rob_base_);
+      beat.ack.words_written += ack->words_written;
+      beat.ack.unit_full = beat.ack.unit_full || ack->unit_full;
+      --beat.pending;
+      ++credits_[s];
+    }
+  }
+  if (s_count > 1) rr_start_ = (rr_start_ + 1) % s_count;
+}
+
+std::optional<cam::UnitResponse> ShardedCamEngine::try_pop_response() {
+  collect();
+  if (search_rob_.empty() || search_rob_.front().pending != 0) return std::nullopt;
+  cam::UnitResponse resp;
+  resp.seq = search_rob_.front().seq;
+  resp.results = std::move(search_rob_.front().results);
+  search_rob_.pop_front();
+  ++search_rob_base_;
+  return resp;
+}
+
+std::optional<cam::UnitUpdateAck> ShardedCamEngine::try_pop_ack() {
+  collect();
+  if (ack_rob_.empty() || ack_rob_.front().pending != 0) return std::nullopt;
+  const cam::UnitUpdateAck ack = ack_rob_.front().ack;
+  ack_rob_.pop_front();
+  ++ack_rob_base_;
+  return ack;
+}
+
+bool ShardedCamEngine::request_full() const {
+  for (unsigned s = 0; s < shard_count(); ++s) {
+    if (!pending_issue_[s].empty() || shards_[s]->request_full() ||
+        credits_[s] == 0 || (resetting_[s] && !shards_[s]->idle())) {
+      return true;  // conservative: some target would refuse
+    }
+  }
+  return false;
+}
+
+std::size_t ShardedCamEngine::pending_requests() const {
+  std::size_t total = 0;
+  for (unsigned s = 0; s < shard_count(); ++s) {
+    total += shards_[s]->pending_requests() + pending_issue_[s].size();
+  }
+  return total;
+}
+
+void ShardedCamEngine::step() {
+  for (unsigned s = 0; s < shard_count(); ++s) pump(s);
+  for (auto& shard : shards_) shard->step();
+  collect();
+  ++cycles_;
+}
+
+bool ShardedCamEngine::idle() const {
+  for (unsigned s = 0; s < shard_count(); ++s) {
+    if (!pending_issue_[s].empty() || !shards_[s]->idle()) return false;
+  }
+  return true;
+}
+
+CamBackend::Stats ShardedCamEngine::stats() const {
+  Stats agg;
+  for (const auto& shard : shards_) agg += shard->stats();
+  agg.cycles = cycles_;
+  return agg;
+}
+
+model::ResourceUsage ShardedCamEngine::resources() const {
+  model::ResourceUsage total;
+  for (const auto& shard : shards_) total += shard->resources();
+  if (shard_count() > 1) {
+    // First-order steering overhead: the partitioner (hash finaliser or
+    // range comparators) plus the per-shard issue/collect mux stages.
+    total.luts += shard_count() * 2ULL * data_width();
+    total.ffs += shard_count() * static_cast<std::uint64_t>(data_width());
+  }
+  return total;
+}
+
+}  // namespace dspcam::system

@@ -1,0 +1,158 @@
+// Multi-unit CAM scaling: S backends behind a key partitioner.
+//
+// One CAM unit pops one request per cycle; serving heavy traffic past that
+// rate means sharding the key space over S independent backends. The engine
+// implements CamBackend itself, so consumers (the async CamDriver, the
+// applications) are oblivious to whether they talk to one unit or many:
+//
+//   host beat -> partitioner (hash | range) -> per-shard sub-requests
+//             -> per-shard credit check + issue -> S backends step in
+//                lockstep -> round-robin collection -> reorder buffers
+//             -> in-order responses/acks, global addresses rebased by shard.
+//
+// Semantics:
+//  - Append updates partition each word by its key value; searches partition
+//    each key. The same partitioner on both sides keeps lookups consistent.
+//  - Addressed update / invalidate interpret the address as global:
+//    shard = address / shard_capacity (range-partitioned address space).
+//    With the hash partitioner, addressed writes are the caller's contract -
+//    the engine does not re-hash them.
+//  - Responses and acks each complete in submission order (reorder buffers);
+//    per-key results keep their beat positions, with `shard` and a rebased
+//    `global_address` (shard * shard_capacity + local) filled in.
+//  - Credits bound the sub-operations in flight per shard, so one hot shard
+//    backpressures the host instead of growing unbounded queues.
+//  - With S = 1 the partitioner is the identity and the engine is a
+//    pass-through: bit- and cycle-identical to the bare backend (asserted in
+//    tests).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/system/backend.h"
+#include "src/system/cam_system.h"
+
+namespace dspcam::system {
+
+/// S CAM backends behind a configurable key partitioner.
+class ShardedCamEngine : public CamBackend {
+ public:
+  /// How keys map to shards.
+  enum class Partition {
+    kHash,   ///< splitmix64 finaliser of the key, modulo S.
+    kRange,  ///< Contiguous key ranges: shard = key / ceil(2^key_bits / S).
+  };
+
+  struct Config {
+    unsigned shards = 1;
+    Partition partition = Partition::kHash;
+    unsigned key_bits = 32;          ///< Key-space width for range partitioning.
+    unsigned credits_per_shard = 256;///< Max in-flight sub-ops per shard.
+  };
+
+  using ShardFactory = std::function<std::unique_ptr<CamBackend>(unsigned shard)>;
+
+  /// Builds S shards via `make_shard(0..S-1)`. Shards must be homogeneous
+  /// (same width/kind/capacity).
+  ShardedCamEngine(const Config& cfg, const ShardFactory& make_shard);
+
+  /// Convenience: S identical DSP CamSystems.
+  ShardedCamEngine(const Config& cfg, const CamSystem::Config& shard_cfg);
+
+  const Config& config() const noexcept { return cfg_; }
+  unsigned shard_count() const noexcept { return static_cast<unsigned>(shards_.size()); }
+  CamBackend& shard(unsigned s) { return *shards_.at(s); }
+  const CamBackend& shard(unsigned s) const { return *shards_.at(s); }
+
+  /// The partitioner: which shard stores/answers `key`.
+  unsigned shard_of(cam::Word key) const;
+
+  // --- CamBackend geometry. ---
+
+  unsigned data_width() const override { return shards_.front()->data_width(); }
+  cam::CamKind kind() const override { return shards_.front()->kind(); }
+  unsigned capacity() const override;  ///< Sum of shard capacities.
+  unsigned words_per_beat() const override;     ///< Aggregate update bandwidth.
+  unsigned max_keys_per_beat() const override;  ///< Aggregate search bandwidth.
+  unsigned max_groups() const override;
+  void configure_groups(unsigned m) override;  ///< Broadcast; requires idle.
+
+  // --- Protocol. ---
+
+  bool try_submit(cam::UnitRequest request) override;
+  std::optional<cam::UnitResponse> try_pop_response() override;
+  std::optional<cam::UnitUpdateAck> try_pop_ack() override;
+  bool request_full() const override;
+  std::size_t pending_requests() const override;
+
+  void step() override;
+  bool idle() const override;
+
+  // --- Reporting. ---
+
+  /// Aggregated over shards; `cycles` is the engine clock (lockstep).
+  Stats stats() const override;
+
+  /// Sum of shard resources plus a first-order steering/partitioner adder.
+  model::ResourceUsage resources() const override;
+
+ private:
+  /// One planned sub-request: what goes to which shard, and which beat
+  /// positions its results fill.
+  struct SubRequest {
+    unsigned shard = 0;
+    cam::UnitRequest req;
+    std::vector<std::uint32_t> positions;  ///< Search: key indices in the beat.
+  };
+
+  /// Reorder-buffer entry for one host search beat.
+  struct SearchBeat {
+    std::uint64_t seq = 0;
+    unsigned pending = 0;
+    std::vector<cam::UnitSearchResult> results;
+  };
+
+  /// Reorder-buffer entry for one host update/invalidate beat.
+  struct AckBeat {
+    std::uint64_t seq = 0;
+    unsigned pending = 0;
+    cam::UnitUpdateAck ack;
+  };
+
+  /// What the next response/ack popped from a shard corresponds to.
+  struct ExpectedSearch {
+    std::uint64_t beat_id = 0;
+    std::vector<std::uint32_t> positions;
+  };
+
+  bool plan(const cam::UnitRequest& request, std::vector<SubRequest>& out) const;
+  void pump(unsigned s);
+  void collect();
+  void settle();
+
+  Config cfg_;
+  std::vector<std::unique_ptr<CamBackend>> shards_;
+  std::vector<unsigned> credits_;
+  std::vector<char> resetting_;  ///< Shards settling a reset (fenced).
+
+  /// Sub-requests accepted by the engine but not yet in a shard FIFO.
+  std::vector<std::deque<cam::UnitRequest>> pending_issue_;
+
+  std::vector<std::deque<ExpectedSearch>> expected_search_;
+  std::vector<std::deque<std::uint64_t>> expected_ack_;  ///< Ack beat ids.
+
+  std::deque<SearchBeat> search_rob_;
+  std::uint64_t search_rob_base_ = 0;
+  std::deque<AckBeat> ack_rob_;
+  std::uint64_t ack_rob_base_ = 0;
+
+  unsigned rr_start_ = 0;  ///< Round-robin collection cursor.
+  std::uint64_t cycles_ = 0;
+};
+
+}  // namespace dspcam::system

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "src/cam/unit.h"
+#include "src/system/driver.h"
 
 namespace dspcam::tc {
 
@@ -108,6 +109,73 @@ std::uint64_t count_triangles_with_unit(const graph::CsrGraph& g,
       for (graph::VertexId v : nu) {
         if (v <= u) continue;
         matches += search_keys(unit, g.neighbors(v), seq);
+      }
+    }
+  }
+  return matches / 3;
+}
+
+namespace {
+
+/// Streams `keys` as multi-key search beats through the driver and counts
+/// the hits once every response has drained.
+std::uint64_t search_hits(system::CamDriver& driver,
+                          std::span<const graph::VertexId> keys) {
+  const std::size_t per_beat =
+      std::max<std::size_t>(driver.backend().max_keys_per_beat(), 1);
+  std::size_t pos = 0;
+  while (pos < keys.size()) {
+    const std::size_t n = std::min(per_beat, keys.size() - pos);
+    cam::UnitRequest req;
+    req.op = cam::OpKind::kSearch;
+    for (std::size_t i = 0; i < n; ++i) req.keys.push_back(keys[pos + i]);
+    driver.submit_async(std::move(req));
+    pos += n;
+  }
+  driver.drain();
+  std::uint64_t hits = 0;
+  while (auto c = driver.try_pop_completion()) {
+    for (const auto& res : c->results) {
+      if (res.hit) ++hits;
+    }
+  }
+  return hits;
+}
+
+}  // namespace
+
+std::uint64_t count_triangles_with_backend(const graph::CsrGraph& g,
+                                           system::CamBackend& backend,
+                                           std::uint64_t chunk_capacity) {
+  system::CamDriver driver(backend);
+  driver.configure_groups(1);
+  driver.reset();
+  const std::uint64_t cap =
+      chunk_capacity != 0 ? chunk_capacity : backend.capacity();
+  std::uint64_t matches = 0;
+
+  for (graph::VertexId u = 0; u < g.num_vertices(); ++u) {
+    const auto nu = g.neighbors(u);
+    if (nu.empty()) continue;
+    bool any_edge = false;
+    for (graph::VertexId v : nu) {
+      if (v > u) {
+        any_edge = true;
+        break;
+      }
+    }
+    if (!any_edge) continue;
+
+    const std::uint64_t chunks = (nu.size() + cap - 1) / cap;
+    for (std::uint64_t c = 0; c < chunks; ++c) {
+      const std::size_t lo = c * cap;
+      const std::size_t len = std::min<std::size_t>(cap, nu.size() - lo);
+      driver.reset();  // drop the previous chunk
+      std::vector<cam::Word> words(nu.begin() + lo, nu.begin() + lo + len);
+      driver.store(words);
+      for (graph::VertexId v : nu) {
+        if (v <= u) continue;
+        matches += search_hits(driver, g.neighbors(v));
       }
     }
   }

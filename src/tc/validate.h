@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "src/graph/csr.h"
+#include "src/system/backend.h"
 #include "src/tc/cam_accel.h"
 
 namespace dspcam::tc {
@@ -21,5 +22,16 @@ namespace dspcam::tc {
 /// chunked exactly as the cost model assumes.
 std::uint64_t count_triangles_with_unit(const graph::CsrGraph& g,
                                         const CamTcAccelerator::Config& cfg = CamTcAccelerator::Config{});
+
+/// Same per-edge flow over an arbitrary CamBackend via the async driver:
+/// reset + group reconfigure per chunk, stream adj(u) as update beats,
+/// stream adj(v) as multi-key search beats, count hits. Lets the LUT/BRAM
+/// baseline backends and the sharded engine execute the exact same kernel
+/// the DSP unit runs. Group count per chunk is clamped to the backend's
+/// max_groups(). Lists longer than `chunk_capacity` (default: the backend's
+/// capacity) are chunked.
+std::uint64_t count_triangles_with_backend(const graph::CsrGraph& g,
+                                           system::CamBackend& backend,
+                                           std::uint64_t chunk_capacity = 0);
 
 }  // namespace dspcam::tc

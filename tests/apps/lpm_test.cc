@@ -7,6 +7,7 @@
 #include "src/common/bitops.h"
 #include "src/common/error.h"
 #include "src/common/random.h"
+#include "src/system/baseline_backend.h"
 
 namespace dspcam::apps {
 namespace {
@@ -149,10 +150,35 @@ TEST(LpmTable, RandomizedAgainstSoftwareReference) {
   }
 }
 
+// The LPM application is backend-agnostic: the same table logic runs over a
+// BRAM-family baseline CAM (with HP-TCAM-style per-entry masks) through the
+// CamBackend interface.
+TEST(LpmTable, RunsOnBramBaselineBackend) {
+  system::BramCamBackend backend(
+      system::bram_backend_config(256, 32, cam::CamKind::kTernary));
+  LpmTable lpm(backend, /*slots_per_length=*/4);
+
+  ASSERT_TRUE(lpm.add_route(ip(10, 0, 0, 0), 8, 100));
+  ASSERT_TRUE(lpm.add_route(ip(10, 1, 0, 0), 16, 200));
+  ASSERT_TRUE(lpm.add_route(ip(10, 1, 2, 0), 24, 300));
+  EXPECT_EQ(lpm.lookup(ip(10, 1, 2, 3)), 300u);
+  EXPECT_EQ(lpm.lookup(ip(10, 1, 9, 9)), 200u);
+  EXPECT_EQ(lpm.lookup(ip(10, 9, 9, 9)), 100u);
+  EXPECT_FALSE(lpm.lookup(ip(11, 0, 0, 0)).has_value());
+
+  ASSERT_TRUE(lpm.remove_route(ip(10, 1, 2, 0), 24));
+  EXPECT_EQ(lpm.lookup(ip(10, 1, 2, 3)), 200u) << "falls back to /16";
+
+  system::BramCamBackend binary(system::bram_backend_config(256, 32));
+  EXPECT_THROW(LpmTable(binary, 4), ConfigError) << "binary backend refused";
+}
+
 }  // namespace
 }  // namespace dspcam::apps
 
 #include "src/apps/semijoin.h"
+
+#include <unordered_set>
 
 namespace dspcam::apps {
 namespace {
@@ -177,6 +203,38 @@ TEST(SemiJoin, EnginesAgreeOnRandomData) {
   EXPECT_EQ(rc.matches, rh.matches);
   EXPECT_GT(rc.matches, 0u);
   EXPECT_GT(rh.cycles / rc.cycles, 2u) << "in-CAM build side probes faster";
+}
+
+TEST(SemiJoin, ExecutedOnCycleBackendsMatchesReference) {
+  Rng rng(31);
+  std::vector<std::uint32_t> build(100);
+  std::vector<std::uint32_t> probe(400);
+  for (auto& v : build) v = static_cast<std::uint32_t>(rng.next_bits(9));
+  for (auto& v : probe) v = static_cast<std::uint32_t>(rng.next_bits(9));
+  std::unordered_set<std::uint32_t> set(build.begin(), build.end());
+  std::uint64_t expected = 0;
+  for (const auto v : probe) {
+    if (set.contains(v)) ++expected;
+  }
+
+  // DSP CamSystem backend (build fits one partition).
+  system::CamSystem::Config cam_cfg;
+  cam_cfg.unit.block.cell.data_width = 32;
+  cam_cfg.unit.block.block_size = 32;
+  cam_cfg.unit.block.bus_width = 512;
+  cam_cfg.unit.unit_size = 4;
+  cam_cfg.unit.bus_width = 512;
+  system::CamSystem dsp(cam_cfg);
+  const auto on_dsp = run_semijoin_on_backend(dsp, build, probe);
+  EXPECT_EQ(on_dsp.matches, expected);
+  EXPECT_GT(on_dsp.cycles, 0u);
+
+  // BRAM baseline backend, sized below the build set: partition passes.
+  system::BramCamBackend bram(system::bram_backend_config(64, 32));
+  const auto on_bram = run_semijoin_on_backend(bram, build, probe);
+  EXPECT_EQ(on_bram.matches, expected);
+  EXPECT_GT(on_bram.cycles, on_dsp.cycles)
+      << "serial updates and partition passes cost the baseline more";
 }
 
 TEST(SemiJoin, PartitionPassesScaleCost) {

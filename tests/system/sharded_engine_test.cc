@@ -1,0 +1,302 @@
+#include "src/system/sharded_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "src/cam/reference_cam.h"
+#include "src/common/error.h"
+#include "src/common/random.h"
+#include "src/system/baseline_backend.h"
+#include "src/system/driver.h"
+
+namespace dspcam::system {
+namespace {
+
+CamSystem::Config shard_config(unsigned groups = 1) {
+  CamSystem::Config cfg;
+  cfg.unit.block.cell.data_width = 32;
+  cfg.unit.block.block_size = 32;
+  cfg.unit.block.bus_width = 512;
+  cfg.unit.unit_size = 4;  // 128 entries
+  cfg.unit.bus_width = 512;
+  cfg.unit.initial_groups = groups;
+  cfg.request_fifo_depth = 64;
+  cfg.response_fifo_depth = 64;
+  cfg.ack_fifo_depth = 64;
+  return cfg;
+}
+
+ShardedCamEngine::Config engine_config(unsigned shards) {
+  ShardedCamEngine::Config cfg;
+  cfg.shards = shards;
+  cfg.partition = ShardedCamEngine::Partition::kHash;
+  cfg.credits_per_shard = 1u << 20;  // never the binding constraint here
+  return cfg;
+}
+
+// --- S = 1: the engine must be a bit- and cycle-exact pass-through. ---
+
+// Drives the bare CamSystem and a 1-shard engine with the identical
+// randomized op stream, cycle by cycle: every submit must be accepted or
+// refused identically, and every response/ack must appear on the SAME cycle
+// with the SAME payload.
+TEST(ShardedCamEngine, SingleShardIsCycleExactPassThrough) {
+  CamSystem bare(shard_config());
+  ShardedCamEngine engine(engine_config(1), shard_config());
+  const unsigned capacity = bare.capacity();
+
+  unsigned cycle = 0;
+  const auto step_and_compare = [&] {
+    bare.step();
+    engine.step();
+    ++cycle;
+
+    const auto bare_resp = bare.try_pop_response();
+    const auto engine_resp = engine.try_pop_response();
+    ASSERT_EQ(bare_resp.has_value(), engine_resp.has_value())
+        << "response timing diverged at cycle " << cycle;
+    if (bare_resp.has_value()) {
+      ASSERT_EQ(bare_resp->seq, engine_resp->seq);
+      ASSERT_EQ(bare_resp->results.size(), engine_resp->results.size());
+      for (std::size_t i = 0; i < bare_resp->results.size(); ++i) {
+        const auto& b = bare_resp->results[i];
+        const auto& e = engine_resp->results[i];
+        ASSERT_EQ(b.key, e.key) << "cycle " << cycle;
+        ASSERT_EQ(b.hit, e.hit) << "cycle " << cycle;
+        ASSERT_EQ(b.global_address, e.global_address) << "cycle " << cycle;
+        ASSERT_EQ(b.match_count, e.match_count) << "cycle " << cycle;
+        ASSERT_EQ(e.shard, 0u);
+      }
+    }
+
+    const auto bare_ack = bare.try_pop_ack();
+    const auto engine_ack = engine.try_pop_ack();
+    ASSERT_EQ(bare_ack.has_value(), engine_ack.has_value())
+        << "ack timing diverged at cycle " << cycle;
+    if (bare_ack.has_value()) {
+      ASSERT_EQ(bare_ack->seq, engine_ack->seq);
+      ASSERT_EQ(bare_ack->words_written, engine_ack->words_written);
+      ASSERT_EQ(bare_ack->unit_full, engine_ack->unit_full);
+    }
+  };
+
+  Rng rng(20250806);
+  std::uint64_t seq = 1;
+  while (cycle < 10000) {
+    if (rng.next_bool(0.6)) {
+      cam::UnitRequest req;
+      req.seq = seq++;
+      const double dice = rng.next_double();
+      if (dice < 0.15) {
+        req.op = cam::OpKind::kUpdate;
+        const unsigned n = 1 + static_cast<unsigned>(rng.next_below(16));
+        for (unsigned i = 0; i < n; ++i) req.words.push_back(rng.next_bits(10));
+      } else if (dice < 0.25) {
+        req.op = cam::OpKind::kUpdate;
+        req.address = static_cast<std::uint32_t>(rng.next_below(capacity));
+        req.words = {rng.next_bits(10)};
+      } else if (dice < 0.30) {
+        req.op = cam::OpKind::kInvalidate;
+        req.address = static_cast<std::uint32_t>(rng.next_below(capacity));
+      } else if (dice < 0.32) {
+        // Resets are fenced: the engine refuses them while completions are
+        // outstanding (a reset beat would flush in-flight searches in the
+        // unit pipeline). Quiesce both systems, reset both, settle both -
+        // comparing outputs on every intervening cycle.
+        req.op = cam::OpKind::kReset;
+        while (!bare.idle() || !engine.idle()) {
+          step_and_compare();
+          if (HasFatalFailure()) return;
+        }
+        ASSERT_TRUE(bare.try_submit(req));
+        ASSERT_TRUE(engine.try_submit(req));
+        do {
+          step_and_compare();
+          if (HasFatalFailure()) return;
+        } while (!bare.idle() || !engine.idle());
+        continue;
+      } else {
+        req.op = cam::OpKind::kSearch;
+        req.keys = {rng.next_bits(10)};
+      }
+      const bool bare_ok = bare.try_submit(req);
+      const bool engine_ok = engine.try_submit(req);
+      ASSERT_EQ(bare_ok, engine_ok) << "cycle " << cycle;
+    }
+
+    step_and_compare();
+    if (HasFatalFailure()) return;
+  }
+  EXPECT_EQ(bare.stats().responses, engine.stats().responses);
+  EXPECT_EQ(bare.stats().acks, engine.stats().acks);
+  EXPECT_EQ(engine.stats().cycles, cycle);
+}
+
+// --- S > 1: functional equivalence against the reference model. ---
+
+class ShardCountTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ShardCountTest, RandomizedStreamMatchesReference) {
+  const unsigned shards = GetParam();
+  ShardedCamEngine engine(engine_config(shards), shard_config());
+  CamDriver drv(engine);
+  // Reference holds the same *contents*; addresses differ (per-shard
+  // encoders), so only membership is compared.
+  cam::ReferenceCam ref(cam::CamKind::kBinary, 32, engine.capacity());
+  const unsigned shard_cap = engine.shard(0).capacity();
+
+  Rng rng(42 + shards);
+  unsigned stored = 0;
+  const unsigned max_fill = engine.capacity() / 3;  // headroom vs hash skew
+  for (int round = 0; round < 400; ++round) {
+    if (rng.next_bool(0.3) && stored < max_fill) {
+      const unsigned n = 1 + static_cast<unsigned>(rng.next_below(8));
+      std::vector<cam::Word> words;
+      for (unsigned i = 0; i < n; ++i) words.push_back(rng.next_bits(12));
+      const unsigned accepted = drv.store(words);
+      ASSERT_EQ(accepted, words.size()) << "no shard may overflow in this test";
+      ref.update(words);
+      stored += n;
+    } else {
+      const cam::Word key = rng.next_bits(12);
+      const auto got = drv.search(key);
+      const auto want = ref.search(key);
+      ASSERT_EQ(got.hit, want.hit) << "round " << round << " key " << key;
+      if (got.hit) {
+        // The answering shard must be the one the partitioner routes to,
+        // and the global address must be rebased into its slice.
+        ASSERT_EQ(got.shard, engine.shard_of(key));
+        ASSERT_EQ(got.global_address / shard_cap, got.shard);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, ShardCountTest, ::testing::Values(2u, 4u, 8u));
+
+// Multi-key beats fan out across shards and reassemble in beat order.
+TEST(ShardedCamEngine, WideBeatsKeepPositions) {
+  ShardedCamEngine engine(engine_config(4), shard_config(/*groups=*/4));
+  CamDriver drv(engine);
+
+  Rng rng(7);
+  std::vector<cam::Word> stored(64);
+  for (auto& w : stored) w = rng.next_bits(16);
+  drv.store(stored);
+
+  std::vector<cam::Word> keys;
+  for (unsigned i = 0; i < engine.max_keys_per_beat(); ++i) {
+    keys.push_back(i % 2 == 0 ? stored[i % stored.size()] : rng.next_bits(16) | (1ULL << 20));
+  }
+  const auto results = drv.search_many(keys);
+  ASSERT_EQ(results.size(), keys.size());
+  std::unordered_set<cam::Word> in_cam(stored.begin(), stored.end());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(results[i].key, keys[i]) << "position " << i;
+    EXPECT_EQ(results[i].hit, in_cam.contains(keys[i])) << "position " << i;
+  }
+}
+
+// Range partitioning keeps contiguous key slices on one shard and
+// addressed updates in the matching global address slice.
+TEST(ShardedCamEngine, RangePartitionRoutesContiguously) {
+  auto cfg = engine_config(4);
+  cfg.partition = ShardedCamEngine::Partition::kRange;
+  cfg.key_bits = 12;  // keys 0..4095, 1024 per shard
+  ShardedCamEngine engine(cfg, shard_config());
+
+  EXPECT_EQ(engine.shard_of(0), 0u);
+  EXPECT_EQ(engine.shard_of(1023), 0u);
+  EXPECT_EQ(engine.shard_of(1024), 1u);
+  EXPECT_EQ(engine.shard_of(4095), 3u);
+
+  CamDriver drv(engine);
+  drv.store(std::vector<cam::Word>{5, 1030, 2060, 3090});
+  for (const cam::Word key : {5u, 1030u, 2060u, 3090u}) {
+    const auto res = drv.search(key);
+    EXPECT_TRUE(res.hit) << key;
+    EXPECT_EQ(res.shard, engine.shard_of(key)) << key;
+  }
+  EXPECT_FALSE(drv.search(999).hit);
+}
+
+TEST(ShardedCamEngine, ResetClearsEveryShard) {
+  ShardedCamEngine engine(engine_config(4), shard_config());
+  CamDriver drv(engine);
+  Rng rng(11);
+  std::vector<cam::Word> words(32);
+  for (auto& w : words) w = rng.next_bits(16);
+  drv.store(words);
+  ASSERT_TRUE(drv.search(words[0]).hit);
+  drv.reset();
+  for (const auto w : words) EXPECT_FALSE(drv.search(w).hit);
+}
+
+TEST(ShardedCamEngine, AddressedUpdateAndInvalidateUseGlobalAddresses) {
+  ShardedCamEngine engine(engine_config(4), shard_config());
+  CamDriver drv(engine);
+  const unsigned shard_cap = engine.shard(0).capacity();
+
+  // Addressed writes are the caller's contract: to be findable, the slot
+  // must sit in the slice of the shard the partitioner routes the key to.
+  const unsigned s = engine.shard_of(777);
+  const std::uint32_t addr = s * shard_cap + 5;
+  drv.store_at(addr, 777);
+  auto res = drv.search(777);
+  ASSERT_TRUE(res.hit);
+  EXPECT_EQ(res.global_address, addr);
+  EXPECT_EQ(res.shard, s);
+
+  drv.invalidate_at(addr);
+  EXPECT_FALSE(drv.search(777).hit);
+
+  EXPECT_THROW(drv.store_at(4 * shard_cap, 1), SimError);
+}
+
+TEST(ShardedCamEngine, AggregatesStatsAndResources) {
+  ShardedCamEngine engine(engine_config(4), shard_config());
+  const CamSystem solo(shard_config());
+  EXPECT_EQ(engine.capacity(), 4 * solo.capacity());
+  EXPECT_EQ(engine.words_per_beat(), 4 * solo.words_per_beat());
+  EXPECT_GE(engine.resources().dsps, 4 * solo.resources().dsps);
+  EXPECT_GT(engine.resources().luts, 4 * solo.resources().luts)
+      << "steering overhead must be accounted";
+
+  CamDriver drv(engine);
+  drv.store(std::vector<cam::Word>{1, 2, 3, 4, 5, 6, 7, 8});
+  drv.search_stream(std::vector<cam::Word>{1, 2, 3, 4, 5, 6, 7, 8});
+  const auto stats = engine.stats();
+  EXPECT_GT(stats.issued, 0u);
+  EXPECT_EQ(stats.cycles, drv.cycles());
+  EXPECT_GT(stats.responses, 0u);
+}
+
+TEST(ShardedCamEngine, HeterogeneousShardsRejected) {
+  ShardedCamEngine::Config cfg = engine_config(2);
+  unsigned calls = 0;
+  EXPECT_THROW(ShardedCamEngine(cfg,
+                                [&calls](unsigned) -> std::unique_ptr<CamBackend> {
+                                  auto c = shard_config();
+                                  if (calls++ == 1) c.unit.block.cell.data_width = 16;
+                                  return std::make_unique<CamSystem>(c);
+                                }),
+               ConfigError);
+}
+
+// The engine composes over heterogeneous backend *families* too: DSP shards
+// and baseline shards speak the same protocol (same width/kind/capacity
+// still required).
+TEST(ShardedCamEngine, WorksOverBaselineBackendShards) {
+  auto cfg = engine_config(2);
+  ShardedCamEngine engine(cfg, [](unsigned) -> std::unique_ptr<CamBackend> {
+    return std::make_unique<BramCamBackend>(bram_backend_config(128, 32));
+  });
+  CamDriver drv(engine);
+  drv.store(std::vector<cam::Word>{10, 20, 30, 40});
+  EXPECT_TRUE(drv.search(30).hit);
+  EXPECT_FALSE(drv.search(31).hit);
+}
+
+}  // namespace
+}  // namespace dspcam::system

@@ -8,6 +8,8 @@
 #include "src/tc/cam_accel.h"
 #include "src/tc/memory_model.h"
 #include "src/tc/dynamic_tc.h"
+#include "src/system/baseline_backend.h"
+#include "src/system/sharded_engine.h"
 #include "src/tc/merge_accel.h"
 #include "src/tc/validate.h"
 
@@ -148,6 +150,43 @@ TEST(Validate, CycleAccurateUnitMatchesAnalyticCounts) {
     const auto expect = graph::count_triangles_merge(graph::orient_by_degree(g));
     EXPECT_EQ(count_triangles_with_unit(g, cfg), expect) << "seed " << seed;
   }
+}
+
+TEST(Validate, BackendFlowMatchesOnEveryEngine) {
+  // The same TC kernel, executed through the CamBackend interface: the DSP
+  // system, the BRAM baseline and a 2-way sharded engine must all produce
+  // the exact triangle count.
+  const auto g = random_graph(30, 120, 5);
+  const auto expect = graph::count_triangles_merge(graph::orient_by_degree(g));
+
+  system::CamSystem::Config cam_cfg;
+  cam_cfg.unit.block.cell.data_width = 32;
+  cam_cfg.unit.block.block_size = 32;
+  cam_cfg.unit.block.bus_width = 512;
+  cam_cfg.unit.unit_size = 4;
+  cam_cfg.unit.bus_width = 512;
+  system::CamSystem dsp(cam_cfg);
+  EXPECT_EQ(count_triangles_with_backend(g, dsp), expect);
+
+  system::BramCamBackend bram(system::bram_backend_config(128, 32));
+  EXPECT_EQ(count_triangles_with_backend(g, bram), expect);
+
+  system::ShardedCamEngine::Config ecfg;
+  ecfg.shards = 2;
+  system::ShardedCamEngine sharded(ecfg, cam_cfg);
+  EXPECT_EQ(count_triangles_with_backend(g, sharded), expect);
+}
+
+TEST(Validate, BackendFlowChunksLongLists) {
+  // Hub degree (40) exceeds the chunk capacity (16) -> multiple passes.
+  std::vector<graph::Edge> edges;
+  for (graph::VertexId v = 1; v <= 40; ++v) edges.emplace_back(0, v);
+  edges.emplace_back(1, 2);   // triangle 0-1-2
+  edges.emplace_back(39, 40); // triangle 0-39-40
+  const auto g = graph::build_undirected(41, edges);
+
+  system::BramCamBackend bram(system::bram_backend_config(64, 32));
+  EXPECT_EQ(count_triangles_with_backend(g, bram, /*chunk_capacity=*/16), 2u);
 }
 
 TEST(Validate, ChunkedResidentListInRealUnit) {
