@@ -1,8 +1,11 @@
 // Shared helpers for the table-reproduction bench binaries.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <optional>
 #include <string>
@@ -14,6 +17,78 @@
 
 namespace dspcam::bench {
 
+/// Flags shared by the bench harnesses:
+///   --json <path>  append machine-readable JSON-lines rows to <path>
+///   --warmup N     unmeasured runs before timing starts (default 1)
+///   --repeat N     measured runs aggregated into median +- stddev (default 5)
+struct BenchOptions {
+  std::string json_path;
+  unsigned warmup = 1;
+  unsigned repeat = 5;
+
+  /// Parses the common flags; unknown arguments are ignored so harnesses can
+  /// layer their own. `default_json` (may be empty) is used when --json is
+  /// absent, letting a harness always emit its artifact.
+  static BenchOptions from_args(int argc, char** argv,
+                                std::string default_json = "") {
+    BenchOptions opt;
+    opt.json_path = std::move(default_json);
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--json" && i + 1 < argc) {
+        opt.json_path = argv[++i];
+      } else if (arg == "--warmup" && i + 1 < argc) {
+        opt.warmup = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+      } else if (arg == "--repeat" && i + 1 < argc) {
+        opt.repeat = std::max(1u, static_cast<unsigned>(
+                                      std::strtoul(argv[++i], nullptr, 10)));
+      }
+    }
+    return opt;
+  }
+};
+
+/// Summary statistics over repeated measurements of one metric.
+struct RepeatStats {
+  double median = 0;
+  double mean = 0;
+  double stddev = 0;
+  double min = 0;
+  double max = 0;
+  unsigned samples = 0;
+
+  static RepeatStats of(std::vector<double> xs) {
+    RepeatStats st;
+    if (xs.empty()) return st;
+    st.samples = static_cast<unsigned>(xs.size());
+    std::sort(xs.begin(), xs.end());
+    st.min = xs.front();
+    st.max = xs.back();
+    const std::size_t mid = xs.size() / 2;
+    st.median = xs.size() % 2 == 1 ? xs[mid] : 0.5 * (xs[mid - 1] + xs[mid]);
+    double sum = 0;
+    for (const double x : xs) sum += x;
+    st.mean = sum / static_cast<double>(xs.size());
+    double var = 0;
+    for (const double x : xs) var += (x - st.mean) * (x - st.mean);
+    st.stddev = xs.size() > 1
+                    ? std::sqrt(var / static_cast<double>(xs.size() - 1))
+                    : 0.0;
+    return st;
+  }
+};
+
+/// Runs `measure_once` (returning one scalar metric) warmup + repeat times
+/// and aggregates the measured runs.
+template <typename Fn>
+RepeatStats measure_repeated(const BenchOptions& opt, Fn&& measure_once) {
+  for (unsigned i = 0; i < opt.warmup; ++i) (void)measure_once();
+  std::vector<double> samples;
+  samples.reserve(opt.repeat);
+  for (unsigned i = 0; i < opt.repeat; ++i) samples.push_back(measure_once());
+  return RepeatStats::of(std::move(samples));
+}
+
 /// Machine-readable bench output: when a harness is invoked with
 /// `--json <path>`, every result row is also appended to <path> as one JSON
 /// object per line (JSON Lines), so sweeps can be diffed and plotted without
@@ -21,6 +96,9 @@ namespace dspcam::bench {
 class JsonLog {
  public:
   JsonLog() = default;
+
+  /// A logger writing to `path` (inert when empty).
+  explicit JsonLog(std::string path) : path_(std::move(path)) {}
 
   /// Parses `--json <path>` out of the command line (other args ignored).
   static JsonLog from_args(int argc, char** argv) {
@@ -33,6 +111,9 @@ class JsonLog {
     }
     return log;
   }
+
+  /// Logger bound to the options' json path (possibly the harness default).
+  static JsonLog from_options(const BenchOptions& opt) { return JsonLog(opt.json_path); }
 
   bool enabled() const noexcept { return !path_.empty(); }
 
@@ -97,6 +178,18 @@ class JsonLog {
   std::string path_;
   bool opened_ = false;
 };
+
+/// Appends a RepeatStats as `<prefix>_{median,mean,stddev,min,max}` fields.
+inline JsonLog::Row& add_stats(JsonLog::Row& row, const std::string& prefix,
+                               const RepeatStats& st) {
+  row.num(prefix + "_median", st.median)
+      .num(prefix + "_mean", st.mean)
+      .num(prefix + "_stddev", st.stddev)
+      .num(prefix + "_min", st.min)
+      .num(prefix + "_max", st.max)
+      .num(prefix + "_samples", static_cast<std::uint64_t>(st.samples));
+  return row;
+}
 
 /// Prints a section banner.
 inline void banner(const std::string& title) {

@@ -1,0 +1,225 @@
+// Simulation-engine step-rate microbenchmark (host performance, not FPGA
+// performance): how many simulated cycles and searches per host second the
+// two evaluation paths sustain, and how parallel shard stepping scales.
+//
+//   part 1  reference vs fast CamUnit on a saturating search stream at
+//           {16x16, 64x64, 256x64} (blocks x cells/block) - the tentpole
+//           speedup of the vectorized match kernel.
+//   part 2  ShardedCamEngine at S in {1,4,8} with serial vs S-threaded
+//           stepping - host wall-clock scaling of the per-cycle barrier
+//           (bounded by the machine's core count; the JSON records
+//           hardware_concurrency so trajectories are comparable).
+//
+// Flags: --warmup N --repeat N --json <path>   (default path
+// BENCH_step_rate.json so CI always collects the artifact).
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/cam/unit.h"
+#include "src/system/driver.h"
+#include "src/system/sharded_engine.h"
+
+namespace {
+
+using namespace dspcam;
+using Clock = std::chrono::steady_clock;
+
+struct Rate {
+  double cycles_per_sec = 0;
+  double searches_per_sec = 0;
+};
+
+cam::UnitConfig unit_config(unsigned blocks, unsigned cells, cam::EvalMode mode) {
+  cam::UnitConfig cfg;
+  cfg.block.cell.kind = cam::CamKind::kBinary;
+  cfg.block.cell.data_width = 32;
+  cfg.block.block_size = cells;
+  cfg.block.bus_width = 512;
+  cfg.block.eval_mode = mode;
+  cfg.unit_size = blocks;
+  cfg.bus_width = 512;
+  return cfg;
+}
+
+/// Preloads half the unit's capacity, then streams one search beat per
+/// cycle for `cycles` cycles (II = 1, every block of the group active).
+Rate search_stream_rate(const cam::UnitConfig& cfg, std::uint64_t cycles) {
+  cam::CamUnit unit(cfg);
+  const unsigned capacity = unit.capacity_per_group();
+  const unsigned preload = capacity / 2;
+  const unsigned per_beat = cfg.words_per_beat();
+  unsigned stored = 0;
+  while (stored < preload) {
+    cam::UnitRequest req;
+    req.op = cam::OpKind::kUpdate;
+    for (unsigned w = 0; w < per_beat && stored + w < preload; ++w) {
+      req.words.push_back(stored + w);
+    }
+    stored += static_cast<unsigned>(req.words.size());
+    unit.issue(std::move(req));
+    bench::step(unit);
+  }
+  for (unsigned i = 0; i < cam::CamUnit::update_latency() + 2; ++i) bench::step(unit);
+
+  std::uint64_t responses = 0;
+  const auto t0 = Clock::now();
+  for (std::uint64_t c = 0; c < cycles; ++c) {
+    cam::UnitRequest req;
+    req.op = cam::OpKind::kSearch;
+    req.keys.push_back(static_cast<cam::Word>(c % capacity));
+    req.seq = c;
+    unit.issue(std::move(req));
+    bench::step(unit);
+    if (unit.response().has_value()) ++responses;
+  }
+  const double secs = std::chrono::duration<double>(Clock::now() - t0).count();
+  Rate r;
+  r.cycles_per_sec = static_cast<double>(cycles) / secs;
+  r.searches_per_sec = static_cast<double>(responses) / secs;
+  return r;
+}
+
+/// Streams S-key search beats into a sharded engine (the hash partitioner
+/// spreads the keys, so all shards stay busy) and reports the engine's
+/// simulated cycle rate.
+Rate engine_stream_rate(unsigned shards, unsigned threads, std::uint64_t cycles) {
+  system::ShardedCamEngine::Config ec;
+  ec.shards = shards;
+  ec.step_threads = threads;
+  ec.credits_per_shard = 64;
+  system::CamSystem::Config sc;
+  sc.unit = unit_config(16, 16, cam::EvalMode::kFast);
+  system::ShardedCamEngine engine(ec, sc);
+  system::CamDriver driver(engine);
+
+  std::vector<cam::Word> words;
+  words.reserve(static_cast<std::size_t>(shards) * 128);
+  for (unsigned i = 0; i < shards * 128u; ++i) words.push_back(i);
+  driver.store(words);
+
+  const std::uint64_t start_cycles = engine.stats().cycles;
+  std::uint64_t responses = 0;
+  std::uint64_t key = 0;
+  const auto t0 = Clock::now();
+  for (std::uint64_t c = 0; c < cycles; ++c) {
+    cam::UnitRequest req;
+    req.op = cam::OpKind::kSearch;
+    for (unsigned k = 0; k < shards; ++k) req.keys.push_back(key++ % (shards * 128u));
+    driver.submit_async(std::move(req));
+    driver.poll();
+    while (auto comp = driver.try_pop_completion()) {
+      responses += comp->results.size();
+    }
+  }
+  driver.drain();
+  while (driver.try_pop_completion()) {
+  }
+  const double secs = std::chrono::duration<double>(Clock::now() - t0).count();
+  const double stepped =
+      static_cast<double>(engine.stats().cycles - start_cycles);
+  Rate r;
+  r.cycles_per_sec = stepped / secs;
+  r.searches_per_sec = static_cast<double>(responses) / secs;
+  return r;
+}
+
+struct Geometry {
+  unsigned blocks;
+  unsigned cells;
+  std::uint64_t cycles;  ///< Simulated cycles per measured run.
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt =
+      dspcam::bench::BenchOptions::from_args(argc, argv, "BENCH_step_rate.json");
+  auto log = dspcam::bench::JsonLog::from_options(opt);
+
+  dspcam::bench::banner("Two-speed engine: simulated step rate (host perf)");
+  std::printf("warmup %u, repeat %u, values are medians\n\n", opt.warmup, opt.repeat);
+
+  // Part 1: reference vs fast evaluation path.
+  const Geometry geometries[] = {
+      {16, 16, 50'000}, {64, 64, 10'000}, {256, 64, 4'000}};
+  std::printf("%-10s %-10s %14s %14s %10s\n", "unit", "mode", "cycles/s",
+              "searches/s", "speedup");
+  for (const auto& g : geometries) {
+    char label[32];
+    std::snprintf(label, sizeof(label), "%ux%u", g.blocks, g.cells);
+    double ref_median = 0;
+    for (const auto mode :
+         {dspcam::cam::EvalMode::kReference, dspcam::cam::EvalMode::kFast}) {
+      std::vector<double> sps;
+      const auto stats = dspcam::bench::measure_repeated(opt, [&] {
+        const Rate r =
+            search_stream_rate(unit_config(g.blocks, g.cells, mode), g.cycles);
+        sps.push_back(r.searches_per_sec);
+        return r.cycles_per_sec;
+      });
+      const auto sps_stats = dspcam::bench::RepeatStats::of(std::move(sps));
+      const bool fast = mode == dspcam::cam::EvalMode::kFast;
+      const double speedup = fast && ref_median > 0 ? stats.median / ref_median : 0;
+      if (!fast) ref_median = stats.median;
+      char ratio[32] = "-";
+      if (fast) std::snprintf(ratio, sizeof(ratio), "%.2fx", speedup);
+      std::printf("%-10s %-10s %14.0f %14.0f %10s\n", label,
+                  dspcam::cam::to_string(mode).c_str(), stats.median,
+                  sps_stats.median, ratio);
+      auto row = dspcam::bench::JsonLog::Row("micro_step_rate");
+      row.str("kind", "eval_mode")
+          .str("unit", label)
+          .str("mode", dspcam::cam::to_string(mode))
+          .num("blocks", static_cast<std::uint64_t>(g.blocks))
+          .num("cells_per_block", static_cast<std::uint64_t>(g.cells))
+          .num("sim_cycles", g.cycles);
+      dspcam::bench::add_stats(row, "cycles_per_sec", stats);
+      dspcam::bench::add_stats(row, "searches_per_sec", sps_stats);
+      if (fast) row.num("speedup_vs_reference", speedup);
+      log.emit(row);
+    }
+  }
+
+  // Part 2: parallel shard stepping.
+  std::printf("\n%-8s %-10s %14s %14s %10s\n", "shards", "threads", "cycles/s",
+              "searches/s", "vs serial");
+  const unsigned cores = std::thread::hardware_concurrency();
+  for (const unsigned shards : {1u, 4u, 8u}) {
+    double serial_median = 0;
+    for (const unsigned threads : {1u, shards}) {
+      if (threads == 1 && shards == 1 && serial_median > 0) continue;
+      std::vector<double> sps;
+      const auto stats = dspcam::bench::measure_repeated(opt, [&] {
+        const Rate r = engine_stream_rate(shards, threads, 20'000);
+        sps.push_back(r.searches_per_sec);
+        return r.cycles_per_sec;
+      });
+      const auto sps_stats = dspcam::bench::RepeatStats::of(std::move(sps));
+      const bool parallel = threads > 1;
+      const double scaling =
+          parallel && serial_median > 0 ? stats.median / serial_median : 0;
+      if (!parallel) serial_median = stats.median;
+      char ratio[32] = "-";
+      if (parallel) std::snprintf(ratio, sizeof(ratio), "%.2fx", scaling);
+      std::printf("%-8u %-10u %14.0f %14.0f %10s\n", shards, threads,
+                  stats.median, sps_stats.median, ratio);
+      auto row = dspcam::bench::JsonLog::Row("micro_step_rate");
+      row.str("kind", "shard_scaling")
+          .num("shards", static_cast<std::uint64_t>(shards))
+          .num("step_threads", static_cast<std::uint64_t>(threads))
+          .num("host_cores", static_cast<std::uint64_t>(cores))
+          .num("sim_cycles", std::uint64_t{20'000});
+      dspcam::bench::add_stats(row, "cycles_per_sec", stats);
+      dspcam::bench::add_stats(row, "searches_per_sec", sps_stats);
+      if (parallel) row.num("speedup_vs_serial", scaling);
+      log.emit(row);
+    }
+  }
+  std::printf("\n(host has %u hardware threads; parallel scaling is bounded "
+              "by that, not by the engine)\n", cores);
+  return 0;
+}

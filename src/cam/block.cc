@@ -1,15 +1,28 @@
 #include "src/cam/block.h"
 
+#include <algorithm>
+
+#include "src/common/bitops.h"
 #include "src/common/error.h"
 
 namespace dspcam::cam {
 
 CamBlock::CamBlock(const BlockConfig& cfg)
-    : cfg_(cfg), tags_(2), out_buf_(1) {
+    : cfg_(cfg), match_scratch_(cfg.block_size), tags_(2), out_buf_(1) {
   cfg_.validate();
-  cells_.reserve(cfg_.block_size);
-  for (unsigned i = 0; i < cfg_.block_size; ++i) {
-    cells_.push_back(std::make_unique<CamCell>(cfg_.cell));
+  if (cfg_.eval_mode == EvalMode::kReference) {
+    cells_.reserve(cfg_.block_size);
+    for (unsigned i = 0; i < cfg_.block_size; ++i) {
+      cells_.push_back(std::make_unique<CamCell>(cfg_.cell));
+    }
+  } else {
+    // ~MASK over the DSP datapath for a never-written cell is the plain
+    // width mask, i.e. "compare all data_width bits" (CamCell's initial
+    // attribute state).
+    fast_stored_.assign(cfg_.block_size, 0);
+    fast_cmp_not_mask_.assign(cfg_.block_size,
+                              ~width_mask(cfg_.cell.data_width) & kDspWordMask);
+    fast_valid_.assign((cfg_.block_size + 63) / 64, 0);
   }
 }
 
@@ -62,8 +75,43 @@ void CamBlock::issue(BlockRequest request) {
   }
 }
 
+const CamCell& CamBlock::cell(unsigned index) const {
+  if (cfg_.eval_mode != EvalMode::kReference) {
+    throw SimError(
+        "CamBlock::cell: per-cell DSP state only exists in EvalMode::kReference; "
+        "use stored_word()/entry_mask()/entry_valid()");
+  }
+  if (index >= cfg_.block_size) throw SimError("CamBlock: cell index out of range");
+  return *cells_[index];
+}
+
+Word CamBlock::stored_word(unsigned index) const {
+  if (index >= cfg_.block_size) throw SimError("CamBlock: cell index out of range");
+  return cells_.empty() ? fast_stored_[index] : cells_[index]->stored();
+}
+
+std::uint64_t CamBlock::entry_mask(unsigned index) const {
+  if (index >= cfg_.block_size) throw SimError("CamBlock: cell index out of range");
+  return cells_.empty() ? (~fast_cmp_not_mask_[index] & kDspWordMask)
+                        : cells_[index]->mask();
+}
+
+bool CamBlock::entry_valid(unsigned index) const {
+  if (index >= cfg_.block_size) throw SimError("CamBlock: cell index out of range");
+  return cells_.empty() ? ((fast_valid_[index / 64] >> (index % 64)) & 1) != 0
+                        : cells_[index]->valid();
+}
+
 void CamBlock::hard_reset() {
-  for (auto& cell : cells_) cell->hard_clear();
+  if (cells_.empty()) {
+    std::fill(fast_stored_.begin(), fast_stored_.end(), 0);
+    std::fill(fast_cmp_not_mask_.begin(), fast_cmp_not_mask_.end(),
+              ~width_mask(cfg_.cell.data_width) & kDspWordMask);
+    std::fill(fast_valid_.begin(), fast_valid_.end(), 0);
+    pd_pending_ = false;
+  } else {
+    for (auto& cell : cells_) cell->hard_clear();
+  }
   fill_ = 0;
   pending_update_.reset();
   pending_search_.reset();
@@ -76,13 +124,123 @@ void CamBlock::hard_reset() {
 }
 
 void CamBlock::apply_reset() {
-  for (auto& cell : cells_) cell->drive_clear();
+  if (cells_.empty()) {
+    // The cleared state is visible at this edge, and the tag flush below
+    // guarantees no in-flight compare will be read, so the arrays can be
+    // rewritten directly instead of going through drive_clear/commit.
+    std::fill(fast_stored_.begin(), fast_stored_.end(), 0);
+    std::fill(fast_cmp_not_mask_.begin(), fast_cmp_not_mask_.end(),
+              ~width_mask(cfg_.cell.data_width) & kDspWordMask);
+    std::fill(fast_valid_.begin(), fast_valid_.end(), 0);
+    pd_pending_ = false;
+  } else {
+    for (auto& cell : cells_) cell->drive_clear();
+  }
   fill_ = 0;
   in_reg_.reset();
   tags_.clear();
   out_buf_.clear();
   response_.reset();
   ack_.reset();
+}
+
+void CamBlock::write_entry(unsigned index, Word value, std::uint64_t entry_mask) {
+  // Same legality check Dsp48e2::set_pattern_mask applies on the reference
+  // path.
+  if (entry_mask > kDspWordMask) {
+    throw ConfigError("DSP48E2: PATTERN/MASK attributes exceed 48 bits");
+  }
+  fast_stored_[index] = truncate(value, cfg_.cell.data_width);
+  fast_cmp_not_mask_[index] = ~entry_mask & kDspWordMask;
+  fast_valid_[index / 64] |= std::uint64_t{1} << (index % 64);
+}
+
+void CamBlock::invalidate_entry(unsigned index) {
+  fast_valid_[index / 64] &= ~(std::uint64_t{1} << (index % 64));
+}
+
+void CamBlock::apply_update_path(std::optional<UpdateAck>& new_ack) {
+  if (!pending_update_) return;
+  const bool fast = cells_.empty();
+  if (pending_update_->op == OpKind::kInvalidate) {
+    if (fast) {
+      invalidate_entry(*pending_update_->address);
+    } else {
+      cells_[*pending_update_->address]->drive_invalidate();
+    }
+    UpdateAck ack;
+    ack.seq = pending_update_->tag.seq;
+    ack.words_written = 1;
+    ack.block_full = fill_ >= cfg_.block_size;
+    new_ack = ack;
+    return;
+  }
+
+  UpdateAck ack;
+  ack.seq = pending_update_->tag.seq;
+  const auto& words = pending_update_->words;
+  const auto& masks = pending_update_->masks;
+  const std::uint64_t default_mask = width_mask(cfg_.cell.data_width);
+  if (pending_update_->address.has_value()) {
+    // Addressed write: the fill pointer is untouched (entry management
+    // belongs to the host - see system::CamTable).
+    const std::uint32_t base = *pending_update_->address;
+    for (std::size_t w = 0; w < words.size(); ++w) {
+      if (fast) {
+        write_entry(base + static_cast<unsigned>(w), words[w],
+                    masks.empty() ? default_mask : masks[w]);
+      } else if (masks.empty()) {
+        cells_[base + w]->drive_write(words[w]);
+      } else {
+        cells_[base + w]->drive_write(words[w], masks[w]);
+      }
+      ++ack.words_written;
+    }
+  } else {
+    for (std::size_t w = 0; w < words.size() && fill_ < cfg_.block_size; ++w) {
+      if (fast) {
+        write_entry(fill_, words[w], masks.empty() ? default_mask : masks[w]);
+      } else if (masks.empty()) {
+        cells_[fill_]->drive_write(words[w]);
+      } else {
+        cells_[fill_]->drive_write(words[w], masks[w]);
+      }
+      ++fill_;
+      ++ack.words_written;
+    }
+  }
+  ack.block_full = fill_ >= cfg_.block_size;
+  new_ack = ack;
+}
+
+void CamBlock::compute_match_fast() {
+  // One pattern-detect sweep: for entry i the DSP would latch
+  //   PATTERNDETECT = ((stored_i ^ key) & ~MASK_i & kDspWordMask) == 0
+  // and the cell gates it with the pre-edge valid flag. The arrays hold
+  // pre-edge state here (updates for this cycle apply afterwards), so the
+  // sweep reproduces the edge exactly, 64 match lines per output word.
+  const Word key = cmp_key_;
+  const std::uint64_t* stored = fast_stored_.data();
+  const std::uint64_t* nmask = fast_cmp_not_mask_.data();
+  const std::size_t word_count = match_scratch_.word_count();
+  for (std::size_t wi = 0; wi < word_count; ++wi) {
+    const std::size_t base = wi * 64;
+    const std::size_t lanes =
+        std::min<std::size_t>(64, cfg_.block_size - base);
+    std::uint64_t bits = 0;
+    for (std::size_t b = 0; b < lanes; ++b) {
+      bits |= static_cast<std::uint64_t>(((stored[base + b] ^ key) & nmask[base + b]) == 0)
+              << b;
+    }
+    match_scratch_.set_word(wi, bits & fast_valid_[wi]);
+  }
+}
+
+void CamBlock::gather_match_reference() {
+  match_scratch_.clear_all();
+  for (unsigned i = 0; i < cfg_.block_size; ++i) {
+    if (cells_[i]->match()) match_scratch_.set(i);
+  }
 }
 
 void CamBlock::commit() {
@@ -97,9 +255,25 @@ void CamBlock::commit() {
     pending_reset_ = false;
   }
 
+  const bool fast = cells_.empty();
+  bool pd_fresh = false;
+
   // Search path: the broadcast register drives every cell one cycle after
-  // the beat arrived. Only the masked key word reaches the cells.
-  if (in_reg_ && in_reg_->op == OpKind::kSearch) {
+  // the beat arrived. Only the masked key word reaches the cells. On the
+  // fast path the compare for the key latched at the *previous* edge is
+  // evaluated now, against pre-update state - the same ordering the DSP's
+  // C->P register pair produces.
+  if (fast) {
+    if (pd_pending_) {
+      compute_match_fast();
+      pd_fresh = true;
+      pd_pending_ = false;
+    }
+    if (in_reg_ && in_reg_->op == OpKind::kSearch) {
+      cmp_key_ = truncate(in_reg_->key, cfg_.cell.data_width);
+      pd_pending_ = true;
+    }
+  } else if (in_reg_ && in_reg_->op == OpKind::kSearch) {
     for (auto& cell : cells_) cell->drive_search(in_reg_->key);
   }
 
@@ -108,47 +282,13 @@ void CamBlock::commit() {
   // address (extension) - combinational, latency 1. Invalidate clears one
   // cell's valid flag through the same demux.
   std::optional<UpdateAck> new_ack;
-  if (pending_update_ && pending_update_->op == OpKind::kInvalidate) {
-    cells_[*pending_update_->address]->drive_invalidate();
-    UpdateAck ack;
-    ack.seq = pending_update_->tag.seq;
-    ack.words_written = 1;
-    ack.block_full = fill_ >= cfg_.block_size;
-    new_ack = ack;
-  } else if (pending_update_) {
-    UpdateAck ack;
-    ack.seq = pending_update_->tag.seq;
-    const auto& words = pending_update_->words;
-    const auto& masks = pending_update_->masks;
-    if (pending_update_->address.has_value()) {
-      // Addressed write: the fill pointer is untouched (entry management
-      // belongs to the host - see system::CamTable).
-      const std::uint32_t base = *pending_update_->address;
-      for (std::size_t w = 0; w < words.size(); ++w) {
-        if (masks.empty()) {
-          cells_[base + w]->drive_write(words[w]);
-        } else {
-          cells_[base + w]->drive_write(words[w], masks[w]);
-        }
-        ++ack.words_written;
-      }
-    } else {
-      for (std::size_t w = 0; w < words.size() && fill_ < cfg_.block_size; ++w) {
-        if (masks.empty()) {
-          cells_[fill_]->drive_write(words[w]);
-        } else {
-          cells_[fill_]->drive_write(words[w], masks[w]);
-        }
-        ++fill_;
-        ++ack.words_written;
-      }
-    }
-    ack.block_full = fill_ >= cfg_.block_size;
-    new_ack = ack;
-  }
+  apply_update_path(new_ack);
 
-  // Clock edge for every cell.
-  for (auto& cell : cells_) cell->commit();
+  // Clock edge for every cell (the fast path's edge is the array/flag
+  // updates above).
+  if (!fast) {
+    for (auto& cell : cells_) cell->commit();
+  }
 
   // In-flight search bookkeeping: a tag pushed at the beat's arrival pops
   // exactly when the cells' pattern-detect outputs for that key latch.
@@ -157,11 +297,14 @@ void CamBlock::commit() {
 
   std::optional<BlockResponse> encoded;
   if (tags_.output().has_value()) {
-    BitVec match_lines(cfg_.block_size);
-    for (unsigned i = 0; i < cfg_.block_size; ++i) {
-      if (cells_[i]->match()) match_lines.set(i);
+    if (fast) {
+      if (!pd_fresh) {
+        throw SimError("CamBlock: fast-path pipeline skew (tag popped without a compare)");
+      }
+    } else {
+      gather_match_reference();
     }
-    encoded = encode_match_lines(match_lines, cfg_.encoding, *tags_.output());
+    encoded = encode_match_lines(match_scratch_, cfg_.encoding, *tags_.output());
   }
 
   if (cfg_.output_buffer) {

@@ -17,6 +17,17 @@
 // Search pipeline: broadcast register (1) + DSP C register (1) + DSP P /
 // pattern-detect register (1) = 3 cycles, +1 with the encoder buffer.
 // Both paths are pipelined with initiation interval 1.
+//
+// Two evaluation paths (BlockConfig::eval_mode) produce bit- and
+// cycle-identical behaviour:
+//   - kReference drives one Dsp48e2 model per cell (the golden path).
+//   - kFast mirrors the cells' registered state - stored word, per-entry
+//     MASK, valid flag - into packed contiguous arrays and answers a search
+//     with a branch-free ((stored ^ key) & ~mask) == 0 sweep. The broadcast
+//     register, the DSP C/P register stages and the encoder buffer are
+//     modelled by the same delay structures, so every response appears in
+//     the same cycle with the same payload as the reference path (lockstep
+//     fuzz-tested in tests/cam/fast_equivalence_test.cc).
 #pragma once
 
 #include <cstdint>
@@ -67,6 +78,12 @@ class CamBlock : public sim::Component {
            tags_.drained() && out_buf_.drained();
   }
 
+  /// Idle with no registered outputs left to retire: safe for a scheduler
+  /// to skip this cycle entirely (activity gating).
+  bool quiescent() const noexcept override {
+    return idle() && !response_.has_value() && !ack_.has_value();
+  }
+
   /// The search response that became visible this cycle, if any.
   const std::optional<BlockResponse>& response() const noexcept { return response_; }
 
@@ -80,9 +97,17 @@ class CamBlock : public sim::Component {
   unsigned fill() const noexcept { return fill_; }
   bool full() const noexcept { return fill_ >= cfg_.block_size; }
 
-  /// Direct cell access for tests and resource accounting.
-  const CamCell& cell(unsigned index) const { return *cells_.at(index); }
+  /// Direct cell access for tests and resource accounting. Only the
+  /// reference path instantiates Dsp48e2 cells; throws SimError in kFast
+  /// mode (use stored_word()/entry_mask()/entry_valid(), which work in
+  /// both modes).
+  const CamCell& cell(unsigned index) const;
   unsigned size() const noexcept { return cfg_.block_size; }
+
+  /// Mode-independent views of one entry's registered state.
+  Word stored_word(unsigned index) const;
+  std::uint64_t entry_mask(unsigned index) const;
+  bool entry_valid(unsigned index) const;
 
   /// Immediate full clear outside the clocked protocol (see
   /// CamCell::hard_clear); used by runtime group reconfiguration.
@@ -93,9 +118,25 @@ class CamBlock : public sim::Component {
 
  private:
   void apply_reset();
+  void write_entry(unsigned index, Word value, std::uint64_t entry_mask);
+  void invalidate_entry(unsigned index);
+  void apply_update_path(std::optional<UpdateAck>& new_ack);
+  void compute_match_fast();
+  void gather_match_reference();
 
   BlockConfig cfg_;
-  std::vector<std::unique_ptr<CamCell>> cells_;
+  std::vector<std::unique_ptr<CamCell>> cells_;  ///< kReference only.
+
+  // kFast mirrors of the cells' registered state. fast_cmp_not_mask_ holds
+  // ~MASK (pre-inverted, 48-bit) so the sweep is a pure and/xor/compare.
+  std::vector<std::uint64_t> fast_stored_;
+  std::vector<std::uint64_t> fast_cmp_not_mask_;
+  std::vector<std::uint64_t> fast_valid_;  ///< Packed, 64 valid flags/word.
+
+  Word cmp_key_ = 0;         ///< Fast path's C-register mirror.
+  bool pd_pending_ = false;  ///< A key latched last cycle awaits its compare.
+
+  BitVec match_scratch_;  ///< Match-line bus, reused every cycle (no alloc).
 
   unsigned fill_ = 0;  ///< Cell Address Controller write pointer.
 

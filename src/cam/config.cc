@@ -5,6 +5,10 @@
 
 namespace dspcam::cam {
 
+std::string to_string(EvalMode mode) {
+  return mode == EvalMode::kReference ? "reference" : "fast";
+}
+
 void CellConfig::validate() const {
   if (data_width == 0 || data_width > kDspWordBits) {
     throw ConfigError("cell data width must be 1.." + std::to_string(kDspWordBits) +

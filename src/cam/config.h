@@ -15,6 +15,22 @@
 
 namespace dspcam::cam {
 
+/// How a block's CAM cells are evaluated by the simulator. Both modes are
+/// cycle- and bit-identical (asserted by the lockstep fuzz equivalence
+/// tests); they differ only in host cost:
+///   kReference - every cell is a full Dsp48e2 behavioural model. Needed when
+///                per-slice state must be observable (CamBlock::cell(),
+///                VCD-style tracing of DSP internals).
+///   kFast      - the block mirrors stored words / per-entry masks / valid
+///                flags into packed arrays and answers a search with a
+///                branch-free ((stored ^ key) & ~mask) == 0 sweep behind the
+///                same pipeline registers. Orders of magnitude faster.
+/// This is a simulation-host choice, not an architecture parameter: resource
+/// and timing models are unaffected.
+enum class EvalMode : std::uint8_t { kReference, kFast };
+
+std::string to_string(EvalMode mode);
+
 /// Cell-level parameters.
 struct CellConfig {
   CamKind kind = CamKind::kBinary;  ///< Cell type (Table III "Cell type").
@@ -31,6 +47,7 @@ struct BlockConfig {
   EncodingScheme encoding = EncodingScheme::kPriorityIndex;
   bool output_buffer = false;     ///< Extra encoder output register for timing
                                   ///< closure (adds 1 cycle search latency).
+  EvalMode eval_mode = EvalMode::kFast;  ///< Simulator evaluation path.
 
   /// Data words carried per bus beat (update parallelism).
   unsigned words_per_beat() const noexcept { return bus_width / cell.data_width; }

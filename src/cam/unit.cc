@@ -19,6 +19,8 @@ CamUnit::CamUnit(const UnitConfig& cfg)
   for (unsigned i = 0; i < cfg_.unit_size; ++i) {
     blocks_.push_back(std::make_unique<CamBlock>(cfg_.block));
   }
+  block_active_.assign(cfg_.unit_size, 0);
+  active_blocks_.reserve(cfg_.unit_size);
   rebuild_controllers();
 }
 
@@ -34,8 +36,9 @@ bool CamUnit::idle() const noexcept {
   if (pending_.has_value()) return false;
   if (!search_pipe_.drained() || !update_pipe_.drained()) return false;
   if (!meta_pipe_.drained() || !ack_pipe_.drained()) return false;
-  for (const auto& b : blocks_) {
-    if (!b->idle()) return false;
+  // Blocks off the active list are quiescent, hence idle.
+  for (unsigned b : active_blocks_) {
+    if (!blocks_[b]->idle()) return false;
   }
   return true;
 }
@@ -43,12 +46,22 @@ bool CamUnit::idle() const noexcept {
 void CamUnit::hard_reset_state() {
   for (auto& b : blocks_) b->hard_reset();
   for (auto& c : controllers_) c.reset();
+  std::fill(block_active_.begin(), block_active_.end(), 0);
+  active_blocks_.clear();
   search_pipe_.clear();
   update_pipe_.clear();
   meta_pipe_.clear();
   ack_pipe_.clear();
   pending_.reset();
   response_.reset();
+}
+
+void CamUnit::issue_to_block(unsigned block_id, BlockRequest request) {
+  if (!block_active_[block_id]) {
+    block_active_[block_id] = 1;
+    active_blocks_.push_back(block_id);
+  }
+  blocks_[block_id]->issue(std::move(request));
 }
 
 void CamUnit::configure_groups(unsigned m) {
@@ -123,10 +136,10 @@ unsigned CamUnit::capacity_per_group() const noexcept {
 // to the block(s) chosen by its Block Address Controller.
 void CamUnit::dispatch_update(const UnitRequest& req) {
   if (req.op == OpKind::kReset) {
-    for (auto& b : blocks_) {
+    for (unsigned b = 0; b < cfg_.unit_size; ++b) {
       BlockRequest r;
       r.op = OpKind::kReset;
-      b->issue(std::move(r));
+      issue_to_block(b, std::move(r));
     }
     for (auto& c : controllers_) c.reset();
     return;
@@ -147,7 +160,7 @@ void CamUnit::dispatch_update(const UnitRequest& req) {
       r.address = entry % bs;
       r.tag.seq = req.seq;
       r.tag.group = static_cast<std::uint16_t>(g);
-      blocks_[ids.at(entry / bs)]->issue(std::move(r));
+      issue_to_block(ids.at(entry / bs), std::move(r));
     }
     ack_pipe_.push(ack);
     return;
@@ -177,7 +190,7 @@ void CamUnit::dispatch_update(const UnitRequest& req) {
         if (!req.masks.empty()) {
           r.masks.assign(req.masks.begin() + pos, req.masks.begin() + pos + take);
         }
-        blocks_[ids.at(entry / bs)]->issue(std::move(r));
+        issue_to_block(ids.at(entry / bs), std::move(r));
         pos += take;
         entry += static_cast<std::uint32_t>(take);
       }
@@ -205,7 +218,7 @@ void CamUnit::dispatch_update(const UnitRequest& req) {
         r.masks.assign(req.masks.begin() + word_pos,
                        req.masks.begin() + word_pos + seg.count);
       }
-      blocks_[seg.block]->issue(std::move(r));
+      issue_to_block(seg.block, std::move(r));
       word_pos += seg.count;
       written += seg.count;
     }
@@ -221,6 +234,8 @@ void CamUnit::dispatch_update(const UnitRequest& req) {
 void CamUnit::dispatch_search(const UnitRequest& req) {
   SearchMeta meta;
   meta.seq = req.seq;
+  meta.keys = std::move(spare_keys_);    // recycled buffers, already cleared
+  meta.groups = std::move(spare_groups_);
   for (std::size_t i = 0; i < req.keys.size(); ++i) {
     // Mapping function: the i-th key of the beat is served by group i. Every
     // group holds a full copy of the data, so any assignment of distinct
@@ -236,7 +251,7 @@ void CamUnit::dispatch_search(const UnitRequest& req) {
       r.tag.seq = req.seq;
       r.tag.key_index = static_cast<std::uint16_t>(i);
       r.tag.group = static_cast<std::uint16_t>(g);
-      blocks_[block_id]->issue(std::move(r));
+      issue_to_block(block_id, std::move(r));
     }
   }
   meta_pipe_.push(std::move(meta));
@@ -247,6 +262,14 @@ void CamUnit::dispatch_search(const UnitRequest& req) {
 // the meta record popping out of meta_pipe_ names exactly the beat whose
 // responses are on the wires now.
 void CamUnit::collect_responses() {
+  // The previous response was consumed last cycle (the owner copies it out
+  // of the output register), so its result vector is dead: reclaim the heap
+  // buffer instead of freeing and re-allocating it every beat.
+  if (response_.has_value()) {
+    spare_results_ = std::move(response_->results);
+    spare_results_.clear();
+  }
+
   const auto& meta = meta_pipe_.output();
   if (!meta.has_value()) {
     response_.reset();
@@ -255,6 +278,7 @@ void CamUnit::collect_responses() {
 
   UnitResponse unit_resp;
   unit_resp.seq = meta->seq;
+  unit_resp.results = std::move(spare_results_);
   unit_resp.results.resize(meta->keys.size());
   for (std::size_t i = 0; i < meta->keys.size(); ++i) {
     auto& r = unit_resp.results[i];
@@ -263,10 +287,12 @@ void CamUnit::collect_responses() {
     r.hit = false;
     r.global_address = 0;
     r.match_count = 0;
+    r.shard = 0;
   }
 
   unsigned collected = 0;
-  for (unsigned b = 0; b < cfg_.unit_size; ++b) {
+  // Only active blocks can hold a freshly latched response.
+  for (unsigned b : active_blocks_) {
     const auto& resp = blocks_[b]->response();
     if (!resp.has_value()) continue;
     if (resp->tag.seq != meta->seq) {
@@ -285,19 +311,36 @@ void CamUnit::collect_responses() {
     // A reset beat overtook this search inside the blocks and flushed it:
     // no result beat appears on the output interface (blocks otherwise
     // always answer, hit or miss).
+    spare_results_ = std::move(unit_resp.results);
+    spare_results_.clear();
     response_.reset();
     return;
   }
   response_ = std::move(unit_resp);
 }
 
+// Recycles the key/group vectors of the SearchMeta record that retired at
+// this edge; collect_responses() has already read it, and the register is
+// overwritten at the coming meta_pipe_ shift.
+void CamUnit::reclaim_meta_buffers() {
+  auto& retired = meta_pipe_.mutable_output();
+  if (!retired.has_value()) return;
+  spare_keys_ = std::move(retired->keys);
+  spare_keys_.clear();
+  spare_groups_ = std::move(retired->groups);
+  spare_groups_.clear();
+}
+
 void CamUnit::commit() {
-  // 1. Clock every block; beats dispatched last cycle are processed now.
-  for (auto& b : blocks_) b->commit();
+  // 1. Clock the active blocks; beats dispatched last cycle are processed
+  //    now. Blocks off the list are quiescent: committing them would be a
+  //    no-op (that invariant is what activity gating rests on).
+  for (unsigned b : active_blocks_) blocks_[b]->commit();
 
   // 2. Result collection: reduce the block responses that just latched and
   //    register the unit-level response (the output-interface register).
   collect_responses();
+  reclaim_meta_buffers();
 
   // 3. Advance the unit pipelines and dispatch emerging beats to the blocks
   //    (they will process them at the next clock edge).
@@ -319,6 +362,19 @@ void CamUnit::commit() {
   // part of this clock edge.
   meta_pipe_.shift();
   ack_pipe_.shift();
+
+  // 4. Prune blocks that have gone quiescent (everything retired, nothing
+  //    pending). Blocks that just received a beat in step 3 are not
+  //    quiescent and stay on the list for the next edge.
+  std::size_t live = 0;
+  for (unsigned b : active_blocks_) {
+    if (blocks_[b]->quiescent()) {
+      block_active_[b] = 0;
+    } else {
+      active_blocks_[live++] = b;
+    }
+  }
+  active_blocks_.resize(live);
 }
 
 }  // namespace dspcam::cam

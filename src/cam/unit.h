@@ -79,6 +79,13 @@ class CamUnit : public sim::Component {
   /// True when no operation is anywhere in the unit's or blocks' pipelines.
   bool idle() const noexcept;
 
+  /// Activity gating (see Component::quiescent): idle, nothing visible on
+  /// the unit's output registers, and every block has retired its own
+  /// visible outputs - a commit would change nothing observable.
+  bool quiescent() const noexcept override {
+    return active_blocks_.empty() && !response_.has_value() && idle();
+  }
+
   // --- Per-cycle bus interface (issue during the owner's eval phase). ---
 
   /// Presents one bus beat (update with up to words_per_beat words, search
@@ -122,14 +129,30 @@ class CamUnit : public sim::Component {
 
   void rebuild_controllers();
   void hard_reset_state();
+  void issue_to_block(unsigned block_id, BlockRequest request);
   void dispatch_update(const UnitRequest& req);
   void dispatch_search(const UnitRequest& req);
   void collect_responses();
+  void reclaim_meta_buffers();
 
   UnitConfig cfg_;
   std::vector<std::unique_ptr<CamBlock>> blocks_;
   RoutingTable routing_;
   std::vector<BlockAddressController> controllers_;  ///< One per group.
+
+  // Activity gating: only blocks on this list are committed/collected each
+  // cycle. A block joins when a beat is routed to it and leaves once it is
+  // quiescent again, so a unit with a handful of busy blocks pays for those
+  // blocks only - not for unit_size block walks per cycle.
+  std::vector<char> block_active_;        ///< Membership flags (parallel to blocks_).
+  std::vector<unsigned> active_blocks_;   ///< Insertion-ordered active block ids.
+
+  // Hot-path buffer recycling (no per-cycle heap traffic at steady state):
+  // result vectors of retired responses and the key/group vectors of retired
+  // SearchMeta records are reused for the next beat.
+  std::vector<UnitSearchResult> spare_results_;
+  std::vector<Word> spare_keys_;
+  std::vector<unsigned> spare_groups_;
 
   std::optional<UnitRequest> pending_;
   sim::DelayLine<UnitRequest> search_pipe_;

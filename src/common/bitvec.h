@@ -73,6 +73,19 @@ class BitVec {
   /// Raw word storage (little-endian bit order), for tests and dumps.
   const std::vector<std::uint64_t>& words() const noexcept { return words_; }
 
+  /// Writes one whole 64-bit word of the vector at once (a match kernel
+  /// filling 64 match lines per step). Bits above size() in the top word
+  /// are forced clear so count()/any()/find_first() stay correct.
+  void set_word(std::size_t wi, std::uint64_t value) {
+    if (wi >= words_.size()) throw SimError("BitVec: word index out of range");
+    const std::size_t top_bits = size_ - wi * 64;
+    if (top_bits < 64) value &= (std::uint64_t{1} << top_bits) - 1;
+    words_[wi] = value;
+  }
+
+  /// Number of 64-bit storage words.
+  std::size_t word_count() const noexcept { return words_.size(); }
+
   bool operator==(const BitVec&) const = default;
 
  private:

@@ -1,0 +1,49 @@
+// Bounded object-recycling pool.
+//
+// The hot simulation loop produces one heap-backed payload per completed
+// search beat (a result vector). Those payloads have a natural closed loop:
+// the consumer scatters their contents into a reorder buffer and the empty
+// shell can be handed straight back for the next beat. FreeList is that
+// hand-back point: acquire() returns a recycled object (capacity intact)
+// when one is available, release() parks an object for reuse. The pool is
+// bounded so a burst cannot pin memory forever; overflow releases simply
+// destroy the object.
+//
+// Single-threaded by design - use one FreeList per owning component.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace dspcam {
+
+/// LIFO pool of recycled T objects (LIFO keeps the hottest buffer cached).
+template <typename T>
+class FreeList {
+ public:
+  explicit FreeList(std::size_t max_pooled = 64) : max_pooled_(max_pooled) {}
+
+  /// A recycled object if available, else a default-constructed one. The
+  /// recycled object's logical content is unspecified - callers must clear
+  /// or overwrite it (its point is the retained capacity).
+  T acquire() {
+    if (pool_.empty()) return T{};
+    T value = std::move(pool_.back());
+    pool_.pop_back();
+    return value;
+  }
+
+  /// Returns an object to the pool (dropped if the pool is full).
+  void release(T value) {
+    if (pool_.size() < max_pooled_) pool_.push_back(std::move(value));
+  }
+
+  std::size_t pooled() const noexcept { return pool_.size(); }
+
+ private:
+  std::size_t max_pooled_;
+  std::vector<T> pool_;
+};
+
+}  // namespace dspcam

@@ -1,0 +1,155 @@
+// Minimal persistent thread pool for lockstep fan-out.
+//
+// Built for the sharded engine's per-cycle barrier: every simulated cycle,
+// S independent shards step once, then a single-threaded collect pass runs.
+// That access pattern needs (a) workers that persist across millions of
+// batches (spawning threads per cycle would dwarf the work), (b) a dispatch
+// path with no per-batch heap traffic (no std::function capture boxing),
+// and (c) a hard completion barrier before the caller continues.
+//
+// Design notes:
+//  - Indices are claimed with a single fetch_add on an atomic cursor, so
+//    work distribution is dynamic and race-free.
+//  - The batch descriptor (task pointer, context, size) is published before
+//    the cursor is re-armed with release ordering; any thread that wins an
+//    index through the cursor's acquire fetch_add therefore sees the full
+//    descriptor, even a "stale" worker that never parked between batches.
+//  - The caller participates in the batch, so forward progress never
+//    depends on a worker being scheduled, and a pool with zero workers
+//    degenerates to a plain serial loop.
+//  - Exceptions thrown by tasks are captured (first one wins) and rethrown
+//    on the calling thread after the barrier.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace dspcam {
+
+/// Fixed-size pool running indexed batches with a completion barrier.
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads. Zero is legal: batches run inline on the
+  /// calling thread (useful as a configuration-driven serial fallback).
+  explicit ThreadPool(unsigned workers) {
+    threads_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i) {
+      threads_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    wake_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  unsigned workers() const noexcept { return static_cast<unsigned>(threads_.size()); }
+
+  /// Runs fn(0) .. fn(n-1) across the pool plus the calling thread and
+  /// returns once all have finished. `fn` must be safe to invoke
+  /// concurrently for distinct indices. Rethrows the first task exception.
+  template <typename Fn>
+  void parallel_for(std::size_t n, Fn&& fn) {
+    using Decayed = std::remove_reference_t<Fn>;
+    auto trampoline = [](void* ctx, std::size_t i) {
+      (*static_cast<Decayed*>(ctx))(i);
+    };
+    run_batch(+trampoline, const_cast<void*>(static_cast<const void*>(std::addressof(fn))), n);
+  }
+
+ private:
+  void run_batch(void (*task)(void*, std::size_t), void* ctx, std::size_t n) {
+    if (n == 0) return;
+    if (threads_.empty() || n == 1) {
+      for (std::size_t i = 0; i < n; ++i) task(ctx, i);
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      task_.store(task, std::memory_order_relaxed);
+      ctx_.store(ctx, std::memory_order_relaxed);
+      total_.store(n, std::memory_order_relaxed);
+      completed_.store(0, std::memory_order_relaxed);
+      // Re-arming the cursor is the release point that publishes the batch.
+      cursor_.store(0, std::memory_order_release);
+      ++epoch_;
+    }
+    wake_.notify_all();
+
+    drain_batch();  // the caller is a worker too
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [this, n] {
+      return completed_.load(std::memory_order_acquire) == n;
+    });
+    if (error_) {
+      std::exception_ptr e = error_;
+      error_ = nullptr;
+      std::rethrow_exception(e);
+    }
+  }
+
+  /// Claims and executes indices until the current batch is exhausted.
+  void drain_batch() {
+    for (;;) {
+      const std::size_t i = cursor_.fetch_add(1, std::memory_order_acquire);
+      if (i >= total_.load(std::memory_order_acquire)) return;
+      auto* task = task_.load(std::memory_order_relaxed);
+      void* ctx = ctx_.load(std::memory_order_relaxed);
+      try {
+        task(ctx, i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!error_) error_ = std::current_exception();
+      }
+      if (completed_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          total_.load(std::memory_order_acquire)) {
+        std::lock_guard<std::mutex> lock(mutex_);  // pair with the waiter
+        done_.notify_all();
+      }
+    }
+  }
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        wake_.wait(lock, [this, seen] { return stop_ || epoch_ != seen; });
+        if (stop_) return;
+        seen = epoch_;
+      }
+      drain_batch();
+    }
+  }
+
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  std::uint64_t epoch_ = 0;
+  bool stop_ = false;
+  std::exception_ptr error_;
+
+  std::atomic<void (*)(void*, std::size_t)> task_{nullptr};
+  std::atomic<void*> ctx_{nullptr};
+  std::atomic<std::size_t> total_{0};
+  std::atomic<std::size_t> cursor_{0};
+  std::atomic<std::size_t> completed_{0};
+};
+
+}  // namespace dspcam

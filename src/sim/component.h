@@ -30,6 +30,18 @@ class Component {
 
   /// Register-update phase: publish the state computed by eval().
   virtual void commit() {}
+
+  /// Activity gating hint. A component may return true when ticking it this
+  /// cycle would be a no-op: no pending inputs, no in-flight pipeline state,
+  /// and no registered outputs left for downstream eval() to observe. The
+  /// scheduler may then skip both phases for the cycle. The contract is that
+  /// eval()+commit() on a quiescent component must leave it quiescent and
+  /// change nothing observable - skipping is an optimisation, never a
+  /// semantic change. A component that receives input during the current
+  /// eval phase stops being quiescent and is committed normally.
+  ///
+  /// The default (never quiescent) is always safe.
+  virtual bool quiescent() const { return false; }
 };
 
 }  // namespace dspcam::sim

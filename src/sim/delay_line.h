@@ -44,6 +44,11 @@ class DelayLine {
   /// or nullopt if a bubble emerged.
   const std::optional<T>& output() const noexcept { return output_; }
 
+  /// Mutable access to the output register, so a consumer that fully owns
+  /// this line can steal the emerged value's heap buffers for reuse instead
+  /// of copying (the value is overwritten at the next shift() anyway).
+  std::optional<T>& mutable_output() noexcept { return output_; }
+
   /// Commit phase: advance every register by one stage.
   void shift() {
     output_ = std::move(regs_.back());

@@ -10,8 +10,21 @@ void Scheduler::add(Component* component) {
 }
 
 void Scheduler::step() {
-  for (Component* c : components_) c->eval();
-  for (Component* c : components_) c->commit();
+  // Sample the gating state once, before any eval runs: a component that was
+  // active at the cycle boundary gets both phases, whatever it claims later.
+  active_.resize(components_.size());
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    active_[i] = components_[i]->quiescent() ? 0 : 1;
+  }
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    if (active_[i]) components_[i]->eval();
+  }
+  // Re-check at commit so work handed over during the eval phase (issue()
+  // calls from an active neighbour) is not lost on a component that started
+  // the cycle quiescent.
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    if (active_[i] || !components_[i]->quiescent()) components_[i]->commit();
+  }
   clock_.advance();
 }
 

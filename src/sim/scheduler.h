@@ -17,6 +17,14 @@ namespace dspcam::sim {
 /// which must outlive the scheduler's use. This mirrors a netlist: the
 /// top-level design owns its instances and the clock tree merely reaches
 /// them.
+///
+/// Activity gating: components whose quiescent() returns true at the start
+/// of a cycle are skipped for that cycle's eval phase; at the commit phase
+/// quiescent() is consulted again, so a component that *became* active
+/// during eval (another component's eval handed it work) still commits.
+/// This keeps an idle design O(active components) per cycle instead of
+/// O(all components), with semantics identical to ungated stepping (see
+/// Component::quiescent's contract).
 class Scheduler {
  public:
   /// Registers a component; it will be ticked every cycle from now on.
@@ -43,6 +51,7 @@ class Scheduler {
  private:
   Clock clock_;
   std::vector<Component*> components_;
+  std::vector<char> active_;  ///< Per-cycle gating scratch (parallel to components_).
 };
 
 }  // namespace dspcam::sim

@@ -57,7 +57,10 @@ void CamSystem::eval() {
 }
 
 void CamSystem::commit() {
-  unit_.commit();
+  // Activity gating: a quiescent unit's clock edge is provably a no-op
+  // (Component::quiescent contract), so skip the walk entirely. Simulated
+  // time still advances.
+  if (!unit_.quiescent()) unit_.commit();
   ++stats_.cycles;
 
   // Drain the unit's registered outputs into the interface FIFOs. Space was

@@ -67,9 +67,13 @@ CamDriver::Ticket CamDriver::submit_async(cam::UnitRequest request) {
 }
 
 std::optional<CamDriver::Completion> CamDriver::try_pop_completion() {
-  if (completions_.empty()) return std::nullopt;
-  Completion c = std::move(completions_.front());
-  completions_.pop_front();
+  if (completions_head_ == completions_.size()) return std::nullopt;
+  Completion c = std::move(completions_[completions_head_]);
+  ++completions_head_;
+  if (completions_head_ == completions_.size()) {
+    completions_.clear();  // rewind; capacity is retained
+    completions_head_ = 0;
+  }
   return c;
 }
 
@@ -130,10 +134,14 @@ void CamDriver::wait_idle() {
 }
 
 CamDriver::Completion CamDriver::take_completion(Ticket ticket) {
-  for (auto it = completions_.begin(); it != completions_.end(); ++it) {
-    if (it->ticket == ticket) {
-      Completion c = std::move(*it);
-      completions_.erase(it);
+  for (std::size_t i = completions_head_; i < completions_.size(); ++i) {
+    if (completions_[i].ticket == ticket) {
+      Completion c = std::move(completions_[i]);
+      completions_.erase(completions_.begin() + static_cast<std::ptrdiff_t>(i));
+      if (completions_head_ == completions_.size()) {
+        completions_.clear();
+        completions_head_ = 0;
+      }
       return c;
     }
   }

@@ -133,7 +133,15 @@ class CamDriver {
 
   std::deque<cam::UnitRequest> submit_queue_;  ///< Accepted, awaiting FIFO room.
   std::deque<cam::OpKind> ack_ops_;            ///< Op kinds of outstanding acks.
-  std::deque<Completion> completions_;
+
+  /// Completion FIFO as a vector ring: live entries are
+  /// [completions_head_, completions_.size()). Once the consumer catches up
+  /// the vector is rewound with its capacity intact, so steady-state
+  /// harvest/pop cycles touch no allocator (a deque churns chunk
+  /// allocations under the same traffic).
+  std::vector<Completion> completions_;
+  std::size_t completions_head_ = 0;
+
   std::size_t inflight_ = 0;
   Ticket next_ticket_ = 1;
 };

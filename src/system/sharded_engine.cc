@@ -33,6 +33,10 @@ ShardedCamEngine::ShardedCamEngine(const Config& cfg, const ShardFactory& make_s
   pending_issue_.resize(cfg_.shards);
   expected_search_.resize(cfg_.shards);
   expected_ack_.resize(cfg_.shards);
+  // The calling thread always participates in the per-cycle fan-out, so a
+  // pool of (threads - 1) workers realises `step_threads` stepping threads.
+  const unsigned threads = std::min(cfg_.step_threads, cfg_.shards);
+  if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads - 1);
 }
 
 ShardedCamEngine::ShardedCamEngine(const Config& cfg, const CamSystem::Config& shard_cfg)
@@ -235,6 +239,8 @@ bool ShardedCamEngine::try_submit(cam::UnitRequest request) {
     SearchBeat beat;
     beat.seq = request.seq;
     beat.pending = static_cast<unsigned>(subs.size());
+    beat.results = results_pool_.acquire();
+    beat.results.clear();
     beat.results.resize(request.keys.size());
     const std::uint64_t beat_id = search_rob_base_ + search_rob_.size();
     search_rob_.push_back(std::move(beat));
@@ -296,6 +302,9 @@ void ShardedCamEngine::collect() {
       }
       --beat.pending;
       ++credits_[s];
+      // The scattered shard response is an empty shell now - recycle its
+      // heap buffer for a future SearchBeat.
+      results_pool_.release(std::move(resp->results));
     }
     while (auto ack = shards_[s]->try_pop_ack()) {
       if (expected_ack_[s].empty()) {
@@ -352,8 +361,17 @@ std::size_t ShardedCamEngine::pending_requests() const {
 }
 
 void ShardedCamEngine::step() {
+  // Serial phase: feed parked sub-requests into shard FIFOs.
   for (unsigned s = 0; s < shard_count(); ++s) pump(s);
-  for (auto& shard : shards_) shard->step();
+  // Parallel phase: the shards share no state, so their clock edges can run
+  // concurrently; the pool barrier restores lockstep before collection.
+  if (pool_) {
+    pool_->parallel_for(shards_.size(),
+                        [this](std::size_t s) { shards_[s]->step(); });
+  } else {
+    for (auto& shard : shards_) shard->step();
+  }
+  // Serial phase: deterministic round-robin collection and reordering.
   collect();
   ++cycles_;
 }

@@ -34,6 +34,8 @@
 #include <optional>
 #include <vector>
 
+#include "src/common/freelist.h"
+#include "src/common/thread_pool.h"
 #include "src/system/backend.h"
 #include "src/system/cam_system.h"
 
@@ -53,6 +55,12 @@ class ShardedCamEngine : public CamBackend {
     Partition partition = Partition::kHash;
     unsigned key_bits = 32;          ///< Key-space width for range partitioning.
     unsigned credits_per_shard = 256;///< Max in-flight sub-ops per shard.
+
+    /// Host threads stepping the shards each cycle (1 = serial). Shards are
+    /// fully independent between the serial pump and collect passes, so any
+    /// thread count produces byte-identical results (asserted in tests);
+    /// this only trades host wall-clock. Capped at the shard count.
+    unsigned step_threads = 1;
   };
 
   using ShardFactory = std::function<std::unique_ptr<CamBackend>(unsigned shard)>;
@@ -153,6 +161,16 @@ class ShardedCamEngine : public CamBackend {
 
   unsigned rr_start_ = 0;  ///< Round-robin collection cursor.
   std::uint64_t cycles_ = 0;
+
+  /// Workers for parallel shard stepping (null when stepping serially).
+  /// Only the embarrassingly-parallel shard->step() fan-out runs on the
+  /// pool; pump/collect/reorder stay on the calling thread.
+  std::unique_ptr<ThreadPool> pool_;
+
+  /// Recycles search-result vectors: a shard response's vector is released
+  /// here after its contents are scattered into the reorder buffer, and
+  /// reacquired for the next accepted search beat.
+  FreeList<std::vector<cam::UnitSearchResult>> results_pool_;
 };
 
 }  // namespace dspcam::system

@@ -89,7 +89,7 @@ TEST(CamBlock, WideBusWritesManyWordsPerBeat) {
   block.issue(std::move(req));
   step(block);
   EXPECT_EQ(block.fill(), 16u);
-  for (unsigned i = 0; i < 16; ++i) EXPECT_EQ(block.cell(i).stored(), 100 + i);
+  for (unsigned i = 0; i < 16; ++i) EXPECT_EQ(block.stored_word(i), 100 + i);
 }
 
 TEST(CamBlock, CellAddressControllerFillsSequentially) {
@@ -97,9 +97,9 @@ TEST(CamBlock, CellAddressControllerFillsSequentially) {
   load_block(block, {5, 6});
   load_block(block, {7});
   EXPECT_EQ(block.fill(), 3u);
-  EXPECT_EQ(block.cell(0).stored(), 5u);
-  EXPECT_EQ(block.cell(1).stored(), 6u);
-  EXPECT_EQ(block.cell(2).stored(), 7u);
+  EXPECT_EQ(block.stored_word(0), 5u);
+  EXPECT_EQ(block.stored_word(1), 6u);
+  EXPECT_EQ(block.stored_word(2), 7u);
 }
 
 TEST(CamBlock, OverfillReportsTruncatedWrite) {

@@ -1,0 +1,205 @@
+// Lockstep equivalence fuzz: the vectorized fast evaluation path must be
+// cycle- and bit-identical to the per-cell DSP48E2 reference model. Two
+// CamUnits differing ONLY in EvalMode are driven with the same random beat
+// stream (updates, searches, invalidates, addressed writes, resets, and
+// group reconfiguration), and every cycle the complete observable surface
+// is compared: search responses (all result fields), update acks, idle
+// state - plus the full stored/mask/valid arrays at checkpoints.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/cam/mask.h"
+#include "src/cam/unit.h"
+#include "src/common/random.h"
+#include "tests/cam/testbench.h"
+
+namespace dspcam::cam {
+namespace {
+
+struct EquivParams {
+  CamKind kind;
+  unsigned data_width;
+  unsigned unit_size;
+  unsigned block_size;
+  unsigned groups;
+  bool output_buffer;
+  EncodingScheme encoding;
+  unsigned cycles;
+  std::uint64_t seed;
+};
+
+class FastEquivalence : public ::testing::TestWithParam<EquivParams> {};
+
+UnitConfig make_config(const EquivParams& p, EvalMode mode) {
+  UnitConfig cfg;
+  cfg.block.cell.kind = p.kind;
+  cfg.block.cell.data_width = p.data_width;
+  cfg.block.block_size = p.block_size;
+  cfg.block.bus_width = p.data_width * 4;
+  cfg.block.output_buffer = p.output_buffer;
+  cfg.block.encoding = p.encoding;
+  cfg.block.eval_mode = mode;
+  cfg.unit_size = p.unit_size;
+  cfg.bus_width = p.data_width * 4;
+  cfg.initial_groups = p.groups;
+  return cfg;
+}
+
+void expect_same_response(const std::optional<UnitResponse>& ref,
+                          const std::optional<UnitResponse>& fast,
+                          unsigned cyc) {
+  ASSERT_EQ(ref.has_value(), fast.has_value()) << "cycle " << cyc;
+  if (!ref.has_value()) return;
+  ASSERT_EQ(ref->seq, fast->seq) << "cycle " << cyc;
+  ASSERT_EQ(ref->results.size(), fast->results.size()) << "cycle " << cyc;
+  for (std::size_t i = 0; i < ref->results.size(); ++i) {
+    const auto& r = ref->results[i];
+    const auto& f = fast->results[i];
+    ASSERT_EQ(r.key, f.key) << "cycle " << cyc << " key " << i;
+    ASSERT_EQ(r.hit, f.hit) << "cycle " << cyc << " key " << i;
+    ASSERT_EQ(r.global_address, f.global_address) << "cycle " << cyc << " key " << i;
+    ASSERT_EQ(r.match_count, f.match_count) << "cycle " << cyc << " key " << i;
+    ASSERT_EQ(r.group, f.group) << "cycle " << cyc << " key " << i;
+  }
+}
+
+void expect_same_ack(const std::optional<UnitUpdateAck>& ref,
+                     const std::optional<UnitUpdateAck>& fast, unsigned cyc) {
+  ASSERT_EQ(ref.has_value(), fast.has_value()) << "cycle " << cyc;
+  if (!ref.has_value()) return;
+  ASSERT_EQ(ref->seq, fast->seq) << "cycle " << cyc;
+  ASSERT_EQ(ref->words_written, fast->words_written) << "cycle " << cyc;
+  ASSERT_EQ(ref->unit_full, fast->unit_full) << "cycle " << cyc;
+}
+
+/// Compares the complete stored state - value, compare mask, and valid bit
+/// of every entry of every block.
+void expect_same_arrays(const CamUnit& ref, const CamUnit& fast, unsigned cyc) {
+  const unsigned blocks = ref.config().unit_size;
+  const unsigned cells = ref.config().block.block_size;
+  for (unsigned b = 0; b < blocks; ++b) {
+    for (unsigned i = 0; i < cells; ++i) {
+      ASSERT_EQ(ref.block(b).entry_valid(i), fast.block(b).entry_valid(i))
+          << "cycle " << cyc << " block " << b << " entry " << i;
+      ASSERT_EQ(ref.block(b).stored_word(i), fast.block(b).stored_word(i))
+          << "cycle " << cyc << " block " << b << " entry " << i;
+      ASSERT_EQ(ref.block(b).entry_mask(i), fast.block(b).entry_mask(i))
+          << "cycle " << cyc << " block " << b << " entry " << i;
+    }
+  }
+}
+
+TEST_P(FastEquivalence, LockstepStreamsAreBitIdentical) {
+  const auto p = GetParam();
+  CamUnit ref(make_config(p, EvalMode::kReference));
+  CamUnit fast(make_config(p, EvalMode::kFast));
+  Rng rng(p.seed);
+
+  const unsigned value_bits = std::min(p.data_width, 10u);  // dense key space
+  const unsigned capacity = ref.capacity_per_group();
+  unsigned groups = p.groups;
+  std::uint64_t seq = 1;
+  unsigned responses = 0;
+
+  for (unsigned cyc = 0; cyc < p.cycles; ++cyc) {
+    const double dice = rng.next_double();
+    if (dice < 0.004) {
+      UnitRequest req;
+      req.op = OpKind::kReset;
+      req.seq = seq++;
+      UnitRequest copy = req;
+      ref.issue(std::move(req));
+      fast.issue(std::move(copy));
+    } else if (dice < 0.006 && ref.idle() && fast.idle()) {
+      // Group reconfiguration is a control-plane op (requires idle); both
+      // units flip to the same legal divisor and clear their contents.
+      unsigned m = 1u << rng.next_below(4);
+      while (p.unit_size % m != 0) m >>= 1;
+      ref.configure_groups(m);
+      fast.configure_groups(m);
+      groups = m;
+    } else if (dice < 0.05) {
+      UnitRequest req;
+      req.op = OpKind::kInvalidate;
+      req.address = static_cast<std::uint32_t>(rng.next_below(capacity));
+      req.seq = seq++;
+      UnitRequest copy = req;
+      ref.issue(std::move(req));
+      fast.issue(std::move(copy));
+    } else if (dice < 0.10) {
+      UnitRequest req;  // Addressed single-word write.
+      req.op = OpKind::kUpdate;
+      req.address = static_cast<std::uint32_t>(rng.next_below(capacity));
+      req.words = {rng.next_bits(value_bits)};
+      req.seq = seq++;
+      UnitRequest copy = req;
+      ref.issue(std::move(req));
+      fast.issue(std::move(copy));
+    } else if (dice < 0.45) {
+      UnitRequest req;  // Appending multi-word update with kind-specific masks.
+      req.op = OpKind::kUpdate;
+      req.seq = seq++;
+      const unsigned n = 1 + static_cast<unsigned>(rng.next_below(4));
+      for (unsigned i = 0; i < n; ++i) {
+        const Word v = rng.next_bits(value_bits);
+        req.words.push_back(v);
+        if (p.kind == CamKind::kTernary) {
+          req.masks.push_back(tcam_mask(
+              p.data_width, rng.next_bool(0.3) ? low_bits(4) : 0));
+        } else if (p.kind == CamKind::kRange) {
+          const unsigned span = static_cast<unsigned>(rng.next_below(4));
+          req.masks.push_back(rmcam_mask(p.data_width, v & ~low_bits(span), span));
+          req.words.back() = v & ~low_bits(span);
+        }
+      }
+      UnitRequest copy = req;
+      ref.issue(std::move(req));
+      fast.issue(std::move(copy));
+    } else if (dice < 0.95) {
+      UnitRequest req;
+      req.op = OpKind::kSearch;
+      req.seq = seq++;
+      const unsigned nk = 1 + static_cast<unsigned>(rng.next_below(groups));
+      for (unsigned i = 0; i < nk; ++i) req.keys.push_back(rng.next_bits(value_bits));
+      UnitRequest copy = req;
+      ref.issue(std::move(req));
+      fast.issue(std::move(copy));
+    }
+    // else: idle cycle (lets activity gating kick in and out)
+
+    test::step(ref);
+    test::step(fast);
+
+    expect_same_response(ref.response(), fast.response(), cyc);
+    expect_same_ack(ref.update_ack(), fast.update_ack(), cyc);
+    ASSERT_EQ(ref.idle(), fast.idle()) << "cycle " << cyc;
+    ASSERT_EQ(ref.stored_per_group(), fast.stored_per_group()) << "cycle " << cyc;
+    if (ref.response().has_value()) ++responses;
+    if ((cyc & 1023u) == 1023u) expect_same_arrays(ref, fast, cyc);
+  }
+  expect_same_arrays(ref, fast, p.cycles);
+  EXPECT_GT(responses, p.cycles / 4) << "stream exercised too few searches";
+}
+
+// >= 10k lockstep cycles over all three mask modes, both pipeline depths
+// (output buffer off/on), and all three encoders.
+INSTANTIATE_TEST_SUITE_P(
+    Configs, FastEquivalence,
+    ::testing::Values(
+        EquivParams{CamKind::kBinary, 32, 4, 32, 1, false,
+                    EncodingScheme::kPriorityIndex, 4000, 101},
+        EquivParams{CamKind::kBinary, 16, 8, 64, 4, true,
+                    EncodingScheme::kPriorityIndex, 2500, 202},
+        EquivParams{CamKind::kTernary, 16, 4, 32, 2, false,
+                    EncodingScheme::kMatchCount, 2500, 303},
+        EquivParams{CamKind::kTernary, 48, 2, 32, 1, true,
+                    EncodingScheme::kPriorityIndex, 2000, 404},
+        EquivParams{CamKind::kRange, 16, 4, 32, 1, false,
+                    EncodingScheme::kOneHot, 2500, 505},
+        EquivParams{CamKind::kRange, 24, 4, 16, 2, true,
+                    EncodingScheme::kPriorityIndex, 2000, 606}));
+
+}  // namespace
+}  // namespace dspcam::cam

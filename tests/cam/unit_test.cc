@@ -44,7 +44,7 @@ TEST(CamUnit, UpdateLatencyIsSixCycles) {
   EXPECT_EQ(CamUnit::update_latency(), 6u);
   EXPECT_EQ(unit.update_ack()->words_written, 1u);
   // The data really is stored at that point.
-  EXPECT_EQ(unit.block(0).cell(0).stored(), 123u);
+  EXPECT_EQ(unit.block(0).stored_word(0), 123u);
 }
 
 TEST(CamUnit, SearchLatencyIsSevenCyclesSmallUnit) {

@@ -75,6 +75,75 @@ TEST(Scheduler, NullComponentRejected) {
   EXPECT_THROW(sched.add(nullptr), SimError);
 }
 
+// Activity gating: a component reporting quiescent() is skipped entirely
+// (neither eval nor commit runs), one that is active at the start of the
+// step gets both phases, and one that BECOMES active during another
+// component's eval is still committed - the gate is sampled before eval,
+// but the commit check re-reads quiescent() so late wake-ups are not lost.
+class Gated : public Component {
+ public:
+  bool quiet = true;
+  int evals = 0;
+  int commits = 0;
+  bool quiescent() const override { return quiet; }
+  void eval() override { ++evals; }
+  void commit() override { ++commits; }
+};
+
+// Wakes a downstream Gated component from its own eval phase.
+class Waker : public Component {
+ public:
+  explicit Waker(Gated& target) : target_(target) {}
+  bool arm = false;
+  void eval() override {
+    if (arm) target_.quiet = false;
+  }
+  void commit() override {}
+
+ private:
+  Gated& target_;
+};
+
+TEST(Scheduler, QuiescentComponentsAreSkipped) {
+  Scheduler sched;
+  Gated g;
+  sched.add(&g);
+
+  sched.run(5);
+  EXPECT_EQ(g.evals, 0) << "quiescent component must not be evaluated";
+  EXPECT_EQ(g.commits, 0) << "quiescent component must not be committed";
+
+  g.quiet = false;
+  sched.run(3);
+  EXPECT_EQ(g.evals, 3);
+  EXPECT_EQ(g.commits, 3);
+
+  g.quiet = true;
+  sched.step();
+  EXPECT_EQ(g.evals, 3);
+  EXPECT_EQ(g.commits, 3);
+}
+
+TEST(Scheduler, MidCycleWakeupStillCommits) {
+  Scheduler sched;
+  Gated g;
+  Waker w(g);
+  // The waker runs AFTER the gate flags were sampled for this step.
+  sched.add(&w);
+  sched.add(&g);
+
+  w.arm = true;
+  sched.step();
+  // g was quiescent at sample time, so its eval was skipped this cycle...
+  EXPECT_EQ(g.evals, 0);
+  // ...but the wake-up is not lost: the commit-phase re-check ran it.
+  EXPECT_EQ(g.commits, 1);
+
+  sched.step();  // now fully active: both phases run
+  EXPECT_EQ(g.evals, 1);
+  EXPECT_EQ(g.commits, 2);
+}
+
 }  // namespace
 }  // namespace dspcam::sim
 
