@@ -1,0 +1,155 @@
+// Fault-injection campaign bench: detection coverage with and without
+// per-entry parity protection.
+//
+// For three CAM geometries, a driver-hosted campaign corrupts the array at a
+// fixed per-cycle rate while a search stream runs, then lets the background
+// scrubber walk the (now idle) array. With BlockConfig::parity on, a
+// corrupted entry disagrees with its stored parity bit: searches touching
+// the block come back flagged and the scrub pass classifies the upset as
+// detected. With parity off the same campaign produces bit-identical match
+// behaviour changes but zero flags - every upset is silent until the scrub's
+// golden-shadow comparison finds it. The JSON artifact
+// (BENCH_fault_campaign.json) records injected/detected/corrected/silent
+// counters, the parity_flagged stat, and the resulting detection coverage
+// for both settings at each geometry.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/fault/injector.h"
+#include "src/fault/scrubber.h"
+#include "src/system/cam_system.h"
+#include "src/system/driver.h"
+
+namespace dspcam::bench {
+namespace {
+
+struct Geometry {
+  const char* name;
+  unsigned unit_size;
+  unsigned block_size;
+};
+
+struct CampaignResult {
+  sim::FaultStats injector;
+  sim::FaultStats scrubber;
+  std::uint64_t parity_flagged = 0;
+  std::uint64_t searches = 0;
+  std::uint64_t cycles = 0;
+};
+
+CampaignResult run_campaign(const Geometry& geo, bool parity, double rate,
+                            std::uint64_t seed) {
+  system::CamSystem::Config cfg;
+  cfg.unit.block.cell.data_width = 32;
+  cfg.unit.block.block_size = geo.block_size;
+  cfg.unit.block.bus_width = 512;
+  cfg.unit.block.parity = parity;
+  cfg.unit.unit_size = geo.unit_size;
+  cfg.unit.bus_width = 512;
+  system::CamSystem sys(cfg);
+  system::CamDriver drv(sys);
+
+  // Fill half the array, shadow it, then run the campaign over a search
+  // stream (the injector fires from the driver's cycle hook, so corruption
+  // interleaves with live traffic exactly as in the acceptance tests).
+  const unsigned entries = geo.unit_size * geo.block_size;
+  std::vector<cam::Word> words;
+  words.reserve(entries / 2);
+  for (unsigned i = 0; i < entries / 2; ++i) words.push_back(i * 2 + 1);
+  drv.store(words);
+
+  fault::FaultTarget* target = sys.fault_target();
+  fault::FaultCampaign campaign;
+  campaign.seed = seed;
+  campaign.rate_per_cycle = rate;
+  campaign.include_parity = parity;
+  fault::FaultInjector injector(*target, campaign);
+  fault::Scrubber scrubber(*target, {});
+  scrubber.capture();
+
+  drv.set_cycle_hook([&] {
+    injector.step();
+    scrubber.step(sys.idle());
+  });
+
+  CampaignResult res;
+  for (unsigned round = 0; round < 4; ++round) {
+    for (const cam::Word w : words) {
+      cam::UnitRequest req;
+      req.op = cam::OpKind::kSearch;
+      req.keys = {w};
+      drv.submit_async(std::move(req));
+      ++res.searches;
+    }
+    drv.drain();
+    while (drv.try_pop_completion()) {
+    }
+  }
+  // Idle tail: the scrubber finishes its walk over the quiet array.
+  for (unsigned i = 0; i < 2 * entries; ++i) drv.poll();
+
+  res.injector = injector.stats();
+  res.scrubber = scrubber.stats();
+  res.parity_flagged = sys.stats().parity_flagged;
+  res.cycles = drv.cycles();
+  return res;
+}
+
+}  // namespace
+}  // namespace dspcam::bench
+
+int main(int argc, char** argv) {
+  using namespace dspcam::bench;
+  const BenchOptions opt =
+      BenchOptions::from_args(argc, argv, "BENCH_fault_campaign.json");
+  JsonLog log = JsonLog::from_options(opt);
+
+  banner("Fault campaign: detection coverage, parity on vs off");
+  std::printf("%-10s %-7s %9s %9s %9s %8s %10s %9s\n", "geometry", "parity",
+              "injected", "detected", "silent", "correct", "flagged", "coverage");
+
+  const Geometry geometries[] = {
+      {"4x32", 4, 32}, {"8x64", 8, 64}, {"16x128", 16, 128}};
+  const double rate = 0.02;
+  for (const Geometry& geo : geometries) {
+    for (const bool parity : {false, true}) {
+      const CampaignResult r = run_campaign(geo, parity, rate, /*seed=*/2025);
+      const std::uint64_t classified = r.scrubber.detected + r.scrubber.silent;
+      const double coverage =
+          classified == 0 ? 0.0
+                          : static_cast<double>(r.scrubber.detected) /
+                                static_cast<double>(classified);
+      std::printf("%-10s %-7s %9llu %9llu %9llu %8llu %10llu %8.1f%%\n",
+                  geo.name, parity ? "on" : "off",
+                  static_cast<unsigned long long>(r.injector.injected),
+                  static_cast<unsigned long long>(r.scrubber.detected),
+                  static_cast<unsigned long long>(r.scrubber.silent),
+                  static_cast<unsigned long long>(r.scrubber.corrected),
+                  static_cast<unsigned long long>(r.parity_flagged),
+                  100.0 * coverage);
+
+      JsonLog::Row row("fault_campaign");
+      row.str("geometry", geo.name)
+          .boolean("parity", parity)
+          .num("rate_per_cycle", rate)
+          .num("cycles", r.cycles)
+          .num("searches", r.searches)
+          .num("injected", r.injector.injected)
+          .num("detected", r.scrubber.detected)
+          .num("silent", r.scrubber.silent)
+          .num("corrected", r.scrubber.corrected)
+          .num("parity_flagged", r.parity_flagged)
+          .num("detection_coverage", coverage);
+      log.emit(row);
+    }
+  }
+  std::printf(
+      "\ncoverage = detected / (detected + silent) over scrub-classified "
+      "upsets.\nParity-off rows classify everything silent by construction: "
+      "the scrub\npass can still repair from the golden shadow, but nothing "
+      "flags the\ncorrupt window in between - the gap the parity bit "
+      "closes.\n");
+  return 0;
+}

@@ -24,6 +24,37 @@ CamBlock::CamBlock(const BlockConfig& cfg)
                               ~width_mask(cfg_.cell.data_width) & kDspWordMask);
     fast_valid_.assign((cfg_.block_size + 63) / 64, 0);
   }
+  if (cfg_.parity) {
+    parity_.assign((cfg_.block_size + 63) / 64, 0);
+    reset_parity_bits();
+  }
+}
+
+void CamBlock::reset_parity_bits() {
+  if (parity_.empty()) return;
+  // A never-written entry is (stored=0, mask=width_mask, valid=false) in
+  // both eval modes, so its parity is popcount(width_mask) & 1.
+  const bool init = entry_parity_of(0, width_mask(cfg_.cell.data_width), false);
+  std::fill(parity_.begin(), parity_.end(), init ? ~std::uint64_t{0} : 0);
+}
+
+void CamBlock::set_parity_bit(unsigned index, bool value) noexcept {
+  const std::uint64_t lane = std::uint64_t{1} << (index % 64);
+  if (value) {
+    parity_[index / 64] |= lane;
+  } else {
+    parity_[index / 64] &= ~lane;
+  }
+}
+
+std::uint32_t CamBlock::count_parity_errors() const {
+  std::uint32_t errors = 0;
+  for (unsigned i = 0; i < cfg_.block_size; ++i) {
+    if (entry_parity_of(stored_word(i), entry_mask(i), entry_valid(i)) != parity_bit(i)) {
+      ++errors;
+    }
+  }
+  return errors;
 }
 
 void CamBlock::issue(BlockRequest request) {
@@ -102,6 +133,31 @@ bool CamBlock::entry_valid(unsigned index) const {
                         : cells_[index]->valid();
 }
 
+bool CamBlock::entry_parity(unsigned index) const {
+  if (index >= cfg_.block_size) throw SimError("CamBlock: cell index out of range");
+  if (cfg_.parity) return parity_bit(index);
+  return entry_parity_of(stored_word(index), entry_mask(index), entry_valid(index));
+}
+
+void CamBlock::poke_entry(unsigned index, Word stored, std::uint64_t entry_mask,
+                          bool valid, bool parity) {
+  if (index >= cfg_.block_size) throw SimError("CamBlock: cell index out of range");
+  const std::uint64_t mask = entry_mask & kDspWordMask;
+  if (cells_.empty()) {
+    fast_stored_[index] = truncate(stored, cfg_.cell.data_width);
+    fast_cmp_not_mask_[index] = ~mask & kDspWordMask;
+    const std::uint64_t lane = std::uint64_t{1} << (index % 64);
+    if (valid) {
+      fast_valid_[index / 64] |= lane;
+    } else {
+      fast_valid_[index / 64] &= ~lane;
+    }
+  } else {
+    cells_[index]->poke_state(stored, mask, valid);
+  }
+  if (cfg_.parity) set_parity_bit(index, parity);
+}
+
 void CamBlock::hard_reset() {
   if (cells_.empty()) {
     std::fill(fast_stored_.begin(), fast_stored_.end(), 0);
@@ -112,6 +168,7 @@ void CamBlock::hard_reset() {
   } else {
     for (auto& cell : cells_) cell->hard_clear();
   }
+  reset_parity_bits();
   fill_ = 0;
   pending_update_.reset();
   pending_search_.reset();
@@ -136,6 +193,7 @@ void CamBlock::apply_reset() {
   } else {
     for (auto& cell : cells_) cell->drive_clear();
   }
+  reset_parity_bits();
   fill_ = 0;
   in_reg_.reset();
   tags_.clear();
@@ -163,10 +221,15 @@ void CamBlock::apply_update_path(std::optional<UpdateAck>& new_ack) {
   if (!pending_update_) return;
   const bool fast = cells_.empty();
   if (pending_update_->op == OpKind::kInvalidate) {
+    const unsigned idx = *pending_update_->address;
     if (fast) {
-      invalidate_entry(*pending_update_->address);
+      invalidate_entry(idx);
     } else {
-      cells_[*pending_update_->address]->drive_invalidate();
+      cells_[idx]->drive_invalidate();
+    }
+    if (cfg_.parity) {
+      // Invalidate only clears the valid flag; stored word and mask persist.
+      set_parity_bit(idx, entry_parity_of(stored_word(idx), entry_mask(idx), false));
     }
     UpdateAck ack;
     ack.seq = pending_update_->tag.seq;
@@ -186,24 +249,34 @@ void CamBlock::apply_update_path(std::optional<UpdateAck>& new_ack) {
     // belongs to the host - see system::CamTable).
     const std::uint32_t base = *pending_update_->address;
     for (std::size_t w = 0; w < words.size(); ++w) {
+      const std::uint64_t entry_mask = masks.empty() ? default_mask : masks[w];
       if (fast) {
-        write_entry(base + static_cast<unsigned>(w), words[w],
-                    masks.empty() ? default_mask : masks[w]);
+        write_entry(base + static_cast<unsigned>(w), words[w], entry_mask);
       } else if (masks.empty()) {
         cells_[base + w]->drive_write(words[w]);
       } else {
         cells_[base + w]->drive_write(words[w], masks[w]);
       }
+      if (cfg_.parity) {
+        set_parity_bit(base + static_cast<unsigned>(w),
+                       entry_parity_of(truncate(words[w], cfg_.cell.data_width),
+                                       entry_mask, true));
+      }
       ++ack.words_written;
     }
   } else {
     for (std::size_t w = 0; w < words.size() && fill_ < cfg_.block_size; ++w) {
+      const std::uint64_t entry_mask = masks.empty() ? default_mask : masks[w];
       if (fast) {
-        write_entry(fill_, words[w], masks.empty() ? default_mask : masks[w]);
+        write_entry(fill_, words[w], entry_mask);
       } else if (masks.empty()) {
         cells_[fill_]->drive_write(words[w]);
       } else {
         cells_[fill_]->drive_write(words[w], masks[w]);
+      }
+      if (cfg_.parity) {
+        set_parity_bit(fill_, entry_parity_of(truncate(words[w], cfg_.cell.data_width),
+                                              entry_mask, true));
       }
       ++fill_;
       ++ack.words_written;
@@ -258,6 +331,16 @@ void CamBlock::commit() {
   const bool fast = cells_.empty();
   bool pd_fresh = false;
 
+  // Parity sweep for the compare retiring at this edge (the tag about to
+  // pop). Counted against *pre-edge* state - exactly the registers that
+  // compare evaluated: the fast sweep below reads the same arrays, and the
+  // reference PATTERNDETECT latching at this edge read pre-edge A:B/C/valid.
+  // Running before apply_update_path keeps this cycle's writes out of it.
+  std::uint32_t parity_errs = 0;
+  if (cfg_.parity && tags_.peek_last().has_value()) {
+    parity_errs = count_parity_errors();
+  }
+
   // Search path: the broadcast register drives every cell one cycle after
   // the beat arrived. Only the masked key word reaches the cells. On the
   // fast path the compare for the key latched at the *previous* edge is
@@ -305,6 +388,7 @@ void CamBlock::commit() {
       gather_match_reference();
     }
     encoded = encode_match_lines(match_scratch_, cfg_.encoding, *tags_.output());
+    encoded->parity_errors = parity_errs;
   }
 
   if (cfg_.output_buffer) {

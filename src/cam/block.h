@@ -109,6 +109,20 @@ class CamBlock : public sim::Component {
   std::uint64_t entry_mask(unsigned index) const;
   bool entry_valid(unsigned index) const;
 
+  /// The entry's parity bit: the maintained bit on parity-protected blocks
+  /// (BlockConfig::parity), the derived value otherwise.
+  bool entry_parity(unsigned index) const;
+
+  /// Overwrites one entry's registered state outside the clocked protocol
+  /// (fault injection / scrub repair, src/fault/). Works identically in both
+  /// eval modes; `stored` is truncated to the data width. The parity bit is
+  /// written *verbatim* (never recomputed) on protected blocks - a poke that
+  /// corrupts the stored word while keeping the old parity is exactly what
+  /// an SEU looks like, and what the parity check must catch. Ignored when
+  /// the block is unprotected.
+  void poke_entry(unsigned index, Word stored, std::uint64_t entry_mask, bool valid,
+                  bool parity);
+
   /// Immediate full clear outside the clocked protocol (see
   /// CamCell::hard_clear); used by runtime group reconfiguration.
   void hard_reset();
@@ -124,6 +138,13 @@ class CamBlock : public sim::Component {
   void compute_match_fast();
   void gather_match_reference();
 
+  void reset_parity_bits();
+  void set_parity_bit(unsigned index, bool value) noexcept;
+  bool parity_bit(unsigned index) const noexcept {
+    return ((parity_[index / 64] >> (index % 64)) & 1) != 0;
+  }
+  std::uint32_t count_parity_errors() const;
+
   BlockConfig cfg_;
   std::vector<std::unique_ptr<CamCell>> cells_;  ///< kReference only.
 
@@ -135,6 +156,11 @@ class CamBlock : public sim::Component {
 
   Word cmp_key_ = 0;         ///< Fast path's C-register mirror.
   bool pd_pending_ = false;  ///< A key latched last cycle awaits its compare.
+
+  // Parity-protected blocks only (both eval modes): one maintained parity
+  // bit per entry, packed 64/word. Legitimate writes recompute it; pokes
+  // (src/fault/) write it verbatim.
+  std::vector<std::uint64_t> parity_;
 
   BitVec match_scratch_;  ///< Match-line bus, reused every cycle (no alloc).
 

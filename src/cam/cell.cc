@@ -71,6 +71,14 @@ void CamCell::hard_clear() {
 
 Word CamCell::stored() const noexcept { return truncate(dsp_.stored_ab(), cfg_.data_width); }
 
+void CamCell::poke_state(Word stored, std::uint64_t entry_mask, bool valid) {
+  dsp_.poke_ab(truncate(stored, cfg_.data_width));
+  dsp_.set_pattern_mask(0, entry_mask);
+  valid_ = valid;
+  // valid_at_p_ is left alone: it pairs with the PATTERNDETECT value already
+  // latched, which the poke cannot retroactively change.
+}
+
 void CamCell::commit() {
   // PATTERNDETECT latched at this edge reflects the compare of pre-edge
   // A:B/C state, so it pairs with the pre-edge valid flag.

@@ -64,6 +64,14 @@ class CamCell : public sim::Component {
   /// runtime group reconfiguration, which architecturally implies a reload.
   void hard_clear();
 
+  /// Overwrites the cell's registered storage state (A:B word, per-entry
+  /// MASK, valid flag) outside the clocked protocol - fault injection and
+  /// scrub repair (src/fault/), which model events asynchronous to the
+  /// clock. The P-stage pipeline is untouched: a compare already in flight
+  /// evaluated against the pre-poke state, exactly as a post-edge upset
+  /// behaves in hardware.
+  void poke_state(Word stored, std::uint64_t entry_mask, bool valid);
+
   // --- Registered outputs (state as of the last commit). ---
 
   /// Match line: pattern detect AND valid, aligned to the P stage.

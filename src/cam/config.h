@@ -47,6 +47,9 @@ struct BlockConfig {
   EncodingScheme encoding = EncodingScheme::kPriorityIndex;
   bool output_buffer = false;     ///< Extra encoder output register for timing
                                   ///< closure (adds 1 cycle search latency).
+  bool parity = false;            ///< Per-entry parity bit over stored word +
+                                  ///< MASK + valid (robustness extension; see
+                                  ///< src/fault/). Zero cost when off.
   EvalMode eval_mode = EvalMode::kFast;  ///< Simulator evaluation path.
 
   /// Data words carried per bus beat (update parallelism).

@@ -60,6 +60,13 @@ struct BlockResponse {
   std::uint32_t first_match = 0;  ///< Lowest matching cell (priority scheme).
   std::uint32_t match_count = 0;  ///< Population count (match-count scheme).
   BitVec raw;                     ///< Full match vector (one-hot scheme).
+
+  /// Parity-protected blocks only (BlockConfig::parity): number of entries
+  /// whose stored parity bit disagreed with their registered state at the
+  /// edge this compare latched. Nonzero means the result may be corrupt
+  /// (false hit or false miss); the match lines themselves are unaffected -
+  /// parity flags, it does not veto.
+  std::uint32_t parity_errors = 0;
 };
 
 /// Acknowledgement of a completed block update beat.
@@ -97,6 +104,16 @@ struct UnitSearchResult {
   std::uint32_t match_count = 0;     ///< Aggregated across the group's blocks.
   std::uint16_t group = 0;
   std::uint16_t shard = 0;  ///< Shard that answered (engine deployments).
+
+  /// A parity-protected block contributing to this result held at least one
+  /// entry whose parity check failed when the compare latched: treat hit /
+  /// miss as suspect (see src/fault/).
+  bool parity_error = false;
+
+  /// The shard this key routed to is quarantined (degraded-shard mode):
+  /// no search was performed and hit is forced false. Distinguishes "no
+  /// match" from "could not ask".
+  bool shard_failed = false;
 };
 
 /// A completed unit-level search beat (all keys of one request).

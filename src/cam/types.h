@@ -1,6 +1,7 @@
 // Shared vocabulary types for the CAM architecture.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <string>
 
@@ -43,5 +44,17 @@ enum class OpKind : std::uint8_t {
 };
 
 std::string to_string(OpKind op);
+
+/// Even parity over one entry's registered planes: stored word, compare
+/// MASK, and valid flag. This is the bit a parity-protected block keeps per
+/// entry (BlockConfig::parity) and the reference the fault layer
+/// (src/fault/) checks against: a single flipped bit in any protected plane
+/// makes the recomputed parity disagree with the stored one.
+inline bool entry_parity_of(Word stored, std::uint64_t mask, bool valid) noexcept {
+  const unsigned pop = static_cast<unsigned>(std::popcount(stored)) +
+                       static_cast<unsigned>(std::popcount(mask)) +
+                       (valid ? 1u : 0u);
+  return (pop & 1u) != 0;
+}
 
 }  // namespace dspcam::cam

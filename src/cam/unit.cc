@@ -122,6 +122,19 @@ void CamUnit::issue(UnitRequest request) {
   pending_ = std::move(request);
 }
 
+void CamUnit::poke_entry(std::size_t entry, Word stored, std::uint64_t mask,
+                         bool valid, bool parity) {
+  const unsigned bs = cfg_.block.block_size;
+  if (entry >= static_cast<std::size_t>(cfg_.unit_size) * bs) {
+    throw SimError("CamUnit: poke_entry index " + std::to_string(entry) +
+                   " outside the unit's " +
+                   std::to_string(static_cast<std::size_t>(cfg_.unit_size) * bs) +
+                   " physical entries");
+  }
+  blocks_[entry / bs]->poke_entry(static_cast<unsigned>(entry % bs), stored, mask,
+                                  valid, parity);
+}
+
 unsigned CamUnit::stored_per_group() const noexcept {
   unsigned lo = ~0u;
   for (const auto& c : controllers_) lo = std::min(lo, c.stored());
@@ -288,6 +301,8 @@ void CamUnit::collect_responses() {
     r.global_address = 0;
     r.match_count = 0;
     r.shard = 0;
+    r.parity_error = false;
+    r.shard_failed = false;
   }
 
   unsigned collected = 0;
@@ -301,6 +316,7 @@ void CamUnit::collect_responses() {
     ++collected;
     auto& r = unit_resp.results.at(resp->tag.key_index);
     r.match_count += resp->match_count;
+    if (resp->parity_errors != 0) r.parity_error = true;
     if (resp->hit) {
       const std::uint32_t addr = b * cfg_.block.block_size + resp->first_match;
       if (!r.hit || addr < r.global_address) r.global_address = addr;

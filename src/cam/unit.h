@@ -111,6 +111,14 @@ class CamUnit : public sim::Component {
   const RoutingTable& routing() const noexcept { return routing_; }
   const CamBlock& block(unsigned index) const { return *blocks_.at(index); }
 
+  /// Overwrites one physical entry's registered state outside the clocked
+  /// protocol (fault injection / scrub repair, src/fault/). `entry` indexes
+  /// the unit's physical storage: block (entry / block_size), cell
+  /// (entry % block_size) - every group replica is separately addressable,
+  /// matching how an upset strikes one slice, not every copy.
+  void poke_entry(std::size_t entry, Word stored, std::uint64_t mask, bool valid,
+                  bool parity);
+
   /// Total DSP slices instantiated (= total CAM cells).
   unsigned dsp_count() const noexcept { return cfg_.unit_size * cfg_.block.block_size; }
 

@@ -136,6 +136,15 @@ class Dsp48e2 : public sim::Component {
     return ((a_regs_[0] & low_bits(30)) << 18) | (b_regs_[0] & low_bits(18));
   }
 
+  /// Overwrites the registered A:B value directly, bypassing the clocked
+  /// input path. This models state corruption/repair that is asynchronous to
+  /// the clock (an SEU in the register, a scrub engine's restore - see
+  /// src/fault/); it is not reachable from the HDL-visible ports.
+  void poke_ab(std::uint64_t value) noexcept {
+    a_regs_[0] = (value >> 18) & low_bits(30);
+    b_regs_[0] = value & low_bits(18);
+  }
+
   /// Total input-to-P latency in cycles for the ALU (non-multiplier) path
   /// through the C port: CREG + PREG.
   unsigned c_to_p_latency() const noexcept { return attrs_.creg + attrs_.preg; }

@@ -1,0 +1,25 @@
+#include "src/fault/fault.h"
+
+namespace dspcam::fault {
+
+void FaultTarget::flip(std::size_t entry, FaultPlane plane, unsigned bit) {
+  EntryState s = peek(entry);
+  const std::uint64_t lane = std::uint64_t{1} << (bit & 63);
+  switch (plane) {
+    case FaultPlane::kStored:
+      s.stored ^= lane;
+      break;
+    case FaultPlane::kMask:
+      s.mask ^= lane;
+      break;
+    case FaultPlane::kValid:
+      s.valid = !s.valid;
+      break;
+    case FaultPlane::kParity:
+      s.parity = !s.parity;
+      break;
+  }
+  poke(entry, s);
+}
+
+}  // namespace dspcam::fault

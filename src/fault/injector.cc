@@ -1,0 +1,84 @@
+#include "src/fault/injector.h"
+
+#include <string>
+
+#include "src/common/error.h"
+
+namespace dspcam::fault {
+
+FaultInjector::FaultInjector(FaultTarget& target, const FaultCampaign& campaign)
+    : target_(&target), campaign_(campaign), rng_(campaign.seed) {
+  if (target.entry_count() == 0) {
+    throw ConfigError("FaultInjector: target exposes no entries");
+  }
+  if (target.entry_bits() == 0) {
+    throw ConfigError("FaultInjector: target exposes zero-width entries");
+  }
+  if (campaign_.burst_size == 0) {
+    throw ConfigError("FaultInjector: burst_size must be >= 1");
+  }
+  if (campaign_.rate_per_cycle < 0.0 || campaign_.rate_per_cycle > 1.0) {
+    throw ConfigError("FaultInjector: rate_per_cycle must be in [0, 1]");
+  }
+  if (campaign_.entry.has_value() && *campaign_.entry >= target.entry_count()) {
+    throw ConfigError("FaultInjector: pinned entry " + std::to_string(*campaign_.entry) +
+                      " outside the target's " + std::to_string(target.entry_count()) +
+                      " entries");
+  }
+  if (campaign_.bit.has_value() && *campaign_.bit >= target.entry_bits()) {
+    throw ConfigError("FaultInjector: pinned bit " + std::to_string(*campaign_.bit) +
+                      " outside the target's " + std::to_string(target.entry_bits()) +
+                      " entry bits");
+  }
+  if (campaign_.plane == FaultPlane::kParity && !target.parity_protected()) {
+    throw ConfigError("FaultInjector: parity-plane campaign on an unprotected target");
+  }
+}
+
+FaultPlane FaultInjector::draw_plane() {
+  if (campaign_.plane.has_value()) return *campaign_.plane;
+  FaultPlane eligible[4] = {FaultPlane::kStored, FaultPlane::kMask};
+  std::size_t n = 2;
+  if (campaign_.include_valid) eligible[n++] = FaultPlane::kValid;
+  if (campaign_.include_parity && target_->parity_protected()) {
+    eligible[n++] = FaultPlane::kParity;
+  }
+  return eligible[rng_.next_below(n)];
+}
+
+void FaultInjector::flip_once() {
+  // Draw order is fixed (entry, plane, bit) and every draw is consumed even
+  // when unused (single-bit planes ignore `bit`), so the stream position
+  // after k flips never depends on which planes were hit - campaigns replay
+  // exactly.
+  const std::size_t entry =
+      campaign_.entry.has_value()
+          ? *campaign_.entry
+          : static_cast<std::size_t>(rng_.next_below(target_->entry_count()));
+  const FaultPlane plane = draw_plane();
+  const unsigned bit =
+      campaign_.bit.has_value()
+          ? *campaign_.bit
+          : static_cast<unsigned>(rng_.next_below(target_->entry_bits()));
+  target_->flip(entry, plane, bit);
+  ++stats_.injected;
+}
+
+unsigned FaultInjector::step() {
+  ++cycles_;
+  if (campaign_.one_shot) {
+    if (fired_) return 0;
+    fired_ = true;
+    return inject();
+  }
+  if (campaign_.rate_per_cycle <= 0.0) return 0;
+  if (rng_.next_double() >= campaign_.rate_per_cycle) return 0;
+  return inject();
+}
+
+unsigned FaultInjector::inject() {
+  for (unsigned i = 0; i < campaign_.burst_size; ++i) flip_once();
+  return campaign_.burst_size;
+}
+
+}  // namespace dspcam::fault

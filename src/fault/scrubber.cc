@@ -1,0 +1,62 @@
+#include "src/fault/scrubber.h"
+
+#include "src/common/error.h"
+
+namespace dspcam::fault {
+
+Scrubber::Scrubber(FaultTarget& target, const Config& config)
+    : target_(&target), cfg_(config) {
+  if (cfg_.entries_per_cycle == 0) {
+    throw ConfigError("Scrubber: entries_per_cycle must be >= 1");
+  }
+}
+
+void Scrubber::capture() {
+  const std::size_t n = target_->entry_count();
+  golden_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) golden_[i] = target_->peek(i);
+  cursor_ = 0;
+}
+
+void Scrubber::update_golden(std::size_t entry, const EntryState& state) {
+  if (entry < golden_.size()) golden_[entry] = state;
+}
+
+bool Scrubber::scrub_entry(std::size_t entry) {
+  const EntryState actual = target_->peek(entry);
+  const EntryState& golden = golden_[entry];
+  if (actual == golden) return false;
+  // Classify before repairing: would the parity mechanism have seen this?
+  // Unprotected targets derive parity in peek(), so it always agrees and
+  // every corruption they suffer is silent by construction.
+  const bool visible =
+      target_->parity_protected() && parity_of(actual) != actual.parity;
+  if (visible) {
+    ++stats_.detected;
+  } else {
+    ++stats_.silent;
+  }
+  target_->poke(entry, golden);
+  ++stats_.corrected;
+  return true;
+}
+
+std::size_t Scrubber::step(bool idle) {
+  if (!idle || golden_.empty()) return 0;
+  std::size_t repaired = 0;
+  for (std::size_t i = 0; i < cfg_.entries_per_cycle; ++i) {
+    if (scrub_entry(cursor_)) ++repaired;
+    cursor_ = (cursor_ + 1) % golden_.size();
+  }
+  return repaired;
+}
+
+std::size_t Scrubber::scrub_all() {
+  std::size_t repaired = 0;
+  for (std::size_t i = 0; i < golden_.size(); ++i) {
+    if (scrub_entry(i)) ++repaired;
+  }
+  return repaired;
+}
+
+}  // namespace dspcam::fault

@@ -1,0 +1,69 @@
+// Background scrub engine: the modelled mitigation for injected faults.
+//
+// FPGA CAM deployments that care about upsets pair the match array with a
+// scrubbing engine: a background walker that re-reads entries and repairs
+// them from a golden copy (for DSP/LUTRAM state, a shadow in BRAM or host
+// memory; for configuration memory, the SEM IP). This class models that
+// engine at the same abstraction level as the injector: it walks a
+// FaultTarget a few entries per *idle* cycle, compares each against a
+// captured golden shadow, classifies any discrepancy via the stored parity
+// bit (detected vs silent), and repairs it (corrected).
+//
+// The scrubber only advances when the caller says the datapath is idle
+// (step(idle=true)), matching a real engine that yields the storage port to
+// functional traffic. scrub_all() is the directed-test shortcut: one full
+// pass, immediately.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/fault/fault.h"
+#include "src/sim/stats.h"
+
+namespace dspcam::fault {
+
+class Scrubber {
+ public:
+  struct Config {
+    /// Entries examined per idle cycle. More = faster repair, models a
+    /// wider scrub port.
+    std::size_t entries_per_cycle = 1;
+  };
+
+  /// Binds to a target. Call capture() once the target holds the intended
+  /// contents; until then the golden shadow is empty and scrubbing is a
+  /// no-op.
+  Scrubber(FaultTarget& target, const Config& config);
+
+  /// Snapshots the target's current state as the golden reference.
+  void capture();
+
+  /// Refreshes the golden shadow for one entry after a *legitimate* write
+  /// (so the scrubber does not "repair" intended updates away).
+  void update_golden(std::size_t entry, const EntryState& state);
+
+  /// One simulation cycle. Examines entries_per_cycle entries starting at
+  /// the walk cursor when `idle` is true; does nothing when the datapath
+  /// is busy. Returns the number of corruptions repaired this cycle.
+  std::size_t step(bool idle);
+
+  /// Walks every entry once, immediately. Returns corruptions repaired.
+  std::size_t scrub_all();
+
+  const sim::FaultStats& stats() const noexcept { return stats_; }
+  bool captured() const noexcept { return !golden_.empty(); }
+  std::size_t cursor() const noexcept { return cursor_; }
+
+ private:
+  /// Returns true if the entry was corrupted (and is now repaired).
+  bool scrub_entry(std::size_t entry);
+
+  FaultTarget* target_;
+  Config cfg_;
+  std::vector<EntryState> golden_;
+  std::size_t cursor_ = 0;
+  sim::FaultStats stats_;
+};
+
+}  // namespace dspcam::fault

@@ -1,0 +1,21 @@
+#include "src/fault/targets.h"
+
+namespace dspcam::fault {
+
+EntryState UnitFaultTarget::peek(std::size_t entry) const {
+  const unsigned bs = unit_->config().block.block_size;
+  const auto& block = unit_->block(static_cast<unsigned>(entry / bs));
+  const unsigned cell = static_cast<unsigned>(entry % bs);
+  EntryState s;
+  s.stored = block.stored_word(cell);
+  s.mask = block.entry_mask(cell);
+  s.valid = block.entry_valid(cell);
+  s.parity = block.entry_parity(cell);
+  return s;
+}
+
+void UnitFaultTarget::poke(std::size_t entry, const EntryState& state) {
+  unit_->poke_entry(entry, state.stored, state.mask, state.valid, state.parity);
+}
+
+}  // namespace dspcam::fault

@@ -49,6 +49,11 @@ class DelayLine {
   /// of copying (the value is overwritten at the next shift() anyway).
   std::optional<T>& mutable_output() noexcept { return output_; }
 
+  /// The value sitting in the final register now - i.e. what the *coming*
+  /// shift() will move into output(). Lets commit-phase logic that runs
+  /// before its own shift() ask "is something about to emerge this edge?".
+  const std::optional<T>& peek_last() const noexcept { return regs_.back(); }
+
   /// Commit phase: advance every register by one stage.
   void shift() {
     output_ = std::move(regs_.back());

@@ -1,5 +1,7 @@
 #include "src/sim/scheduler.h"
 
+#include <cstdio>
+
 #include "src/common/error.h"
 
 namespace dspcam::sim {
@@ -37,7 +39,12 @@ bool Scheduler::run_until(const std::function<bool()>& done, std::uint64_t max_c
     if (done()) return true;
     step();
   }
-  return done();
+  if (done()) return true;
+  std::fprintf(stderr,
+               "Scheduler::run_until: timed out after %llu cycles (now=%llu)\n",
+               static_cast<unsigned long long>(max_cycles),
+               static_cast<unsigned long long>(clock_.now()));
+  return false;
 }
 
 }  // namespace dspcam::sim

@@ -37,8 +37,12 @@ class Scheduler {
   /// Runs `cycles` cycles.
   void run(std::uint64_t cycles);
 
-  /// Runs until `done()` returns true (checked after each cycle) or
-  /// `max_cycles` elapse. Returns true if `done()` fired, false on timeout.
+  /// Runs until `done()` returns true or `max_cycles` elapse. The predicate
+  /// is checked BEFORE each cycle (a predicate already true at entry runs
+  /// zero cycles) and once more after the final cycle, so a condition
+  /// satisfied by cycle `max_cycles` itself still counts. Returns true if
+  /// `done()` fired; on timeout returns false and logs the elapsed cycle
+  /// count to stderr.
   bool run_until(const std::function<bool()>& done, std::uint64_t max_cycles);
 
   /// The shared clock.

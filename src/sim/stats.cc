@@ -21,6 +21,16 @@ std::string LatencyStats::summary() const {
   return buf;
 }
 
+std::string FaultStats::summary() const {
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "injected=%llu detected=%llu corrected=%llu silent=%llu",
+                static_cast<unsigned long long>(injected),
+                static_cast<unsigned long long>(detected),
+                static_cast<unsigned long long>(corrected),
+                static_cast<unsigned long long>(silent));
+  return buf;
+}
+
 void LatencyStats::reset() {
   count_ = 0;
   min_ = ~Cycle{0};

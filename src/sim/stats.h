@@ -92,4 +92,30 @@ class ThroughputStats {
   Cycle end_ = 0;
 };
 
+/// Counters for one fault-injection campaign (src/fault/). `injected` is
+/// owned by the FaultInjector; the detection/repair counters are owned by
+/// the Scrubber, which classifies each corruption it finds as `detected`
+/// (the stored parity bit disagreed with the recomputed one - the mitigation
+/// saw it) or `silent` (state differed from golden but parity agreed -
+/// multi-bit upsets, valid+mask compensating flips, or unprotected targets).
+/// Every corruption the scrubber repairs counts in `corrected`.
+struct FaultStats {
+  std::uint64_t injected = 0;
+  std::uint64_t detected = 0;
+  std::uint64_t corrected = 0;
+  std::uint64_t silent = 0;
+
+  FaultStats& operator+=(const FaultStats& other) noexcept {
+    injected += other.injected;
+    detected += other.detected;
+    corrected += other.corrected;
+    silent += other.silent;
+    return *this;
+  }
+
+  /// Human-readable one-line summary
+  /// ("injected=12 detected=10 corrected=12 silent=2").
+  std::string summary() const;
+};
+
 }  // namespace dspcam::sim

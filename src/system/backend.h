@@ -22,10 +22,15 @@
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <string>
 
 #include "src/cam/transactions.h"
 #include "src/cam/types.h"
 #include "src/model/resources.h"
+
+namespace dspcam::fault {
+class FaultTarget;  // src/fault/fault.h; backends may expose their storage
+}  // namespace dspcam::fault
 
 namespace dspcam::system {
 
@@ -39,6 +44,8 @@ class CamBackend {
     std::uint64_t stall_cycles = 0;  ///< Cycles a ready request was held back.
     std::uint64_t responses = 0;
     std::uint64_t acks = 0;
+    std::uint64_t parity_flagged = 0;  ///< Search results carrying a parity
+                                       ///< error flag (src/fault/).
 
     Stats& operator+=(const Stats& o) {
       cycles = std::max(cycles, o.cycles);  // shards tick in lockstep
@@ -46,6 +53,7 @@ class CamBackend {
       stall_cycles += o.stall_cycles;
       responses += o.responses;
       acks += o.acks;
+      parity_flagged += o.parity_flagged;
       return *this;
     }
   };
@@ -106,6 +114,16 @@ class CamBackend {
 
   virtual Stats stats() const = 0;
   virtual model::ResourceUsage resources() const = 0;
+
+  // --- Robustness hooks (src/fault/). ---
+
+  /// Flat injection/scrub window over this backend's raw storage, or
+  /// nullptr for backends without one. Valid for the backend's lifetime.
+  virtual fault::FaultTarget* fault_target() { return nullptr; }
+
+  /// One-shot diagnostic snapshot (queue occupancies, credits, in-flight
+  /// state) for watchdog reports; empty when the backend offers none.
+  virtual std::string debug_dump() const { return {}; }
 };
 
 }  // namespace dspcam::system

@@ -20,12 +20,14 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
 #include <deque>
 #include <optional>
 
 #include "src/baseline/bram_cam.h"
 #include "src/baseline/lut_cam.h"
 #include "src/common/error.h"
+#include "src/fault/fault.h"
 #include "src/sim/fifo.h"
 #include "src/system/backend.h"
 
@@ -123,7 +125,53 @@ class BehavioralCamBackend : public CamBackend {
   /// Representative clock of the underlying family (for throughput math).
   double frequency_mhz() const { return model_.frequency_mhz(); }
 
+  /// Injection/scrub window over the model's raw entry arrays. Baselines
+  /// keep no parity bit, so parity is derived in peek(): every corruption a
+  /// scrub pass finds classifies as silent - the contrast the fault bench
+  /// draws against parity-protected DSP configurations.
+  fault::FaultTarget* fault_target() override { return &fault_target_; }
+
+  std::string debug_dump() const override {
+    char buf[192];
+    std::snprintf(buf, sizeof buf,
+                  "BehavioralCamBackend{req_fifo=%zu/%zu engine_free_at=%llu now=%llu "
+                  "responses=%zu acks=%zu}",
+                  request_fifo_.size(), request_fifo_.capacity(),
+                  static_cast<unsigned long long>(engine_free_at_),
+                  static_cast<unsigned long long>(stats_.cycles), responses_.size(),
+                  acks_.size());
+    return buf;
+  }
+
  private:
+  /// FaultTarget adapter over the behavioral model's entry arrays.
+  class ModelFaultTarget final : public fault::FaultTarget {
+   public:
+    explicit ModelFaultTarget(BehavioralCamBackend& owner) : owner_(&owner) {}
+
+    std::size_t entry_count() const override { return owner_->cfg_.model.entries; }
+    unsigned entry_bits() const override {
+      return std::min(owner_->cfg_.model.width, 64u);
+    }
+
+    fault::EntryState peek(std::size_t entry) const override {
+      const auto raw = owner_->model_.peek_raw(static_cast<std::uint32_t>(entry));
+      fault::EntryState s;
+      s.stored = raw.value;
+      s.mask = raw.mask;
+      s.valid = raw.valid;
+      s.parity = fault::parity_of(s);  // derived: no stored parity bit
+      return s;
+    }
+
+    void poke(std::size_t entry, const fault::EntryState& state) override {
+      owner_->model_.poke_raw(static_cast<std::uint32_t>(entry),
+                              {state.stored, state.mask, state.valid});
+    }
+
+   private:
+    BehavioralCamBackend* owner_;
+  };
   template <typename T>
   struct Timed {
     std::uint64_t ready = 0;
@@ -206,6 +254,7 @@ class BehavioralCamBackend : public CamBackend {
   std::uint32_t fill_ = 0;  ///< Append fill pointer (addressed ops skip it).
   std::deque<Timed<cam::UnitResponse>> responses_;
   std::deque<Timed<cam::UnitUpdateAck>> acks_;
+  ModelFaultTarget fault_target_{*this};
   Stats stats_;
 };
 

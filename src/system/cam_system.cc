@@ -1,5 +1,7 @@
 #include "src/system/cam_system.h"
 
+#include <cstdio>
+
 #include "src/common/error.h"
 
 namespace dspcam::system {
@@ -66,6 +68,9 @@ void CamSystem::commit() {
   // Drain the unit's registered outputs into the interface FIFOs. Space was
   // reserved at issue time, so these pushes cannot overflow.
   if (unit_.response().has_value()) {
+    for (const auto& r : unit_.response()->results) {
+      if (r.parity_error) ++stats_.parity_flagged;
+    }
     response_fifo_.push(*unit_.response());
     --searches_in_flight_;
     ++stats_.responses;
@@ -86,6 +91,17 @@ void CamSystem::configure_groups(unsigned m) {
 
 model::ResourceUsage CamSystem::resources() const {
   return model::system_resources(cfg_.unit);
+}
+
+std::string CamSystem::debug_dump() const {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "CamSystem{req_fifo=%zu/%zu resp_fifo=%zu/%zu ack_fifo=%zu/%zu "
+                "searches_in_flight=%zu updates_in_flight=%zu unit_idle=%d}",
+                request_fifo_.size(), request_fifo_.capacity(), response_fifo_.size(),
+                response_fifo_.capacity(), ack_fifo_.size(), ack_fifo_.capacity(),
+                searches_in_flight_, updates_in_flight_, unit_.idle() ? 1 : 0);
+  return buf;
 }
 
 }  // namespace dspcam::system

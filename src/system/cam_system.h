@@ -19,6 +19,7 @@
 #include <optional>
 
 #include "src/cam/unit.h"
+#include "src/fault/targets.h"
 #include "src/model/resources.h"
 #include "src/sim/component.h"
 #include "src/sim/fifo.h"
@@ -87,6 +88,12 @@ class CamSystem : public sim::Component, public CamBackend {
   /// (Table I's system row).
   model::ResourceUsage resources() const override;
 
+  /// Injection/scrub window over the unit's physical storage.
+  fault::FaultTarget* fault_target() override { return &fault_target_; }
+
+  /// FIFO occupancies and in-flight credits for watchdog diagnostics.
+  std::string debug_dump() const override;
+
   void eval() override;
   void commit() override;
 
@@ -100,6 +107,8 @@ class CamSystem : public sim::Component, public CamBackend {
   // Credits: results guaranteed space in the output FIFOs.
   std::size_t searches_in_flight_ = 0;
   std::size_t updates_in_flight_ = 0;
+
+  fault::UnitFaultTarget fault_target_{unit_};
 
   Stats stats_;
 };

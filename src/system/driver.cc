@@ -1,21 +1,12 @@
 #include "src/system/driver.h"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
 #include "src/common/error.h"
 
 namespace dspcam::system {
-
-namespace {
-
-/// Cycles without a completion before drain()/wait_idle() declare the
-/// backend wedged. Generous: a full-capacity store on the BRAM baseline
-/// keeps the engine busy for update_latency cycles per word, but every ack
-/// that lands resets the stagnation counter.
-constexpr unsigned kStallGuard = 1u << 20;
-
-}  // namespace
 
 CamDriver::CamDriver(const CamSystem::Config& cfg)
     : owned_(std::make_unique<CamSystem>(cfg)), backend_(owned_.get()) {}
@@ -47,21 +38,43 @@ const CamSystem& CamDriver::system() const {
 
 CamDriver::Ticket CamDriver::submit_async(cam::UnitRequest request) {
   switch (request.op) {
-    case cam::OpKind::kSearch:
+    case cam::OpKind::kSearch: {
+      if (request.keys.empty()) {
+        throw SimError(
+            "CamDriver::submit_async: search request field 'keys' is empty - "
+            "a search beat must carry at least one key");
+      }
+      const unsigned width = backend_->data_width();
+      if (width < 64) {
+        for (std::size_t i = 0; i < request.keys.size(); ++i) {
+          if ((request.keys[i] >> width) != 0) {
+            throw SimError("CamDriver::submit_async: keys[" + std::to_string(i) +
+                           "] = " + std::to_string(request.keys[i]) +
+                           " does not fit the backend's " + std::to_string(width) +
+                           "-bit data width");
+          }
+        }
+      }
       break;
+    }
     case cam::OpKind::kUpdate:
     case cam::OpKind::kInvalidate:
       ack_ops_.push_back(request.op);
       break;
-    default:
+    case cam::OpKind::kReset:
+    case cam::OpKind::kIdle:
       throw ConfigError(
           "CamDriver::submit_async: only search/update/invalidate take "
           "tickets (use reset())");
+    default:
+      throw SimError("CamDriver::submit_async: field 'op' holds unknown OpKind value " +
+                     std::to_string(static_cast<unsigned>(request.op)));
   }
   const Ticket ticket = next_ticket_++;
   request.seq = ticket;
   submit_queue_.push_back(std::move(request));
   ++inflight_;
+  outstanding_.insert(ticket);
   pump();  // Opportunistic: front beats reach the FIFO before the next poll.
   return ticket;
 }
@@ -90,6 +103,7 @@ void CamDriver::harvest() {
     c.ticket = resp->seq;
     c.op = cam::OpKind::kSearch;
     c.results = std::move(resp->results);
+    outstanding_.erase(c.ticket);
     completions_.push_back(std::move(c));
     --inflight_;
   }
@@ -100,6 +114,7 @@ void CamDriver::harvest() {
     if (!ack_ops_.empty()) ack_ops_.pop_front();
     c.words_written = ack->words_written;
     c.full = ack->unit_full;
+    outstanding_.erase(c.ticket);
     completions_.push_back(std::move(c));
     --inflight_;
   }
@@ -108,28 +123,58 @@ void CamDriver::harvest() {
 void CamDriver::poll() {
   pump();
   backend_->step();
+  // After the clock edge, before harvest: a fault hook sees the post-edge
+  // state the next compare will read, and corruption it applies can never
+  // race the result collection below.
+  if (cycle_hook_) cycle_hook_();
   harvest();
 }
 
+void CamDriver::set_stall_budget(std::uint64_t cycles) {
+  if (cycles == 0) {
+    throw ConfigError("CamDriver::set_stall_budget: budget must be >= 1 cycle");
+  }
+  stall_budget_ = cycles;
+}
+
+void CamDriver::throw_wedged(const char* where) const {
+  std::string msg = std::string("CamDriver::") + where +
+                    ": backend made no progress for " +
+                    std::to_string(stall_budget_) + " cycles (inflight=" +
+                    std::to_string(inflight_) + ", submit_queue=" +
+                    std::to_string(submit_queue_.size()) + ", tickets=[";
+  std::size_t listed = 0;
+  for (const Ticket t : outstanding_) {
+    if (listed == 8) {
+      msg += "...";
+      break;
+    }
+    if (listed != 0) msg += ",";
+    msg += std::to_string(t);
+    ++listed;
+  }
+  msg += "]";
+  const std::string dump = backend_->debug_dump();
+  if (!dump.empty()) msg += ", backend=" + dump;
+  msg += ")";
+  throw SimError(msg);
+}
+
 void CamDriver::drain() {
-  unsigned stagnant = 0;
+  std::uint64_t stagnant = 0;
   while (inflight_ > 0) {
     const std::size_t before = inflight_;
     poll();
     stagnant = inflight_ < before ? 0 : stagnant + 1;
-    if (stagnant > kStallGuard) {
-      throw SimError("CamDriver::drain: backend stopped making progress");
-    }
+    if (stagnant > stall_budget_) throw_wedged("drain");
   }
 }
 
 void CamDriver::wait_idle() {
-  unsigned guard = 0;
+  std::uint64_t guard = 0;
   while (!submit_queue_.empty() || !backend_->idle()) {
     poll();
-    if (++guard > kStallGuard) {
-      throw SimError("CamDriver: backend failed to go idle");
-    }
+    if (++guard > stall_budget_) throw_wedged("wait_idle");
   }
 }
 
@@ -240,12 +285,10 @@ void CamDriver::reset() {
   drain();  // Outstanding tickets complete before the wipe.
   cam::UnitRequest req;
   req.op = cam::OpKind::kReset;
-  unsigned guard = 0;
+  std::uint64_t guard = 0;
   while (!backend_->try_submit(req)) {
     poll();
-    if (++guard > kStallGuard) {
-      throw SimError("CamDriver::reset: backend never accepted the reset");
-    }
+    if (++guard > stall_budget_) throw_wedged("reset");
   }
   wait_idle();
 }

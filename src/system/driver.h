@@ -21,9 +21,12 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <optional>
+#include <set>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "src/system/backend.h"
@@ -36,6 +39,13 @@ class CamDriver {
  public:
   /// Identifies one asynchronously submitted operation.
   using Ticket = std::uint64_t;
+
+  /// Default watchdog budget: cycles without forward progress before
+  /// drain()/wait_idle()/reset() declare the backend wedged and throw
+  /// SimError with a diagnostic dump. Generous: a full-capacity store on
+  /// the BRAM baseline keeps the engine busy for update_latency cycles per
+  /// word, but every completed beat resets the stagnation counter.
+  static constexpr std::uint64_t kDefaultStallBudget = 1u << 20;
 
   /// A finished operation from the completion queue.
   struct Completion {
@@ -70,6 +80,11 @@ class CamDriver {
   /// ticket. The driver owns the sequence space: request.seq is overwritten
   /// with the ticket. Backend backpressure is absorbed by an internal retry
   /// queue, so submission never fails and never drops a beat.
+  ///
+  /// The request is validated before it enters the queue: a search with no
+  /// keys, a key wider than the backend's data width, or an OpKind outside
+  /// the enum throws SimError naming the offending field (kReset/kIdle stay
+  /// ConfigError - they are legal ops used through the wrong entry point).
   Ticket submit_async(cam::UnitRequest request);
 
   /// Pops the oldest completion, if any.
@@ -83,9 +98,27 @@ class CamDriver {
   void poll();
 
   /// Polls until every outstanding ticket has completed (completions stay
-  /// queued until popped). Throws SimError if the backend stops making
-  /// progress.
+  /// queued until popped). Throws SimError with a diagnostic dump (inflight
+  /// tickets, backend queue/credit state) if the backend makes no progress
+  /// for stall_budget() consecutive cycles.
   void drain();
+
+  // --- Watchdog / instrumentation. ---
+
+  /// Overrides the wedge-detection budget (cycles without progress). Tests
+  /// use small budgets to fail fast; 0 is rejected with ConfigError.
+  void set_stall_budget(std::uint64_t cycles);
+  std::uint64_t stall_budget() const noexcept { return stall_budget_; }
+
+  /// Installs a hook invoked once per poll(), after the backend's clock
+  /// edge and before completions are harvested. This is where a fault
+  /// campaign's injector and scrubber step (src/fault/): the hook runs on
+  /// the polling thread, so injection order is deterministic regardless of
+  /// how the backend parallelises its own stepping. Pass nullptr to remove.
+  void set_cycle_hook(std::function<void()> hook) { cycle_hook_ = std::move(hook); }
+
+  /// Tickets submitted whose completions have not yet been harvested.
+  const std::set<Ticket>& outstanding_tickets() const noexcept { return outstanding_; }
 
   // --- Synchronous wrappers (thin shims over the async core). ---
 
@@ -127,6 +160,7 @@ class CamDriver {
   void harvest();
   void wait_idle();
   Completion take_completion(Ticket ticket);
+  [[noreturn]] void throw_wedged(const char* where) const;
 
   std::unique_ptr<CamBackend> owned_;
   CamBackend* backend_ = nullptr;
@@ -144,6 +178,10 @@ class CamDriver {
 
   std::size_t inflight_ = 0;
   Ticket next_ticket_ = 1;
+
+  std::set<Ticket> outstanding_;  ///< Submitted, not yet harvested.
+  std::uint64_t stall_budget_ = kDefaultStallBudget;
+  std::function<void()> cycle_hook_;
 };
 
 }  // namespace dspcam::system

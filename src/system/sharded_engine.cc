@@ -1,20 +1,25 @@
 #include "src/system/sharded_engine.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "src/common/error.h"
 
 namespace dspcam::system {
 
-ShardedCamEngine::ShardedCamEngine(const Config& cfg, const ShardFactory& make_shard)
-    : cfg_(cfg) {
-  if (cfg_.shards == 0) throw ConfigError("ShardedCamEngine: need >= 1 shard");
-  if (cfg_.key_bits == 0 || cfg_.key_bits > 64) {
+void ShardedCamEngine::Config::validate() const {
+  if (shards == 0) throw ConfigError("ShardedCamEngine: need >= 1 shard");
+  if (key_bits == 0 || key_bits > 64) {
     throw ConfigError("ShardedCamEngine: key_bits must be 1..64");
   }
-  if (cfg_.credits_per_shard == 0) {
+  if (credits_per_shard == 0) {
     throw ConfigError("ShardedCamEngine: need >= 1 credit per shard");
   }
+}
+
+ShardedCamEngine::ShardedCamEngine(const Config& cfg, const ShardFactory& make_shard)
+    : cfg_(cfg) {
+  cfg_.validate();
   shards_.reserve(cfg_.shards);
   for (unsigned s = 0; s < cfg_.shards; ++s) {
     auto shard = make_shard(s);
@@ -30,9 +35,26 @@ ShardedCamEngine::ShardedCamEngine(const Config& cfg, const ShardFactory& make_s
   }
   credits_.assign(cfg_.shards, cfg_.credits_per_shard);
   resetting_.assign(cfg_.shards, 0);
+  quarantined_.assign(cfg_.shards, 0);
   pending_issue_.resize(cfg_.shards);
   expected_search_.resize(cfg_.shards);
   expected_ack_.resize(cfg_.shards);
+  // Compose the shards' fault windows when every shard exposes one; a
+  // single opaque shard disables injection for the whole engine (a partial
+  // window would silently skew campaign statistics).
+  std::vector<fault::FaultTarget*> parts;
+  parts.reserve(cfg_.shards);
+  for (auto& shard : shards_) {
+    fault::FaultTarget* target = shard->fault_target();
+    if (target == nullptr) {
+      parts.clear();
+      break;
+    }
+    parts.push_back(target);
+  }
+  if (!parts.empty()) {
+    fault_target_ = std::make_unique<CompositeFaultTarget>(std::move(parts));
+  }
   // The calling thread always participates in the per-cycle fan-out, so a
   // pool of (threads - 1) workers realises `step_threads` stepping threads.
   const unsigned threads = std::min(cfg_.step_threads, cfg_.shards);
@@ -90,7 +112,10 @@ void ShardedCamEngine::configure_groups(unsigned m) {
   if (!idle()) {
     throw SimError("ShardedCamEngine: configure_groups requires an idle engine");
   }
-  for (auto& shard : shards_) shard->configure_groups(m);
+  for (unsigned s = 0; s < shard_count(); ++s) {
+    if (quarantined_[s]) continue;  // out of service; may not even be idle
+    shards_[s]->configure_groups(m);
+  }
 }
 
 bool ShardedCamEngine::plan(const cam::UnitRequest& request,
@@ -203,6 +228,7 @@ bool ShardedCamEngine::plan(const cam::UnitRequest& request,
 
 void ShardedCamEngine::settle() {
   for (unsigned s = 0; s < shard_count(); ++s) {
+    if (quarantined_[s]) continue;
     if (resetting_[s] && shards_[s]->idle()) resetting_[s] = 0;
   }
 }
@@ -213,8 +239,16 @@ bool ShardedCamEngine::try_submit(cam::UnitRequest request) {
   plan(request, subs);
 
   // Feasibility first: the whole beat is accepted or refused atomically.
+  // Sub-requests bound for a quarantined shard never reach it - they are
+  // settled below as shard_failed / zero-word results - so only the live
+  // shards gate acceptance.
   std::vector<unsigned> need(shard_count(), 0);
-  for (const auto& sub : subs) ++need[sub.shard];
+  unsigned live_subs = 0;
+  for (const auto& sub : subs) {
+    if (quarantined_[sub.shard]) continue;
+    ++need[sub.shard];
+    ++live_subs;
+  }
   const bool completes = request.op == cam::OpKind::kSearch ||
                          request.op == cam::OpKind::kUpdate ||
                          request.op == cam::OpKind::kInvalidate;
@@ -238,29 +272,45 @@ bool ShardedCamEngine::try_submit(cam::UnitRequest request) {
   if (request.op == cam::OpKind::kSearch) {
     SearchBeat beat;
     beat.seq = request.seq;
-    beat.pending = static_cast<unsigned>(subs.size());
+    beat.pending = live_subs;
     beat.results = results_pool_.acquire();
     beat.results.clear();
     beat.results.resize(request.keys.size());
+    // Keys routed to quarantined shards settle now: no search happens, the
+    // result says so instead of reporting a miss.
+    for (const auto& sub : subs) {
+      if (!quarantined_[sub.shard]) continue;
+      for (std::size_t j = 0; j < sub.positions.size(); ++j) {
+        auto& r = beat.results.at(sub.positions[j]);
+        r.key = sub.req.keys[j];
+        r.shard = static_cast<std::uint16_t>(sub.shard);
+        r.shard_failed = true;
+      }
+    }
     const std::uint64_t beat_id = search_rob_base_ + search_rob_.size();
     search_rob_.push_back(std::move(beat));
     for (const auto& sub : subs) {
-      expected_search_[sub.shard].push_back({beat_id, sub.positions});
+      if (quarantined_[sub.shard]) continue;
+      expected_search_[sub.shard].push_back({beat_id, sub.positions, sub.req.keys});
     }
   } else if (completes) {
     AckBeat beat;
     beat.seq = request.seq;
-    beat.pending = static_cast<unsigned>(subs.size());
+    beat.pending = live_subs;
     beat.ack.seq = request.seq;
     const std::uint64_t beat_id = ack_rob_base_ + ack_rob_.size();
     ack_rob_.push_back(std::move(beat));
-    for (const auto& sub : subs) expected_ack_[sub.shard].push_back(beat_id);
+    for (const auto& sub : subs) {
+      if (quarantined_[sub.shard]) continue;
+      expected_ack_[sub.shard].push_back(beat_id);
+    }
   }
 
   // Issue: straight into the shard FIFO when it has room, else park in the
   // per-shard issue queue (pumped every cycle). Credits are held from issue
   // to collection either way.
   for (auto& sub : subs) {
+    if (quarantined_[sub.shard]) continue;
     if (request.op == cam::OpKind::kReset) resetting_[sub.shard] = 1;
     if (completes) --credits_[sub.shard];
     if (shards_[sub.shard]->request_full()) {
@@ -287,6 +337,7 @@ void ShardedCamEngine::collect() {
   const unsigned shard_cap = shards_.front()->capacity();
   for (unsigned i = 0; i < s_count; ++i) {
     const unsigned s = (rr_start_ + i) % s_count;
+    if (quarantined_[s]) continue;  // owed nothing; stale output stays put
     while (auto resp = shards_[s]->try_pop_response()) {
       if (expected_search_[s].empty()) {
         throw SimError("ShardedCamEngine: unexpected shard response");
@@ -344,6 +395,7 @@ std::optional<cam::UnitUpdateAck> ShardedCamEngine::try_pop_ack() {
 
 bool ShardedCamEngine::request_full() const {
   for (unsigned s = 0; s < shard_count(); ++s) {
+    if (quarantined_[s]) continue;
     if (!pending_issue_[s].empty() || shards_[s]->request_full() ||
         credits_[s] == 0 || (resetting_[s] && !shards_[s]->idle())) {
       return true;  // conservative: some target would refuse
@@ -355,6 +407,7 @@ bool ShardedCamEngine::request_full() const {
 std::size_t ShardedCamEngine::pending_requests() const {
   std::size_t total = 0;
   for (unsigned s = 0; s < shard_count(); ++s) {
+    if (quarantined_[s]) continue;
     total += shards_[s]->pending_requests() + pending_issue_[s].size();
   }
   return total;
@@ -362,14 +415,19 @@ std::size_t ShardedCamEngine::pending_requests() const {
 
 void ShardedCamEngine::step() {
   // Serial phase: feed parked sub-requests into shard FIFOs.
-  for (unsigned s = 0; s < shard_count(); ++s) pump(s);
+  for (unsigned s = 0; s < shard_count(); ++s) {
+    if (!quarantined_[s]) pump(s);
+  }
   // Parallel phase: the shards share no state, so their clock edges can run
   // concurrently; the pool barrier restores lockstep before collection.
   if (pool_) {
-    pool_->parallel_for(shards_.size(),
-                        [this](std::size_t s) { shards_[s]->step(); });
+    pool_->parallel_for(shards_.size(), [this](std::size_t s) {
+      if (!quarantined_[s]) shards_[s]->step();
+    });
   } else {
-    for (auto& shard : shards_) shard->step();
+    for (unsigned s = 0; s < shard_count(); ++s) {
+      if (!quarantined_[s]) shards_[s]->step();
+    }
   }
   // Serial phase: deterministic round-robin collection and reordering.
   collect();
@@ -378,9 +436,120 @@ void ShardedCamEngine::step() {
 
 bool ShardedCamEngine::idle() const {
   for (unsigned s = 0; s < shard_count(); ++s) {
+    if (quarantined_[s]) continue;  // frozen; owes the host nothing
     if (!pending_issue_[s].empty() || !shards_[s]->idle()) return false;
   }
   return true;
+}
+
+void ShardedCamEngine::quarantine_shard(unsigned s) {
+  if (s >= shard_count()) {
+    throw ConfigError("ShardedCamEngine::quarantine_shard: no such shard");
+  }
+  if (quarantined_[s]) return;  // idempotent
+  quarantined_[s] = 1;
+
+  // Parked sub-requests never reached the shard: drop them (their beats are
+  // settled through the expectation queues below, which cover every
+  // accepted-but-incomplete sub-operation regardless of issue state).
+  pending_issue_[s].clear();
+
+  // Settle every search sub-operation the shard still owed: its beat
+  // positions become shard_failed results, never misses.
+  for (auto& exp : expected_search_[s]) {
+    auto& beat = search_rob_.at(exp.beat_id - search_rob_base_);
+    for (std::size_t j = 0; j < exp.positions.size(); ++j) {
+      auto& r = beat.results.at(exp.positions[j]);
+      r = cam::UnitSearchResult{};
+      r.key = j < exp.keys.size() ? exp.keys[j] : 0;
+      r.shard = static_cast<std::uint16_t>(s);
+      r.shard_failed = true;
+    }
+    --beat.pending;
+  }
+  expected_search_[s].clear();
+
+  // Outstanding acks complete with zero words contributed from this shard.
+  for (const std::uint64_t beat_id : expected_ack_[s]) {
+    --ack_rob_.at(beat_id - ack_rob_base_).pending;
+  }
+  expected_ack_[s].clear();
+
+  // Full credit line back; a dead shard must not throttle the live ones
+  // through request_full()'s conservative any-shard check.
+  credits_[s] = cfg_.credits_per_shard;
+  resetting_[s] = 0;
+}
+
+unsigned ShardedCamEngine::quarantined_count() const noexcept {
+  unsigned n = 0;
+  for (const char q : quarantined_) n += q != 0;
+  return n;
+}
+
+fault::FaultTarget* ShardedCamEngine::fault_target() {
+  return fault_target_.get();
+}
+
+std::string ShardedCamEngine::debug_dump() const {
+  std::string out = "sharded{rob: search=" + std::to_string(search_rob_.size()) +
+                    " ack=" + std::to_string(ack_rob_.size());
+  for (unsigned s = 0; s < shard_count(); ++s) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "; shard%u: credits=%u parked=%zu exp_search=%zu exp_ack=%zu%s%s",
+                  s, credits_[s], pending_issue_[s].size(),
+                  expected_search_[s].size(), expected_ack_[s].size(),
+                  resetting_[s] ? " RESETTING" : "",
+                  quarantined_[s] ? " QUARANTINED" : "");
+    out += buf;
+    const std::string inner = shards_[s]->debug_dump();
+    if (!inner.empty()) out += " [" + inner + "]";
+  }
+  out += "}";
+  return out;
+}
+
+// --- CompositeFaultTarget. ---
+
+ShardedCamEngine::CompositeFaultTarget::CompositeFaultTarget(
+    std::vector<fault::FaultTarget*> parts)
+    : parts_(std::move(parts)) {
+  cumulative_.reserve(parts_.size());
+  for (const fault::FaultTarget* part : parts_) {
+    cumulative_.push_back(total_);
+    total_ += part->entry_count();
+  }
+}
+
+bool ShardedCamEngine::CompositeFaultTarget::parity_protected() const {
+  for (const fault::FaultTarget* part : parts_) {
+    if (!part->parity_protected()) return false;
+  }
+  return true;
+}
+
+fault::FaultTarget* ShardedCamEngine::CompositeFaultTarget::locate(
+    std::size_t entry, std::size_t& local) const {
+  if (entry >= total_) {
+    throw SimError("CompositeFaultTarget: entry index out of range");
+  }
+  std::size_t s = parts_.size() - 1;
+  while (cumulative_[s] > entry) --s;
+  local = entry - cumulative_[s];
+  return parts_[s];
+}
+
+fault::EntryState ShardedCamEngine::CompositeFaultTarget::peek(
+    std::size_t entry) const {
+  std::size_t local = 0;
+  return locate(entry, local)->peek(local);
+}
+
+void ShardedCamEngine::CompositeFaultTarget::poke(std::size_t entry,
+                                                  const fault::EntryState& state) {
+  std::size_t local = 0;
+  locate(entry, local)->poke(local, state);
 }
 
 CamBackend::Stats ShardedCamEngine::stats() const {

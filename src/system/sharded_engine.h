@@ -36,6 +36,7 @@
 
 #include "src/common/freelist.h"
 #include "src/common/thread_pool.h"
+#include "src/fault/fault.h"
 #include "src/system/backend.h"
 #include "src/system/cam_system.h"
 
@@ -61,6 +62,11 @@ class ShardedCamEngine : public CamBackend {
     /// thread count produces byte-identical results (asserted in tests);
     /// this only trades host wall-clock. Capped at the shard count.
     unsigned step_threads = 1;
+
+    /// Throws ConfigError on an unusable geometry (no shards, zero
+    /// credits, key_bits outside 1..64). step_threads is deliberately not
+    /// validated: any value is legal (clamped to the shard count).
+    void validate() const;
   };
 
   using ShardFactory = std::function<std::unique_ptr<CamBackend>(unsigned shard)>;
@@ -109,6 +115,28 @@ class ShardedCamEngine : public CamBackend {
   /// Sum of shard resources plus a first-order steering/partitioner adder.
   model::ResourceUsage resources() const override;
 
+  // --- Robustness (src/fault/). ---
+
+  /// Degraded-shard mode: takes shard `s` out of service. Its parked
+  /// sub-requests are dropped, every in-flight sub-operation it owed is
+  /// settled immediately - searches complete with `shard_failed` results
+  /// (hit forced false) at their beat positions, acks complete with zero
+  /// words contributed - and from then on the shard is skipped by planning,
+  /// stepping and collection: keys routed to it come back `shard_failed`
+  /// instead of silently missing or blocking the beat. Irreversible for the
+  /// engine's lifetime (re-admitting a shard whose contents diverged would
+  /// serve wrong answers); idempotent.
+  void quarantine_shard(unsigned s);
+  bool shard_quarantined(unsigned s) const { return quarantined_.at(s) != 0; }
+  unsigned quarantined_count() const noexcept;
+
+  /// Concatenated injection/scrub window over the shards' storage, or
+  /// nullptr if any shard exposes none.
+  fault::FaultTarget* fault_target() override;
+
+  /// Per-shard credit/queue/flag state plus reorder-buffer depths.
+  std::string debug_dump() const override;
+
  private:
   /// One planned sub-request: what goes to which shard, and which beat
   /// positions its results fill.
@@ -136,6 +164,27 @@ class ShardedCamEngine : public CamBackend {
   struct ExpectedSearch {
     std::uint64_t beat_id = 0;
     std::vector<std::uint32_t> positions;
+    std::vector<cam::Word> keys;  ///< For shard_failed back-fill on quarantine.
+  };
+
+  /// Concatenation of the shards' fault windows: entry i belongs to shard
+  /// i / per_shard (homogeneous capacity makes the arithmetic exact).
+  class CompositeFaultTarget final : public fault::FaultTarget {
+   public:
+    explicit CompositeFaultTarget(std::vector<fault::FaultTarget*> parts);
+
+    std::size_t entry_count() const override { return total_; }
+    unsigned entry_bits() const override { return parts_.front()->entry_bits(); }
+    bool parity_protected() const override;
+    fault::EntryState peek(std::size_t entry) const override;
+    void poke(std::size_t entry, const fault::EntryState& state) override;
+
+   private:
+    fault::FaultTarget* locate(std::size_t entry, std::size_t& local) const;
+
+    std::vector<fault::FaultTarget*> parts_;
+    std::vector<std::size_t> cumulative_;  ///< Exclusive prefix sums of counts.
+    std::size_t total_ = 0;
   };
 
   bool plan(const cam::UnitRequest& request, std::vector<SubRequest>& out) const;
@@ -146,7 +195,9 @@ class ShardedCamEngine : public CamBackend {
   Config cfg_;
   std::vector<std::unique_ptr<CamBackend>> shards_;
   std::vector<unsigned> credits_;
-  std::vector<char> resetting_;  ///< Shards settling a reset (fenced).
+  std::vector<char> resetting_;    ///< Shards settling a reset (fenced).
+  std::vector<char> quarantined_;  ///< Shards taken out of service.
+  std::unique_ptr<CompositeFaultTarget> fault_target_;  ///< Null if unsupported.
 
   /// Sub-requests accepted by the engine but not yet in a shard FIFO.
   std::vector<std::deque<cam::UnitRequest>> pending_issue_;

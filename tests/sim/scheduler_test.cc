@@ -70,6 +70,23 @@ TEST(Scheduler, RunUntilTimesOut) {
   EXPECT_EQ(sched.now(), 10u);
 }
 
+// The documented edge semantics: the predicate gates BEFORE each cycle, so
+// one already satisfied at entry runs zero cycles...
+TEST(Scheduler, RunUntilAlreadyDoneRunsZeroCycles) {
+  Scheduler sched;
+  EXPECT_TRUE(sched.run_until([] { return true; }, 100));
+  EXPECT_EQ(sched.now(), 0u);
+}
+
+// ...and the final re-check after the last cycle means a condition satisfied
+// by cycle max_cycles itself still counts as success, not a timeout.
+TEST(Scheduler, RunUntilFinalCheckCatchesConditionAtDeadline) {
+  Scheduler sched;
+  const bool ok = sched.run_until([&] { return sched.now() == 10; }, 10);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(sched.now(), 10u);
+}
+
 TEST(Scheduler, NullComponentRejected) {
   Scheduler sched;
   EXPECT_THROW(sched.add(nullptr), SimError);
