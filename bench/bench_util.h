@@ -14,6 +14,7 @@
 
 #include "src/cam/unit.h"
 #include "src/common/table.h"
+#include "src/telemetry/metrics.h"
 
 namespace dspcam::bench {
 
@@ -139,6 +140,12 @@ class JsonLog {
       fields_.emplace_back(key, value ? "true" : "false");
       return *this;
     }
+    /// Embeds pre-serialised JSON verbatim (an object/array value, e.g. a
+    /// MetricRegistry::to_json() snapshot). The caller guarantees validity.
+    Row& raw(const std::string& key, std::string json) {
+      fields_.emplace_back(key, std::move(json));
+      return *this;
+    }
     std::string to_json() const {
       std::string out = "{";
       for (std::size_t i = 0; i < fields_.size(); ++i) {
@@ -188,6 +195,16 @@ inline JsonLog::Row& add_stats(JsonLog::Row& row, const std::string& prefix,
       .num(prefix + "_min", st.min)
       .num(prefix + "_max", st.max)
       .num(prefix + "_samples", static_cast<std::uint64_t>(st.samples));
+  return row;
+}
+
+/// Embeds a telemetry snapshot in a bench row: the registry's full metric
+/// dump (counters, gauges, histogram summaries) lands under a "telemetry"
+/// key, so BENCH_*.json rows carry the observability state alongside the
+/// measured figures.
+inline JsonLog::Row& add_telemetry(JsonLog::Row& row,
+                                   const telemetry::MetricRegistry& registry) {
+  row.raw("telemetry", registry.to_json());
   return row;
 }
 

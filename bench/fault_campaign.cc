@@ -21,6 +21,7 @@
 #include "src/fault/scrubber.h"
 #include "src/system/cam_system.h"
 #include "src/system/driver.h"
+#include "src/telemetry/metrics.h"
 
 namespace dspcam::bench {
 namespace {
@@ -142,6 +143,14 @@ int main(int argc, char** argv) {
           .num("corrected", r.scrubber.corrected)
           .num("parity_flagged", r.parity_flagged)
           .num("detection_coverage", coverage);
+      {
+        // Mirror the campaign's counters through the telemetry layer so the
+        // JSON row carries the same "fault.*" names the live stack exports.
+        dspcam::telemetry::MetricRegistry registry;
+        r.injector.record_telemetry(registry, "fault.injector");
+        r.scrubber.record_telemetry(registry, "fault.scrubber");
+        add_telemetry(row, registry);
+      }
       log.emit(row);
     }
   }

@@ -9,6 +9,10 @@
 //           stepping - host wall-clock scaling of the per-cycle barrier
 //           (bounded by the machine's core count; the JSON records
 //           hardware_concurrency so trajectories are comparable).
+//   part 3  telemetry overhead: the same sharded stream with the metric
+//           registry + sampled span tracer attached, reported as a ratio
+//           against the bare run (acceptance: within 10%). The JSON row
+//           carries the registry snapshot under "telemetry".
 //
 // Flags: --warmup N --repeat N --json <path>   (default path
 // BENCH_step_rate.json so CI always collects the artifact).
@@ -22,6 +26,8 @@
 #include "src/cam/unit.h"
 #include "src/system/driver.h"
 #include "src/system/sharded_engine.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/span.h"
 
 namespace {
 
@@ -86,7 +92,9 @@ Rate search_stream_rate(const cam::UnitConfig& cfg, std::uint64_t cycles) {
 /// Streams S-key search beats into a sharded engine (the hash partitioner
 /// spreads the keys, so all shards stay busy) and reports the engine's
 /// simulated cycle rate.
-Rate engine_stream_rate(unsigned shards, unsigned threads, std::uint64_t cycles) {
+Rate engine_stream_rate(unsigned shards, unsigned threads, std::uint64_t cycles,
+                        telemetry::MetricRegistry* registry = nullptr,
+                        telemetry::SpanTracer* tracer = nullptr) {
   system::ShardedCamEngine::Config ec;
   ec.shards = shards;
   ec.step_threads = threads;
@@ -95,6 +103,9 @@ Rate engine_stream_rate(unsigned shards, unsigned threads, std::uint64_t cycles)
   sc.unit = unit_config(16, 16, cam::EvalMode::kFast);
   system::ShardedCamEngine engine(ec, sc);
   system::CamDriver driver(engine);
+  if (registry != nullptr || tracer != nullptr) {
+    driver.attach_telemetry(registry, tracer, /*snapshot_every=*/256);
+  }
 
   std::vector<cam::Word> words;
   words.reserve(static_cast<std::size_t>(shards) * 128);
@@ -219,6 +230,40 @@ int main(int argc, char** argv) {
       log.emit(row);
     }
   }
+  // Part 3: telemetry overhead on the sharded stream.
+  std::printf("\n%-24s %14s %10s\n", "configuration", "cycles/s", "vs bare");
+  const unsigned t_shards = 4;
+  const std::uint64_t t_cycles = 20'000;
+  const auto bare = dspcam::bench::measure_repeated(opt, [&] {
+    return engine_stream_rate(t_shards, 1, t_cycles).cycles_per_sec;
+  });
+  std::printf("%-24s %14.0f %10s\n", "4 shards, bare", bare.median, "-");
+  dspcam::telemetry::MetricRegistry registry;
+  dspcam::telemetry::SpanTracer tracer;  // default 1-in-16 sampling
+  const auto traced = dspcam::bench::measure_repeated(opt, [&] {
+    registry.reset();
+    tracer.clear();
+    return engine_stream_rate(t_shards, 1, t_cycles, &registry, &tracer)
+        .cycles_per_sec;
+  });
+  const double overhead = bare.median > 0 ? traced.median / bare.median : 0;
+  char ratio[32];
+  std::snprintf(ratio, sizeof(ratio), "%.3fx", overhead);
+  std::printf("%-24s %14.0f %10s\n", "4 shards, telemetry", traced.median, ratio);
+  {
+    auto row = dspcam::bench::JsonLog::Row("micro_step_rate");
+    row.str("kind", "telemetry_overhead")
+        .num("shards", static_cast<std::uint64_t>(t_shards))
+        .num("sim_cycles", t_cycles)
+        .num("sample_every", tracer.config().sample_every)
+        .num("relative_rate", overhead)
+        .num("spans_finished", tracer.finished());
+    dspcam::bench::add_stats(row, "bare_cycles_per_sec", bare);
+    dspcam::bench::add_stats(row, "traced_cycles_per_sec", traced);
+    dspcam::bench::add_telemetry(row, registry);
+    log.emit(row);
+  }
+
   std::printf("\n(host has %u hardware threads; parallel scaling is bounded "
               "by that, not by the engine)\n", cores);
   return 0;

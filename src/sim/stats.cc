@@ -5,20 +5,25 @@
 namespace dspcam::sim {
 
 void LatencyStats::record(Cycle latency) {
-  ++count_;
-  sum_ += latency;
-  if (latency < min_) min_ = latency;
-  if (latency > max_) max_ = latency;
+  hist_.record(latency);
   ++histogram_[latency];
 }
 
 std::string LatencyStats::summary() const {
-  char buf[128];
-  std::snprintf(buf, sizeof buf, "n=%llu min=%llu mean=%.2f max=%llu",
-                static_cast<unsigned long long>(count_),
-                static_cast<unsigned long long>(min()), mean(),
-                static_cast<unsigned long long>(max_));
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "n=%llu min=%llu mean=%.2f p95=%.0f p99=%.0f max=%llu",
+                static_cast<unsigned long long>(count()),
+                static_cast<unsigned long long>(min()), mean(), p95(), p99(),
+                static_cast<unsigned long long>(max()));
   return buf;
+}
+
+void FaultStats::record_telemetry(telemetry::MetricRegistry& registry,
+                                  const std::string& prefix) const {
+  registry.counter(prefix + ".injected").update_to(injected);
+  registry.counter(prefix + ".detected").update_to(detected);
+  registry.counter(prefix + ".corrected").update_to(corrected);
+  registry.counter(prefix + ".silent").update_to(silent);
 }
 
 std::string FaultStats::summary() const {
@@ -32,10 +37,7 @@ std::string FaultStats::summary() const {
 }
 
 void LatencyStats::reset() {
-  count_ = 0;
-  min_ = ~Cycle{0};
-  max_ = 0;
-  sum_ = 0;
+  hist_.reset();
   histogram_.clear();
 }
 

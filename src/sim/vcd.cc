@@ -24,9 +24,17 @@ std::string VcdTrace::id_for(std::uint32_t index) {
 
 VcdSignal VcdTrace::add_signal(const std::string& name, unsigned width) {
   if (header_written_) {
-    throw SimError("VcdTrace: signals must be registered before the first tick");
+    throw SimError("VcdTrace: signal '" + name +
+                   "' registered after the first tick - the VCD header (and "
+                   "its $var list) is already written; register every signal "
+                   "before tick()");
   }
-  if (width == 0 || width > 64) throw ConfigError("VcdTrace: width must be 1..64");
+  if (width == 0 || width > 64) {
+    throw SimError("VcdTrace: signal '" + name + "' has width " +
+                   std::to_string(width) +
+                   "; supported widths are 1..64 (values are sampled as one "
+                   "uint64_t - split wider buses across several signals)");
+  }
   Entry e;
   e.name = name;
   e.width = width;

@@ -39,8 +39,14 @@ class VcdTrace {
   VcdTrace(const VcdTrace&) = delete;
   VcdTrace& operator=(const VcdTrace&) = delete;
 
-  /// Registers a signal of `width` bits (1..64). Must happen before the
-  /// first tick(). Returns the handle used by sample().
+  /// Registers a signal of `width` bits. Returns the handle used by
+  /// sample().
+  ///
+  /// Constraints (violations throw SimError naming the signal):
+  ///  - Registration must happen before the first tick(): the VCD header
+  ///    lists every $var up front, so late signals cannot be added.
+  ///  - width must be 1..64 - sample() carries values as one uint64_t.
+  ///    Split wider buses across several signals.
   VcdSignal add_signal(const std::string& name, unsigned width);
 
   /// Stages the signal's value for the current cycle.

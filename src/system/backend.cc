@@ -1,0 +1,26 @@
+#include "src/system/backend.h"
+
+#include "src/telemetry/metrics.h"
+
+namespace dspcam::system {
+
+void CamBackend::record_telemetry(telemetry::MetricRegistry& registry,
+                                  const std::string& prefix) const {
+  // Counters in the registry are cumulative; Stats snapshots are absolute
+  // totals, so publication raises each counter to the current total
+  // (idempotent under periodic re-publication).
+  const Stats s = stats();
+  registry.counter(prefix + ".cycles").update_to(s.cycles);
+  registry.counter(prefix + ".issued").update_to(s.issued);
+  registry.counter(prefix + ".stall_cycles").update_to(s.stall_cycles);
+  registry.counter(prefix + ".responses").update_to(s.responses);
+  registry.counter(prefix + ".acks").update_to(s.acks);
+  registry.counter(prefix + ".parity_flagged").update_to(s.parity_flagged);
+  registry.counter(prefix + ".keys_searched").update_to(s.keys_searched);
+  registry.counter(prefix + ".hits").update_to(s.hits);
+  registry.counter(prefix + ".gated_cycles").update_to(s.gated_cycles);
+  registry.gauge(prefix + ".pending_requests")
+      .set(static_cast<std::int64_t>(pending_requests()));
+}
+
+}  // namespace dspcam::system

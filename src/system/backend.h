@@ -32,12 +32,19 @@ namespace dspcam::fault {
 class FaultTarget;  // src/fault/fault.h; backends may expose their storage
 }  // namespace dspcam::fault
 
+namespace dspcam::telemetry {
+class MetricRegistry;  // src/telemetry/metrics.h
+class SpanTracer;      // src/telemetry/span.h
+}  // namespace dspcam::telemetry
+
 namespace dspcam::system {
 
 /// Abstract cycle-stepped CAM engine.
 class CamBackend {
  public:
   /// Cycle/throughput counters every backend aggregates the same way.
+  /// NOTE: operator+= must combine every field (tests/system/backend_test.cc
+  /// pins the field-by-field summation) - add new fields to both places.
   struct Stats {
     std::uint64_t cycles = 0;
     std::uint64_t issued = 0;        ///< Requests entering the datapath.
@@ -46,6 +53,10 @@ class CamBackend {
     std::uint64_t acks = 0;
     std::uint64_t parity_flagged = 0;  ///< Search results carrying a parity
                                        ///< error flag (src/fault/).
+    std::uint64_t keys_searched = 0;   ///< Per-key results delivered.
+    std::uint64_t hits = 0;            ///< Delivered results reporting a hit.
+    std::uint64_t gated_cycles = 0;    ///< Commit edges skipped by activity
+                                       ///< gating (quiescent datapath).
 
     Stats& operator+=(const Stats& o) {
       cycles = std::max(cycles, o.cycles);  // shards tick in lockstep
@@ -54,6 +65,9 @@ class CamBackend {
       responses += o.responses;
       acks += o.acks;
       parity_flagged += o.parity_flagged;
+      keys_searched += o.keys_searched;
+      hits += o.hits;
+      gated_cycles += o.gated_cycles;
       return *this;
     }
   };
@@ -114,6 +128,23 @@ class CamBackend {
 
   virtual Stats stats() const = 0;
   virtual model::ResourceUsage resources() const = 0;
+
+  // --- Telemetry (src/telemetry/). ---
+
+  /// Publishes this backend's state into `registry` under `prefix`
+  /// (hierarchical names: "<prefix>.issued", "<prefix>.shard3.credits", ...).
+  /// Pull model: the serial host thread calls this between cycles, so the
+  /// backend's own stepping - including parallel shard stepping - never
+  /// writes shared telemetry state and counters stay identical across
+  /// step_threads settings. The default implementation publishes Stats;
+  /// backends override to add queue depths, credits and per-shard detail.
+  virtual void record_telemetry(telemetry::MetricRegistry& registry,
+                                const std::string& prefix) const;
+
+  /// Installs a span tracer for request-level tracing (nullptr detaches).
+  /// Backends without internal span points ignore it; the ShardedCamEngine
+  /// records dispatch/sub-op/reorder spans for sampled beats.
+  virtual void set_span_tracer(telemetry::SpanTracer* tracer) { (void)tracer; }
 
   // --- Robustness hooks (src/fault/). ---
 

@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "src/common/error.h"
+#include "src/telemetry/metrics.h"
 
 namespace dspcam::system {
 
@@ -62,7 +63,11 @@ void CamSystem::commit() {
   // Activity gating: a quiescent unit's clock edge is provably a no-op
   // (Component::quiescent contract), so skip the walk entirely. Simulated
   // time still advances.
-  if (!unit_.quiescent()) unit_.commit();
+  if (!unit_.quiescent()) {
+    unit_.commit();
+  } else {
+    ++stats_.gated_cycles;
+  }
   ++stats_.cycles;
 
   // Drain the unit's registered outputs into the interface FIFOs. Space was
@@ -70,6 +75,8 @@ void CamSystem::commit() {
   if (unit_.response().has_value()) {
     for (const auto& r : unit_.response()->results) {
       if (r.parity_error) ++stats_.parity_flagged;
+      if (r.hit) ++stats_.hits;
+      ++stats_.keys_searched;
     }
     response_fifo_.push(*unit_.response());
     --searches_in_flight_;
@@ -91,6 +98,25 @@ void CamSystem::configure_groups(unsigned m) {
 
 model::ResourceUsage CamSystem::resources() const {
   return model::system_resources(cfg_.unit);
+}
+
+void CamSystem::record_telemetry(telemetry::MetricRegistry& registry,
+                                 const std::string& prefix) const {
+  CamBackend::record_telemetry(registry, prefix);
+  registry.gauge(prefix + ".request_fifo_depth")
+      .set(static_cast<std::int64_t>(request_fifo_.size()));
+  registry.gauge(prefix + ".response_fifo_depth")
+      .set(static_cast<std::int64_t>(response_fifo_.size()));
+  registry.gauge(prefix + ".ack_fifo_depth")
+      .set(static_cast<std::int64_t>(ack_fifo_.size()));
+  registry.gauge(prefix + ".searches_in_flight")
+      .set(static_cast<std::int64_t>(searches_in_flight_));
+  registry.gauge(prefix + ".updates_in_flight")
+      .set(static_cast<std::int64_t>(updates_in_flight_));
+  registry.gauge(prefix + ".stored_entries")
+      .set(static_cast<std::int64_t>(unit_.stored_per_group()));
+  registry.gauge(prefix + ".fast_mode")
+      .set(cfg_.unit.block.eval_mode == cam::EvalMode::kFast ? 1 : 0);
 }
 
 std::string CamSystem::debug_dump() const {

@@ -88,6 +88,11 @@ class CamSystem : public sim::Component, public CamBackend {
   /// (Table I's system row).
   model::ResourceUsage resources() const override;
 
+  /// Stats plus interface-FIFO depths, in-flight credits, block occupancy
+  /// and the active eval mode ("<prefix>.fast_mode").
+  void record_telemetry(telemetry::MetricRegistry& registry,
+                        const std::string& prefix) const override;
+
   /// Injection/scrub window over the unit's physical storage.
   fault::FaultTarget* fault_target() override { return &fault_target_; }
 

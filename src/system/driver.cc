@@ -5,8 +5,27 @@
 #include <utility>
 
 #include "src/common/error.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/span.h"
 
 namespace dspcam::system {
+
+namespace {
+
+// Span-track layout (see telemetry/span.h header comment).
+constexpr std::uint64_t kTrackTickets = 0;
+constexpr std::uint64_t kTrackQueue = 1;
+
+const char* ticket_span_name(cam::OpKind op) {
+  switch (op) {
+    case cam::OpKind::kSearch: return "ticket.search";
+    case cam::OpKind::kUpdate: return "ticket.update";
+    case cam::OpKind::kInvalidate: return "ticket.invalidate";
+    default: return "ticket";
+  }
+}
+
+}  // namespace
 
 CamDriver::CamDriver(const CamSystem::Config& cfg)
     : owned_(std::make_unique<CamSystem>(cfg)), backend_(owned_.get()) {}
@@ -72,9 +91,11 @@ CamDriver::Ticket CamDriver::submit_async(cam::UnitRequest request) {
   }
   const Ticket ticket = next_ticket_++;
   request.seq = ticket;
+  const cam::OpKind op = request.op;
   submit_queue_.push_back(std::move(request));
   ++inflight_;
   outstanding_.insert(ticket);
+  if (registry_ != nullptr || tracer_ != nullptr) note_submitted(ticket, op);
   pump();  // Opportunistic: front beats reach the FIFO before the next poll.
   return ticket;
 }
@@ -93,6 +114,14 @@ std::optional<CamDriver::Completion> CamDriver::try_pop_completion() {
 void CamDriver::pump() {
   while (!submit_queue_.empty()) {
     if (!backend_->try_submit(submit_queue_.front())) break;  // copies; retry later
+    if (tracer_ != nullptr) {
+      // The beat left the retry queue: close its backpressure-wait span.
+      const auto it = ticket_traces_.find(submit_queue_.front().seq);
+      if (it != ticket_traces_.end() && it->second.queue_span != 0) {
+        tracer_->end(it->second.queue_span, polled_cycles_);
+        it->second.queue_span = 0;
+      }
+    }
     submit_queue_.pop_front();
   }
 }
@@ -104,6 +133,7 @@ void CamDriver::harvest() {
     c.op = cam::OpKind::kSearch;
     c.results = std::move(resp->results);
     outstanding_.erase(c.ticket);
+    if (registry_ != nullptr || tracer_ != nullptr) note_completed(c.ticket);
     completions_.push_back(std::move(c));
     --inflight_;
   }
@@ -115,19 +145,99 @@ void CamDriver::harvest() {
     c.words_written = ack->words_written;
     c.full = ack->unit_full;
     outstanding_.erase(c.ticket);
+    if (registry_ != nullptr || tracer_ != nullptr) note_completed(c.ticket);
     completions_.push_back(std::move(c));
     --inflight_;
   }
 }
 
+void CamDriver::note_submitted(Ticket ticket, cam::OpKind op) {
+  TicketTrace tr;
+  tr.submit_cycle = polled_cycles_;
+  tr.op = op;
+  if (tracer_ != nullptr && tracer_->sampled(ticket)) {
+    tr.ticket_span = tracer_->begin(ticket_span_name(op), kTrackTickets, polled_cycles_);
+    tracer_->arg(tr.ticket_span, "ticket", ticket);
+    tr.queue_span = tracer_->begin("queue.wait", kTrackQueue, polled_cycles_);
+    tracer_->arg(tr.queue_span, "ticket", ticket);
+  }
+  ticket_traces_.emplace(ticket, tr);
+  if (m_submitted_ != nullptr) m_submitted_->inc();
+}
+
+void CamDriver::note_completed(Ticket ticket) {
+  const auto it = ticket_traces_.find(ticket);
+  if (it == ticket_traces_.end()) return;  // submitted before attach
+  const std::uint64_t latency = polled_cycles_ - it->second.submit_cycle;
+  if (m_completed_ != nullptr) m_completed_->inc();
+  if (m_latency_ != nullptr) m_latency_->record(latency);
+  if (it->second.op == cam::OpKind::kSearch) {
+    if (m_search_latency_ != nullptr) m_search_latency_->record(latency);
+  } else if (m_update_latency_ != nullptr) {
+    m_update_latency_->record(latency);
+  }
+  if (tracer_ != nullptr) {
+    if (it->second.queue_span != 0) tracer_->end(it->second.queue_span, polled_cycles_);
+    if (it->second.ticket_span != 0) {
+      tracer_->arg(it->second.ticket_span, "latency_cycles", latency);
+      tracer_->end(it->second.ticket_span, polled_cycles_);
+    }
+  }
+  ticket_traces_.erase(it);
+}
+
+void CamDriver::attach_telemetry(telemetry::MetricRegistry* registry,
+                                 telemetry::SpanTracer* tracer,
+                                 std::uint64_t snapshot_every) {
+  if (snapshot_every == 0) {
+    throw ConfigError(
+        "CamDriver::attach_telemetry: snapshot_every must be >= 1 cycle");
+  }
+  registry_ = registry;
+  tracer_ = tracer;
+  snapshot_every_ = snapshot_every;
+  m_submitted_ = nullptr;
+  m_completed_ = nullptr;
+  m_latency_ = nullptr;
+  m_search_latency_ = nullptr;
+  m_update_latency_ = nullptr;
+  m_stall_headroom_ = nullptr;
+  if (registry_ != nullptr) {
+    m_submitted_ = &registry_->counter("driver.submitted");
+    m_completed_ = &registry_->counter("driver.completed");
+    m_latency_ = &registry_->histogram("driver.latency_cycles");
+    m_search_latency_ = &registry_->histogram("driver.search_latency_cycles");
+    m_update_latency_ = &registry_->histogram("driver.update_latency_cycles");
+    m_stall_headroom_ = &registry_->gauge("driver.stall_headroom");
+    m_stall_headroom_->set(static_cast<std::int64_t>(stall_budget_));
+  }
+  if (tracer_ != nullptr) {
+    tracer_->set_track_name(kTrackTickets, "driver.tickets");
+    tracer_->set_track_name(kTrackQueue, "driver.queue");
+  }
+  backend_->set_span_tracer(tracer_);
+}
+
+void CamDriver::publish_telemetry() {
+  if (registry_ == nullptr) return;
+  registry_->gauge("driver.queue_depth")
+      .set(static_cast<std::int64_t>(submit_queue_.size()));
+  registry_->gauge("driver.inflight").set(static_cast<std::int64_t>(inflight_));
+  backend_->record_telemetry(*registry_, "engine");
+}
+
 void CamDriver::poll() {
   pump();
   backend_->step();
+  ++polled_cycles_;
   // After the clock edge, before harvest: a fault hook sees the post-edge
   // state the next compare will read, and corruption it applies can never
   // race the result collection below.
   if (cycle_hook_) cycle_hook_();
   harvest();
+  if (registry_ != nullptr && polled_cycles_ % snapshot_every_ == 0) {
+    publish_telemetry();
+  }
 }
 
 void CamDriver::set_stall_budget(std::uint64_t cycles) {
@@ -166,6 +276,9 @@ void CamDriver::drain() {
     const std::size_t before = inflight_;
     poll();
     stagnant = inflight_ < before ? 0 : stagnant + 1;
+    if (m_stall_headroom_ != nullptr) {
+      m_stall_headroom_->set(static_cast<std::int64_t>(stall_budget_ - stagnant));
+    }
     if (stagnant > stall_budget_) throw_wedged("drain");
   }
 }
@@ -174,7 +287,11 @@ void CamDriver::wait_idle() {
   std::uint64_t guard = 0;
   while (!submit_queue_.empty() || !backend_->idle()) {
     poll();
-    if (++guard > stall_budget_) throw_wedged("wait_idle");
+    ++guard;
+    if (m_stall_headroom_ != nullptr) {
+      m_stall_headroom_->set(static_cast<std::int64_t>(stall_budget_ - guard));
+    }
+    if (guard > stall_budget_) throw_wedged("wait_idle");
   }
 }
 

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <set>
@@ -31,6 +32,12 @@
 
 #include "src/system/backend.h"
 #include "src/system/cam_system.h"
+
+namespace dspcam::telemetry {
+class Counter;    // src/telemetry/metrics.h
+class Gauge;
+class Histogram;
+}  // namespace dspcam::telemetry
 
 namespace dspcam::system {
 
@@ -120,6 +127,31 @@ class CamDriver {
   /// Tickets submitted whose completions have not yet been harvested.
   const std::set<Ticket>& outstanding_tickets() const noexcept { return outstanding_; }
 
+  // --- Telemetry (src/telemetry/). ---
+
+  /// Attaches a metric registry and (optionally) a span tracer. From then on
+  /// the driver maintains "driver.*" metrics - submitted/completed counters,
+  /// queue-depth / inflight / stall-headroom gauges, and completion-latency
+  /// histograms (overall plus search- and update-only) - and republishes the
+  /// backend's own telemetry under "engine.*" every `snapshot_every` polled
+  /// cycles (plus on publish_telemetry()). The tracer is forwarded to the
+  /// backend via set_span_tracer(); sampled tickets record a whole-lifetime
+  /// span on track 0 ("driver.tickets") and a backpressure-wait span on
+  /// track 1 ("driver.queue"). Both pointers are borrowed and must outlive
+  /// the driver; pass nullptr to detach. All telemetry writes happen on the
+  /// polling thread, so counters are identical across backend step_threads
+  /// settings. Throws ConfigError when snapshot_every is zero.
+  void attach_telemetry(telemetry::MetricRegistry* registry,
+                        telemetry::SpanTracer* tracer = nullptr,
+                        std::uint64_t snapshot_every = 1024);
+
+  /// Forces an immediate publication of the driver gauges and the backend's
+  /// record_telemetry() snapshot. No-op without an attached registry.
+  void publish_telemetry();
+
+  telemetry::MetricRegistry* telemetry_registry() const noexcept { return registry_; }
+  telemetry::SpanTracer* span_tracer() const noexcept { return tracer_; }
+
   // --- Synchronous wrappers (thin shims over the async core). ---
 
   /// Stores `words` (splitting into bus beats), waits for all acks, and
@@ -156,11 +188,21 @@ class CamDriver {
   std::uint64_t cycles() const noexcept { return backend_->stats().cycles; }
 
  private:
+  /// Per-ticket telemetry state, kept only while telemetry is attached.
+  struct TicketTrace {
+    std::uint64_t submit_cycle = 0;
+    std::uint64_t ticket_span = 0;  ///< Track 0 span (0 = unsampled).
+    std::uint64_t queue_span = 0;   ///< Track 1 span, ends at backend accept.
+    cam::OpKind op = cam::OpKind::kIdle;
+  };
+
   void pump();
   void harvest();
   void wait_idle();
   Completion take_completion(Ticket ticket);
   [[noreturn]] void throw_wedged(const char* where) const;
+  void note_submitted(Ticket ticket, cam::OpKind op);
+  void note_completed(Ticket ticket);
 
   std::unique_ptr<CamBackend> owned_;
   CamBackend* backend_ = nullptr;
@@ -182,6 +224,21 @@ class CamDriver {
   std::set<Ticket> outstanding_;  ///< Submitted, not yet harvested.
   std::uint64_t stall_budget_ = kDefaultStallBudget;
   std::function<void()> cycle_hook_;
+
+  // Telemetry (all borrowed; null = off). Metric handles are cached at
+  // attach time so per-event updates cost one pointer bump, not a name
+  // lookup.
+  telemetry::MetricRegistry* registry_ = nullptr;
+  telemetry::SpanTracer* tracer_ = nullptr;
+  std::uint64_t snapshot_every_ = 1024;
+  std::uint64_t polled_cycles_ = 0;  ///< Driver clock: poll() calls so far.
+  std::map<Ticket, TicketTrace> ticket_traces_;
+  telemetry::Counter* m_submitted_ = nullptr;
+  telemetry::Counter* m_completed_ = nullptr;
+  telemetry::Histogram* m_latency_ = nullptr;
+  telemetry::Histogram* m_search_latency_ = nullptr;
+  telemetry::Histogram* m_update_latency_ = nullptr;
+  telemetry::Gauge* m_stall_headroom_ = nullptr;
 };
 
 }  // namespace dspcam::system

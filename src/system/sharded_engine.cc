@@ -4,8 +4,19 @@
 #include <cstdio>
 
 #include "src/common/error.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/span.h"
 
 namespace dspcam::system {
+
+namespace {
+
+// Span-track layout (see telemetry/span.h header comment): engine beats on
+// track 2, per-shard sub-operations on 16 + shard.
+constexpr std::uint64_t kTrackEngineBeats = 2;
+constexpr std::uint64_t kTrackShardBase = 16;
+
+}  // namespace
 
 void ShardedCamEngine::Config::validate() const {
   if (shards == 0) throw ConfigError("ShardedCamEngine: need >= 1 shard");
@@ -268,7 +279,9 @@ bool ShardedCamEngine::try_submit(cam::UnitRequest request) {
     }
   }
 
-  // Allocate the reorder-buffer entry.
+  // Allocate the reorder-buffer entry. Sampled beats open their dispatch ->
+  // reorder-completion span here (serial path; the tracer is lock-free).
+  const bool traced = tracer_ != nullptr && tracer_->sampled(request.seq);
   if (request.op == cam::OpKind::kSearch) {
     SearchBeat beat;
     beat.seq = request.seq;
@@ -276,6 +289,12 @@ bool ShardedCamEngine::try_submit(cam::UnitRequest request) {
     beat.results = results_pool_.acquire();
     beat.results.clear();
     beat.results.resize(request.keys.size());
+    if (traced) {
+      beat.span = tracer_->begin("beat.search", kTrackEngineBeats, cycles_);
+      tracer_->arg(beat.span, "ticket", request.seq);
+      tracer_->arg(beat.span, "keys", request.keys.size());
+      tracer_->arg(beat.span, "sub_ops", live_subs);
+    }
     // Keys routed to quarantined shards settle now: no search happens, the
     // result says so instead of reporting a miss.
     for (const auto& sub : subs) {
@@ -291,18 +310,39 @@ bool ShardedCamEngine::try_submit(cam::UnitRequest request) {
     search_rob_.push_back(std::move(beat));
     for (const auto& sub : subs) {
       if (quarantined_[sub.shard]) continue;
-      expected_search_[sub.shard].push_back({beat_id, sub.positions, sub.req.keys});
+      std::uint64_t sub_span = telemetry::SpanTracer::kNone;
+      if (traced) {
+        sub_span = tracer_->begin("sub.search", kTrackShardBase + sub.shard, cycles_);
+        tracer_->arg(sub_span, "ticket", request.seq);
+        tracer_->arg(sub_span, "shard", sub.shard);
+        tracer_->arg(sub_span, "keys", sub.req.keys.size());
+      }
+      expected_search_[sub.shard].push_back(
+          {beat_id, sub.positions, sub.req.keys, sub_span});
     }
   } else if (completes) {
     AckBeat beat;
     beat.seq = request.seq;
     beat.pending = live_subs;
     beat.ack.seq = request.seq;
+    if (traced) {
+      beat.span = tracer_->begin(
+          request.op == cam::OpKind::kUpdate ? "beat.update" : "beat.invalidate",
+          kTrackEngineBeats, cycles_);
+      tracer_->arg(beat.span, "ticket", request.seq);
+      tracer_->arg(beat.span, "sub_ops", live_subs);
+    }
     const std::uint64_t beat_id = ack_rob_base_ + ack_rob_.size();
     ack_rob_.push_back(std::move(beat));
     for (const auto& sub : subs) {
       if (quarantined_[sub.shard]) continue;
-      expected_ack_[sub.shard].push_back(beat_id);
+      std::uint64_t sub_span = telemetry::SpanTracer::kNone;
+      if (traced) {
+        sub_span = tracer_->begin("sub.update", kTrackShardBase + sub.shard, cycles_);
+        tracer_->arg(sub_span, "ticket", request.seq);
+        tracer_->arg(sub_span, "shard", sub.shard);
+      }
+      expected_ack_[sub.shard].push_back({beat_id, sub_span});
     }
   }
 
@@ -344,6 +384,7 @@ void ShardedCamEngine::collect() {
       }
       const ExpectedSearch exp = std::move(expected_search_[s].front());
       expected_search_[s].pop_front();
+      if (tracer_ != nullptr) tracer_->end(exp.span, cycles_);
       auto& beat = search_rob_.at(exp.beat_id - search_rob_base_);
       for (std::size_t j = 0; j < resp->results.size(); ++j) {
         cam::UnitSearchResult r = resp->results[j];
@@ -361,9 +402,10 @@ void ShardedCamEngine::collect() {
       if (expected_ack_[s].empty()) {
         throw SimError("ShardedCamEngine: unexpected shard ack");
       }
-      const std::uint64_t beat_id = expected_ack_[s].front();
+      const ExpectedAck exp = expected_ack_[s].front();
       expected_ack_[s].pop_front();
-      auto& beat = ack_rob_.at(beat_id - ack_rob_base_);
+      if (tracer_ != nullptr) tracer_->end(exp.span, cycles_);
+      auto& beat = ack_rob_.at(exp.beat_id - ack_rob_base_);
       beat.ack.words_written += ack->words_written;
       beat.ack.unit_full = beat.ack.unit_full || ack->unit_full;
       --beat.pending;
@@ -379,6 +421,7 @@ std::optional<cam::UnitResponse> ShardedCamEngine::try_pop_response() {
   cam::UnitResponse resp;
   resp.seq = search_rob_.front().seq;
   resp.results = std::move(search_rob_.front().results);
+  if (tracer_ != nullptr) tracer_->end(search_rob_.front().span, cycles_);
   search_rob_.pop_front();
   ++search_rob_base_;
   return resp;
@@ -388,6 +431,7 @@ std::optional<cam::UnitUpdateAck> ShardedCamEngine::try_pop_ack() {
   collect();
   if (ack_rob_.empty() || ack_rob_.front().pending != 0) return std::nullopt;
   const cam::UnitUpdateAck ack = ack_rob_.front().ack;
+  if (tracer_ != nullptr) tracer_->end(ack_rob_.front().span, cycles_);
   ack_rob_.pop_front();
   ++ack_rob_base_;
   return ack;
@@ -448,6 +492,7 @@ void ShardedCamEngine::quarantine_shard(unsigned s) {
   }
   if (quarantined_[s]) return;  // idempotent
   quarantined_[s] = 1;
+  ++quarantine_events_;
 
   // Parked sub-requests never reached the shard: drop them (their beats are
   // settled through the expectation queues below, which cover every
@@ -457,6 +502,10 @@ void ShardedCamEngine::quarantine_shard(unsigned s) {
   // Settle every search sub-operation the shard still owed: its beat
   // positions become shard_failed results, never misses.
   for (auto& exp : expected_search_[s]) {
+    if (tracer_ != nullptr) {
+      tracer_->arg(exp.span, "quarantined", 1);
+      tracer_->end(exp.span, cycles_);
+    }
     auto& beat = search_rob_.at(exp.beat_id - search_rob_base_);
     for (std::size_t j = 0; j < exp.positions.size(); ++j) {
       auto& r = beat.results.at(exp.positions[j]);
@@ -470,8 +519,12 @@ void ShardedCamEngine::quarantine_shard(unsigned s) {
   expected_search_[s].clear();
 
   // Outstanding acks complete with zero words contributed from this shard.
-  for (const std::uint64_t beat_id : expected_ack_[s]) {
-    --ack_rob_.at(beat_id - ack_rob_base_).pending;
+  for (const ExpectedAck& exp : expected_ack_[s]) {
+    if (tracer_ != nullptr) {
+      tracer_->arg(exp.span, "quarantined", 1);
+      tracer_->end(exp.span, cycles_);
+    }
+    --ack_rob_.at(exp.beat_id - ack_rob_base_).pending;
   }
   expected_ack_[s].clear();
 
@@ -550,6 +603,40 @@ void ShardedCamEngine::CompositeFaultTarget::poke(std::size_t entry,
                                                   const fault::EntryState& state) {
   std::size_t local = 0;
   locate(entry, local)->poke(local, state);
+}
+
+void ShardedCamEngine::record_telemetry(telemetry::MetricRegistry& registry,
+                                        const std::string& prefix) const {
+  CamBackend::record_telemetry(registry, prefix);
+  registry.gauge(prefix + ".rob.search_depth")
+      .set(static_cast<std::int64_t>(search_rob_.size()));
+  registry.gauge(prefix + ".rob.ack_depth")
+      .set(static_cast<std::int64_t>(ack_rob_.size()));
+  registry.counter(prefix + ".quarantine_events").update_to(quarantine_events_);
+  registry.gauge(prefix + ".quarantined_shards")
+      .set(static_cast<std::int64_t>(quarantined_count()));
+  for (unsigned s = 0; s < shard_count(); ++s) {
+    const std::string sp = prefix + ".shard" + std::to_string(s);
+    registry.gauge(sp + ".credits").set(static_cast<std::int64_t>(credits_[s]));
+    registry.gauge(sp + ".parked")
+        .set(static_cast<std::int64_t>(pending_issue_[s].size()));
+    registry.gauge(sp + ".expected_search")
+        .set(static_cast<std::int64_t>(expected_search_[s].size()));
+    registry.gauge(sp + ".expected_ack")
+        .set(static_cast<std::int64_t>(expected_ack_[s].size()));
+    registry.gauge(sp + ".quarantined").set(quarantined_[s] != 0 ? 1 : 0);
+    shards_[s]->record_telemetry(registry, sp);
+  }
+}
+
+void ShardedCamEngine::set_span_tracer(telemetry::SpanTracer* tracer) {
+  tracer_ = tracer;
+  if (tracer_ != nullptr) {
+    tracer_->set_track_name(kTrackEngineBeats, "engine.beats");
+    for (unsigned s = 0; s < shard_count(); ++s) {
+      tracer_->set_track_name(kTrackShardBase + s, "shard" + std::to_string(s));
+    }
+  }
 }
 
 CamBackend::Stats ShardedCamEngine::stats() const {

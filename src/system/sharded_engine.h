@@ -137,6 +137,21 @@ class ShardedCamEngine : public CamBackend {
   /// Per-shard credit/queue/flag state plus reorder-buffer depths.
   std::string debug_dump() const override;
 
+  // --- Telemetry (src/telemetry/). ---
+
+  /// Aggregate Stats plus engine state (reorder-buffer depths, quarantine
+  /// events) and per-shard detail under "<prefix>.shard<N>." (credits,
+  /// parked sub-requests, quarantine flag, and the shard backend's own
+  /// telemetry). Called from the serial host thread only.
+  void record_telemetry(telemetry::MetricRegistry& registry,
+                        const std::string& prefix) const override;
+
+  /// Attaches a span tracer: sampled beats record a dispatch -> reorder
+  /// completion span (track 2) plus one sub-operation span per shard
+  /// (track 16 + shard). All tracer writes happen on the serial
+  /// submit/collect passes, never on the parallel stepping path.
+  void set_span_tracer(telemetry::SpanTracer* tracer) override;
+
  private:
   /// One planned sub-request: what goes to which shard, and which beat
   /// positions its results fill.
@@ -151,6 +166,7 @@ class ShardedCamEngine : public CamBackend {
     std::uint64_t seq = 0;
     unsigned pending = 0;
     std::vector<cam::UnitSearchResult> results;
+    std::uint64_t span = 0;  ///< Beat-level span (SpanTracer::kNone if unsampled).
   };
 
   /// Reorder-buffer entry for one host update/invalidate beat.
@@ -158,6 +174,7 @@ class ShardedCamEngine : public CamBackend {
     std::uint64_t seq = 0;
     unsigned pending = 0;
     cam::UnitUpdateAck ack;
+    std::uint64_t span = 0;
   };
 
   /// What the next response/ack popped from a shard corresponds to.
@@ -165,6 +182,13 @@ class ShardedCamEngine : public CamBackend {
     std::uint64_t beat_id = 0;
     std::vector<std::uint32_t> positions;
     std::vector<cam::Word> keys;  ///< For shard_failed back-fill on quarantine.
+    std::uint64_t span = 0;       ///< Per-shard sub-operation span.
+  };
+
+  /// One shard ack owed to a reorder-buffer beat.
+  struct ExpectedAck {
+    std::uint64_t beat_id = 0;
+    std::uint64_t span = 0;
   };
 
   /// Concatenation of the shards' fault windows: entry i belongs to shard
@@ -203,7 +227,7 @@ class ShardedCamEngine : public CamBackend {
   std::vector<std::deque<cam::UnitRequest>> pending_issue_;
 
   std::vector<std::deque<ExpectedSearch>> expected_search_;
-  std::vector<std::deque<std::uint64_t>> expected_ack_;  ///< Ack beat ids.
+  std::vector<std::deque<ExpectedAck>> expected_ack_;
 
   std::deque<SearchBeat> search_rob_;
   std::uint64_t search_rob_base_ = 0;
@@ -212,6 +236,12 @@ class ShardedCamEngine : public CamBackend {
 
   unsigned rr_start_ = 0;  ///< Round-robin collection cursor.
   std::uint64_t cycles_ = 0;
+  std::uint64_t quarantine_events_ = 0;  ///< quarantine_shard() calls that
+                                         ///< took a live shard out.
+
+  /// Borrowed span tracer (null = tracing off). Written only from the
+  /// serial submit/collect passes.
+  telemetry::SpanTracer* tracer_ = nullptr;
 
   /// Workers for parallel shard stepping (null when stepping serially).
   /// Only the embarrassingly-parallel shard->step() fan-out runs on the

@@ -1,0 +1,272 @@
+#include "src/telemetry/jsonv.h"
+
+#include <cctype>
+
+namespace dspcam::telemetry::jsonv {
+
+namespace {
+
+/// Recursive-descent JSON scanner over a string_view.
+class Scanner {
+ public:
+  explicit Scanner(std::string_view text) : text_(text) {}
+
+  Result run() {
+    skip_ws();
+    if (!value()) return fail();
+    skip_ws();
+    if (pos_ != text_.size()) {
+      error_ = "trailing characters after document";
+      return fail();
+    }
+    Result r;
+    r.ok = true;
+    return r;
+  }
+
+ private:
+  Result fail() const {
+    Result r;
+    r.ok = false;
+    r.error_offset = pos_;
+    r.error = error_.empty() ? "malformed JSON" : error_;
+    return r;
+  }
+
+  bool eof() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+
+  void skip_ws() {
+    while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\n' ||
+                      peek() == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      error_ = "invalid literal";
+      return false;
+    }
+    pos_ += word.size();
+    return true;
+  }
+
+  bool string() {
+    if (eof() || peek() != '"') {
+      error_ = "expected string";
+      return false;
+    }
+    ++pos_;
+    while (!eof()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (eof()) break;
+        const char esc = text_[pos_++];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            if (eof() || std::isxdigit(static_cast<unsigned char>(peek())) == 0) {
+              error_ = "bad \\u escape";
+              return false;
+            }
+            ++pos_;
+          }
+        } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' &&
+                   esc != 'f' && esc != 'n' && esc != 'r' && esc != 't') {
+          error_ = "bad escape character";
+          return false;
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        error_ = "raw control character in string";
+        return false;
+      }
+    }
+    error_ = "unterminated string";
+    return false;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (!eof() && peek() == '-') ++pos_;
+    if (eof() || std::isdigit(static_cast<unsigned char>(peek())) == 0) {
+      error_ = "expected digit";
+      return false;
+    }
+    // Strict JSON: the integer part is "0" or starts with a nonzero digit.
+    if (peek() == '0') {
+      ++pos_;
+      if (!eof() && std::isdigit(static_cast<unsigned char>(peek())) != 0) {
+        error_ = "leading zero in number";
+        return false;
+      }
+    } else {
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    }
+    if (!eof() && peek() == '.') {
+      ++pos_;
+      if (eof() || std::isdigit(static_cast<unsigned char>(peek())) == 0) {
+        error_ = "expected fraction digits";
+        return false;
+      }
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (eof() || std::isdigit(static_cast<unsigned char>(peek())) == 0) {
+        error_ = "expected exponent digits";
+        return false;
+      }
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool value() {
+    if (eof()) {
+      error_ = "unexpected end of document";
+      return false;
+    }
+    switch (peek()) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return string();
+      case 't':
+        return literal("true");
+      case 'f':
+        return literal("false");
+      case 'n':
+        return literal("null");
+      default:
+        return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (eof() || peek() != ':') {
+        error_ = "expected ':' in object";
+        return false;
+      }
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (!eof() && peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (!eof() && peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      error_ = "expected ',' or '}' in object";
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (!eof() && peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (!eof() && peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      error_ = "expected ',' or ']' in array";
+      return false;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+Result validate(std::string_view text) { return Scanner(text).run(); }
+
+bool has_top_level_key(std::string_view text, std::string_view key) {
+  if (!validate(text).ok) return false;
+  // Structural scan: walk the top-level object, tracking nesting depth, and
+  // compare keys at depth 1 only.
+  std::size_t i = 0;
+  while (i < text.size() && text[i] != '{') ++i;
+  if (i == text.size()) return false;
+  int depth = 0;
+  bool in_string = false;
+  bool expecting_key = false;
+  for (; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '{':
+      case '[':
+        ++depth;
+        expecting_key = c == '{';
+        break;
+      case '}':
+      case ']':
+        --depth;
+        break;
+      case ',':
+        if (depth == 1) expecting_key = true;
+        break;
+      case ':':
+        if (depth == 1) expecting_key = false;
+        break;
+      case '"': {
+        if (depth == 1 && expecting_key) {
+          const std::size_t start = i + 1;
+          std::size_t end = start;
+          while (end < text.size() && text[end] != '"') {
+            if (text[end] == '\\') ++end;
+            ++end;
+          }
+          if (text.substr(start, end - start) == key) return true;
+          i = end;
+        } else {
+          in_string = true;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return false;
+}
+
+}  // namespace dspcam::telemetry::jsonv

@@ -1,0 +1,29 @@
+// Minimal JSON syntax validator (no DOM, no dependencies).
+//
+// The telemetry exporters hand-serialise JSON; these helpers let tests and
+// the CI trace checker prove the output is well-formed without pulling in a
+// JSON library: validate() runs a full recursive-descent syntax check, and
+// has_key() performs a structural top-level key probe. Good enough to gate
+// "Perfetto will open this" in CI; not a general-purpose parser.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace dspcam::telemetry::jsonv {
+
+/// Result of a validation pass.
+struct Result {
+  bool ok = false;
+  std::size_t error_offset = 0;  ///< Byte offset of the first error.
+  std::string error;             ///< Empty when ok.
+};
+
+/// Full syntax check of one JSON document (object, array, or scalar).
+Result validate(std::string_view text);
+
+/// True when `text` is a JSON object whose top level contains `key`
+/// (structural scan: keys inside nested containers do not count).
+bool has_top_level_key(std::string_view text, std::string_view key);
+
+}  // namespace dspcam::telemetry::jsonv

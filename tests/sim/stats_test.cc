@@ -45,12 +45,45 @@ TEST(LatencyStats, HistogramBucketsByLatency) {
   EXPECT_EQ(h.size(), 2u);
 }
 
+TEST(LatencyStats, PercentilesFromBackingHistogram) {
+  LatencyStats s;
+  for (int i = 0; i < 100; ++i) s.record(7);  // deterministic pipeline
+  EXPECT_DOUBLE_EQ(s.p50(), 7.0);
+  EXPECT_DOUBLE_EQ(s.p95(), 7.0);
+  EXPECT_DOUBLE_EQ(s.p99(), 7.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.25), 7.0);
+
+  // A congested tail must pull p99 past p50.
+  for (int i = 0; i < 5; ++i) s.record(512);
+  EXPECT_LT(s.p50(), 16.0);
+  EXPECT_GE(s.p99(), 256.0);
+  EXPECT_LE(s.p50(), s.p95());
+  EXPECT_LE(s.p95(), s.p99());
+
+  // The scalar stats and the exact map stay in agreement with the
+  // log-bucketed backing histogram.
+  EXPECT_EQ(s.count(), 105u);
+  EXPECT_EQ(s.buckets().count(), 105u);
+  EXPECT_EQ(s.histogram().at(7), 100u);
+}
+
+TEST(LatencyStats, SummaryCarriesPercentiles) {
+  LatencyStats s;
+  for (int i = 0; i < 20; ++i) s.record(9);
+  const std::string line = s.summary();
+  EXPECT_NE(line.find("p95="), std::string::npos);
+  EXPECT_NE(line.find("p99="), std::string::npos);
+  EXPECT_NE(line.find("n=20"), std::string::npos);
+}
+
 TEST(LatencyStats, ResetClears) {
   LatencyStats s;
   s.record(1);
   s.reset();
   EXPECT_EQ(s.count(), 0u);
   EXPECT_TRUE(s.histogram().empty());
+  EXPECT_EQ(s.buckets().count(), 0u);
+  EXPECT_DOUBLE_EQ(s.p99(), 0.0);
 }
 
 TEST(ThroughputStats, OpsPerCycleAndMops) {
@@ -60,6 +93,19 @@ TEST(ThroughputStats, OpsPerCycleAndMops) {
   EXPECT_DOUBLE_EQ(t.ops_per_cycle(), 16.0);
   // The paper's headline figure: 16 words/cycle x 300 MHz = 4800 Mop/s.
   EXPECT_DOUBLE_EQ(t.mops_per_second(300.0), 4800.0);
+}
+
+TEST(ThroughputStats, PerRecordHistogramTracksBatchSizes) {
+  ThroughputStats t;
+  t.set_window(0, 10);
+  for (int i = 0; i < 9; ++i) t.record_ops(16);
+  t.record_ops(1);  // one short tail batch
+  EXPECT_EQ(t.per_record().count(), 10u);
+  EXPECT_EQ(t.per_record().min(), 1u);
+  EXPECT_EQ(t.per_record().max(), 16u);
+  EXPECT_EQ(t.ops(), 145u);
+  t.reset();
+  EXPECT_EQ(t.per_record().count(), 0u);
 }
 
 TEST(ThroughputStats, EmptyWindowIsZero) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -64,21 +65,38 @@ TEST(VcdTrace, OnlyChangesAreDumped) {
   std::filesystem::remove(path);
 }
 
-TEST(VcdTrace, RegistrationAfterTickRejected) {
+TEST(VcdTrace, RegistrationAfterTickRejectedNamingTheSignal) {
   const auto path = temp_vcd("dspcam_vcd_reg.vcd");
   VcdTrace trace(path.string());
   trace.add_signal("x", 1);
   trace.tick();
-  EXPECT_THROW(trace.add_signal("late", 1), SimError);
+  try {
+    trace.add_signal("late_signal", 1);
+    FAIL() << "late registration must throw";
+  } catch (const SimError& e) {
+    EXPECT_NE(std::string(e.what()).find("late_signal"), std::string::npos)
+        << e.what();
+  }
   trace.close();
   std::filesystem::remove(path);
 }
 
-TEST(VcdTrace, WidthValidation) {
+TEST(VcdTrace, WidthValidationNamesTheSignal) {
   const auto path = temp_vcd("dspcam_vcd_w.vcd");
   VcdTrace trace(path.string());
-  EXPECT_THROW(trace.add_signal("bad", 0), ConfigError);
-  EXPECT_THROW(trace.add_signal("bad", 65), ConfigError);
+  EXPECT_THROW(trace.add_signal("bad_zero", 0), SimError);
+  try {
+    trace.add_signal("bad_wide", 65);
+    FAIL() << "width 65 must throw";
+  } catch (const SimError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bad_wide"), std::string::npos) << what;
+    EXPECT_NE(what.find("65"), std::string::npos) << what;
+  }
+  // Valid registrations still work after rejected ones.
+  auto ok = trace.add_signal("ok", 64);
+  trace.sample(ok, ~std::uint64_t{0});
+  trace.tick();
   trace.close();
   std::filesystem::remove(path);
 }

@@ -27,6 +27,60 @@ CamSystem::Config small_config(std::size_t req_depth = 64) {
   return cfg;
 }
 
+// --- CamBackend::Stats aggregation. ---
+
+// Pins operator+= field by field (backend.h notes this test): a new Stats
+// field that is not wired into the summation silently vanishes from every
+// sharded/aggregated report, so each field gets a distinct prime value and
+// an exact expectation.
+TEST(CamBackendStats, PlusEqualsCombinesEveryField) {
+  CamBackend::Stats a;
+  a.cycles = 100;
+  a.issued = 3;
+  a.stall_cycles = 5;
+  a.responses = 7;
+  a.acks = 11;
+  a.parity_flagged = 13;
+  a.keys_searched = 17;
+  a.hits = 19;
+  a.gated_cycles = 23;
+
+  CamBackend::Stats b;
+  b.cycles = 90;  // lockstep shards: max(), not sum
+  b.issued = 29;
+  b.stall_cycles = 31;
+  b.responses = 37;
+  b.acks = 41;
+  b.parity_flagged = 43;
+  b.keys_searched = 47;
+  b.hits = 53;
+  b.gated_cycles = 59;
+
+  a += b;
+  EXPECT_EQ(a.cycles, 100u);  // shards tick in lockstep -> max
+  EXPECT_EQ(a.issued, 3u + 29u);
+  EXPECT_EQ(a.stall_cycles, 5u + 31u);
+  EXPECT_EQ(a.responses, 7u + 37u);
+  EXPECT_EQ(a.acks, 11u + 41u);
+  EXPECT_EQ(a.parity_flagged, 13u + 43u);
+  EXPECT_EQ(a.keys_searched, 17u + 47u);
+  EXPECT_EQ(a.hits, 19u + 53u);
+  EXPECT_EQ(a.gated_cycles, 23u + 59u);
+
+  // Adding a default-constructed Stats changes nothing (identity).
+  const CamBackend::Stats snapshot = a;
+  a += CamBackend::Stats{};
+  EXPECT_EQ(a.cycles, snapshot.cycles);
+  EXPECT_EQ(a.issued, snapshot.issued);
+  EXPECT_EQ(a.stall_cycles, snapshot.stall_cycles);
+  EXPECT_EQ(a.responses, snapshot.responses);
+  EXPECT_EQ(a.acks, snapshot.acks);
+  EXPECT_EQ(a.parity_flagged, snapshot.parity_flagged);
+  EXPECT_EQ(a.keys_searched, snapshot.keys_searched);
+  EXPECT_EQ(a.hits, snapshot.hits);
+  EXPECT_EQ(a.gated_cycles, snapshot.gated_cycles);
+}
+
 // --- Async driver core. ---
 
 TEST(CamDriverAsync, TicketsCompleteWithResults) {

@@ -1,0 +1,253 @@
+// MetricRegistry, Counter/Gauge/Histogram, and SnapshotWriter unit tests.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.h"
+#include "src/telemetry/jsonv.h"
+#include "src/telemetry/metrics.h"
+
+namespace dspcam::telemetry {
+namespace {
+
+// --- Counter. ---
+
+TEST(Counter, IncrementAndAdd) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.add(10);
+  EXPECT_EQ(c.value(), 11u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Counter, UpdateToIsMonotonicAndIdempotent) {
+  Counter c;
+  c.update_to(100);
+  EXPECT_EQ(c.value(), 100u);
+  c.update_to(100);  // re-publication of the same total
+  EXPECT_EQ(c.value(), 100u);
+  c.update_to(50);  // stale total never regresses the counter
+  EXPECT_EQ(c.value(), 100u);
+  c.update_to(150);
+  EXPECT_EQ(c.value(), 150u);
+}
+
+// --- Histogram bucket geometry. ---
+
+TEST(Histogram, BucketBoundaries) {
+  // Bucket 0 = {0}; bucket b >= 1 covers [2^(b-1), 2^b - 1].
+  EXPECT_EQ(Histogram::bucket_index(0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(1), 1u);
+  EXPECT_EQ(Histogram::bucket_index(2), 2u);
+  EXPECT_EQ(Histogram::bucket_index(3), 2u);
+  EXPECT_EQ(Histogram::bucket_index(4), 3u);
+  EXPECT_EQ(Histogram::bucket_index(7), 3u);
+  EXPECT_EQ(Histogram::bucket_index(8), 4u);
+  EXPECT_EQ(Histogram::bucket_index(1023), 10u);
+  EXPECT_EQ(Histogram::bucket_index(1024), 11u);
+  EXPECT_EQ(Histogram::bucket_index(~std::uint64_t{0}), 64u);
+
+  for (unsigned b = 1; b < 64; ++b) {
+    EXPECT_EQ(Histogram::bucket_lo(b), std::uint64_t{1} << (b - 1)) << b;
+    EXPECT_EQ(Histogram::bucket_hi(b), (std::uint64_t{1} << b) - 1) << b;
+    // Every boundary value lands in its own bucket.
+    EXPECT_EQ(Histogram::bucket_index(Histogram::bucket_lo(b)), b);
+    EXPECT_EQ(Histogram::bucket_index(Histogram::bucket_hi(b)), b);
+  }
+  EXPECT_EQ(Histogram::bucket_lo(0), 0u);
+  EXPECT_EQ(Histogram::bucket_hi(0), 0u);
+}
+
+TEST(Histogram, RecordAccumulates) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  h.record(4);
+  h.record(5);
+  h.record(6);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.min(), 4u);
+  EXPECT_EQ(h.max(), 6u);
+  EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+  EXPECT_EQ(h.sum(), 15u);
+  EXPECT_EQ(h.bucket_count(3), 3u);  // 4..6 all in [4, 7]
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.bucket_count(3), 0u);
+}
+
+TEST(Histogram, QuantilesExactForConstantStream) {
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) h.record(7);
+  EXPECT_DOUBLE_EQ(h.p50(), 7.0);
+  EXPECT_DOUBLE_EQ(h.p95(), 7.0);
+  EXPECT_DOUBLE_EQ(h.p99(), 7.0);
+}
+
+TEST(Histogram, QuantilesClampedToObservedRange) {
+  Histogram h;
+  h.record(10);
+  h.record(1000);
+  EXPECT_GE(h.quantile(0.0), 10.0);
+  EXPECT_LE(h.quantile(1.0), 1000.0);
+  EXPECT_LE(h.p50(), 1000.0);
+  EXPECT_GE(h.p50(), 10.0);
+}
+
+TEST(Histogram, QuantileOrderingOnSpreadStream) {
+  Histogram h;
+  // 90 fast ops at 8 cycles, 10 slow at 1024: the p99 tail must land in
+  // the slow bucket while p50 stays in the fast one.
+  for (int i = 0; i < 90; ++i) h.record(8);
+  for (int i = 0; i < 10; ++i) h.record(1024);
+  EXPECT_LT(h.p50(), 16.0);
+  EXPECT_GE(h.p99(), 1024.0);
+  EXPECT_LE(h.p50(), h.p95());
+  EXPECT_LE(h.p95(), h.p99());
+}
+
+// --- MetricRegistry. ---
+
+TEST(MetricRegistry, HandlesAreStableAndCumulative) {
+  MetricRegistry reg;
+  Counter& c = reg.counter("driver.submitted");
+  c.inc();
+  // Second lookup returns the same object.
+  EXPECT_EQ(&reg.counter("driver.submitted"), &c);
+  EXPECT_EQ(reg.counter("driver.submitted").value(), 1u);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(MetricRegistry, FindDoesNotCreate) {
+  MetricRegistry reg;
+  EXPECT_EQ(reg.find_counter("nope"), nullptr);
+  EXPECT_EQ(reg.find_gauge("nope"), nullptr);
+  EXPECT_EQ(reg.find_histogram("nope"), nullptr);
+  EXPECT_EQ(reg.size(), 0u);
+  reg.counter("a");
+  EXPECT_NE(reg.find_counter("a"), nullptr);
+  EXPECT_EQ(reg.find_gauge("a"), nullptr);  // wrong kind
+}
+
+TEST(MetricRegistry, KindCollisionThrows) {
+  MetricRegistry reg;
+  reg.counter("x.y");
+  EXPECT_THROW(reg.gauge("x.y"), ConfigError);
+  EXPECT_THROW(reg.histogram("x.y"), ConfigError);
+  reg.gauge("g");
+  EXPECT_THROW(reg.counter("g"), ConfigError);
+}
+
+TEST(MetricRegistry, SubtreeAggregation) {
+  MetricRegistry reg;
+  reg.counter("engine.shard0.issued").add(3);
+  reg.counter("engine.shard1.issued").add(4);
+  reg.counter("engine.issued").add(7);
+  reg.counter("engines.other").add(100);  // prefix, not subtree: excluded
+  EXPECT_EQ(reg.sum_counters("engine"), 14u);
+  EXPECT_EQ(reg.sum_counters("engine.shard0"), 3u);
+  EXPECT_EQ(reg.sum_counters("engine.issued"), 7u);  // exact match counts
+  EXPECT_EQ(reg.sum_counters("nothing"), 0u);
+}
+
+TEST(MetricRegistry, ToJsonIsValidAndDeterministic) {
+  MetricRegistry reg;
+  reg.counter("b.count").add(2);
+  reg.counter("a.count").add(1);
+  reg.gauge("depth").set(-3);
+  reg.histogram("lat").record(5);
+  const std::string json = reg.to_json();
+  const auto r = jsonv::validate(json);
+  EXPECT_TRUE(r.ok) << r.error << " at " << r.error_offset;
+  EXPECT_TRUE(jsonv::has_top_level_key(json, "counters"));
+  EXPECT_TRUE(jsonv::has_top_level_key(json, "gauges"));
+  EXPECT_TRUE(jsonv::has_top_level_key(json, "histograms"));
+  // Keys are map-ordered, so serialisation is byte-stable.
+  EXPECT_EQ(json, reg.to_json());
+  EXPECT_LT(json.find("\"a.count\""), json.find("\"b.count\""));
+  // Negative gauge survives the round trip textually.
+  EXPECT_NE(json.find("-3"), std::string::npos);
+}
+
+TEST(MetricRegistry, ResetZeroesButKeepsHandles) {
+  MetricRegistry reg;
+  Counter& c = reg.counter("c");
+  Gauge& g = reg.gauge("g");
+  Histogram& h = reg.histogram("h");
+  c.add(5);
+  g.set(5);
+  h.record(5);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(reg.size(), 3u);  // still registered
+}
+
+// --- SnapshotWriter. ---
+
+TEST(SnapshotWriter, WritesOnCadenceAndValidates) {
+  MetricRegistry reg;
+  reg.counter("ticks");
+  const std::string path = ::testing::TempDir() + "snap_test.jsonl";
+  SnapshotWriter writer(reg, path, /*every_cycles=*/100);
+  std::uint64_t wrote = 0;
+  for (std::uint64_t cycle = 0; cycle < 500; ++cycle) {
+    reg.counter("ticks").inc();
+    if (writer.maybe_write(cycle)) ++wrote;
+  }
+  EXPECT_EQ(wrote, 5u);  // cycles 0, 100, 200, 300, 400
+  EXPECT_EQ(writer.snapshots_written(), 5u);
+
+  std::ifstream in(path);
+  std::string line;
+  std::uint64_t lines = 0;
+  while (std::getline(in, line)) {
+    const auto r = jsonv::validate(line);
+    EXPECT_TRUE(r.ok) << line;
+    EXPECT_TRUE(jsonv::has_top_level_key(line, "cycle"));
+    EXPECT_TRUE(jsonv::has_top_level_key(line, "metrics"));
+    ++lines;
+  }
+  EXPECT_EQ(lines, 5u);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotWriter, RejectsZeroCadenceAndBadPath) {
+  MetricRegistry reg;
+  EXPECT_THROW(SnapshotWriter(reg, ::testing::TempDir() + "x.jsonl", 0),
+               ConfigError);
+  EXPECT_THROW(SnapshotWriter(reg, "/nonexistent-dir/x.jsonl", 10), ConfigError);
+}
+
+// --- jsonv itself (the validator gates CI; pin its judgement). ---
+
+TEST(JsonValidator, AcceptsAndRejects) {
+  EXPECT_TRUE(jsonv::validate(R"({"a": [1, 2.5, -3e2], "b": {"c": null}})").ok);
+  EXPECT_TRUE(jsonv::validate(R"(["x", true, false])").ok);
+  EXPECT_TRUE(jsonv::validate(R"("just a string")").ok);
+  EXPECT_FALSE(jsonv::validate("{").ok);
+  EXPECT_FALSE(jsonv::validate(R"({"a": })").ok);
+  EXPECT_FALSE(jsonv::validate(R"({"a": 1,})").ok);
+  EXPECT_FALSE(jsonv::validate(R"({"a": 1} trailing)").ok);
+  EXPECT_FALSE(jsonv::validate("").ok);
+  EXPECT_FALSE(jsonv::validate(R"({"a": 01})").ok);
+}
+
+TEST(JsonValidator, TopLevelKeyProbeIsStructural) {
+  const std::string doc = R"({"outer": {"inner": 1}, "traceEvents": []})";
+  EXPECT_TRUE(jsonv::has_top_level_key(doc, "outer"));
+  EXPECT_TRUE(jsonv::has_top_level_key(doc, "traceEvents"));
+  EXPECT_FALSE(jsonv::has_top_level_key(doc, "inner"));
+  EXPECT_FALSE(jsonv::has_top_level_key("[1, 2]", "outer"));
+}
+
+}  // namespace
+}  // namespace dspcam::telemetry
