@@ -90,6 +90,27 @@ RepeatStats measure_repeated(const BenchOptions& opt, Fn&& measure_once) {
   return RepeatStats::of(std::move(samples));
 }
 
+/// Two-metric variant: `measure_once` returns {primary, secondary} and BOTH
+/// series exclude the warmup runs. (Pushing the secondary metric into a
+/// side vector from inside the measured lambda counts warmup runs too,
+/// skewing its sample count and stats relative to the primary's - the bug
+/// this helper replaces.)
+template <typename Fn>
+std::pair<RepeatStats, RepeatStats> measure_repeated_pair(
+    const BenchOptions& opt, Fn&& measure_once) {
+  for (unsigned i = 0; i < opt.warmup; ++i) (void)measure_once();
+  std::vector<double> primary, secondary;
+  primary.reserve(opt.repeat);
+  secondary.reserve(opt.repeat);
+  for (unsigned i = 0; i < opt.repeat; ++i) {
+    const std::pair<double, double> sample = measure_once();
+    primary.push_back(sample.first);
+    secondary.push_back(sample.second);
+  }
+  return {RepeatStats::of(std::move(primary)),
+          RepeatStats::of(std::move(secondary))};
+}
+
 /// Machine-readable bench output: when a harness is invoked with
 /// `--json <path>`, every result row is also appended to <path> as one JSON
 /// object per line (JSON Lines), so sweeps can be diffed and plotted without

@@ -13,6 +13,11 @@
 //           registry + sampled span tracer attached, reported as a ratio
 //           against the bare run (acceptance: within 10%). The JSON row
 //           carries the registry snapshot under "telemetry".
+//   part 4  safe-horizon ablation: the engine driven directly in fixed
+//           free-run windows of K cycles (K in {1,4,16,64}) and with its
+//           own conservative output_horizon() ("auto"), relative to
+//           per-cycle stepping (K=1) - how much of the barrier cost the
+//           batched stepping path recovers.
 //
 // Flags: --warmup N --repeat N --json <path>   (default path
 // BENCH_step_rate.json so CI always collects the artifact).
@@ -91,10 +96,13 @@ Rate search_stream_rate(const cam::UnitConfig& cfg, std::uint64_t cycles) {
 
 /// Streams S-key search beats into a sharded engine (the hash partitioner
 /// spreads the keys, so all shards stay busy) and reports the engine's
-/// simulated cycle rate.
+/// simulated cycle rate. `effective_threads` (optional) receives the
+/// engine's post-clamp worker count, so JSON rows from small hosts are
+/// honest about how much parallelism actually ran.
 Rate engine_stream_rate(unsigned shards, unsigned threads, std::uint64_t cycles,
                         telemetry::MetricRegistry* registry = nullptr,
-                        telemetry::SpanTracer* tracer = nullptr) {
+                        telemetry::SpanTracer* tracer = nullptr,
+                        unsigned* effective_threads = nullptr) {
   system::ShardedCamEngine::Config ec;
   ec.shards = shards;
   ec.step_threads = threads;
@@ -102,6 +110,9 @@ Rate engine_stream_rate(unsigned shards, unsigned threads, std::uint64_t cycles,
   system::CamSystem::Config sc;
   sc.unit = unit_config(16, 16, cam::EvalMode::kFast);
   system::ShardedCamEngine engine(ec, sc);
+  if (effective_threads != nullptr) {
+    *effective_threads = engine.effective_step_threads();
+  }
   system::CamDriver driver(engine);
   if (registry != nullptr || tracer != nullptr) {
     driver.attach_telemetry(registry, tracer, /*snapshot_every=*/256);
@@ -138,6 +149,70 @@ Rate engine_stream_rate(unsigned shards, unsigned threads, std::uint64_t cycles,
   return r;
 }
 
+/// Horizon ablation: drives the engine directly (no driver) with one S-key
+/// search beat per window boundary, free-running `horizon` cycles between
+/// boundaries via step_many (horizon 0 = the engine's own conservative
+/// output_horizon()). Reports the simulated cycle rate.
+double horizon_stream_rate(unsigned shards, unsigned threads,
+                           std::uint64_t cycles, std::uint64_t horizon,
+                           unsigned* effective_threads = nullptr) {
+  system::ShardedCamEngine::Config ec;
+  ec.shards = shards;
+  ec.step_threads = threads;
+  ec.credits_per_shard = 64;
+  system::CamSystem::Config sc;
+  sc.unit = unit_config(16, 16, cam::EvalMode::kFast);
+  system::ShardedCamEngine engine(ec, sc);
+  if (effective_threads != nullptr) {
+    *effective_threads = engine.effective_step_threads();
+  }
+
+  // Preload shards*128 words; the hash partitioner spreads them out.
+  const unsigned total = shards * 128u;
+  std::uint64_t seq = 1;
+  unsigned stored = 0;
+  while (stored < total) {
+    cam::UnitRequest req;
+    req.op = cam::OpKind::kUpdate;
+    for (unsigned w = 0; w < shards && stored + w < total; ++w) {
+      req.words.push_back(stored + w);
+    }
+    req.seq = seq++;
+    const unsigned batch = static_cast<unsigned>(req.words.size());
+    if (engine.try_submit(std::move(req))) stored += batch;
+    engine.step();
+    while (engine.try_pop_ack()) {
+    }
+  }
+  for (unsigned i = 0; i < 16; ++i) {
+    engine.step();
+    while (engine.try_pop_ack()) {
+    }
+  }
+
+  std::uint64_t key = 0;
+  std::uint64_t remaining = cycles;
+  const auto t0 = Clock::now();
+  while (remaining > 0) {
+    cam::UnitRequest req;
+    req.op = cam::OpKind::kSearch;
+    for (unsigned k = 0; k < shards; ++k) req.keys.push_back(key++ % total);
+    req.seq = seq++;
+    (void)engine.try_submit(std::move(req));
+    std::uint64_t k = horizon;
+    if (k == 0) k = std::max<std::uint64_t>(1, engine.output_horizon());
+    k = std::min(k, remaining);
+    engine.step_many(k);
+    remaining -= k;
+    while (engine.try_pop_response()) {
+    }
+    while (engine.try_pop_ack()) {
+    }
+  }
+  const double secs = std::chrono::duration<double>(Clock::now() - t0).count();
+  return static_cast<double>(cycles) / secs;
+}
+
 struct Geometry {
   unsigned blocks;
   unsigned cells;
@@ -165,14 +240,11 @@ int main(int argc, char** argv) {
     double ref_median = 0;
     for (const auto mode :
          {dspcam::cam::EvalMode::kReference, dspcam::cam::EvalMode::kFast}) {
-      std::vector<double> sps;
-      const auto stats = dspcam::bench::measure_repeated(opt, [&] {
+      const auto [stats, sps_stats] = dspcam::bench::measure_repeated_pair(opt, [&] {
         const Rate r =
             search_stream_rate(unit_config(g.blocks, g.cells, mode), g.cycles);
-        sps.push_back(r.searches_per_sec);
-        return r.cycles_per_sec;
+        return std::pair<double, double>{r.cycles_per_sec, r.searches_per_sec};
       });
-      const auto sps_stats = dspcam::bench::RepeatStats::of(std::move(sps));
       const bool fast = mode == dspcam::cam::EvalMode::kFast;
       const double speedup = fast && ref_median > 0 ? stats.median / ref_median : 0;
       if (!fast) ref_median = stats.median;
@@ -203,25 +275,25 @@ int main(int argc, char** argv) {
     double serial_median = 0;
     for (const unsigned threads : {1u, shards}) {
       if (threads == 1 && shards == 1 && serial_median > 0) continue;
-      std::vector<double> sps;
-      const auto stats = dspcam::bench::measure_repeated(opt, [&] {
-        const Rate r = engine_stream_rate(shards, threads, 20'000);
-        sps.push_back(r.searches_per_sec);
-        return r.cycles_per_sec;
+      unsigned effective = threads;
+      const auto [stats, sps_stats] = dspcam::bench::measure_repeated_pair(opt, [&] {
+        const Rate r = engine_stream_rate(shards, threads, 20'000, nullptr,
+                                          nullptr, &effective);
+        return std::pair<double, double>{r.cycles_per_sec, r.searches_per_sec};
       });
-      const auto sps_stats = dspcam::bench::RepeatStats::of(std::move(sps));
       const bool parallel = threads > 1;
       const double scaling =
           parallel && serial_median > 0 ? stats.median / serial_median : 0;
       if (!parallel) serial_median = stats.median;
       char ratio[32] = "-";
       if (parallel) std::snprintf(ratio, sizeof(ratio), "%.2fx", scaling);
-      std::printf("%-8u %-10u %14.0f %14.0f %10s\n", shards, threads,
+      std::printf("%-8u %-10u %14.0f %14.0f %10s\n", shards, effective,
                   stats.median, sps_stats.median, ratio);
       auto row = dspcam::bench::JsonLog::Row("micro_step_rate");
       row.str("kind", "shard_scaling")
           .num("shards", static_cast<std::uint64_t>(shards))
           .num("step_threads", static_cast<std::uint64_t>(threads))
+          .num("effective_step_threads", static_cast<std::uint64_t>(effective))
           .num("host_cores", static_cast<std::uint64_t>(cores))
           .num("sim_cycles", std::uint64_t{20'000});
       dspcam::bench::add_stats(row, "cycles_per_sec", stats);
@@ -262,6 +334,43 @@ int main(int argc, char** argv) {
     dspcam::bench::add_stats(row, "traced_cycles_per_sec", traced);
     dspcam::bench::add_telemetry(row, registry);
     log.emit(row);
+  }
+
+  // Part 4: safe-horizon ablation.
+  std::printf("\n%-8s %-10s %-8s %14s %10s\n", "shards", "threads", "K",
+              "cycles/s", "vs K=1");
+  const unsigned h_shards = 8;
+  const std::uint64_t h_cycles = 20'000;
+  for (const unsigned threads : {1u, 8u}) {
+    double k1_median = 0;
+    // 0 encodes "auto" (the engine's own output_horizon()).
+    for (const std::uint64_t k : {1ull, 4ull, 16ull, 64ull, 0ull}) {
+      unsigned effective = threads;
+      const auto stats = dspcam::bench::measure_repeated(opt, [&] {
+        return horizon_stream_rate(h_shards, threads, h_cycles, k, &effective);
+      });
+      const bool is_k1 = k == 1;
+      if (is_k1) k1_median = stats.median;
+      const double speedup = k1_median > 0 ? stats.median / k1_median : 0;
+      char k_label[24] = "auto";
+      if (k != 0) std::snprintf(k_label, sizeof(k_label), "%llu",
+                                static_cast<unsigned long long>(k));
+      char ratio[32] = "-";
+      if (!is_k1) std::snprintf(ratio, sizeof(ratio), "%.2fx", speedup);
+      std::printf("%-8u %-10u %-8s %14.0f %10s\n", h_shards, effective, k_label,
+                  stats.median, ratio);
+      auto row = dspcam::bench::JsonLog::Row("micro_step_rate");
+      row.str("kind", "horizon")
+          .num("shards", static_cast<std::uint64_t>(h_shards))
+          .num("step_threads", static_cast<std::uint64_t>(threads))
+          .num("effective_step_threads", static_cast<std::uint64_t>(effective))
+          .num("host_cores", static_cast<std::uint64_t>(cores))
+          .str("horizon", k_label)
+          .num("sim_cycles", h_cycles);
+      dspcam::bench::add_stats(row, "cycles_per_sec", stats);
+      if (!is_k1) row.num("speedup_vs_k1", speedup);
+      log.emit(row);
+    }
   }
 
   std::printf("\n(host has %u hardware threads; parallel scaling is bounded "

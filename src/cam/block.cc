@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/cam/match_sweep.h"
 #include "src/common/bitops.h"
 #include "src/common/error.h"
 
@@ -292,10 +293,23 @@ void CamBlock::compute_match_fast() {
   // and the cell gates it with the pre-edge valid flag. The arrays hold
   // pre-edge state here (updates for this cycle apply afterwards), so the
   // sweep reproduces the edge exactly, 64 match lines per output word.
+  // Dispatch (match_sweep.h): AVX2 sweep when compiled in and the CPU has
+  // it, scalar loop otherwise - bit-identical either way (integer compares
+  // only), so the choice never leaks into results.
   const Word key = cmp_key_;
   const std::uint64_t* stored = fast_stored_.data();
   const std::uint64_t* nmask = fast_cmp_not_mask_.data();
   const std::size_t word_count = match_scratch_.word_count();
+  static const bool use_avx2 = detail::match_sweep_avx2_available();
+  if (use_avx2) {
+    if (sweep_bits_.size() < word_count) sweep_bits_.resize(word_count);
+    detail::match_sweep_avx2(stored, nmask, key, cfg_.block_size,
+                             sweep_bits_.data());
+    for (std::size_t wi = 0; wi < word_count; ++wi) {
+      match_scratch_.set_word(wi, sweep_bits_[wi] & fast_valid_[wi]);
+    }
+    return;
+  }
   for (std::size_t wi = 0; wi < word_count; ++wi) {
     const std::size_t base = wi * 64;
     const std::size_t lanes =

@@ -163,6 +163,7 @@ class CamBlock : public sim::Component {
   std::vector<std::uint64_t> parity_;
 
   BitVec match_scratch_;  ///< Match-line bus, reused every cycle (no alloc).
+  std::vector<std::uint64_t> sweep_bits_;  ///< SIMD sweep scratch (no alloc).
 
   unsigned fill_ = 0;  ///< Cell Address Controller write pointer.
 

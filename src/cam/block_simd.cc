@@ -1,0 +1,69 @@
+// AVX2 implementation of the fast-path match sweep (match_sweep.h).
+//
+// This translation unit is the only one compiled with -mavx2 (see
+// src/cam/CMakeLists.txt), so vector instructions cannot leak into code
+// that runs before the runtime CPU check. Without compiler support - or
+// with -DDSPCAM_NO_SIMD=ON - the stub below reports the sweep unavailable
+// and the block kernel stays on the scalar loop.
+#include "src/cam/match_sweep.h"
+
+#if defined(DSPCAM_HAVE_AVX2)
+#include <immintrin.h>
+#endif
+
+namespace dspcam::cam::detail {
+
+#if defined(DSPCAM_HAVE_AVX2)
+
+bool match_sweep_avx2_available() noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+  static const bool available = __builtin_cpu_supports("avx2") != 0;
+  return available;
+#else
+  return false;
+#endif
+}
+
+void match_sweep_avx2(const std::uint64_t* stored, const std::uint64_t* nmask,
+                      Word key, std::size_t count, std::uint64_t* out_bits) {
+  const __m256i vkey = _mm256_set1_epi64x(static_cast<long long>(key));
+  const __m256i zero = _mm256_setzero_si256();
+  const std::size_t words = (count + 63) / 64;
+  for (std::size_t wi = 0; wi < words; ++wi) {
+    const std::size_t base = wi * 64;
+    const std::size_t lanes = count - base < 64 ? count - base : 64;
+    std::uint64_t bits = 0;
+    std::size_t b = 0;
+    for (; b + 4 <= lanes; b += 4) {
+      const __m256i s = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(stored + base + b));
+      const __m256i m = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(nmask + base + b));
+      const __m256i diff = _mm256_and_si256(_mm256_xor_si256(s, vkey), m);
+      const __m256i eq = _mm256_cmpeq_epi64(diff, zero);
+      // One sign bit per 64-bit lane: exactly the four match flags.
+      const unsigned lane_bits = static_cast<unsigned>(
+          _mm256_movemask_pd(_mm256_castsi256_pd(eq)));
+      bits |= static_cast<std::uint64_t>(lane_bits) << b;
+    }
+    for (; b < lanes; ++b) {
+      bits |= static_cast<std::uint64_t>(
+                  ((stored[base + b] ^ key) & nmask[base + b]) == 0)
+              << b;
+    }
+    out_bits[wi] = bits;
+  }
+}
+
+#else  // !DSPCAM_HAVE_AVX2: scalar-only build (forced or unsupported).
+
+bool match_sweep_avx2_available() noexcept { return false; }
+
+void match_sweep_avx2(const std::uint64_t*, const std::uint64_t*, Word,
+                      std::size_t, std::uint64_t*) {
+  // Unreachable by contract (available() is false); keep the symbol defined.
+}
+
+#endif
+
+}  // namespace dspcam::cam::detail

@@ -1,0 +1,54 @@
+// Vectorized match-line sweep for the EvalMode::kFast block kernel.
+//
+// The fast path evaluates, for every entry i of a block,
+//   match_i = ((stored_i ^ key) & ~mask_i) == 0
+// over the packed pre-edge arrays (block.h). This header declares the
+// build-time-dispatched implementations:
+//
+//  - match_sweep_scalar: the portable reference loop, one entry per
+//    iteration, packing 64 match bits per output word.
+//  - match_sweep_avx2 (block_simd.cc): AVX2 sweep comparing four packed
+//    u64 entries per vector step. Compiled only when the toolchain supports
+//    -mavx2 and DSPCAM_NO_SIMD is off; a runtime CPUID check guards against
+//    running AVX2 code on a host without it. Pure integer compares, so the
+//    result is bit-identical to the scalar loop by construction (pinned by
+//    the ref-vs-fast lockstep fuzz and the DSPCAM_NO_SIMD CI leg).
+//
+// Both write ceil(count / 64) words of raw match bits; the caller masks
+// with the packed valid flags.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/cam/types.h"
+
+namespace dspcam::cam::detail {
+
+/// True when the AVX2 sweep is compiled in AND this CPU executes AVX2.
+/// Cheap after the first call (cached); the answer never changes.
+bool match_sweep_avx2_available() noexcept;
+
+/// AVX2 sweep: out_bits[i / 64] bit (i % 64) = ((stored[i]^key)&nmask[i])==0
+/// for i in [0, count). Only callable when match_sweep_avx2_available().
+void match_sweep_avx2(const std::uint64_t* stored, const std::uint64_t* nmask,
+                      Word key, std::size_t count, std::uint64_t* out_bits);
+
+/// Portable scalar sweep with the same contract as match_sweep_avx2.
+inline void match_sweep_scalar(const std::uint64_t* stored,
+                               const std::uint64_t* nmask, Word key,
+                               std::size_t count, std::uint64_t* out_bits) {
+  const std::size_t words = (count + 63) / 64;
+  for (std::size_t wi = 0; wi < words; ++wi) {
+    const std::size_t base = wi * 64;
+    const std::size_t lanes = count - base < 64 ? count - base : 64;
+    std::uint64_t bits = 0;
+    for (std::size_t b = 0; b < lanes; ++b) {
+      bits |= static_cast<std::uint64_t>(((stored[base + b] ^ key) & nmask[base + b]) == 0)
+              << b;
+    }
+    out_bits[wi] = bits;
+  }
+}
+
+}  // namespace dspcam::cam::detail

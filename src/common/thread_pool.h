@@ -1,11 +1,12 @@
 // Minimal persistent thread pool for lockstep fan-out.
 //
-// Built for the sharded engine's per-cycle barrier: every simulated cycle,
-// S independent shards step once, then a single-threaded collect pass runs.
-// That access pattern needs (a) workers that persist across millions of
-// batches (spawning threads per cycle would dwarf the work), (b) a dispatch
-// path with no per-batch heap traffic (no std::function capture boxing),
-// and (c) a hard completion barrier before the caller continues.
+// Built for the sharded engine's stepping barrier: every simulated beat (one
+// cycle, or a horizon-sized batch of cycles), S independent shards advance,
+// then a single-threaded collect pass runs. That access pattern needs (a)
+// workers that persist across millions of batches (spawning threads per cycle
+// would dwarf the work), (b) a dispatch path with no per-batch heap traffic
+// (no std::function capture boxing), and (c) a hard completion barrier before
+// the caller continues.
 //
 // Design notes:
 //  - Indices are claimed with a single fetch_add on an atomic cursor, so
@@ -19,11 +20,23 @@
 //    degenerates to a plain serial loop.
 //  - Exceptions thrown by tasks are captured (first one wins) and rethrown
 //    on the calling thread after the barrier.
+//
+// Epoch barrier mode (spin-then-park): with spin_iterations > 0, batches are
+// announced by bumping an atomic epoch counter; idle workers spin on it (and
+// the caller spins on the completion count) for a bounded budget before
+// falling back to the condition variables. In the engine's steady state -
+// one batch every few microseconds - nobody ever parks, so a batch costs two
+// atomic stores instead of two condvar round-trips through the kernel.
+// Lost-wakeup safety: a thread about to park first publishes its parked flag
+// (seq_cst), then re-checks the wake condition under the mutex; a publisher
+// bumps the epoch / completion count (seq_cst), then looks at the parked
+// flags. In the seq_cst total order one of the two always sees the other.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <memory>
 #include <mutex>
@@ -36,9 +49,30 @@ namespace dspcam {
 /// Fixed-size pool running indexed batches with a completion barrier.
 class ThreadPool {
  public:
+  /// Sentinel for the constructor: pick the spin budget from the machine.
+  /// Resolves to kDefaultSpinIterations when the caller plus every worker
+  /// fits on its own hardware thread (spinning steals nobody's core), and
+  /// to 0 (park immediately) on oversubscribed or single-core hosts, where
+  /// a spinning waiter only delays the thread it is waiting for.
+  static constexpr unsigned kAdaptiveSpin = ~0u;
+
+  /// Spin budget used by kAdaptiveSpin on machines with spare cores. Each
+  /// iteration is one pause/yield hint; the budget bounds the busy-wait to
+  /// a few microseconds before parking.
+  static constexpr unsigned kDefaultSpinIterations = 4096;
+
   /// Spawns `workers` threads. Zero is legal: batches run inline on the
   /// calling thread (useful as a configuration-driven serial fallback).
-  explicit ThreadPool(unsigned workers) {
+  /// `spin_iterations` selects the barrier mode: 0 parks on a condition
+  /// variable immediately (the classic mode), > 0 enables the epoch
+  /// spin-then-park barrier, kAdaptiveSpin picks per the machine.
+  explicit ThreadPool(unsigned workers, unsigned spin_iterations = kAdaptiveSpin) {
+    if (spin_iterations == kAdaptiveSpin) {
+      const unsigned hw = std::thread::hardware_concurrency();
+      spin_ = hw > workers ? kDefaultSpinIterations : 0;
+    } else {
+      spin_ = spin_iterations;
+    }
     threads_.reserve(workers);
     for (unsigned i = 0; i < workers; ++i) {
       threads_.emplace_back([this] { worker_loop(); });
@@ -49,15 +83,18 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   ~ThreadPool() {
+    stop_.store(true);  // visible to spinners without the mutex
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      stop_ = true;
     }
     wake_.notify_all();
     for (auto& t : threads_) t.join();
   }
 
   unsigned workers() const noexcept { return static_cast<unsigned>(threads_.size()); }
+
+  /// The resolved spin budget (0 = park-immediately mode).
+  unsigned spin_iterations() const noexcept { return spin_; }
 
   /// Runs fn(0) .. fn(n-1) across the pool plus the calling thread and
   /// returns once all have finished. `fn` must be safe to invoke
@@ -72,34 +109,59 @@ class ThreadPool {
   }
 
  private:
+  /// One bounded spin step: cheap CPU hints first, a scheduler yield for the
+  /// tail of the budget so an oversubscribed waiter cannot starve the thread
+  /// it waits for.
+  static void spin_pause(unsigned iteration) {
+    if (iteration % 64 == 63) {
+      std::this_thread::yield();
+    }
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#endif
+  }
+
   void run_batch(void (*task)(void*, std::size_t), void* ctx, std::size_t n) {
     if (n == 0) return;
     if (threads_.empty() || n == 1) {
       for (std::size_t i = 0; i < n; ++i) task(ctx, i);
       return;
     }
-    {
+    // Publish the batch descriptor; the cursor's release store is the
+    // publication point for claimants, the epoch bump is the wake signal.
+    task_.store(task, std::memory_order_relaxed);
+    ctx_.store(ctx, std::memory_order_relaxed);
+    total_.store(n, std::memory_order_relaxed);
+    completed_.store(0, std::memory_order_relaxed);
+    cursor_.store(0, std::memory_order_release);
+    epoch_.fetch_add(1);  // seq_cst: ordered against parked_ publication
+    if (parked_.load() > 0) {
       std::lock_guard<std::mutex> lock(mutex_);
-      task_.store(task, std::memory_order_relaxed);
-      ctx_.store(ctx, std::memory_order_relaxed);
-      total_.store(n, std::memory_order_relaxed);
-      completed_.store(0, std::memory_order_relaxed);
-      // Re-arming the cursor is the release point that publishes the batch.
-      cursor_.store(0, std::memory_order_release);
-      ++epoch_;
+      wake_.notify_all();
     }
-    wake_.notify_all();
 
     drain_batch();  // the caller is a worker too
 
-    std::unique_lock<std::mutex> lock(mutex_);
-    done_.wait(lock, [this, n] {
-      return completed_.load(std::memory_order_acquire) == n;
-    });
+    // Completion barrier: spin first, then park on done_.
+    for (unsigned i = 0; i < spin_; ++i) {
+      if (completed_.load(std::memory_order_acquire) == n) break;
+      spin_pause(i);
+    }
+    if (completed_.load(std::memory_order_acquire) != n) {
+      std::unique_lock<std::mutex> lock(mutex_);
+      caller_parked_.store(true);  // seq_cst: ordered against completed_
+      done_.wait(lock, [this, n] {
+        return completed_.load(std::memory_order_acquire) == n;
+      });
+      caller_parked_.store(false);
+    }
     if (error_) {
-      std::exception_ptr e = error_;
-      error_ = nullptr;
-      std::rethrow_exception(e);
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (error_) {
+        std::exception_ptr e = error_;
+        error_ = nullptr;
+        std::rethrow_exception(e);
+      }
     }
   }
 
@@ -116,10 +178,14 @@ class ThreadPool {
         std::lock_guard<std::mutex> lock(mutex_);
         if (!error_) error_ = std::current_exception();
       }
-      if (completed_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
-          total_.load(std::memory_order_acquire)) {
-        std::lock_guard<std::mutex> lock(mutex_);  // pair with the waiter
-        done_.notify_all();
+      if (completed_.fetch_add(1) + 1 == total_.load(std::memory_order_acquire)) {
+        // seq_cst fetch_add above orders against the caller's parked flag:
+        // either we see the flag and notify under the mutex, or the caller's
+        // predicate check (after publishing the flag) sees our count.
+        if (caller_parked_.load()) {
+          std::lock_guard<std::mutex> lock(mutex_);  // pair with the waiter
+          done_.notify_all();
+        }
       }
     }
   }
@@ -127,23 +193,39 @@ class ThreadPool {
   void worker_loop() {
     std::uint64_t seen = 0;
     for (;;) {
-      {
-        std::unique_lock<std::mutex> lock(mutex_);
-        wake_.wait(lock, [this, seen] { return stop_ || epoch_ != seen; });
-        if (stop_) return;
-        seen = epoch_;
+      // Wake path: spin on the epoch, then park. The epoch bump is ordered
+      // (seq_cst) against our parked_ increment, so the publisher either
+      // sees us parked and notifies, or we see the new epoch before waiting.
+      bool woke = false;
+      for (unsigned i = 0; i < spin_ && !woke; ++i) {
+        woke = stop_.load(std::memory_order_relaxed) || epoch_.load() != seen;
+        if (!woke) spin_pause(i);
       }
+      if (!woke) {
+        std::unique_lock<std::mutex> lock(mutex_);
+        parked_.fetch_add(1);
+        wake_.wait(lock, [this, seen] {
+          return stop_.load(std::memory_order_relaxed) || epoch_.load() != seen;
+        });
+        parked_.fetch_sub(1);
+      }
+      if (stop_.load(std::memory_order_relaxed)) return;
+      seen = epoch_.load();
       drain_batch();
     }
   }
 
   std::vector<std::thread> threads_;
+  unsigned spin_ = 0;
   std::mutex mutex_;
   std::condition_variable wake_;
   std::condition_variable done_;
-  std::uint64_t epoch_ = 0;
-  bool stop_ = false;
   std::exception_ptr error_;
+
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<bool> stop_{false};
+  std::atomic<unsigned> parked_{0};
+  std::atomic<bool> caller_parked_{false};
 
   std::atomic<void (*)(void*, std::size_t)> task_{nullptr};
   std::atomic<void*> ctx_{nullptr};

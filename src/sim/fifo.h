@@ -42,6 +42,12 @@ class Fifo {
     return items_.front();
   }
 
+  /// Read-only iteration, front (oldest) to back - occupancy inspection for
+  /// schedulers (e.g. CamSystem::output_horizon scans queued ops' latencies).
+  using const_iterator = typename std::deque<T>::const_iterator;
+  const_iterator begin() const noexcept { return items_.begin(); }
+  const_iterator end() const noexcept { return items_.end(); }
+
   /// Dequeues and returns the front element; throws SimError if empty.
   T pop() {
     if (empty()) throw SimError("Fifo: pop on empty FIFO");

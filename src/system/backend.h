@@ -121,6 +121,25 @@ class CamBackend {
   /// Advances one clock cycle.
   virtual void step() = 0;
 
+  /// Advances `n` clock cycles with NO host interaction in between: the
+  /// caller promises not to submit, pop, or inspect state until the call
+  /// returns. Must be observably identical - results, stats, telemetry,
+  /// debug_dump - to calling step() n times. Backends override this when
+  /// they can exploit the closed-world window (the ShardedCamEngine
+  /// free-runs its shard workers across the whole window and replays the
+  /// boundary bookkeeping afterwards); the default just loops.
+  virtual void step_many(std::uint64_t n) {
+    for (; n > 0; --n) step();
+  }
+
+  /// Conservative lower bound on the number of step() calls before any NEW
+  /// response or ack could become poppable. 0 means "something may already
+  /// be poppable" or "unknown" - both safe. A backend must never return k
+  /// such that a pop would have succeeded after fewer than k steps; it MAY
+  /// under-report (the host just polls more often). Hosts use this as the
+  /// safe horizon for step_many() batching.
+  virtual std::uint64_t output_horizon() const { return 0; }
+
   /// True when nothing is queued or in flight anywhere in the backend.
   virtual bool idle() const = 0;
 

@@ -16,6 +16,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <optional>
 
 #include "src/cam/unit.h"
@@ -80,6 +81,13 @@ class CamSystem : public sim::Component, public CamBackend {
   /// No queued requests and nothing in the unit's pipelines.
   bool idle() const override { return request_fifo_.empty() && unit_.idle(); }
 
+  /// Exact safe horizon for this backend: the unit pipeline is stall-free,
+  /// so every issued request's output cycle is known at issue time
+  /// (issue cycle + fixed latency). Returns the distance to the earliest
+  /// such cycle, a request-FIFO-front bound when nothing is in flight, or
+  /// 0 when an output FIFO already holds something.
+  std::uint64_t output_horizon() const override;
+
   // --- Statistics. ---
 
   Stats stats() const override { return stats_; }
@@ -112,6 +120,15 @@ class CamSystem : public sim::Component, public CamBackend {
   // Credits: results guaranteed space in the output FIFOs.
   std::size_t searches_in_flight_ = 0;
   std::size_t updates_in_flight_ = 0;
+
+  // Ready cycles of in-flight requests, issue order (output_horizon).
+  // Pushed at issue (cycle + fixed unit latency), popped when the matching
+  // output lands in its FIFO. A kReset that flushes in-flight work leaves
+  // entries that are popped by later outputs; since latency is constant and
+  // issue order is FIFO order, a stale front is always <= the true ready
+  // cycle - still a sound lower bound.
+  std::deque<std::uint64_t> search_ready_;
+  std::deque<std::uint64_t> ack_ready_;
 
   fault::UnitFaultTarget fault_target_{unit_};
 

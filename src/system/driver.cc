@@ -274,8 +274,27 @@ void CamDriver::drain() {
   std::uint64_t stagnant = 0;
   while (inflight_ > 0) {
     const std::size_t before = inflight_;
-    poll();
-    stagnant = inflight_ < before ? 0 : stagnant + 1;
+    std::uint64_t h = 1;
+    if (horizon_batching_ && !cycle_hook_ && submit_queue_.empty()) {
+      // Safe window: nothing can complete for h-1 more cycles, no queued
+      // submission needs pumping and no hook needs per-cycle callbacks, so
+      // the backend may free-run. The watchdog stays exact: cap the window
+      // so a wedged backend is detected within the same budget, and charge
+      // the whole window to the stagnation counter below.
+      h = std::max<std::uint64_t>(1, backend_->output_horizon());
+      h = std::min(h, stall_budget_ - std::min(stall_budget_, stagnant) + 1);
+    }
+    if (h > 1) {
+      backend_->step_many(h);
+      polled_cycles_ += h;
+      harvest();
+      if (registry_ != nullptr && polled_cycles_ % snapshot_every_ == 0) {
+        publish_telemetry();
+      }
+    } else {
+      poll();
+    }
+    stagnant = inflight_ < before ? 0 : stagnant + h;
     if (m_stall_headroom_ != nullptr) {
       m_stall_headroom_->set(static_cast<std::int64_t>(stall_budget_ - stagnant));
     }

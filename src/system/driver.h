@@ -108,7 +108,21 @@ class CamDriver {
   /// queued until popped). Throws SimError with a diagnostic dump (inflight
   /// tickets, backend queue/credit state) if the backend makes no progress
   /// for stall_budget() consecutive cycles.
+  ///
+  /// With horizon batching on (the default), drain() asks the backend for
+  /// its output_horizon() each iteration and, when the bound k exceeds one
+  /// cycle, advances the clock with one step_many(k) call instead of k
+  /// polls. The bound is conservative - no completion can surface inside
+  /// the window - so harvest cycles, completion latencies and telemetry are
+  /// byte-identical to per-cycle polling (pinned in
+  /// tests/system/horizon_test.cc). Batching is skipped whenever a cycle
+  /// hook is installed (it must observe every cycle) or queued submissions
+  /// still await backend FIFO room.
   void drain();
+
+  /// Enables/disables safe-horizon batch stepping inside drain().
+  void set_horizon_batching(bool on) noexcept { horizon_batching_ = on; }
+  bool horizon_batching() const noexcept { return horizon_batching_; }
 
   // --- Watchdog / instrumentation. ---
 
@@ -223,6 +237,7 @@ class CamDriver {
 
   std::set<Ticket> outstanding_;  ///< Submitted, not yet harvested.
   std::uint64_t stall_budget_ = kDefaultStallBudget;
+  bool horizon_batching_ = true;  ///< drain() may step_many() safe windows.
   std::function<void()> cycle_hook_;
 
   // Telemetry (all borrowed; null = off). Metric handles are cached at

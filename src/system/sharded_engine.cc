@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <thread>
+#include <utility>
 
 #include "src/common/error.h"
 #include "src/telemetry/metrics.h"
@@ -50,6 +52,7 @@ ShardedCamEngine::ShardedCamEngine(const Config& cfg, const ShardFactory& make_s
   pending_issue_.resize(cfg_.shards);
   expected_search_.resize(cfg_.shards);
   expected_ack_.resize(cfg_.shards);
+  staged_.resize(cfg_.shards);
   // Compose the shards' fault windows when every shard exposes one; a
   // single opaque shard disables injection for the whole engine (a partial
   // window would silently skew campaign statistics).
@@ -68,8 +71,15 @@ ShardedCamEngine::ShardedCamEngine(const Config& cfg, const ShardFactory& make_s
   }
   // The calling thread always participates in the per-cycle fan-out, so a
   // pool of (threads - 1) workers realises `step_threads` stepping threads.
-  const unsigned threads = std::min(cfg_.step_threads, cfg_.shards);
-  if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads - 1);
+  unsigned threads = std::min(cfg_.step_threads, cfg_.shards);
+  if (cfg_.clamp_threads_to_cores) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    if (hw != 0) threads = std::min(threads, hw);
+  }
+  effective_threads_ = std::max(1u, threads);
+  if (effective_threads_ > 1) {
+    pool_ = std::make_unique<ThreadPool>(effective_threads_ - 1);
+  }
 }
 
 ShardedCamEngine::ShardedCamEngine(const Config& cfg, const CamSystem::Config& shard_cfg)
@@ -286,6 +296,7 @@ bool ShardedCamEngine::try_submit(cam::UnitRequest request) {
     SearchBeat beat;
     beat.seq = request.seq;
     beat.pending = live_subs;
+    beat.ready = cycles_;  // beats settled entirely at submit pop right away
     beat.results = results_pool_.acquire();
     beat.results.clear();
     beat.results.resize(request.keys.size());
@@ -324,6 +335,7 @@ bool ShardedCamEngine::try_submit(cam::UnitRequest request) {
     AckBeat beat;
     beat.seq = request.seq;
     beat.pending = live_subs;
+    beat.ready = cycles_;
     beat.ack.seq = request.seq;
     if (traced) {
       beat.span = tracer_->begin(
@@ -393,6 +405,7 @@ void ShardedCamEngine::collect() {
         beat.results.at(exp.positions.at(j)) = r;
       }
       --beat.pending;
+      beat.ready = std::max(beat.ready, cycles_ + 1);
       ++credits_[s];
       // The scattered shard response is an empty shell now - recycle its
       // heap buffer for a future SearchBeat.
@@ -409,6 +422,7 @@ void ShardedCamEngine::collect() {
       beat.ack.words_written += ack->words_written;
       beat.ack.unit_full = beat.ack.unit_full || ack->unit_full;
       --beat.pending;
+      beat.ready = std::max(beat.ready, cycles_ + 1);
       ++credits_[s];
     }
   }
@@ -421,6 +435,7 @@ std::optional<cam::UnitResponse> ShardedCamEngine::try_pop_response() {
   cam::UnitResponse resp;
   resp.seq = search_rob_.front().seq;
   resp.results = std::move(search_rob_.front().results);
+  last_completion_cycle_ = search_rob_.front().ready;
   if (tracer_ != nullptr) tracer_->end(search_rob_.front().span, cycles_);
   search_rob_.pop_front();
   ++search_rob_base_;
@@ -431,6 +446,7 @@ std::optional<cam::UnitUpdateAck> ShardedCamEngine::try_pop_ack() {
   collect();
   if (ack_rob_.empty() || ack_rob_.front().pending != 0) return std::nullopt;
   const cam::UnitUpdateAck ack = ack_rob_.front().ack;
+  last_completion_cycle_ = ack_rob_.front().ready;
   if (tracer_ != nullptr) tracer_->end(ack_rob_.front().span, cycles_);
   ack_rob_.pop_front();
   ++ack_rob_base_;
@@ -478,6 +494,132 @@ void ShardedCamEngine::step() {
   ++cycles_;
 }
 
+void ShardedCamEngine::free_run_shard(unsigned s, std::uint64_t n) {
+  if (quarantined_[s]) return;
+  CamBackend& shard = *shards_[s];
+  StagedOutputs& staged = staged_[s];
+  for (std::uint64_t c = 0; c < n; ++c) {
+    pump(s);
+    shard.step();
+    // Self-drain: per-cycle collect() would free these output-FIFO slots
+    // every cycle; leaving them queued would exhaust the shard's reserved
+    // credits and stall issue in ways n single steps never would.
+    while (auto resp = shard.try_pop_response()) {
+      staged.responses.emplace_back(c, std::move(*resp));
+    }
+    while (auto ack = shard.try_pop_ack()) {
+      staged.acks.emplace_back(c, std::move(*ack));
+    }
+  }
+}
+
+void ShardedCamEngine::replay_staged(std::uint64_t c0, std::uint64_t n) {
+  const unsigned s_count = shard_count();
+  const unsigned shard_cap = shards_.front()->capacity();
+  std::vector<std::size_t> ri(s_count, 0);
+  std::vector<std::size_t> ai(s_count, 0);
+  // Cycle-major merge: apply the collection bookkeeping in the same order n
+  // per-cycle collect() passes would have, with each output's own cycle -
+  // not the window boundary - driving span timestamps and beat ready
+  // cycles. The scatter itself is position-based, so shard visiting order
+  // within one cycle is immaterial.
+  for (std::uint64_t c = 0; c < n; ++c) {
+    const std::uint64_t cyc = c0 + c;
+    for (unsigned s = 0; s < s_count; ++s) {
+      StagedOutputs& st = staged_[s];
+      while (ri[s] < st.responses.size() && st.responses[ri[s]].first == c) {
+        cam::UnitResponse& resp = st.responses[ri[s]].second;
+        if (expected_search_[s].empty()) {
+          throw SimError("ShardedCamEngine: unexpected shard response");
+        }
+        const ExpectedSearch exp = std::move(expected_search_[s].front());
+        expected_search_[s].pop_front();
+        if (tracer_ != nullptr) tracer_->end(exp.span, cyc);
+        auto& beat = search_rob_.at(exp.beat_id - search_rob_base_);
+        for (std::size_t j = 0; j < resp.results.size(); ++j) {
+          cam::UnitSearchResult r = resp.results[j];
+          r.shard = static_cast<std::uint16_t>(s);
+          r.global_address += s * shard_cap;
+          beat.results.at(exp.positions.at(j)) = r;
+        }
+        --beat.pending;
+        beat.ready = std::max(beat.ready, cyc + 1);
+        ++credits_[s];
+        results_pool_.release(std::move(resp.results));
+        ++ri[s];
+      }
+      while (ai[s] < st.acks.size() && st.acks[ai[s]].first == c) {
+        const cam::UnitUpdateAck& ack = st.acks[ai[s]].second;
+        if (expected_ack_[s].empty()) {
+          throw SimError("ShardedCamEngine: unexpected shard ack");
+        }
+        const ExpectedAck exp = expected_ack_[s].front();
+        expected_ack_[s].pop_front();
+        if (tracer_ != nullptr) tracer_->end(exp.span, cyc);
+        auto& beat = ack_rob_.at(exp.beat_id - ack_rob_base_);
+        beat.ack.words_written += ack.words_written;
+        beat.ack.unit_full = beat.ack.unit_full || ack.unit_full;
+        --beat.pending;
+        beat.ready = std::max(beat.ready, cyc + 1);
+        ++credits_[s];
+        ++ai[s];
+      }
+    }
+  }
+  for (StagedOutputs& st : staged_) {
+    st.responses.clear();  // capacity retained for the next window
+    st.acks.clear();
+  }
+}
+
+void ShardedCamEngine::step_many(std::uint64_t n) {
+  if (n == 0) return;
+  if (n == 1 || shard_count() == 0) {
+    for (; n > 0; --n) step();
+    return;
+  }
+  const std::uint64_t c0 = cycles_;
+  // Free-run phase: each shard advances n cycles on its own, touching only
+  // shard-local state (its backend, parked-issue queue, staging buffer).
+  // One barrier per window instead of one per cycle is where the parallel
+  // speedup comes from.
+  if (pool_) {
+    pool_->parallel_for(shards_.size(), [this, n](std::size_t s) {
+      free_run_shard(static_cast<unsigned>(s), n);
+    });
+  } else {
+    for (unsigned s = 0; s < shard_count(); ++s) free_run_shard(s, n);
+  }
+  cycles_ += n;
+  replay_staged(c0, n);
+  if (shard_count() > 1) {
+    rr_start_ = static_cast<unsigned>((rr_start_ + n) % shard_count());
+  }
+}
+
+std::uint64_t ShardedCamEngine::output_horizon() const {
+  const bool search_waiting = !search_rob_.empty();
+  const bool ack_waiting = !ack_rob_.empty();
+  if (!search_waiting && !ack_waiting) return 0;  // nothing owed: no bound
+  if (search_waiting && search_rob_.front().pending == 0) return 0;
+  if (ack_waiting && ack_rob_.front().pending == 0) return 0;
+  std::uint64_t best = 0;
+  for (unsigned s = 0; s < shard_count(); ++s) {
+    if (quarantined_[s]) continue;
+    if (expected_search_[s].empty() && expected_ack_[s].empty()) continue;
+    std::uint64_t k = shards_[s]->output_horizon();
+    if (k == 0) return 0;  // shard cannot bound its next output
+    if (!pending_issue_[s].empty()) {
+      // A parked sub-request is invisible to its shard. It cannot issue
+      // before the shard's queued requests pop (one per cycle) nor complete
+      // in under one further cycle, so it never beats this bound.
+      k = std::min<std::uint64_t>(k, shards_[s]->pending_requests() + 1);
+    }
+    if (best == 0 || k < best) best = k;
+  }
+  return best;
+}
+
 bool ShardedCamEngine::idle() const {
   for (unsigned s = 0; s < shard_count(); ++s) {
     if (quarantined_[s]) continue;  // frozen; owes the host nothing
@@ -515,6 +657,7 @@ void ShardedCamEngine::quarantine_shard(unsigned s) {
       r.shard_failed = true;
     }
     --beat.pending;
+    beat.ready = std::max(beat.ready, cycles_);
   }
   expected_search_[s].clear();
 
@@ -524,7 +667,9 @@ void ShardedCamEngine::quarantine_shard(unsigned s) {
       tracer_->arg(exp.span, "quarantined", 1);
       tracer_->end(exp.span, cycles_);
     }
-    --ack_rob_.at(exp.beat_id - ack_rob_base_).pending;
+    auto& beat = ack_rob_.at(exp.beat_id - ack_rob_base_);
+    --beat.pending;
+    beat.ready = std::max(beat.ready, cycles_);
   }
   expected_ack_[s].clear();
 

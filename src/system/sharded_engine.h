@@ -63,6 +63,13 @@ class ShardedCamEngine : public CamBackend {
     /// this only trades host wall-clock. Capped at the shard count.
     unsigned step_threads = 1;
 
+    /// Additionally cap the stepping threads at the host's core count
+    /// (std::thread::hardware_concurrency). Oversubscribed pools only add
+    /// context-switch overhead - results are byte-identical either way, so
+    /// the clamp is on by default; determinism tests turn it off to exercise
+    /// real pools regardless of the host.
+    bool clamp_threads_to_cores = true;
+
     /// Throws ConfigError on an unusable geometry (no shards, zero
     /// credits, key_bits outside 1..64). step_threads is deliberately not
     /// validated: any value is legal (clamped to the shard count).
@@ -105,7 +112,32 @@ class ShardedCamEngine : public CamBackend {
   std::size_t pending_requests() const override;
 
   void step() override;
+
+  /// Safe-horizon batch stepping: the shards free-run `n` cycles each -
+  /// pumping their own parked sub-requests and draining their own outputs
+  /// into per-shard staging buffers - and the serial boundary replay then
+  /// re-applies the collection bookkeeping (reorder scatter, credits, span
+  /// timestamps) cycle by cycle. Observably identical to n single step()
+  /// calls for every step_threads setting (pinned in
+  /// tests/system/parallel_determinism_test.cc), but workers cross the
+  /// barrier once per window instead of once per cycle.
+  void step_many(std::uint64_t n) override;
+
+  /// Conservative horizon: 0 when a reorder-buffer front is already
+  /// complete (or nothing bounds the wait), else the minimum over the live
+  /// shards still owing sub-operations of their own horizons.
+  std::uint64_t output_horizon() const override;
+
   bool idle() const override;
+
+  /// Stepping threads actually used after the shard-count and (optional)
+  /// core-count clamps; what the throughput benches report.
+  unsigned effective_step_threads() const noexcept { return effective_threads_; }
+
+  /// The engine cycle at which the most recently popped response/ack first
+  /// became poppable (its reorder beat completed). Lets tests pin that
+  /// horizon batching never shifts completion cycles.
+  std::uint64_t last_completion_cycle() const noexcept { return last_completion_cycle_; }
 
   // --- Reporting. ---
 
@@ -167,6 +199,7 @@ class ShardedCamEngine : public CamBackend {
     unsigned pending = 0;
     std::vector<cam::UnitSearchResult> results;
     std::uint64_t span = 0;  ///< Beat-level span (SpanTracer::kNone if unsampled).
+    std::uint64_t ready = 0; ///< Cycle the beat completed (last sub-op landed).
   };
 
   /// Reorder-buffer entry for one host update/invalidate beat.
@@ -175,6 +208,7 @@ class ShardedCamEngine : public CamBackend {
     unsigned pending = 0;
     cam::UnitUpdateAck ack;
     std::uint64_t span = 0;
+    std::uint64_t ready = 0;
   };
 
   /// What the next response/ack popped from a shard corresponds to.
@@ -211,10 +245,22 @@ class ShardedCamEngine : public CamBackend {
     std::size_t total_ = 0;
   };
 
+  /// Outputs a shard produced while free-running a step_many window,
+  /// stamped with the 0-based cycle offset they appeared at. Shards must
+  /// self-drain during the window: the per-cycle collect() normally frees
+  /// their output-FIFO slots, and leaving results queued would stall the
+  /// shard's credit-gated issue in ways n single steps never would.
+  struct StagedOutputs {
+    std::vector<std::pair<std::uint64_t, cam::UnitResponse>> responses;
+    std::vector<std::pair<std::uint64_t, cam::UnitUpdateAck>> acks;
+  };
+
   bool plan(const cam::UnitRequest& request, std::vector<SubRequest>& out) const;
   void pump(unsigned s);
   void collect();
   void settle();
+  void free_run_shard(unsigned s, std::uint64_t n);
+  void replay_staged(std::uint64_t c0, std::uint64_t n);
 
   Config cfg_;
   std::vector<std::unique_ptr<CamBackend>> shards_;
@@ -234,8 +280,13 @@ class ShardedCamEngine : public CamBackend {
   std::deque<AckBeat> ack_rob_;
   std::uint64_t ack_rob_base_ = 0;
 
+  /// Per-shard staging for step_many windows (sized once, buffers recycled).
+  std::vector<StagedOutputs> staged_;
+
   unsigned rr_start_ = 0;  ///< Round-robin collection cursor.
   std::uint64_t cycles_ = 0;
+  std::uint64_t last_completion_cycle_ = 0;
+  unsigned effective_threads_ = 1;  ///< After shard/core clamps.
   std::uint64_t quarantine_events_ = 0;  ///< quarantine_shard() calls that
                                          ///< took a live shard out.
 

@@ -1,0 +1,199 @@
+// Safe-horizon contract tests.
+//
+// output_horizon() promises a conservative lower bound: after reading
+// h = output_horizon() > 0, no NEW response or ack may become poppable
+// within the next h-1 step() calls. The CamDriver's batched drain() rests
+// entirely on that promise, so the first half of this file property-tests
+// the bound under random traffic for both the single CamSystem and the
+// sharded engine, and the second half pins that batched draining is
+// observably identical to per-cycle polling - completions, cycle counts,
+// and the full telemetry registry dump.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/system/cam_system.h"
+#include "src/system/driver.h"
+#include "src/system/sharded_engine.h"
+#include "src/telemetry/metrics.h"
+
+namespace dspcam::system {
+namespace {
+
+CamSystem::Config small_system_config() {
+  CamSystem::Config cfg;
+  cfg.unit.block.cell.data_width = 32;
+  cfg.unit.block.block_size = 16;
+  cfg.unit.block.bus_width = 128;
+  cfg.unit.unit_size = 4;
+  cfg.unit.bus_width = 128;
+  cfg.request_fifo_depth = 8;  // small: exercises queued-request bounds
+  cfg.response_fifo_depth = 8;
+  cfg.ack_fifo_depth = 8;
+  return cfg;
+}
+
+cam::UnitRequest random_request(Rng& rng, std::uint64_t& seq) {
+  cam::UnitRequest req;
+  const double dice = rng.next_double();
+  if (dice < 0.40) {
+    req.op = cam::OpKind::kUpdate;
+    const unsigned n = 1 + static_cast<unsigned>(rng.next_below(3));
+    for (unsigned i = 0; i < n; ++i) req.words.push_back(rng.next_bits(8));
+  } else {
+    req.op = cam::OpKind::kSearch;
+    req.keys = {rng.next_bits(8)};
+  }
+  req.seq = seq++;
+  return req;
+}
+
+/// Property: for h = output_horizon() > 0, the next h-1 steps surface no
+/// output. A violated bound shows up as a successful pop inside the window.
+template <typename Backend>
+void check_horizon_soundness(Backend& backend, unsigned iterations,
+                             std::uint64_t seed) {
+  Rng rng(seed);
+  std::uint64_t seq = 1;
+  unsigned nontrivial = 0;
+  for (unsigned it = 0; it < iterations; ++it) {
+    const unsigned beats = static_cast<unsigned>(rng.next_below(3));
+    for (unsigned b = 0; b < beats; ++b) {
+      (void)backend.try_submit(random_request(rng, seq));
+    }
+    const std::uint64_t h = backend.output_horizon();
+    if (h > 1) ++nontrivial;
+    if (h > 0) {
+      for (std::uint64_t c = 0; c + 1 < h; ++c) {
+        backend.step();
+        auto resp = backend.try_pop_response();
+        EXPECT_FALSE(resp.has_value())
+            << "response surfaced " << (h - 1 - c)
+            << " cycles before the horizon allowed (h=" << h << ")";
+        auto ack = backend.try_pop_ack();
+        EXPECT_FALSE(ack.has_value())
+            << "ack surfaced " << (h - 1 - c)
+            << " cycles before the horizon allowed (h=" << h << ")";
+        if (resp.has_value() || ack.has_value()) return;  // already unsound
+      }
+    }
+    backend.step();  // the cycle the bound points at (or a probe when h==0)
+    while (backend.try_pop_response()) {
+    }
+    while (backend.try_pop_ack()) {
+    }
+  }
+  EXPECT_GT(nontrivial, iterations / 8)
+      << "horizon never exceeded 1 cycle - the property was not exercised";
+}
+
+TEST(OutputHorizon, CamSystemBoundIsSound) {
+  CamSystem sys(small_system_config());
+  check_horizon_soundness(sys, 2000, 0xB0BA);
+}
+
+TEST(OutputHorizon, ShardedEngineBoundIsSound) {
+  ShardedCamEngine::Config ec;
+  ec.shards = 4;
+  ec.credits_per_shard = 16;
+  ec.clamp_threads_to_cores = false;
+  ec.step_threads = 2;
+  ShardedCamEngine engine(ec, small_system_config());
+  check_horizon_soundness(engine, 2000, 0x5EA);
+}
+
+/// One driver workload: bursts of stores and searches with drain() between
+/// them, completions digested in pop order. Returns the digest; fills
+/// `registry_json` and `cycles` for byte-identity comparison.
+std::vector<std::uint64_t> run_driver_workload(bool batching, unsigned threads,
+                                               std::string* registry_json,
+                                               std::uint64_t* cycles) {
+  ShardedCamEngine::Config ec;
+  ec.shards = 4;
+  ec.step_threads = threads;
+  ec.clamp_threads_to_cores = false;
+  ec.credits_per_shard = 32;
+  auto engine = std::make_unique<ShardedCamEngine>(ec, small_system_config());
+  CamDriver drv(std::move(engine));
+  drv.set_horizon_batching(batching);
+
+  telemetry::MetricRegistry registry;
+  drv.attach_telemetry(&registry, nullptr, /*snapshot_every=*/16);
+
+  Rng rng(0xD1CE);
+  std::vector<std::uint64_t> digest;
+  for (unsigned burst = 0; burst < 20; ++burst) {
+    const unsigned n = 1 + static_cast<unsigned>(rng.next_below(6));
+    for (unsigned i = 0; i < n; ++i) {
+      cam::UnitRequest req;
+      if (rng.next_double() < 0.3) {
+        req.op = cam::OpKind::kUpdate;
+        req.words = {rng.next_bits(8)};
+      } else {
+        req.op = cam::OpKind::kSearch;
+        req.keys = {rng.next_bits(8)};
+      }
+      drv.submit_async(std::move(req));
+    }
+    drv.drain();
+    while (auto c = drv.try_pop_completion()) {
+      digest.push_back(c->ticket);
+      digest.push_back(static_cast<std::uint64_t>(c->op));
+      digest.push_back(c->words_written);
+      digest.push_back(c->full ? 1 : 0);
+      for (const auto& r : c->results) {
+        digest.push_back(r.key);
+        digest.push_back(r.hit ? 1 : 0);
+        digest.push_back(r.global_address);
+      }
+    }
+  }
+  drv.publish_telemetry();
+  *registry_json = registry.to_json();
+  *cycles = drv.cycles();
+  return digest;
+}
+
+// Batched drain == per-cycle drain: same completions in the same order,
+// same total cycle count, and a byte-identical telemetry dump (counters,
+// gauges, and - critically - the completion-latency histograms, which
+// would shift if a batch window ever overshot a completion cycle).
+TEST(HorizonBatching, DrainMatchesPerCyclePolling) {
+  for (const unsigned threads : {1u, 2u}) {
+    std::string json_poll, json_batch;
+    std::uint64_t cycles_poll = 0, cycles_batch = 0;
+    const auto poll = run_driver_workload(false, threads, &json_poll, &cycles_poll);
+    const auto batch = run_driver_workload(true, threads, &json_batch, &cycles_batch);
+    EXPECT_EQ(poll, batch) << "completions diverged at step_threads=" << threads;
+    EXPECT_EQ(cycles_poll, cycles_batch);
+    EXPECT_EQ(json_poll, json_batch);
+  }
+}
+
+// The sync wrappers ride on drain(): spot-check end-to-end behaviour with
+// batching on against known contents.
+TEST(HorizonBatching, SyncWrappersStillCorrect) {
+  ShardedCamEngine::Config ec;
+  ec.shards = 2;
+  ec.clamp_threads_to_cores = false;
+  auto engine = std::make_unique<ShardedCamEngine>(ec, small_system_config());
+  CamDriver drv(std::move(engine));
+  ASSERT_TRUE(drv.horizon_batching());  // default ON
+
+  const std::vector<cam::Word> words{3, 7, 11, 15};
+  EXPECT_EQ(drv.store(words), 4u);
+  for (const cam::Word w : words) {
+    const auto r = drv.search(w);
+    EXPECT_TRUE(r.hit) << "key " << w;
+  }
+  EXPECT_FALSE(drv.search(99).hit);
+  drv.reset();
+  EXPECT_FALSE(drv.search(3).hit);
+}
+
+}  // namespace
+}  // namespace dspcam::system

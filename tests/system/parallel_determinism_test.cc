@@ -4,6 +4,11 @@
 // serial engine. Shards only exchange data through the single-threaded
 // pump/collect stages, so the per-cycle fan-out barrier cannot reorder
 // anything; this test pins that guarantee against regressions.
+//
+// The same contract extends to safe-horizon batching: step_many(k) must be
+// observably identical to k single step() calls - for ANY k schedule, any
+// step_threads value, and both eval modes - including the cycle each beat
+// first became poppable (last_completion_cycle).
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -15,11 +20,12 @@
 namespace dspcam::system {
 namespace {
 
-CamSystem::Config shard_config() {
+CamSystem::Config shard_config(cam::EvalMode mode = cam::EvalMode::kFast) {
   CamSystem::Config cfg;
   cfg.unit.block.cell.data_width = 32;
   cfg.unit.block.block_size = 16;
   cfg.unit.block.bus_width = 128;
+  cfg.unit.block.eval_mode = mode;
   cfg.unit.unit_size = 4;
   cfg.unit.bus_width = 128;
   return cfg;
@@ -31,12 +37,16 @@ ShardedCamEngine::Config engine_config(unsigned shards, unsigned threads) {
   cfg.partition = ShardedCamEngine::Partition::kHash;
   cfg.credits_per_shard = 64;
   cfg.step_threads = threads;
+  // Determinism must hold for real pools regardless of the host's core
+  // count, so the bench-oriented clamp is off here.
+  cfg.clamp_threads_to_cores = false;
   return cfg;
 }
 
 /// One observable event, tagged with the cycle it surfaced on.
 struct Event {
   std::uint64_t cycle = 0;
+  std::uint64_t ready = 0;  ///< Cycle the beat first became poppable.
   bool is_response = false;
   std::uint64_t seq = 0;
   // Response payload (flattened) or ack payload.
@@ -44,6 +54,56 @@ struct Event {
 
   bool operator==(const Event&) const = default;
 };
+
+void append_response(std::vector<Event>& events, const ShardedCamEngine& engine,
+                     const cam::UnitResponse& resp, std::uint64_t cycle) {
+  Event e;
+  e.cycle = cycle;
+  e.ready = engine.last_completion_cycle();
+  e.is_response = true;
+  e.seq = resp.seq;
+  for (const auto& r : resp.results) {
+    e.payload.push_back(r.key);
+    e.payload.push_back(r.hit ? 1 : 0);
+    e.payload.push_back(r.global_address);
+    e.payload.push_back(r.match_count);
+    e.payload.push_back(r.group);
+    e.payload.push_back(r.shard);
+  }
+  events.push_back(std::move(e));
+}
+
+void append_ack(std::vector<Event>& events, const ShardedCamEngine& engine,
+                const cam::UnitUpdateAck& ack, std::uint64_t cycle) {
+  Event e;
+  e.cycle = cycle;
+  e.ready = engine.last_completion_cycle();
+  e.seq = ack.seq;
+  e.payload = {ack.words_written, ack.unit_full ? 1u : 0u};
+  events.push_back(std::move(e));
+}
+
+/// Submits a pseudo-random beat (35% update, 55% search, 10% idle) drawn
+/// from `rng`; refusals under backpressure are part of the trace.
+void submit_random_beat(ShardedCamEngine& engine, Rng& rng, unsigned shards,
+                        std::uint64_t& seq) {
+  const double dice = rng.next_double();
+  cam::UnitRequest req;
+  if (dice < 0.35) {
+    req.op = cam::OpKind::kUpdate;
+    const unsigned n = 1 + static_cast<unsigned>(rng.next_below(4));
+    for (unsigned i = 0; i < n; ++i) req.words.push_back(rng.next_bits(8));
+    req.seq = seq++;
+    (void)engine.try_submit(req);
+  } else if (dice < 0.90) {
+    req.op = cam::OpKind::kSearch;
+    const unsigned nk = 1 + static_cast<unsigned>(rng.next_below(shards));
+    for (unsigned i = 0; i < nk; ++i) req.keys.push_back(rng.next_bits(8));
+    req.seq = seq++;
+    (void)engine.try_submit(req);
+  }
+  // else: idle beat
+}
 
 /// Drives a fixed pseudo-random stream of search/update/invalidate beats
 /// into the engine and records every response/ack with its cycle number.
@@ -55,49 +115,69 @@ std::vector<Event> run_trace(unsigned shards, unsigned threads,
   std::uint64_t seq = 1;
 
   for (unsigned cyc = 0; cyc < cycles; ++cyc) {
-    const double dice = rng.next_double();
-    cam::UnitRequest req;
-    if (dice < 0.35) {
-      req.op = cam::OpKind::kUpdate;
-      const unsigned n = 1 + static_cast<unsigned>(rng.next_below(4));
-      for (unsigned i = 0; i < n; ++i) req.words.push_back(rng.next_bits(8));
-      req.seq = seq++;
-      (void)engine.try_submit(req);  // backpressure refusal is part of the trace
-    } else if (dice < 0.90) {
-      req.op = cam::OpKind::kSearch;
-      const unsigned nk = 1 + static_cast<unsigned>(rng.next_below(shards));
-      for (unsigned i = 0; i < nk; ++i) req.keys.push_back(rng.next_bits(8));
-      req.seq = seq++;
-      (void)engine.try_submit(req);
-    }
-    // else: idle beat
-
+    submit_random_beat(engine, rng, shards, seq);
     engine.step();
-
     while (auto resp = engine.try_pop_response()) {
-      Event e;
-      e.cycle = engine.stats().cycles;
-      e.is_response = true;
-      e.seq = resp->seq;
-      for (const auto& r : resp->results) {
-        e.payload.push_back(r.key);
-        e.payload.push_back(r.hit ? 1 : 0);
-        e.payload.push_back(r.global_address);
-        e.payload.push_back(r.match_count);
-        e.payload.push_back(r.group);
-        e.payload.push_back(r.shard);
-      }
-      events.push_back(std::move(e));
+      append_response(events, engine, *resp, engine.stats().cycles);
     }
     while (auto ack = engine.try_pop_ack()) {
-      Event e;
-      e.cycle = engine.stats().cycles;
-      e.seq = ack->seq;
-      e.payload = {ack->words_written, ack->unit_full ? 1u : 0u};
-      events.push_back(std::move(e));
+      append_ack(events, engine, *ack, engine.stats().cycles);
     }
   }
   return events;
+}
+
+/// Horizon-batched variant: host interaction happens only at window
+/// boundaries. Each window's length k is either drawn from `schedule_seed`
+/// (1..13 cycles) or taken from the engine's own output_horizon() when
+/// `auto_horizon` is set; `decompose` replaces every step_many(k) with k
+/// single step() calls. All four combinations must produce the same events.
+std::vector<Event> run_horizon_trace(unsigned shards, unsigned threads,
+                                     unsigned windows, std::uint64_t seed,
+                                     std::uint64_t schedule_seed, bool decompose,
+                                     bool auto_horizon,
+                                     cam::EvalMode mode = cam::EvalMode::kFast) {
+  ShardedCamEngine engine(engine_config(shards, threads), shard_config(mode));
+  Rng rng(seed);
+  Rng sched(schedule_seed);
+  std::vector<Event> events;
+  std::uint64_t seq = 1;
+
+  for (unsigned w = 0; w < windows; ++w) {
+    const unsigned beats = static_cast<unsigned>(rng.next_below(3));
+    for (unsigned b = 0; b < beats; ++b) {
+      submit_random_beat(engine, rng, shards, seq);
+    }
+    std::uint64_t k;
+    if (auto_horizon) {
+      // Derived purely from boundary-observable state, so every equivalent
+      // run computes the same schedule.
+      k = engine.output_horizon();
+      if (k == 0) k = 1;
+    } else {
+      k = 1 + sched.next_below(13);
+    }
+    if (decompose) {
+      for (std::uint64_t c = 0; c < k; ++c) engine.step();
+    } else {
+      engine.step_many(k);
+    }
+    const std::uint64_t cyc = engine.stats().cycles;
+    while (auto resp = engine.try_pop_response()) {
+      append_response(events, engine, *resp, cyc);
+    }
+    while (auto ack = engine.try_pop_ack()) {
+      append_ack(events, engine, *ack, cyc);
+    }
+  }
+  return events;
+}
+
+void expect_equal_traces(const std::vector<Event>& a, const std::vector<Event>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << "event " << i << " diverged";
+  }
 }
 
 class ParallelDeterminism : public ::testing::TestWithParam<unsigned> {};
@@ -111,10 +191,7 @@ TEST_P(ParallelDeterminism, TraceMatchesSerialByteForByte) {
   const auto serial = run_trace(kShards, 1, kCycles, 0xD15EA5E);
   const auto parallel = run_trace(kShards, threads, kCycles, 0xD15EA5E);
   ASSERT_GT(serial.size(), 100u) << "trace too quiet to be meaningful";
-  ASSERT_EQ(serial.size(), parallel.size());
-  for (std::size_t i = 0; i < serial.size(); ++i) {
-    EXPECT_EQ(serial[i], parallel[i]) << "event " << i << " diverged";
-  }
+  expect_equal_traces(serial, parallel);
 }
 
 INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelDeterminism,
@@ -126,6 +203,52 @@ TEST(ParallelDeterminism, ParallelRunIsRepeatable) {
   const auto a = run_trace(4, 4, 2000, 42);
   const auto b = run_trace(4, 4, 2000, 42);
   ASSERT_EQ(a, b);
+}
+
+// step_many(k) under randomized window schedules == the k-fold decomposed
+// serial run, for thread counts {1, 2, 8} and several schedules. Events
+// carry completion-ready cycles, so a batch that shifts WHEN a beat
+// completed - not just its payload - fails here.
+class HorizonDeterminism : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(HorizonDeterminism, RandomScheduleMatchesDecomposedSerial) {
+  const unsigned threads = GetParam();
+  for (const std::uint64_t schedule : {0xABCDEFull, 0x5EEDull, 77ull}) {
+    const auto golden = run_horizon_trace(8, 1, 700, 0xD15EA5E, schedule,
+                                          /*decompose=*/true, /*auto=*/false);
+    const auto batched = run_horizon_trace(8, threads, 700, 0xD15EA5E, schedule,
+                                           /*decompose=*/false, /*auto=*/false);
+    ASSERT_GT(golden.size(), 100u) << "trace too quiet to be meaningful";
+    expect_equal_traces(golden, batched);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, HorizonDeterminism,
+                         ::testing::Values(1u, 2u, 8u));
+
+// The engine's own output_horizon() schedule is boundary-deterministic:
+// batched execution of it equals its single-step decomposition.
+TEST(HorizonDeterminism, AutoHorizonMatchesDecomposedSerial) {
+  const auto golden = run_horizon_trace(8, 1, 900, 0xFEED, 0,
+                                        /*decompose=*/true, /*auto=*/true);
+  const auto batched = run_horizon_trace(8, 8, 900, 0xFEED, 0,
+                                         /*decompose=*/false, /*auto=*/true);
+  ASSERT_GT(golden.size(), 100u);
+  expect_equal_traces(golden, batched);
+}
+
+// The SIMD/scalar fast kernel stays in lockstep with the reference cells
+// under horizon batching (whichever sweep implementation the build/host
+// selected - the DSPCAM_NO_SIMD CI leg runs this scalar-only).
+TEST(HorizonDeterminism, FastEvalMatchesReferenceUnderBatching) {
+  const auto ref = run_horizon_trace(4, 2, 700, 0xCAFE, 0x1234,
+                                     /*decompose=*/false, /*auto=*/false,
+                                     cam::EvalMode::kReference);
+  const auto fast = run_horizon_trace(4, 2, 700, 0xCAFE, 0x1234,
+                                      /*decompose=*/false, /*auto=*/false,
+                                      cam::EvalMode::kFast);
+  ASSERT_GT(ref.size(), 100u);
+  expect_equal_traces(ref, fast);
 }
 
 }  // namespace

@@ -42,6 +42,7 @@ std::string run_workload(unsigned shards, unsigned threads, cam::EvalMode mode,
   ShardedCamEngine::Config ec;
   ec.shards = shards;
   ec.step_threads = threads;
+  ec.clamp_threads_to_cores = false;  // exercise real pools on any host
   ec.credits_per_shard = 32;
   ShardedCamEngine engine(ec, shard_config(mode));
   CamDriver drv(engine);
