@@ -18,6 +18,13 @@
 //           own conservative output_horizon() ("auto"), relative to
 //           per-cycle stepping (K=1) - how much of the barrier cost the
 //           batched stepping path recovers.
+//   part 5  match-kernel ablation: the same saturating search stream per
+//           geometry with the registry-selected specialized kernel vs the
+//           generic sweep forced on the identical geometry
+//           (BlockConfig::force_generic_kernel) - what the per-geometry
+//           compiled kernels add on top of the generic fast path.
+//           kind:"kernel" rows carry the kernel name so tools/bench_diff
+//           attributes regressions to a kernel, not just a geometry.
 //
 // Flags: --warmup N --repeat N --json <path>   (default path
 // BENCH_step_rate.json so CI always collects the artifact).
@@ -28,6 +35,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/cam/match_kernel.h"
 #include "src/cam/unit.h"
 #include "src/system/driver.h"
 #include "src/system/sharded_engine.h"
@@ -44,16 +52,30 @@ struct Rate {
   double searches_per_sec = 0;
 };
 
-cam::UnitConfig unit_config(unsigned blocks, unsigned cells, cam::EvalMode mode) {
+cam::UnitConfig unit_config(unsigned blocks, unsigned cells, cam::EvalMode mode,
+                            cam::CamKind kind = cam::CamKind::kBinary,
+                            unsigned data_width = 32) {
   cam::UnitConfig cfg;
-  cfg.block.cell.kind = cam::CamKind::kBinary;
-  cfg.block.cell.data_width = 32;
+  cfg.block.cell.kind = kind;
+  cfg.block.cell.data_width = data_width;
   cfg.block.block_size = cells;
-  cfg.block.bus_width = 512;
+  cfg.block.bus_width = data_width * 16;
   cfg.block.eval_mode = mode;
   cfg.unit_size = blocks;
-  cfg.bus_width = 512;
+  cfg.bus_width = data_width * 16;
   return cfg;
+}
+
+/// The registry's answer for a config's geometry (what the blocks will run).
+std::string kernel_name_for(const cam::UnitConfig& cfg) {
+  if (cfg.block.eval_mode == cam::EvalMode::kReference) return "reference";
+  cam::MatchKernelQuery q;
+  q.kind = cfg.block.cell.kind;
+  q.data_width = cfg.block.cell.data_width;
+  q.block_size = cfg.block.block_size;
+  q.force_generic =
+      cfg.block.force_generic_kernel || cam::force_generic_kernel_env();
+  return cam::select_match_kernel(q).name;
 }
 
 /// Preloads half the unit's capacity, then streams one search beat per
@@ -257,6 +279,7 @@ int main(int argc, char** argv) {
       row.str("kind", "eval_mode")
           .str("unit", label)
           .str("mode", dspcam::cam::to_string(mode))
+          .str("kernel", kernel_name_for(unit_config(g.blocks, g.cells, mode)))
           .num("blocks", static_cast<std::uint64_t>(g.blocks))
           .num("cells_per_block", static_cast<std::uint64_t>(g.cells))
           .num("sim_cycles", g.cycles);
@@ -369,6 +392,66 @@ int main(int argc, char** argv) {
           .num("sim_cycles", h_cycles);
       dspcam::bench::add_stats(row, "cycles_per_sec", stats);
       if (!is_k1) row.num("speedup_vs_k1", speedup);
+      log.emit(row);
+    }
+  }
+
+  // Part 5: match-kernel ablation - registry-selected specialized kernel vs
+  // the generic sweep forced on the same geometry. Geometries are chosen so
+  // each exercises a different specialized family (32-bit-lane equality,
+  // 32-bit-lane masked, full-width equality); on hosts where the registry
+  // resolves to the generic kernel anyway (e.g. no AVX2, where only the
+  // depth-templated scalar kernels differ) the rows still record which
+  // kernel actually ran, so trajectories stay honest.
+  struct KernelGeometry {
+    const char* label;
+    cam::CamKind kind;
+    unsigned data_width;
+    unsigned blocks;
+    unsigned cells;
+    std::uint64_t cycles;
+  };
+  // Deep blocks: per-cycle sweep work has to dominate the fixed unit
+  // overhead (routing, encoder, pipeline bookkeeping) for the kernel
+  // difference to be visible above runner noise.
+  const KernelGeometry kernel_geometries[] = {
+      {"bcam_w32", cam::CamKind::kBinary, 32, 32, 256, 6'000},
+      {"tcam_w16", cam::CamKind::kTernary, 16, 32, 256, 6'000},
+      {"bcam_w48", cam::CamKind::kBinary, 48, 16, 256, 10'000},
+  };
+  std::printf("\n%-10s %-16s %14s %14s %10s\n", "geometry", "kernel",
+              "cycles/s", "searches/s", "vs generic");
+  for (const auto& kg : kernel_geometries) {
+    double generic_median = 0;
+    for (const bool force_generic : {true, false}) {
+      auto cfg = unit_config(kg.blocks, kg.cells, dspcam::cam::EvalMode::kFast,
+                             kg.kind, kg.data_width);
+      cfg.block.force_generic_kernel = force_generic;
+      const std::string kernel = kernel_name_for(cfg);
+      const auto [stats, sps_stats] = dspcam::bench::measure_repeated_pair(opt, [&] {
+        const Rate r = search_stream_rate(cfg, kg.cycles);
+        return std::pair<double, double>{r.cycles_per_sec, r.searches_per_sec};
+      });
+      const double speedup =
+          !force_generic && generic_median > 0 ? stats.median / generic_median : 0;
+      if (force_generic) generic_median = stats.median;
+      char ratio[32] = "-";
+      if (!force_generic) std::snprintf(ratio, sizeof(ratio), "%.2fx", speedup);
+      std::printf("%-10s %-16s %14.0f %14.0f %10s\n", kg.label, kernel.c_str(),
+                  stats.median, sps_stats.median, ratio);
+      auto row = dspcam::bench::JsonLog::Row("micro_step_rate");
+      row.str("kind", "kernel")
+          .str("unit", kg.label)
+          .str("cam_kind", dspcam::cam::to_string(kg.kind))
+          .str("kernel", kernel)
+          .num("data_width", static_cast<std::uint64_t>(kg.data_width))
+          .num("blocks", static_cast<std::uint64_t>(kg.blocks))
+          .num("cells_per_block", static_cast<std::uint64_t>(kg.cells))
+          .num("force_generic", std::uint64_t{force_generic ? 1u : 0u})
+          .num("sim_cycles", kg.cycles);
+      dspcam::bench::add_stats(row, "cycles_per_sec", stats);
+      dspcam::bench::add_stats(row, "searches_per_sec", sps_stats);
+      if (!force_generic) row.num("speedup_vs_generic", speedup);
       log.emit(row);
     }
   }

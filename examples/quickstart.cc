@@ -36,6 +36,13 @@ int main() {
 
   cam::CamUnit unit(cfg);
   std::printf("Built CAM unit: %s\n", cfg.to_string().c_str());
+  // Which simulation path answers searches: the eval mode picks the engine
+  // (per-cell DSP reference vs packed-array fast path) and, for kFast, the
+  // registry picks the geometry-specialized match kernel (match_kernel.h).
+  // Confirm this before benchmarking anything.
+  std::printf("Eval mode: %s, match kernel: %s\n",
+              cam::to_string(cfg.block.eval_mode).c_str(),
+              unit.match_kernel_name().c_str());
 
   // 2a. Store a few values. One bus beat carries up to 16 x 32-bit words;
   //     the update lands 6 cycles later (Table VIII).

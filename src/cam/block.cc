@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "src/cam/match_sweep.h"
+#include "src/cam/match_kernel.h"
 #include "src/common/bitops.h"
 #include "src/common/error.h"
 
@@ -20,10 +20,27 @@ CamBlock::CamBlock(const BlockConfig& cfg)
     // ~MASK over the DSP datapath for a never-written cell is the plain
     // width mask, i.e. "compare all data_width bits" (CamCell's initial
     // attribute state).
+    default_nmask_ = ~width_mask(cfg_.cell.data_width) & kDspWordMask;
     fast_stored_.assign(cfg_.block_size, 0);
-    fast_cmp_not_mask_.assign(cfg_.block_size,
-                              ~width_mask(cfg_.cell.data_width) & kDspWordMask);
+    fast_cmp_not_mask_.assign(cfg_.block_size, default_nmask_);
     fast_valid_.assign((cfg_.block_size + 63) / 64, 0);
+    sweep_bits_.assign(match_scratch_.word_count(), 0);
+
+    // Configure-time kernel selection (match_kernel.h): the best compiled
+    // specialization for this geometry, plus the masked fallback dispatched
+    // if a fault poke ever de-uniforms a binary block's mask plane.
+    MatchKernelQuery q;
+    q.kind = cfg_.cell.kind;
+    q.data_width = cfg_.cell.data_width;
+    q.block_size = cfg_.block_size;
+    q.force_generic = cfg_.force_generic_kernel || force_generic_kernel_env();
+    kernel_ = &select_match_kernel(q);
+    if (kernel_->needs_uniform_mask) {
+      q.allow_mask_free = false;
+      masked_kernel_ = &select_match_kernel(q);
+    } else {
+      masked_kernel_ = kernel_;
+    }
   }
   if (cfg_.parity) {
     parity_.assign((cfg_.block_size + 63) / 64, 0);
@@ -134,6 +151,10 @@ bool CamBlock::entry_valid(unsigned index) const {
                         : cells_[index]->valid();
 }
 
+std::string CamBlock::match_kernel_name() const {
+  return kernel_ != nullptr ? kernel_->name : "reference";
+}
+
 bool CamBlock::entry_parity(unsigned index) const {
   if (index >= cfg_.block_size) throw SimError("CamBlock: cell index out of range");
   if (cfg_.parity) return parity_bit(index);
@@ -147,6 +168,11 @@ void CamBlock::poke_entry(unsigned index, Word stored, std::uint64_t entry_mask,
   if (cells_.empty()) {
     fast_stored_[index] = truncate(stored, cfg_.cell.data_width);
     fast_cmp_not_mask_[index] = ~mask & kDspWordMask;
+    // A poked mask may differ from the plain width mask even on a binary
+    // block (that is what a MASK-plane upset looks like): drop to the
+    // masked kernel until a reset re-uniforms the plane. Sticky by design -
+    // a later poke restoring this entry says nothing about the others.
+    if (fast_cmp_not_mask_[index] != default_nmask_) nmask_uniform_ = false;
     const std::uint64_t lane = std::uint64_t{1} << (index % 64);
     if (valid) {
       fast_valid_[index / 64] |= lane;
@@ -162,9 +188,9 @@ void CamBlock::poke_entry(unsigned index, Word stored, std::uint64_t entry_mask,
 void CamBlock::hard_reset() {
   if (cells_.empty()) {
     std::fill(fast_stored_.begin(), fast_stored_.end(), 0);
-    std::fill(fast_cmp_not_mask_.begin(), fast_cmp_not_mask_.end(),
-              ~width_mask(cfg_.cell.data_width) & kDspWordMask);
+    std::fill(fast_cmp_not_mask_.begin(), fast_cmp_not_mask_.end(), default_nmask_);
     std::fill(fast_valid_.begin(), fast_valid_.end(), 0);
+    nmask_uniform_ = true;
     pd_pending_ = false;
   } else {
     for (auto& cell : cells_) cell->hard_clear();
@@ -187,9 +213,9 @@ void CamBlock::apply_reset() {
     // guarantees no in-flight compare will be read, so the arrays can be
     // rewritten directly instead of going through drive_clear/commit.
     std::fill(fast_stored_.begin(), fast_stored_.end(), 0);
-    std::fill(fast_cmp_not_mask_.begin(), fast_cmp_not_mask_.end(),
-              ~width_mask(cfg_.cell.data_width) & kDspWordMask);
+    std::fill(fast_cmp_not_mask_.begin(), fast_cmp_not_mask_.end(), default_nmask_);
     std::fill(fast_valid_.begin(), fast_valid_.end(), 0);
+    nmask_uniform_ = true;
     pd_pending_ = false;
   } else {
     for (auto& cell : cells_) cell->drive_clear();
@@ -211,6 +237,9 @@ void CamBlock::write_entry(unsigned index, Word value, std::uint64_t entry_mask)
   }
   fast_stored_[index] = truncate(value, cfg_.cell.data_width);
   fast_cmp_not_mask_[index] = ~entry_mask & kDspWordMask;
+  // Per-entry TCAM/RMCAM masks de-uniform the plane (binary blocks never
+  // reach here with one - issue() rejects them).
+  if (fast_cmp_not_mask_[index] != default_nmask_) nmask_uniform_ = false;
   fast_valid_[index / 64] |= std::uint64_t{1} << (index % 64);
 }
 
@@ -293,33 +322,17 @@ void CamBlock::compute_match_fast() {
   // and the cell gates it with the pre-edge valid flag. The arrays hold
   // pre-edge state here (updates for this cycle apply afterwards), so the
   // sweep reproduces the edge exactly, 64 match lines per output word.
-  // Dispatch (match_sweep.h): AVX2 sweep when compiled in and the CPU has
-  // it, scalar loop otherwise - bit-identical either way (integer compares
-  // only), so the choice never leaks into results.
-  const Word key = cmp_key_;
-  const std::uint64_t* stored = fast_stored_.data();
-  const std::uint64_t* nmask = fast_cmp_not_mask_.data();
+  // Dispatch: the kernel selected for this geometry at construction
+  // (match_kernel.h), demoted to the masked fallback while a fault poke
+  // keeps the mask plane non-uniform. Every kernel is a pure integer
+  // transform, bit-identical by construction, so the choice never leaks
+  // into results.
+  const MatchKernel* k = nmask_uniform_ ? kernel_ : masked_kernel_;
+  k->fn(fast_stored_.data(), fast_cmp_not_mask_.data(), cmp_key_,
+        cfg_.block_size, sweep_bits_.data());
   const std::size_t word_count = match_scratch_.word_count();
-  static const bool use_avx2 = detail::match_sweep_avx2_available();
-  if (use_avx2) {
-    if (sweep_bits_.size() < word_count) sweep_bits_.resize(word_count);
-    detail::match_sweep_avx2(stored, nmask, key, cfg_.block_size,
-                             sweep_bits_.data());
-    for (std::size_t wi = 0; wi < word_count; ++wi) {
-      match_scratch_.set_word(wi, sweep_bits_[wi] & fast_valid_[wi]);
-    }
-    return;
-  }
   for (std::size_t wi = 0; wi < word_count; ++wi) {
-    const std::size_t base = wi * 64;
-    const std::size_t lanes =
-        std::min<std::size_t>(64, cfg_.block_size - base);
-    std::uint64_t bits = 0;
-    for (std::size_t b = 0; b < lanes; ++b) {
-      bits |= static_cast<std::uint64_t>(((stored[base + b] ^ key) & nmask[base + b]) == 0)
-              << b;
-    }
-    match_scratch_.set_word(wi, bits & fast_valid_[wi]);
+    match_scratch_.set_word(wi, sweep_bits_[wi] & fast_valid_[wi]);
   }
 }
 

@@ -23,16 +23,20 @@
 //   - kReference drives one Dsp48e2 model per cell (the golden path).
 //   - kFast mirrors the cells' registered state - stored word, per-entry
 //     MASK, valid flag - into packed contiguous arrays and answers a search
-//     with a branch-free ((stored ^ key) & ~mask) == 0 sweep. The broadcast
-//     register, the DSP C/P register stages and the encoder buffer are
-//     modelled by the same delay structures, so every response appears in
-//     the same cycle with the same payload as the reference path (lockstep
-//     fuzz-tested in tests/cam/fast_equivalence_test.cc).
+//     with a branch-free ((stored ^ key) & ~mask) == 0 sweep, dispatched
+//     through the geometry-specialized kernel selected from the match-kernel
+//     registry at construction (match_kernel.h; mask-free BCAM equality,
+//     narrow-width AVX2 packing, depth-unrolled loops, generic fallback).
+//     The broadcast register, the DSP C/P register stages and the encoder
+//     buffer are modelled by the same delay structures, so every response
+//     appears in the same cycle with the same payload as the reference path
+//     (lockstep fuzz-tested in tests/cam/fast_equivalence_test.cc).
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "src/cam/cell.h"
@@ -43,6 +47,8 @@
 #include "src/sim/delay_line.h"
 
 namespace dspcam::cam {
+
+struct MatchKernel;  // match_kernel.h
 
 /// One CAM block.
 class CamBlock : public sim::Component {
@@ -113,6 +119,19 @@ class CamBlock : public sim::Component {
   /// (BlockConfig::parity), the derived value otherwise.
   bool entry_parity(unsigned index) const;
 
+  /// The match kernel selected for this block's geometry at construction
+  /// (match_kernel.h), or nullptr in EvalMode::kReference.
+  const MatchKernel* match_kernel() const noexcept { return kernel_; }
+
+  /// The selected kernel's name; "reference" in EvalMode::kReference.
+  std::string match_kernel_name() const;
+
+  /// True while every entry's compare mask equals the plain width mask (the
+  /// precondition for the mask-free kernel family). Writes with per-entry
+  /// masks and fault pokes can clear it; a reset restores it. While false,
+  /// compute_match_fast dispatches the masked fallback kernel instead.
+  bool mask_plane_uniform() const noexcept { return nmask_uniform_; }
+
   /// Overwrites one entry's registered state outside the clocked protocol
   /// (fault injection / scrub repair, src/fault/). Works identically in both
   /// eval modes; `stored` is truncated to the data width. The parity bit is
@@ -154,6 +173,15 @@ class CamBlock : public sim::Component {
   std::vector<std::uint64_t> fast_cmp_not_mask_;
   std::vector<std::uint64_t> fast_valid_;  ///< Packed, 64 valid flags/word.
 
+  // Match-kernel dispatch (kFast; see match_kernel.h). kernel_ is the
+  // configure-time selection; masked_kernel_ is the fallback dispatched
+  // while the mask plane is non-uniform (== kernel_ unless kernel_ is
+  // mask-free). default_nmask_ is ~width_mask, the uniform-plane value.
+  const MatchKernel* kernel_ = nullptr;
+  const MatchKernel* masked_kernel_ = nullptr;
+  std::uint64_t default_nmask_ = 0;
+  bool nmask_uniform_ = true;
+
   Word cmp_key_ = 0;         ///< Fast path's C-register mirror.
   bool pd_pending_ = false;  ///< A key latched last cycle awaits its compare.
 
@@ -163,7 +191,8 @@ class CamBlock : public sim::Component {
   std::vector<std::uint64_t> parity_;
 
   BitVec match_scratch_;  ///< Match-line bus, reused every cycle (no alloc).
-  std::vector<std::uint64_t> sweep_bits_;  ///< SIMD sweep scratch (no alloc).
+  std::vector<std::uint64_t> sweep_bits_;  ///< Kernel sweep scratch (no alloc;
+                                           ///< sized at construction).
 
   unsigned fill_ = 0;  ///< Cell Address Controller write pointer.
 

@@ -51,6 +51,14 @@ struct BlockConfig {
                                   ///< MASK + valid (robustness extension; see
                                   ///< src/fault/). Zero cost when off.
   EvalMode eval_mode = EvalMode::kFast;  ///< Simulator evaluation path.
+  bool force_generic_kernel = false;     ///< kFast only: skip the specialized
+                                         ///< match-kernel registry and stay on
+                                         ///< the generic AVX2/scalar sweep
+                                         ///< (match_kernel.h). The
+                                         ///< DSPCAM_FORCE_GENERIC_KERNEL env
+                                         ///< var forces the same thing
+                                         ///< process-wide. Bit-identical
+                                         ///< either way; host cost only.
 
   /// Data words carried per bus beat (update parallelism).
   unsigned words_per_beat() const noexcept { return bus_width / cell.data_width; }

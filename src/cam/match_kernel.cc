@@ -1,0 +1,125 @@
+// Scalar kernel family and the registry/selector (match_kernel.h).
+//
+// The depth-templated kernels below differ from the generic sweep only in
+// that the trip counts are compile-time constants: the compiler fully
+// unrolls the word loop and auto-vectorizes the 64-lane inner loop with
+// whatever the baseline ISA offers, which is where the speedup on scalar
+// builds comes from. The eq family additionally drops the nmask operand
+// (mask-free BCAM: match == equality once every mask is the width mask).
+#include "src/cam/match_kernel.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "src/cam/match_sweep.h"
+
+namespace dspcam::cam {
+namespace {
+
+/// Mask-free equality sweep, any depth.
+void eq_sweep(const std::uint64_t* stored, const std::uint64_t* /*nmask*/,
+              Word key, std::size_t count, std::uint64_t* out_bits) {
+  const std::size_t words = (count + 63) / 64;
+  for (std::size_t wi = 0; wi < words; ++wi) {
+    const std::size_t base = wi * 64;
+    const std::size_t lanes = count - base < 64 ? count - base : 64;
+    std::uint64_t bits = 0;
+    for (std::size_t b = 0; b < lanes; ++b) {
+      bits |= static_cast<std::uint64_t>(stored[base + b] == key) << b;
+    }
+    out_bits[wi] = bits;
+  }
+}
+
+/// Depth-templated sweeps: kDepth is the block size (power of two), so the
+/// word count and every lane count are compile-time constants.
+template <std::size_t kDepth, bool kMaskFree>
+void fixed_depth_sweep(const std::uint64_t* stored, const std::uint64_t* nmask,
+                       Word key, std::size_t /*count*/, std::uint64_t* out_bits) {
+  constexpr std::size_t kWords = (kDepth + 63) / 64;
+  constexpr std::size_t kLanes = kDepth < 64 ? kDepth : 64;
+  for (std::size_t wi = 0; wi < kWords; ++wi) {
+    const std::size_t base = wi * 64;
+    std::uint64_t bits = 0;
+    for (std::size_t b = 0; b < kLanes; ++b) {
+      const bool match = kMaskFree
+                             ? stored[base + b] == key
+                             : ((stored[base + b] ^ key) & nmask[base + b]) == 0;
+      bits |= static_cast<std::uint64_t>(match) << b;
+    }
+    out_bits[wi] = bits;
+  }
+}
+
+void generic_scalar(const std::uint64_t* stored, const std::uint64_t* nmask,
+                    Word key, std::size_t count, std::uint64_t* out_bits) {
+  detail::match_sweep_scalar(stored, nmask, key, count, out_bits);
+}
+
+std::vector<MatchKernel> build_registry() {
+  std::vector<MatchKernel> v;
+  // Highest priority: AVX2 specializations (8-lane narrow-width packing,
+  // mask-free equality). Empty on no-AVX2 toolchains/builds.
+  detail::append_avx2_specialized_kernels(v);
+
+  // Mask-free scalar family, depth-unrolled first.
+  v.push_back({"eq_d16", &fixed_depth_sweep<16, true>, false, true, 0, 16});
+  v.push_back({"eq_d32", &fixed_depth_sweep<32, true>, false, true, 0, 32});
+  v.push_back({"eq_d64", &fixed_depth_sweep<64, true>, false, true, 0, 64});
+  v.push_back({"eq_d128", &fixed_depth_sweep<128, true>, false, true, 0, 128});
+  v.push_back({"eq_d256", &fixed_depth_sweep<256, true>, false, true, 0, 256});
+  v.push_back({"eq_d512", &fixed_depth_sweep<512, true>, false, true, 0, 512});
+  v.push_back({"eq", &eq_sweep, false, true, 0, 0});
+
+  // Generic AVX2 sweep (the pre-registry vector path) outranks the scalar
+  // masked family: on an AVX2 host it beats any scalar unroll. The symbol
+  // always exists (block_simd.cc defines a stub when compiled out); the
+  // needs_avx2 flag keeps it unselectable there.
+  v.push_back({"generic_avx2", &detail::match_sweep_avx2, true, false, 0, 0,
+               /*generic=*/true});
+
+  // Masked scalar family (TCAM/RMCAM, and the fallback for binary blocks
+  // whose mask plane a fault poke made non-uniform).
+  v.push_back({"masked_d16", &fixed_depth_sweep<16, false>, false, false, 0, 16});
+  v.push_back({"masked_d32", &fixed_depth_sweep<32, false>, false, false, 0, 32});
+  v.push_back({"masked_d64", &fixed_depth_sweep<64, false>, false, false, 0, 64});
+  v.push_back({"masked_d128", &fixed_depth_sweep<128, false>, false, false, 0, 128});
+  v.push_back({"masked_d256", &fixed_depth_sweep<256, false>, false, false, 0, 256});
+  v.push_back({"masked_d512", &fixed_depth_sweep<512, false>, false, false, 0, 512});
+
+  // Terminal fallback: matches every geometry unconditionally.
+  v.push_back({"generic_scalar", &generic_scalar, false, false, 0, 0,
+               /*generic=*/true});
+  return v;
+}
+
+}  // namespace
+
+const std::vector<MatchKernel>& match_kernel_registry() {
+  static const std::vector<MatchKernel> registry = build_registry();
+  return registry;
+}
+
+bool force_generic_kernel_env() {
+  const char* v = std::getenv("DSPCAM_FORCE_GENERIC_KERNEL");
+  return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
+}
+
+const MatchKernel& select_match_kernel(const MatchKernelQuery& q) {
+  const bool avx2 = detail::match_sweep_avx2_available();
+  for (const MatchKernel& k : match_kernel_registry()) {
+    if (q.force_generic && !k.generic) continue;
+    if (k.needs_avx2 && !avx2) continue;
+    if (k.needs_uniform_mask &&
+        (!q.allow_mask_free || q.kind != CamKind::kBinary)) {
+      continue;
+    }
+    if (k.max_width != 0 && q.data_width > k.max_width) continue;
+    if (k.depth != 0 && q.block_size != k.depth) continue;
+    return k;
+  }
+  // Unreachable: generic_scalar has no requirements. Keep the compiler happy.
+  return match_kernel_registry().back();
+}
+
+}  // namespace dspcam::cam

@@ -1,0 +1,123 @@
+// AVX2 specialized match kernels (match_kernel.h).
+//
+// Compiled with -mavx2 alongside block_simd.cc (the only two such TUs, see
+// src/cam/CMakeLists.txt); the registry only selects these after the runtime
+// CPU check in match_sweep_avx2_available(), so vector code never executes
+// on a host without AVX2. With the flag unavailable - or DSPCAM_NO_SIMD on -
+// the registration hook below appends nothing.
+//
+// Two specializations beyond the generic AVX2 sweep:
+//   - eq64_avx2: mask-free BCAM equality on u64 lanes. Two loads per four
+//     entries instead of three (no nmask stream).
+//   - eq32_avx2 / masked32_avx2: data_width <= 32 means the significant
+//     bits of every packed u64 fit its low half (stored words and keys are
+//     truncated to the width; nmask never exceeds low_bits(width) except
+//     for fault-cleared high MASK bits, which cannot flip a compare because
+//     the corresponding (stored ^ key) bits are zero). Eight entries'
+//     low halves are gathered into one 256-bit vector, doubling the
+//     compare throughput - the constant-folded key-width win.
+#include "src/cam/match_kernel.h"
+
+#if defined(DSPCAM_HAVE_AVX2)
+#include <immintrin.h>
+#endif
+
+namespace dspcam::cam::detail {
+
+#if defined(DSPCAM_HAVE_AVX2)
+
+namespace {
+
+/// Gathers the low 32 bits of eight consecutive packed u64 entries, in
+/// entry order, into the eight 32-bit lanes of one vector.
+inline __m256i load_lo32_x8(const std::uint64_t* p) {
+  const __m256 a = _mm256_castsi256_ps(
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p)));
+  const __m256 b = _mm256_castsi256_ps(
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + 4)));
+  // Per 128-bit half: lanes {0,2} of a then {0,2} of b = the low dwords.
+  // Order after the shuffle is {e0,e1,e4,e5 | e2,e3,e6,e7}; the 64-bit
+  // permute restores entry order.
+  const __m256i packed = _mm256_castps_si256(
+      _mm256_shuffle_ps(a, b, _MM_SHUFFLE(2, 0, 2, 0)));
+  return _mm256_permute4x64_epi64(packed, _MM_SHUFFLE(3, 1, 2, 0));
+}
+
+/// Mask-free equality on u64 lanes (any depth).
+void eq64_avx2(const std::uint64_t* stored, const std::uint64_t* /*nmask*/,
+               Word key, std::size_t count, std::uint64_t* out_bits) {
+  const __m256i vkey = _mm256_set1_epi64x(static_cast<long long>(key));
+  const std::size_t words = (count + 63) / 64;
+  for (std::size_t wi = 0; wi < words; ++wi) {
+    const std::size_t base = wi * 64;
+    const std::size_t lanes = count - base < 64 ? count - base : 64;
+    std::uint64_t bits = 0;
+    std::size_t b = 0;
+    for (; b + 4 <= lanes; b += 4) {
+      const __m256i s = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(stored + base + b));
+      const __m256i eq = _mm256_cmpeq_epi64(s, vkey);
+      const unsigned lane_bits = static_cast<unsigned>(
+          _mm256_movemask_pd(_mm256_castsi256_pd(eq)));
+      bits |= static_cast<std::uint64_t>(lane_bits) << b;
+    }
+    for (; b < lanes; ++b) {
+      bits |= static_cast<std::uint64_t>(stored[base + b] == key) << b;
+    }
+    out_bits[wi] = bits;
+  }
+}
+
+/// Narrow-width sweeps: eight 32-bit lanes per step. kMaskFree drops the
+/// nmask gather as well.
+template <bool kMaskFree>
+void lo32_avx2(const std::uint64_t* stored, const std::uint64_t* nmask,
+               Word key, std::size_t count, std::uint64_t* out_bits) {
+  const __m256i vkey = _mm256_set1_epi32(static_cast<int>(key));
+  const __m256i zero = _mm256_setzero_si256();
+  const std::size_t words = (count + 63) / 64;
+  for (std::size_t wi = 0; wi < words; ++wi) {
+    const std::size_t base = wi * 64;
+    const std::size_t lanes = count - base < 64 ? count - base : 64;
+    std::uint64_t bits = 0;
+    std::size_t b = 0;
+    for (; b + 8 <= lanes; b += 8) {
+      const __m256i s = load_lo32_x8(stored + base + b);
+      __m256i eq;
+      if (kMaskFree) {
+        eq = _mm256_cmpeq_epi32(s, vkey);
+      } else {
+        const __m256i m = load_lo32_x8(nmask + base + b);
+        const __m256i diff = _mm256_and_si256(_mm256_xor_si256(s, vkey), m);
+        eq = _mm256_cmpeq_epi32(diff, zero);
+      }
+      const unsigned lane_bits = static_cast<unsigned>(
+          _mm256_movemask_ps(_mm256_castsi256_ps(eq)));
+      bits |= static_cast<std::uint64_t>(lane_bits) << b;
+    }
+    for (; b < lanes; ++b) {
+      const bool match = kMaskFree
+                             ? stored[base + b] == key
+                             : ((stored[base + b] ^ key) & nmask[base + b]) == 0;
+      bits |= static_cast<std::uint64_t>(match) << b;
+    }
+    out_bits[wi] = bits;
+  }
+}
+
+}  // namespace
+
+void append_avx2_specialized_kernels(std::vector<MatchKernel>& out) {
+  // Priority order within the AVX2 tier: narrowest first.
+  out.push_back({"eq32_avx2", &lo32_avx2<true>, true, true, 32, 0});
+  out.push_back({"eq64_avx2", &eq64_avx2, true, true, 0, 0});
+  out.push_back({"masked32_avx2", &lo32_avx2<false>, true, false, 32, 0});
+}
+
+#else  // !DSPCAM_HAVE_AVX2: nothing to register.
+
+void append_avx2_specialized_kernels(std::vector<MatchKernel>&) {}
+
+#endif
+
+}  // namespace dspcam::cam::detail

@@ -16,6 +16,11 @@
 //
 // Both write ceil(count / 64) words of raw match bits; the caller masks
 // with the packed valid flags.
+//
+// These two sweeps are the *generic* family of the match-kernel registry
+// (match_kernel.h): the geometry-specialized kernels outrank them at
+// selection time, and they remain the guaranteed fallback (and the whole
+// story under DSPCAM_FORCE_GENERIC_KERNEL).
 #pragma once
 
 #include <cstddef>

@@ -108,6 +108,11 @@ class CamUnit : public sim::Component {
   unsigned stored_per_group() const noexcept;
   unsigned capacity_per_group() const noexcept;
 
+  /// Name of the fast-path match kernel the blocks selected at construction
+  /// (every block shares the geometry, hence the kernel); "reference" in
+  /// EvalMode::kReference. See match_kernel.h.
+  std::string match_kernel_name() const { return blocks_[0]->match_kernel_name(); }
+
   const RoutingTable& routing() const noexcept { return routing_; }
   const CamBlock& block(unsigned index) const { return *blocks_.at(index); }
 

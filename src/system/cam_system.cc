@@ -156,16 +156,22 @@ void CamSystem::record_telemetry(telemetry::MetricRegistry& registry,
       .set(static_cast<std::int64_t>(unit_.stored_per_group()));
   registry.gauge(prefix + ".fast_mode")
       .set(cfg_.unit.block.eval_mode == cam::EvalMode::kFast ? 1 : 0);
+  // Kernel-as-label gauge: one child per kernel name so bench_diff /
+  // dashboards can attribute a perf shift to a kernel change without
+  // maintaining a name <-> id mapping ("...kernel.eq32_avx2" = 1).
+  registry.gauge(prefix + ".kernel." + unit_.match_kernel_name()).set(1);
 }
 
 std::string CamSystem::debug_dump() const {
   char buf[256];
   std::snprintf(buf, sizeof buf,
                 "CamSystem{req_fifo=%zu/%zu resp_fifo=%zu/%zu ack_fifo=%zu/%zu "
-                "searches_in_flight=%zu updates_in_flight=%zu unit_idle=%d}",
+                "searches_in_flight=%zu updates_in_flight=%zu unit_idle=%d "
+                "kernel=%s}",
                 request_fifo_.size(), request_fifo_.capacity(), response_fifo_.size(),
                 response_fifo_.capacity(), ack_fifo_.size(), ack_fifo_.capacity(),
-                searches_in_flight_, updates_in_flight_, unit_.idle() ? 1 : 0);
+                searches_in_flight_, updates_in_flight_, unit_.idle() ? 1 : 0,
+                unit_.match_kernel_name().c_str());
   return buf;
 }
 

@@ -96,8 +96,9 @@ class CamSystem : public sim::Component, public CamBackend {
   /// (Table I's system row).
   model::ResourceUsage resources() const override;
 
-  /// Stats plus interface-FIFO depths, in-flight credits, block occupancy
-  /// and the active eval mode ("<prefix>.fast_mode").
+  /// Stats plus interface-FIFO depths, in-flight credits, block occupancy,
+  /// the active eval mode ("<prefix>.fast_mode") and the selected match
+  /// kernel as a label gauge ("<prefix>.kernel.<name>" = 1).
   void record_telemetry(telemetry::MetricRegistry& registry,
                         const std::string& prefix) const override;
 

@@ -28,6 +28,9 @@ struct EquivParams {
   EncodingScheme encoding;
   unsigned cycles;
   std::uint64_t seed;
+  /// Pin the generic sweep instead of the registry's specialized kernel
+  /// (the fallback path must stay just as bit-identical).
+  bool force_generic = false;
 };
 
 class FastEquivalence : public ::testing::TestWithParam<EquivParams> {};
@@ -41,6 +44,7 @@ UnitConfig make_config(const EquivParams& p, EvalMode mode) {
   cfg.block.output_buffer = p.output_buffer;
   cfg.block.encoding = p.encoding;
   cfg.block.eval_mode = mode;
+  cfg.block.force_generic_kernel = p.force_generic;
   cfg.unit_size = p.unit_size;
   cfg.bus_width = p.data_width * 4;
   cfg.initial_groups = p.groups;
@@ -183,8 +187,11 @@ TEST_P(FastEquivalence, LockstepStreamsAreBitIdentical) {
   EXPECT_GT(responses, p.cycles / 4) << "stream exercised too few searches";
 }
 
-// >= 10k lockstep cycles over all three mask modes, both pipeline depths
-// (output buffer off/on), and all three encoders.
+// >= 15k lockstep cycles over all three mask modes, both pipeline depths
+// (output buffer off/on), all three encoders, and - through the registry -
+// every specialized kernel family this host can run (narrow-width and
+// full-width, mask-free and masked, depth-matched and ragged) plus the
+// force-generic escape hatch.
 INSTANTIATE_TEST_SUITE_P(
     Configs, FastEquivalence,
     ::testing::Values(
@@ -199,7 +206,16 @@ INSTANTIATE_TEST_SUITE_P(
         EquivParams{CamKind::kRange, 16, 4, 32, 1, false,
                     EncodingScheme::kOneHot, 2500, 505},
         EquivParams{CamKind::kRange, 24, 4, 16, 2, true,
-                    EncodingScheme::kPriorityIndex, 2000, 606}));
+                    EncodingScheme::kPriorityIndex, 2000, 606},
+        // 48-bit binary: the full-width mask-free (eq64) kernel family.
+        EquivParams{CamKind::kBinary, 48, 2, 64, 1, false,
+                    EncodingScheme::kPriorityIndex, 2000, 707},
+        // Same geometries as the first and third configs with the generic
+        // sweep forced: the fallback must be lockstep-identical too.
+        EquivParams{CamKind::kBinary, 32, 4, 32, 1, false,
+                    EncodingScheme::kPriorityIndex, 2000, 808, true},
+        EquivParams{CamKind::kTernary, 16, 4, 32, 2, false,
+                    EncodingScheme::kMatchCount, 2000, 909, true}));
 
 }  // namespace
 }  // namespace dspcam::cam

@@ -78,18 +78,22 @@ TEST(StackTelemetry, CountersIdenticalAcrossStepThreads) {
 
 TEST(StackTelemetry, CountersIdenticalAcrossEvalModes) {
   // Fast vs reference evaluation is cycle-lockstep (PR 2), so with the
-  // fast_mode gauge excluded every published metric must agree.
+  // fast_mode and kernel-name gauges excluded (the two metrics that are
+  // meant to differ: the mode flag and the selected match kernel's label)
+  // every published metric must agree.
   std::string fast = run_workload(2, 1, cam::EvalMode::kFast);
   std::string ref = run_workload(2, 1, cam::EvalMode::kReference);
-  // Remove every "...fast_mode": <v> entry (the one metric that is meant
-  // to differ); keys are sorted so a fast_mode gauge is never the last one
-  // in its object and the trailing comma always exists.
+  // Remove every "...<token>...": <v> entry; keys are sorted so neither
+  // gauge is ever the last one in its object and the trailing comma always
+  // exists.
   const auto strip = [](std::string& json) {
-    for (std::string::size_type p;
-         (p = json.find("fast_mode")) != std::string::npos;) {
-      const auto start = json.rfind('"', p);
-      const auto end = json.find(',', p);
-      json.erase(start, end - start + 1);
+    for (const char* token : {"fast_mode", ".kernel."}) {
+      for (std::string::size_type p;
+           (p = json.find(token)) != std::string::npos;) {
+        const auto start = json.rfind('"', p);
+        const auto end = json.find(',', p);
+        json.erase(start, end - start + 1);
+      }
     }
   };
   strip(fast);
