@@ -41,6 +41,11 @@ CamBlock::CamBlock(const BlockConfig& cfg)
     } else {
       masked_kernel_ = kernel_;
     }
+
+    // Fusion staging ring (DESIGN.md §11): room for a few batches of
+    // kMaxFusionKeys in-flight compares; the scan stops staging when full.
+    fused_.configure(match_scratch_.word_count(), 4 * kMaxFusionKeys);
+    fused_scratch_.assign(kMaxFusionKeys * match_scratch_.word_count(), 0);
   }
   if (cfg_.parity) {
     parity_.assign((cfg_.block_size + 63) / 64, 0);
@@ -165,6 +170,7 @@ void CamBlock::poke_entry(unsigned index, Word stored, std::uint64_t entry_mask,
                           bool valid, bool parity) {
   if (index >= cfg_.block_size) throw SimError("CamBlock: cell index out of range");
   const std::uint64_t mask = entry_mask & kDspWordMask;
+  fused_discards_ += fused_.clear();  // arrays mutate: staged bits are stale
   if (cells_.empty()) {
     fast_stored_[index] = truncate(stored, cfg_.cell.data_width);
     fast_cmp_not_mask_[index] = ~mask & kDspWordMask;
@@ -186,6 +192,7 @@ void CamBlock::poke_entry(unsigned index, Word stored, std::uint64_t entry_mask,
 }
 
 void CamBlock::hard_reset() {
+  fused_discards_ += fused_.clear();
   if (cells_.empty()) {
     std::fill(fast_stored_.begin(), fast_stored_.end(), 0);
     std::fill(fast_cmp_not_mask_.begin(), fast_cmp_not_mask_.end(), default_nmask_);
@@ -208,6 +215,7 @@ void CamBlock::hard_reset() {
 }
 
 void CamBlock::apply_reset() {
+  fused_discards_ += fused_.clear();
   if (cells_.empty()) {
     // The cleared state is visible at this edge, and the tag flush below
     // guarantees no in-flight compare will be read, so the arrays can be
@@ -249,6 +257,11 @@ void CamBlock::invalidate_entry(unsigned index) {
 
 void CamBlock::apply_update_path(std::optional<UpdateAck>& new_ack) {
   if (!pending_update_) return;
+  // This edge mutates the arrays (write or valid flag); every staged fused
+  // compare is computed against pre-mutation state and must be dropped.
+  // The compare retiring at this same edge already ran (compute_match_fast
+  // precedes this call in commit()), so nothing live is lost.
+  fused_discards_ += fused_.clear();
   const bool fast = cells_.empty();
   if (pending_update_->op == OpKind::kInvalidate) {
     const unsigned idx = *pending_update_->address;
@@ -316,12 +329,74 @@ void CamBlock::apply_update_path(std::optional<UpdateAck>& new_ack) {
   new_ack = ack;
 }
 
+void CamBlock::stage_fused_compares(const Word* keys, std::size_t nkeys) {
+  if (!fused_.configured()) {
+    throw SimError("CamBlock: fused staging is EvalMode::kFast only");
+  }
+  if (nkeys == 0) return;
+  if (nkeys > kMaxFusionKeys || !fused_.can_stage(nkeys)) {
+    throw SimError("CamBlock: fused batch exceeds staging capacity");
+  }
+  // Truncate exactly as the broadcast-register latch would, so staged
+  // records are keyed by the value compute_match_fast compares against.
+  Word tk[kMaxFusionKeys];
+  for (std::size_t i = 0; i < nkeys; ++i) {
+    tk[i] = truncate(keys[i], cfg_.cell.data_width);
+  }
+  const MatchKernel* k = nmask_uniform_ ? kernel_ : masked_kernel_;
+  const std::size_t words = fused_.words_per_entry();
+  if (k->multi_fn != nullptr) {
+    // The ring's records are key-major exactly like the kernel's output, so
+    // when the batch fits without wrapping the kernel writes straight into
+    // the staged slots; only a wrapping batch bounces through the scratch.
+    if (std::uint64_t* span = fused_.stage_span(tk, nkeys)) {
+      k->multi_fn(fast_stored_.data(), fast_cmp_not_mask_.data(), tk, nkeys,
+                  cfg_.block_size, span);
+    } else {
+      k->multi_fn(fast_stored_.data(), fast_cmp_not_mask_.data(), tk, nkeys,
+                  cfg_.block_size, fused_scratch_.data());
+      for (std::size_t i = 0; i < nkeys; ++i) {
+        std::uint64_t* slot = fused_.stage(tk[i]);
+        const std::uint64_t* src = fused_scratch_.data() + i * words;
+        for (std::size_t wi = 0; wi < words; ++wi) slot[wi] = src[wi];
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < nkeys; ++i) {
+      k->fn(fast_stored_.data(), fast_cmp_not_mask_.data(), tk[i],
+            cfg_.block_size, fused_.stage(tk[i]));
+    }
+  }
+  fused_staged_ += nkeys;
+}
+
 void CamBlock::compute_match_fast() {
   // One pattern-detect sweep: for entry i the DSP would latch
   //   PATTERNDETECT = ((stored_i ^ key) & ~MASK_i & kDspWordMask) == 0
   // and the cell gates it with the pre-edge valid flag. The arrays hold
   // pre-edge state here (updates for this cycle apply afterwards), so the
   // sweep reproduces the edge exactly, 64 match lines per output word.
+  const std::size_t word_count = match_scratch_.word_count();
+
+  // Fused fast path: when the oldest staged record is for exactly this
+  // key, its raw bits stand in for the sweep. The record was computed by
+  // the same kernel over the same (unmutated - else the ring were cleared)
+  // arrays, so the substitution is bit-exact; valid flags are ANDed here,
+  // identically to the fresh path, and cannot have changed while the
+  // record was staged (every valid mutation clears the ring). A key
+  // mismatch means the scan staged ahead of compares already in flight -
+  // fall through and compute fresh without popping; the ring realigns as
+  // those compares retire.
+  if (!fused_.empty() && fused_.front_key() == cmp_key_) {
+    const std::uint64_t* bits = fused_.front_words();
+    for (std::size_t wi = 0; wi < word_count; ++wi) {
+      match_scratch_.set_word(wi, bits[wi] & fast_valid_[wi]);
+    }
+    fused_.pop_front();
+    ++fused_hits_;
+    return;
+  }
+
   // Dispatch: the kernel selected for this geometry at construction
   // (match_kernel.h), demoted to the masked fallback while a fault poke
   // keeps the mask plane non-uniform. Every kernel is a pure integer
@@ -330,7 +405,6 @@ void CamBlock::compute_match_fast() {
   const MatchKernel* k = nmask_uniform_ ? kernel_ : masked_kernel_;
   k->fn(fast_stored_.data(), fast_cmp_not_mask_.data(), cmp_key_,
         cfg_.block_size, sweep_bits_.data());
-  const std::size_t word_count = match_scratch_.word_count();
   for (std::size_t wi = 0; wi < word_count; ++wi) {
     match_scratch_.set_word(wi, sweep_bits_[wi] & fast_valid_[wi]);
   }

@@ -45,6 +45,7 @@
 #include "src/cam/transactions.h"
 #include "src/sim/component.h"
 #include "src/sim/delay_line.h"
+#include "src/sim/staging.h"
 
 namespace dspcam::cam {
 
@@ -126,6 +127,35 @@ class CamBlock : public sim::Component {
   /// The selected kernel's name; "reference" in EvalMode::kReference.
   std::string match_kernel_name() const;
 
+  // --- Multi-key match fusion (kFast; DESIGN.md §11). ---
+
+  /// True when `n` fused compares can be staged right now (kFast only;
+  /// always false in EvalMode::kReference).
+  bool can_stage_fused(std::size_t n) const noexcept {
+    return fused_.configured() && fused_.can_stage(n);
+  }
+
+  /// Sweeps the packed arrays once for `nkeys` keys (one multi-kernel call
+  /// when the selected kernel has a fused entry point) and stages each
+  /// key's raw match bits for the compare that will retire it. Keys are
+  /// truncated to the data width exactly as the broadcast register would.
+  /// The staged bits are a pure function of (key, arrays); any array
+  /// mutation - write, invalidate, reset, fault poke - drops them, so a
+  /// consumed record is byte-identical to a fresh compute by construction.
+  void stage_fused_compares(const Word* keys, std::size_t nkeys);
+
+  /// True while a write-class beat (update/invalidate/reset) issued this
+  /// cycle awaits its commit - the staging scan treats it as a barrier.
+  bool write_pending() const noexcept {
+    return pending_update_.has_value() || pending_reset_;
+  }
+
+  /// Fusion observability: compares staged / consumed / dropped by an
+  /// array mutation since construction (monotonic).
+  std::uint64_t fused_staged() const noexcept { return fused_staged_; }
+  std::uint64_t fused_hits() const noexcept { return fused_hits_; }
+  std::uint64_t fused_discards() const noexcept { return fused_discards_; }
+
   /// True while every entry's compare mask equals the plain width mask (the
   /// precondition for the mask-free kernel family). Writes with per-entry
   /// masks and fault pokes can clear it; a reset restores it. While false,
@@ -193,6 +223,14 @@ class CamBlock : public sim::Component {
   BitVec match_scratch_;  ///< Match-line bus, reused every cycle (no alloc).
   std::vector<std::uint64_t> sweep_bits_;  ///< Kernel sweep scratch (no alloc;
                                            ///< sized at construction).
+
+  // Multi-key match fusion (kFast only; staging.h). fused_scratch_ holds a
+  // multi-kernel call's key-major output before it is parked per record.
+  sim::FusedMatchStaging<Word> fused_;
+  std::vector<std::uint64_t> fused_scratch_;
+  std::uint64_t fused_staged_ = 0;
+  std::uint64_t fused_hits_ = 0;
+  std::uint64_t fused_discards_ = 0;
 
   unsigned fill_ = 0;  ///< Cell Address Controller write pointer.
 

@@ -55,12 +55,69 @@ void match_sweep_avx2(const std::uint64_t* stored, const std::uint64_t* nmask,
   }
 }
 
+/// Multi-key variant (match fusion): the stored/nmask vectors are loaded
+/// once per four-entry step and compared against every broadcast key, so a
+/// batch of B keys costs one operand stream instead of B. Key-major output,
+/// stride ceil(count / 64) words - see match_sweep.h.
+void match_sweep_avx2_multi(const std::uint64_t* stored,
+                            const std::uint64_t* nmask, const Word* keys,
+                            std::size_t nkeys, std::size_t count,
+                            std::uint64_t* out_bits) {
+  __m256i vkeys[8];
+  const std::size_t nk = nkeys < 8 ? nkeys : 8;
+  for (std::size_t k = 0; k < nk; ++k) {
+    vkeys[k] = _mm256_set1_epi64x(static_cast<long long>(keys[k]));
+  }
+  if (nkeys > 8) {
+    // Contract is <= kMaxFusionKeys (8); stay correct beyond it anyway.
+    for (std::size_t k = 8; k < nkeys; ++k) {
+      match_sweep_avx2(stored, nmask, keys[k], count,
+                       out_bits + k * ((count + 63) / 64));
+    }
+  }
+  const __m256i zero = _mm256_setzero_si256();
+  const std::size_t words = (count + 63) / 64;
+  for (std::size_t wi = 0; wi < words; ++wi) {
+    const std::size_t base = wi * 64;
+    const std::size_t lanes = count - base < 64 ? count - base : 64;
+    std::uint64_t bits[8] = {};
+    std::size_t b = 0;
+    for (; b + 4 <= lanes; b += 4) {
+      const __m256i s = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(stored + base + b));
+      const __m256i m = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(nmask + base + b));
+      for (std::size_t k = 0; k < nk; ++k) {
+        const __m256i diff = _mm256_and_si256(_mm256_xor_si256(s, vkeys[k]), m);
+        const __m256i eq = _mm256_cmpeq_epi64(diff, zero);
+        const unsigned lane_bits = static_cast<unsigned>(
+            _mm256_movemask_pd(_mm256_castsi256_pd(eq)));
+        bits[k] |= static_cast<std::uint64_t>(lane_bits) << b;
+      }
+    }
+    for (; b < lanes; ++b) {
+      const std::uint64_t s = stored[base + b];
+      const std::uint64_t nm = nmask[base + b];
+      for (std::size_t k = 0; k < nk; ++k) {
+        bits[k] |= static_cast<std::uint64_t>(((s ^ keys[k]) & nm) == 0) << b;
+      }
+    }
+    for (std::size_t k = 0; k < nk; ++k) out_bits[k * words + wi] = bits[k];
+  }
+}
+
 #else  // !DSPCAM_HAVE_AVX2: scalar-only build (forced or unsupported).
 
 bool match_sweep_avx2_available() noexcept { return false; }
 
 void match_sweep_avx2(const std::uint64_t*, const std::uint64_t*, Word,
                       std::size_t, std::uint64_t*) {
+  // Unreachable by contract (available() is false); keep the symbol defined.
+}
+
+void match_sweep_avx2_multi(const std::uint64_t*, const std::uint64_t*,
+                            const Word*, std::size_t, std::size_t,
+                            std::uint64_t*) {
   // Unreachable by contract (available() is false); keep the symbol defined.
 }
 

@@ -56,20 +56,83 @@ void generic_scalar(const std::uint64_t* stored, const std::uint64_t* nmask,
   detail::match_sweep_scalar(stored, nmask, key, count, out_bits);
 }
 
+// --- Fused multi-key variants (match fusion, DESIGN.md §11). ---
+//
+// Entry-major loops: each stored (and nmask) word is loaded once and
+// compared against every key in the batch, amortizing the operand stream.
+// Output is key-major (key k at out_bits + k * words), each key's words
+// bit-identical to the single-key kernel on that key.
+
+/// Mask-free multi-key equality sweep, any depth.
+void eq_sweep_multi(const std::uint64_t* stored, const std::uint64_t* /*nmask*/,
+                    const Word* keys, std::size_t nkeys, std::size_t count,
+                    std::uint64_t* out_bits) {
+  const std::size_t words = (count + 63) / 64;
+  for (std::size_t wi = 0; wi < words; ++wi) {
+    const std::size_t base = wi * 64;
+    const std::size_t lanes = count - base < 64 ? count - base : 64;
+    for (std::size_t k = 0; k < nkeys; ++k) out_bits[k * words + wi] = 0;
+    for (std::size_t b = 0; b < lanes; ++b) {
+      const std::uint64_t s = stored[base + b];
+      for (std::size_t k = 0; k < nkeys; ++k) {
+        out_bits[k * words + wi] |= static_cast<std::uint64_t>(s == keys[k]) << b;
+      }
+    }
+  }
+}
+
+/// Multi-key companion of fixed_depth_sweep: same compile-time trip counts,
+/// batched key compare per loaded entry.
+template <std::size_t kDepth, bool kMaskFree>
+void fixed_depth_sweep_multi(const std::uint64_t* stored,
+                             const std::uint64_t* nmask, const Word* keys,
+                             std::size_t nkeys, std::size_t /*count*/,
+                             std::uint64_t* out_bits) {
+  constexpr std::size_t kWords = (kDepth + 63) / 64;
+  constexpr std::size_t kLanes = kDepth < 64 ? kDepth : 64;
+  for (std::size_t wi = 0; wi < kWords; ++wi) {
+    const std::size_t base = wi * 64;
+    for (std::size_t k = 0; k < nkeys; ++k) out_bits[k * kWords + wi] = 0;
+    for (std::size_t b = 0; b < kLanes; ++b) {
+      const std::uint64_t s = stored[base + b];
+      const std::uint64_t nm = kMaskFree ? 0 : nmask[base + b];
+      for (std::size_t k = 0; k < nkeys; ++k) {
+        const bool match = kMaskFree ? s == keys[k] : ((s ^ keys[k]) & nm) == 0;
+        out_bits[k * kWords + wi] |= static_cast<std::uint64_t>(match) << b;
+      }
+    }
+  }
+}
+
+void generic_scalar_multi(const std::uint64_t* stored,
+                          const std::uint64_t* nmask, const Word* keys,
+                          std::size_t nkeys, std::size_t count,
+                          std::uint64_t* out_bits) {
+  detail::match_sweep_scalar_multi(stored, nmask, keys, nkeys, count, out_bits);
+}
+
 std::vector<MatchKernel> build_registry() {
   std::vector<MatchKernel> v;
   // Highest priority: AVX2 specializations (8-lane narrow-width packing,
   // mask-free equality). Empty on no-AVX2 toolchains/builds.
   detail::append_avx2_specialized_kernels(v);
 
-  // Mask-free scalar family, depth-unrolled first.
+  // Mask-free scalar family, depth-unrolled first. Each entry also carries
+  // its fused multi-key companion (same formula, batched key compare).
   v.push_back({"eq_d16", &fixed_depth_sweep<16, true>, false, true, 0, 16});
+  v.back().multi_fn = &fixed_depth_sweep_multi<16, true>;
   v.push_back({"eq_d32", &fixed_depth_sweep<32, true>, false, true, 0, 32});
+  v.back().multi_fn = &fixed_depth_sweep_multi<32, true>;
   v.push_back({"eq_d64", &fixed_depth_sweep<64, true>, false, true, 0, 64});
+  v.back().multi_fn = &fixed_depth_sweep_multi<64, true>;
   v.push_back({"eq_d128", &fixed_depth_sweep<128, true>, false, true, 0, 128});
+  v.back().multi_fn = &fixed_depth_sweep_multi<128, true>;
   v.push_back({"eq_d256", &fixed_depth_sweep<256, true>, false, true, 0, 256});
+  v.back().multi_fn = &fixed_depth_sweep_multi<256, true>;
   v.push_back({"eq_d512", &fixed_depth_sweep<512, true>, false, true, 0, 512});
+  v.back().multi_fn = &fixed_depth_sweep_multi<512, true>;
   v.push_back({"eq", &eq_sweep, false, true, 0, 0});
+  v.back().multi_fn = &eq_sweep_multi;
 
   // Generic AVX2 sweep (the pre-registry vector path) outranks the scalar
   // masked family: on an AVX2 host it beats any scalar unroll. The symbol
@@ -77,19 +140,27 @@ std::vector<MatchKernel> build_registry() {
   // needs_avx2 flag keeps it unselectable there.
   v.push_back({"generic_avx2", &detail::match_sweep_avx2, true, false, 0, 0,
                /*generic=*/true});
+  v.back().multi_fn = &detail::match_sweep_avx2_multi;
 
   // Masked scalar family (TCAM/RMCAM, and the fallback for binary blocks
   // whose mask plane a fault poke made non-uniform).
   v.push_back({"masked_d16", &fixed_depth_sweep<16, false>, false, false, 0, 16});
+  v.back().multi_fn = &fixed_depth_sweep_multi<16, false>;
   v.push_back({"masked_d32", &fixed_depth_sweep<32, false>, false, false, 0, 32});
+  v.back().multi_fn = &fixed_depth_sweep_multi<32, false>;
   v.push_back({"masked_d64", &fixed_depth_sweep<64, false>, false, false, 0, 64});
+  v.back().multi_fn = &fixed_depth_sweep_multi<64, false>;
   v.push_back({"masked_d128", &fixed_depth_sweep<128, false>, false, false, 0, 128});
+  v.back().multi_fn = &fixed_depth_sweep_multi<128, false>;
   v.push_back({"masked_d256", &fixed_depth_sweep<256, false>, false, false, 0, 256});
+  v.back().multi_fn = &fixed_depth_sweep_multi<256, false>;
   v.push_back({"masked_d512", &fixed_depth_sweep<512, false>, false, false, 0, 512});
+  v.back().multi_fn = &fixed_depth_sweep_multi<512, false>;
 
   // Terminal fallback: matches every geometry unconditionally.
   v.push_back({"generic_scalar", &generic_scalar, false, false, 0, 0,
                /*generic=*/true});
+  v.back().multi_fn = &generic_scalar_multi;
   return v;
 }
 
@@ -100,9 +171,32 @@ const std::vector<MatchKernel>& match_kernel_registry() {
   return registry;
 }
 
-bool force_generic_kernel_env() {
+namespace {
+
+bool read_force_generic_env() {
   const char* v = std::getenv("DSPCAM_FORCE_GENERIC_KERNEL");
   return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
+}
+
+// Cached at first use: block construction sits on hot churn paths (group
+// splits re-create blocks) and getenv locks on some libcs. Tests flip the
+// variable around block construction via reload_kernel_env_for_test().
+bool g_force_generic_env = false;
+bool g_force_generic_env_loaded = false;
+
+}  // namespace
+
+bool force_generic_kernel_env() {
+  if (!g_force_generic_env_loaded) {
+    g_force_generic_env = read_force_generic_env();
+    g_force_generic_env_loaded = true;
+  }
+  return g_force_generic_env;
+}
+
+void reload_kernel_env_for_test() {
+  g_force_generic_env = read_force_generic_env();
+  g_force_generic_env_loaded = true;
 }
 
 const MatchKernel& select_match_kernel(const MatchKernelQuery& q) {

@@ -56,6 +56,19 @@ using MatchKernelFn = void (*)(const std::uint64_t* stored,
                                const std::uint64_t* nmask, Word key,
                                std::size_t count, std::uint64_t* out_bits);
 
+/// Fused multi-key sweep: one walk of the packed arrays answers `nkeys`
+/// keys, each output identical to `fn` on that key. Key-major layout: key
+/// k's bits start at out_bits + k * ceil(count / 64). Callers never pass
+/// more than kMaxFusionKeys keys.
+using MatchKernelMultiFn = void (*)(const std::uint64_t* stored,
+                                    const std::uint64_t* nmask,
+                                    const Word* keys, std::size_t nkeys,
+                                    std::size_t count, std::uint64_t* out_bits);
+
+/// Upper bound on a fusion batch (and on `nkeys` above). Eight keys keep
+/// the AVX2 multi kernels' broadcast-key arrays register-resident.
+inline constexpr std::size_t kMaxFusionKeys = 8;
+
 /// One registered kernel: the compiled function plus the descriptor the
 /// selector matches against a block geometry.
 struct MatchKernel {
@@ -70,6 +83,8 @@ struct MatchKernel {
                                ///< (0 = any); such kernels may ignore `count`.
   bool generic = false;        ///< Guaranteed-fallback family (the pre-registry
                                ///< AVX2/scalar sweeps).
+  MatchKernelMultiFn multi_fn = nullptr;  ///< Fused multi-key entry point;
+                                          ///< nullptr = loop `fn` per key.
 };
 
 /// The geometry fingerprint a selection runs against.
@@ -92,9 +107,15 @@ const std::vector<MatchKernel>& match_kernel_registry();
 const MatchKernel& select_match_kernel(const MatchKernelQuery& q);
 
 /// True when the DSPCAM_FORCE_GENERIC_KERNEL environment variable is set to
-/// a non-empty value other than "0". Read on every call (no caching) so
-/// tests can flip it around block construction.
+/// a non-empty value other than "0". The lookup is cached on first call
+/// (block construction sits on hot churn paths and getenv takes a lock on
+/// some libcs); tests that flip the variable call
+/// reload_kernel_env_for_test() to refresh the cache.
 bool force_generic_kernel_env();
+
+/// Re-reads the kernel-related environment (DSPCAM_FORCE_GENERIC_KERNEL)
+/// into the cache behind force_generic_kernel_env(). Test hook only.
+void reload_kernel_env_for_test();
 
 namespace detail {
 /// Registration hooks for the AVX2 translation unit (match_kernels_avx2.cc,

@@ -39,6 +39,15 @@ bool match_sweep_avx2_available() noexcept;
 void match_sweep_avx2(const std::uint64_t* stored, const std::uint64_t* nmask,
                       Word key, std::size_t count, std::uint64_t* out_bits);
 
+/// Multi-key AVX2 sweep (match fusion): one walk of the packed arrays
+/// answers `nkeys` keys at once. Key-major output: key k's bits start at
+/// out_bits + k * ceil(count / 64), each a full single-key sweep result.
+/// Only callable when match_sweep_avx2_available().
+void match_sweep_avx2_multi(const std::uint64_t* stored,
+                            const std::uint64_t* nmask, const Word* keys,
+                            std::size_t nkeys, std::size_t count,
+                            std::uint64_t* out_bits);
+
 /// Portable scalar sweep with the same contract as match_sweep_avx2.
 inline void match_sweep_scalar(const std::uint64_t* stored,
                                const std::uint64_t* nmask, Word key,
@@ -53,6 +62,31 @@ inline void match_sweep_scalar(const std::uint64_t* stored,
               << b;
     }
     out_bits[wi] = bits;
+  }
+}
+
+/// Portable multi-key sweep with the same contract as
+/// match_sweep_avx2_multi. Entry-major: each stored/nmask word is loaded
+/// once and compared against every key, which is the whole point of fusion -
+/// the operand stream is amortized across the batch.
+inline void match_sweep_scalar_multi(const std::uint64_t* stored,
+                                     const std::uint64_t* nmask,
+                                     const Word* keys, std::size_t nkeys,
+                                     std::size_t count,
+                                     std::uint64_t* out_bits) {
+  const std::size_t words = (count + 63) / 64;
+  for (std::size_t wi = 0; wi < words; ++wi) {
+    const std::size_t base = wi * 64;
+    const std::size_t lanes = count - base < 64 ? count - base : 64;
+    for (std::size_t k = 0; k < nkeys; ++k) out_bits[k * words + wi] = 0;
+    for (std::size_t b = 0; b < lanes; ++b) {
+      const std::uint64_t s = stored[base + b];
+      const std::uint64_t nm = nmask[base + b];
+      for (std::size_t k = 0; k < nkeys; ++k) {
+        out_bits[k * words + wi] |=
+            static_cast<std::uint64_t>(((s ^ keys[k]) & nm) == 0) << b;
+      }
+    }
   }
 }
 

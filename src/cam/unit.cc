@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "src/cam/match_kernel.h"
 #include "src/common/error.h"
 
 namespace dspcam::cam {
@@ -133,6 +134,65 @@ void CamUnit::poke_entry(std::size_t entry, Word stored, std::uint64_t mask,
   }
   blocks_[entry / bs]->poke_entry(static_cast<unsigned>(entry % bs), stored, mask,
                                   valid, parity);
+}
+
+bool CamUnit::write_quiescent() const noexcept {
+  if (pending_.has_value() && pending_->op != OpKind::kSearch) return false;
+  if (!update_pipe_.drained()) return false;
+  for (unsigned b : active_blocks_) {
+    if (blocks_[b]->write_pending()) return false;
+  }
+  return true;
+}
+
+bool CamUnit::can_stage_fused(const UnitRequest* const* beats,
+                              std::size_t nbeats) const {
+  if (nbeats == 0 || nbeats > kMaxFusionKeys) return false;
+  for (unsigned g = 0; g < routing_.groups(); ++g) {
+    std::size_t ng = 0;
+    for (std::size_t j = 0; j < nbeats; ++j) {
+      if (g < beats[j]->keys.size()) ++ng;
+    }
+    if (ng == 0) continue;
+    for (unsigned block_id : routing_.blocks_of(g)) {
+      // Also the eval-mode check: the ring is unconfigured in kReference.
+      if (!blocks_[block_id]->can_stage_fused(ng)) return false;
+    }
+  }
+  return true;
+}
+
+void CamUnit::stage_fused_searches(const UnitRequest* const* beats,
+                                   std::size_t nbeats) {
+  Word keys[kMaxFusionKeys];
+  for (unsigned g = 0; g < routing_.groups(); ++g) {
+    std::size_t ng = 0;
+    for (std::size_t j = 0; j < nbeats; ++j) {
+      if (g < beats[j]->keys.size()) keys[ng++] = beats[j]->keys[g];
+    }
+    if (ng == 0) continue;
+    for (unsigned block_id : routing_.blocks_of(g)) {
+      blocks_[block_id]->stage_fused_compares(keys, ng);
+    }
+  }
+}
+
+std::uint64_t CamUnit::fused_staged() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& b : blocks_) n += b->fused_staged();
+  return n;
+}
+
+std::uint64_t CamUnit::fused_hits() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& b : blocks_) n += b->fused_hits();
+  return n;
+}
+
+std::uint64_t CamUnit::fused_discards() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& b : blocks_) n += b->fused_discards();
+  return n;
 }
 
 unsigned CamUnit::stored_per_group() const noexcept {

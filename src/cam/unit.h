@@ -94,6 +94,33 @@ class CamUnit : public sim::Component {
 
   bool can_accept() const noexcept { return !pending_.has_value(); }
 
+  // --- Multi-key match fusion (kFast; DESIGN.md §11). ---
+
+  /// True when no write-class operation (update/invalidate/reset) is
+  /// anywhere in the unit: the staging scan's precondition. A scan that
+  /// staged across a write would only waste work - the blocks drop staged
+  /// bits the moment their arrays mutate - so this is a performance filter,
+  /// not a correctness gate.
+  bool write_quiescent() const noexcept;
+
+  /// True when every block touched by the `nbeats` search beats can stage
+  /// its share of fused compares (false in EvalMode::kReference).
+  bool can_stage_fused(const UnitRequest* const* beats,
+                       std::size_t nbeats) const;
+
+  /// Pre-computes the match bits every one of the `nbeats` queued search
+  /// beats will need, one multi-key sweep per block: beat j's key i is
+  /// served by group i (dispatch_search's mapping), so each block of group
+  /// g stages the g-th keys of the beats carrying one, in beat order -
+  /// exactly the order its compares will retire.
+  void stage_fused_searches(const UnitRequest* const* beats,
+                            std::size_t nbeats);
+
+  /// Fusion observability, aggregated over the blocks (monotonic).
+  std::uint64_t fused_staged() const noexcept;
+  std::uint64_t fused_hits() const noexcept;
+  std::uint64_t fused_discards() const noexcept;
+
   /// Search response that became visible this cycle, if any.
   const std::optional<UnitResponse>& response() const noexcept { return response_; }
 

@@ -1,0 +1,111 @@
+// Cycle-stamped staging ring for fused multi-key match results.
+//
+// Multi-key match fusion (DESIGN.md §11) walks a block's packed arrays once
+// for a batch of up to B queued search keys and parks each key's raw match
+// bits here until the per-cycle pipeline would have computed them. The ring
+// is a pure cache: every record is a function of (key, packed arrays), so
+// the owner clears it the moment any array mutates (write, invalidate,
+// reset, fault poke) and the consumer only uses a record whose key equals
+// the compare it is retiring - staged results are therefore byte-identical
+// to freshly computed ones by construction, never by scheduling.
+//
+// Records have a fixed word width (ceil(block_size / 64) match words), so
+// the ring is one flat allocation reused for the process lifetime - no heap
+// traffic on the staging fast path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/error.h"
+
+namespace dspcam::sim {
+
+/// Fixed-record-width ring buffer of (key, match-bit words) entries.
+template <typename Key>
+class FusedMatchStaging {
+ public:
+  FusedMatchStaging() = default;
+
+  /// Sizes the ring: `words_per_entry` match words per record, room for
+  /// `capacity` records. Discards any staged contents.
+  void configure(std::size_t words_per_entry, std::size_t capacity) {
+    if (words_per_entry == 0 || capacity == 0) {
+      throw SimError("FusedMatchStaging: zero geometry");
+    }
+    words_per_entry_ = words_per_entry;
+    capacity_ = capacity;
+    keys_.assign(capacity, Key{});
+    words_.assign(words_per_entry * capacity, 0);
+    head_ = size_ = 0;
+  }
+
+  bool configured() const noexcept { return capacity_ != 0; }
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t size() const noexcept { return size_; }
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t words_per_entry() const noexcept { return words_per_entry_; }
+
+  /// True when `n` more records fit.
+  bool can_stage(std::size_t n) const noexcept { return size_ + n <= capacity_; }
+
+  /// Reserves the next record for `key` and returns its word buffer for the
+  /// producer to fill (words_per_entry() words). Throws when full.
+  std::uint64_t* stage(Key key) {
+    if (!can_stage(1)) throw SimError("FusedMatchStaging: stage on full ring");
+    const std::size_t slot = (head_ + size_) % capacity_;
+    keys_[slot] = key;
+    ++size_;
+    return words_.data() + slot * words_per_entry_;
+  }
+
+  /// Reserves `n` consecutive records in one go and returns the base of
+  /// their contiguous word span (record i at base + i * words_per_entry()),
+  /// so a multi-key kernel can write its key-major output directly into the
+  /// ring with no bounce buffer. Returns nullptr - staging nothing - when
+  /// the span would wrap the ring; the caller falls back to per-record
+  /// stage() with a copy. Throws when `n` records do not fit at all.
+  std::uint64_t* stage_span(const Key* keys, std::size_t n) {
+    if (!can_stage(n)) throw SimError("FusedMatchStaging: stage on full ring");
+    const std::size_t slot = (head_ + size_) % capacity_;
+    if (slot + n > capacity_) return nullptr;
+    for (std::size_t i = 0; i < n; ++i) keys_[slot + i] = keys[i];
+    size_ += n;
+    return words_.data() + slot * words_per_entry_;
+  }
+
+  /// Oldest staged record. Throws when empty.
+  Key front_key() const {
+    if (empty()) throw SimError("FusedMatchStaging: front on empty ring");
+    return keys_[head_];
+  }
+  const std::uint64_t* front_words() const {
+    if (empty()) throw SimError("FusedMatchStaging: front on empty ring");
+    return words_.data() + head_ * words_per_entry_;
+  }
+
+  void pop_front() {
+    if (empty()) throw SimError("FusedMatchStaging: pop on empty ring");
+    head_ = (head_ + 1) % capacity_;
+    --size_;
+  }
+
+  /// Invalidation barrier: drops every staged record (the backing arrays
+  /// changed, so the cached bits are stale). Returns how many were dropped.
+  std::size_t clear() noexcept {
+    const std::size_t dropped = size_;
+    head_ = size_ = 0;
+    return dropped;
+  }
+
+ private:
+  std::size_t words_per_entry_ = 0;
+  std::size_t capacity_ = 0;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::vector<Key> keys_;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace dspcam::sim

@@ -25,6 +25,7 @@
 #include "src/sim/component.h"
 #include "src/sim/fifo.h"
 #include "src/system/backend.h"
+#include "src/telemetry/metrics.h"
 
 namespace dspcam::system {
 
@@ -36,6 +37,13 @@ class CamSystem : public sim::Component, public CamBackend {
     std::size_t request_fifo_depth = 64;
     std::size_t response_fifo_depth = 64;
     std::size_t ack_fifo_depth = 64;
+
+    /// Multi-key match fusion (DESIGN.md §11): the largest run of queued
+    /// search requests swept in one fused batch. Clamped to
+    /// [1, cam::kMaxFusionKeys] at construction; <= 1 disables fusion, and
+    /// EvalMode::kReference always runs at 1. The DSPCAM_FUSION_MAX_KEYS
+    /// environment variable (read once, at construction) overrides this.
+    std::size_t fusion_max_keys = 8;
   };
 
   explicit CamSystem(const Config& cfg);
@@ -88,6 +96,16 @@ class CamSystem : public sim::Component, public CamBackend {
   /// 0 when an output FIFO already holds something.
   std::uint64_t output_horizon() const override;
 
+  // --- Multi-key match fusion. ---
+
+  /// The effective fusion width after clamping and the environment
+  /// override: 1 = fusion off (always 1 in EvalMode::kReference).
+  std::size_t fusion_width() const noexcept { return fusion_width_; }
+
+  /// Batches staged / write-class requests that cut a scan short.
+  std::uint64_t fusion_batches() const noexcept { return fusion_occupancy_.count(); }
+  std::uint64_t fusion_barrier_breaks() const noexcept { return barrier_breaks_; }
+
   // --- Statistics. ---
 
   Stats stats() const override { return stats_; }
@@ -112,11 +130,24 @@ class CamSystem : public sim::Component, public CamBackend {
   void commit() override;
 
  private:
+  void maybe_stage_fusion();
+
   Config cfg_;
   cam::CamUnit unit_;
   sim::Fifo<cam::UnitRequest> request_fifo_;
   sim::Fifo<cam::UnitResponse> response_fifo_;
   sim::Fifo<cam::UnitUpdateAck> ack_fifo_;
+
+  // Multi-key match fusion (DESIGN.md §11). fused_prefix_ counts upcoming
+  // search pops whose block compares are already staged: while non-zero the
+  // scan is off (the batch is in flight). The occupancy histogram and
+  // barrier counter live here (serial-thread state, like stats_) and are
+  // *pulled* into the registry by record_telemetry - identical for any
+  // step_threads setting.
+  std::size_t fusion_width_ = 1;
+  std::size_t fused_prefix_ = 0;
+  std::uint64_t barrier_breaks_ = 0;
+  telemetry::Histogram fusion_occupancy_;
 
   // Credits: results guaranteed space in the output FIFOs.
   std::size_t searches_in_flight_ = 0;

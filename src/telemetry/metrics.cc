@@ -83,6 +83,11 @@ std::string Histogram::summary() const {
   return buf;
 }
 
+void Histogram::update_to(const Histogram& source) noexcept {
+  if (source.count_ < count_) return;  // stale snapshot: keep published state
+  *this = source;
+}
+
 void Histogram::reset() noexcept {
   for (auto& b : buckets_) b = 0;
   count_ = 0;

@@ -95,6 +95,14 @@ class Histogram {
   /// Human-readable one-liner ("n=100 min=7 p50=7 p95=7 p99=7 max=9").
   std::string summary() const;
 
+  /// Pull-model helper (the histogram analogue of Counter::update_to):
+  /// adopts `source`'s full state when it has seen at least as many samples
+  /// as this histogram, so periodic re-publication of an externally owned
+  /// histogram is idempotent - and a registry reset() between publications
+  /// is healed at the next one. Ignored when `source` is behind (a stale
+  /// snapshot must never roll published state back).
+  void update_to(const Histogram& source) noexcept;
+
   void reset() noexcept;
 
  private:

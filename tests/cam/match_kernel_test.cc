@@ -26,7 +26,9 @@
 namespace dspcam::cam {
 namespace {
 
-/// Restores (or removes) DSPCAM_FORCE_GENERIC_KERNEL on scope exit.
+/// Restores (or removes) DSPCAM_FORCE_GENERIC_KERNEL on scope exit. The
+/// production lookup is cached (force_generic_kernel_env reads the variable
+/// once), so both transitions re-prime the cache explicitly.
 class ScopedForceGenericEnv {
  public:
   explicit ScopedForceGenericEnv(const char* value) {
@@ -38,6 +40,7 @@ class ScopedForceGenericEnv {
     } else {
       ::unsetenv(kVar);
     }
+    reload_kernel_env_for_test();
   }
   ~ScopedForceGenericEnv() {
     if (had_old_) {
@@ -45,6 +48,7 @@ class ScopedForceGenericEnv {
     } else {
       ::unsetenv(kVar);
     }
+    reload_kernel_env_for_test();
   }
 
  private:
@@ -233,6 +237,51 @@ TEST(MatchKernelRegistry, EveryKernelMatchesGoldenFormula) {
     }
   }
   // generic_scalar and the full scalar specialized family at minimum.
+  EXPECT_GE(exercised, 14u);
+}
+
+/// Every fused multi-key entry point must reproduce its own single-key
+/// kernel exactly, key for key, for every batch width fusion can form -
+/// that equivalence is what lets a staged record stand in for a fresh
+/// compare (block.cc).
+TEST(MatchKernelRegistry, EveryMultiKernelMatchesPerKeySweep) {
+  unsigned exercised = 0;
+  for (const MatchKernel& k : match_kernel_registry()) {
+    if (k.needs_avx2 && !detail::match_sweep_avx2_available()) continue;
+    ASSERT_NE(k.multi_fn, nullptr) << k.name << ": no fused entry point";
+    ++exercised;
+    const unsigned width = k.max_width != 0 ? k.max_width : 48;
+    const std::size_t count = k.depth != 0 ? k.depth : 130;
+    Rng rng(0xFACADE ^ count);
+    std::vector<std::uint64_t> stored(count), nmask(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      stored[i] = truncate(rng.next_bits(6), width);
+      nmask[i] = k.needs_uniform_mask
+                     ? low_bits(width)
+                     : low_bits(width) &
+                           ~low_bits(static_cast<unsigned>(rng.next_below(6)));
+    }
+    const std::size_t words = (count + 63) / 64;
+    for (const std::size_t nkeys : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{4}, kMaxFusionKeys}) {
+      std::vector<Word> keys(nkeys);
+      for (std::size_t i = 0; i < nkeys; ++i) {
+        keys[i] = truncate(rng.next_bits(6), width);
+      }
+      if (nkeys >= 2) keys[1] = keys[0];  // duplicates must be harmless
+      std::vector<std::uint64_t> fused(nkeys * words, ~std::uint64_t{0});
+      k.multi_fn(stored.data(), nmask.data(), keys.data(), nkeys, count,
+                 fused.data());
+      for (std::size_t i = 0; i < nkeys; ++i) {
+        std::vector<std::uint64_t> want(words, 0);
+        k.fn(stored.data(), nmask.data(), keys[i], count, want.data());
+        for (std::size_t wi = 0; wi < words; ++wi) {
+          EXPECT_EQ(fused[i * words + wi], want[wi])
+              << k.name << " nkeys " << nkeys << " key " << i << " word " << wi;
+        }
+      }
+    }
+  }
   EXPECT_GE(exercised, 14u);
 }
 

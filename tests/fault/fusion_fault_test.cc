@@ -1,0 +1,263 @@
+// Fusion under fire: fault injection must not break multi-key match fusion's
+// byte-identity contract. A fused CamSystem (B = 8) and an unfused one
+// (B = 1), both parity-protected on the fast path, take the same search
+// stream and the same same-seed injection campaign; every cycle the full
+// observable surface - responses with parity flags, entry state at
+// checkpoints, scrub classification - must agree bit for bit, through
+// corruption AND recovery. A directed test then pokes an entry while a
+// fused batch is staged mid-window: the poke acts as a write barrier, the
+// victim block's staged bits are discarded, and the post-poke compares see
+// the corrupted array exactly as the unfused system does.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/fault/injector.h"
+#include "src/fault/scrubber.h"
+#include "src/system/cam_system.h"
+
+namespace dspcam::fault {
+namespace {
+
+/// Clears DSPCAM_FUSION_MAX_KEYS for the test's scope (restoring the
+/// caller's value on exit): both tests below assert fusion activity, which
+/// the variable's escape hatch (=1, the fusion-off CI leg) would suppress.
+class ClearedFusionEnv {
+ public:
+  ClearedFusionEnv() {
+    const char* prev = ::getenv(kVar);
+    had_ = prev != nullptr;
+    if (had_) saved_ = prev;
+    ::unsetenv(kVar);
+  }
+  ~ClearedFusionEnv() {
+    if (had_) ::setenv(kVar, saved_.c_str(), /*overwrite=*/1);
+  }
+  ClearedFusionEnv(const ClearedFusionEnv&) = delete;
+  ClearedFusionEnv& operator=(const ClearedFusionEnv&) = delete;
+
+ private:
+  static constexpr const char* kVar = "DSPCAM_FUSION_MAX_KEYS";
+  bool had_ = false;
+  std::string saved_;
+};
+
+system::CamSystem::Config make_config(std::size_t fusion_keys) {
+  system::CamSystem::Config cfg;
+  cfg.unit.block.cell.data_width = 32;
+  cfg.unit.block.block_size = 32;
+  cfg.unit.block.bus_width = 128;
+  cfg.unit.block.parity = true;
+  cfg.unit.unit_size = 4;
+  cfg.unit.bus_width = 128;
+  cfg.fusion_max_keys = fusion_keys;
+  return cfg;
+}
+
+void load_words(system::CamSystem& sys, const std::vector<cam::Word>& words) {
+  const unsigned per_beat = sys.words_per_beat();
+  for (std::size_t at = 0; at < words.size(); at += per_beat) {
+    cam::UnitRequest req;
+    req.op = cam::OpKind::kUpdate;
+    for (std::size_t i = at; i < words.size() && i < at + per_beat; ++i) {
+      req.words.push_back(words[i]);
+    }
+    ASSERT_TRUE(sys.try_submit(std::move(req)));
+  }
+  for (unsigned guard = 0; guard < 256 && !sys.idle(); ++guard) sys.step();
+  ASSERT_TRUE(sys.idle());
+  while (sys.try_pop_ack().has_value()) {
+  }
+}
+
+void expect_same_entry_state(const FaultTarget& a, const FaultTarget& b,
+                             unsigned cyc) {
+  ASSERT_EQ(a.entry_count(), b.entry_count());
+  for (std::size_t e = 0; e < a.entry_count(); ++e) {
+    ASSERT_EQ(a.peek(e), b.peek(e)) << "cycle " << cyc << " entry " << e;
+  }
+}
+
+void expect_same_responses(system::CamSystem& fused, system::CamSystem& plain,
+                           unsigned cyc, unsigned& responses, unsigned& flagged) {
+  for (;;) {
+    auto rf = fused.try_pop_response();
+    auto rp = plain.try_pop_response();
+    ASSERT_EQ(rf.has_value(), rp.has_value()) << "cycle " << cyc;
+    if (!rf.has_value()) break;
+    ++responses;
+    ASSERT_EQ(rf->seq, rp->seq) << "cycle " << cyc;
+    ASSERT_EQ(rf->results.size(), rp->results.size()) << "cycle " << cyc;
+    for (std::size_t i = 0; i < rf->results.size(); ++i) {
+      const auto& f = rf->results[i];
+      const auto& p = rp->results[i];
+      ASSERT_EQ(f.key, p.key) << "cycle " << cyc << " seq " << rf->seq;
+      ASSERT_EQ(f.hit, p.hit) << "cycle " << cyc << " seq " << rf->seq;
+      ASSERT_EQ(f.global_address, p.global_address)
+          << "cycle " << cyc << " seq " << rf->seq;
+      ASSERT_EQ(f.match_count, p.match_count)
+          << "cycle " << cyc << " seq " << rf->seq;
+      ASSERT_EQ(f.parity_error, p.parity_error)
+          << "cycle " << cyc << " seq " << rf->seq;
+      if (f.parity_error) ++flagged;
+    }
+  }
+}
+
+TEST(FusionFaultLockstep, CorruptAndRecoverMatchUnfusedBitForBit) {
+  ClearedFusionEnv ambient;
+  constexpr unsigned kCycles = 3000;
+  constexpr std::uint64_t kSeed = 77;
+  system::CamSystem fused(make_config(8));
+  system::CamSystem plain(make_config(1));
+
+  // Fixed contents; the stream below is search-only, so the golden shadows
+  // captured here stay authoritative for the whole run (scrub repairs must
+  // never fight legitimate writes).
+  std::vector<cam::Word> words;
+  Rng key_rng(kSeed);
+  for (unsigned i = 0; i < 48; ++i) words.push_back(key_rng.next_bits(10));
+  load_words(fused, words);
+  load_words(plain, words);
+
+  FaultTarget& tfused = *fused.fault_target();
+  FaultTarget& tplain = *plain.fault_target();
+  FaultCampaign campaign;
+  campaign.seed = kSeed * 7 + 1;
+  campaign.rate_per_cycle = 0.02;
+  campaign.include_valid = true;
+  campaign.include_parity = true;
+  FaultInjector ifused(tfused, campaign), iplain(tplain, campaign);
+  Scrubber sfused(tfused, {}), splain(tplain, {});
+  sfused.capture();
+  splain.capture();
+
+  Rng rng(kSeed);
+  unsigned responses = 0, flagged = 0;
+  for (unsigned cyc = 0; cyc < kCycles; ++cyc) {
+    // Bursty search-only traffic: multi-request runs keep the request FIFO
+    // deep enough for full-width batches to form.
+    if (rng.next_bool(0.6)) {
+      const unsigned n = 1 + static_cast<unsigned>(rng.next_below(3));
+      for (unsigned i = 0; i < n; ++i) {
+        cam::UnitRequest req;
+        req.op = cam::OpKind::kSearch;
+        req.seq = cyc * 8 + i;
+        req.keys = {rng.next_bits(10)};
+        cam::UnitRequest copy = req;
+        const bool a = fused.try_submit(std::move(req));
+        const bool b = plain.try_submit(std::move(copy));
+        ASSERT_EQ(a, b) << "cycle " << cyc;
+      }
+    }
+    fused.step();
+    plain.step();
+
+    // Upsets land between clock edges, identically on both systems; the
+    // background scrubber yields to functional traffic in both worlds.
+    ASSERT_EQ(ifused.step(), iplain.step()) << "cycle " << cyc;
+    ASSERT_EQ(fused.idle(), plain.idle()) << "cycle " << cyc;
+    ASSERT_EQ(sfused.step(fused.idle()), splain.step(plain.idle()))
+        << "cycle " << cyc;
+
+    expect_same_responses(fused, plain, cyc, responses, flagged);
+    if ((cyc & 255u) == 255u) expect_same_entry_state(tfused, tplain, cyc);
+  }
+
+  // The campaign and the fusion path must both have actually fired.
+  EXPECT_GT(ifused.stats().injected, 0u);
+  EXPECT_GT(responses, kCycles / 4);
+  EXPECT_GT(flagged, 0u) << "injection should taint some searches";
+  EXPECT_GT(fused.fusion_batches(), 0u);
+  EXPECT_GT(fused.unit().fused_hits(), 0u)
+      << "staged compares must have been consumed under injection";
+  EXPECT_EQ(plain.unit().fused_staged(), 0u);
+
+  // Scrub classification agrees, and a final full pass recovers both
+  // systems to the same golden state.
+  EXPECT_EQ(sfused.stats().detected, splain.stats().detected);
+  EXPECT_EQ(sfused.stats().corrected, splain.stats().corrected);
+  EXPECT_EQ(sfused.stats().silent, splain.stats().silent);
+  EXPECT_EQ(sfused.scrub_all(), splain.scrub_all());
+  expect_same_entry_state(tfused, tplain, kCycles);
+}
+
+TEST(FusionFaultBarrier, MidWindowPokeDiscardsStagedBits) {
+  ClearedFusionEnv ambient;
+  system::CamSystem fused(make_config(8));
+  system::CamSystem plain(make_config(1));
+  load_words(fused, {10, 20, 30, 40});
+  load_words(plain, {10, 20, 30, 40});
+
+  // Six searches queue up; three of them probe the entry about to be hit.
+  const std::vector<cam::Word> keys = {10, 20, 30, 40, 20, 20};
+  std::uint64_t seq = 1;
+  for (const cam::Word k : keys) {
+    cam::UnitRequest a;
+    a.op = cam::OpKind::kSearch;
+    a.keys = {k};
+    a.seq = seq;
+    cam::UnitRequest b = a;
+    ++seq;
+    ASSERT_TRUE(fused.try_submit(std::move(a)));
+    ASSERT_TRUE(plain.try_submit(std::move(b)));
+  }
+  // One edge: the fused system stages the whole run as a single batch.
+  fused.step();
+  plain.step();
+  ASSERT_EQ(fused.fusion_batches(), 1u);
+  ASSERT_GT(fused.unit().fused_staged(), 0u);
+  ASSERT_EQ(fused.unit().fused_discards(), 0u);
+
+  // Mid-window upset: clear the valid flag of entry 1 (the word 20) in both
+  // systems - a targeted fault poke, not a bus request.
+  FaultCampaign poke;
+  poke.seed = 1;
+  poke.entry = 1;
+  poke.bit = 0;
+  poke.plane = FaultPlane::kValid;
+  FaultInjector pfused(*fused.fault_target(), poke);
+  FaultInjector pplain(*plain.fault_target(), poke);
+  ASSERT_EQ(pfused.inject(), pplain.inject());
+
+  // Drain both systems, comparing every response: the staged key-20 bits
+  // were computed before the poke and MUST NOT be used after it.
+  std::vector<bool> fused_hits, plain_hits;
+  std::vector<bool> fused_parity, plain_parity;
+  for (unsigned cyc = 0; cyc < 64; ++cyc) {
+    fused.step();
+    plain.step();
+    for (;;) {
+      auto rf = fused.try_pop_response();
+      auto rp = plain.try_pop_response();
+      ASSERT_EQ(rf.has_value(), rp.has_value()) << "cycle " << cyc;
+      if (!rf.has_value()) break;
+      ASSERT_EQ(rf->results[0].hit, rp->results[0].hit) << "seq " << rf->seq;
+      ASSERT_EQ(rf->results[0].parity_error, rp->results[0].parity_error)
+          << "seq " << rf->seq;
+      fused_hits.push_back(rf->results[0].hit);
+      fused_parity.push_back(rf->results[0].parity_error);
+      plain_hits.push_back(rp->results[0].hit);
+      plain_parity.push_back(rp->results[0].parity_error);
+    }
+  }
+  ASSERT_EQ(fused_hits.size(), keys.size());
+  // Entry 1 is invalid now: every key-20 probe misses, the others hit.
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(fused_hits[i], keys[i] != 20) << "key " << keys[i];
+  }
+  // The poke's parity taint is visible identically on both sides (a valid
+  // flip breaks the entry's stored parity).
+  EXPECT_EQ(fused_parity, plain_parity);
+
+  // The victim block's staged records were dropped by the barrier.
+  EXPECT_GT(fused.unit().fused_discards(), 0u);
+  EXPECT_EQ(plain.unit().fused_discards(), 0u);
+}
+
+}  // namespace
+}  // namespace dspcam::fault

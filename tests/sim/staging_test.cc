@@ -1,0 +1,120 @@
+// FusedMatchStaging (src/sim/staging.h): ring mechanics and the
+// invalidation-barrier contract fusion's byte-identity rests on.
+#include "src/sim/staging.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "src/common/error.h"
+
+namespace dspcam::sim {
+namespace {
+
+TEST(FusedStaging, ConfigureRejectsZeroGeometry) {
+  FusedMatchStaging<std::uint64_t> ring;
+  EXPECT_FALSE(ring.configured());
+  EXPECT_THROW(ring.configure(0, 4), SimError);
+  EXPECT_THROW(ring.configure(2, 0), SimError);
+  ring.configure(2, 4);
+  EXPECT_TRUE(ring.configured());
+  EXPECT_EQ(ring.capacity(), 4u);
+  EXPECT_EQ(ring.words_per_entry(), 2u);
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(FusedStaging, FifoOrderAndPayloadRoundTrip) {
+  FusedMatchStaging<std::uint64_t> ring;
+  ring.configure(2, 3);
+  for (std::uint64_t k = 0; k < 3; ++k) {
+    std::uint64_t* w = ring.stage(100 + k);
+    w[0] = k;
+    w[1] = ~k;
+  }
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_FALSE(ring.can_stage(1));
+  EXPECT_THROW(ring.stage(999), SimError);
+  for (std::uint64_t k = 0; k < 3; ++k) {
+    EXPECT_EQ(ring.front_key(), 100 + k);
+    EXPECT_EQ(ring.front_words()[0], k);
+    EXPECT_EQ(ring.front_words()[1], ~k);
+    ring.pop_front();
+  }
+  EXPECT_TRUE(ring.empty());
+  EXPECT_THROW(ring.front_key(), SimError);
+  EXPECT_THROW((void)ring.front_words(), SimError);
+  EXPECT_THROW(ring.pop_front(), SimError);
+}
+
+TEST(FusedStaging, WrapAroundKeepsRecordsIntact) {
+  FusedMatchStaging<std::uint64_t> ring;
+  ring.configure(1, 2);
+  // Fill, drain one, refill: the new record lands in the wrapped slot.
+  ring.stage(1)[0] = 11;
+  ring.stage(2)[0] = 22;
+  ring.pop_front();
+  ring.stage(3)[0] = 33;
+  EXPECT_EQ(ring.front_key(), 2u);
+  EXPECT_EQ(ring.front_words()[0], 22u);
+  ring.pop_front();
+  EXPECT_EQ(ring.front_key(), 3u);
+  EXPECT_EQ(ring.front_words()[0], 33u);
+}
+
+TEST(FusedStaging, StageSpanIsContiguousAndFallsBackOnWrap) {
+  FusedMatchStaging<std::uint64_t> ring;
+  ring.configure(2, 4);
+  const std::uint64_t keys[3] = {7, 8, 9};
+  std::uint64_t* span = ring.stage_span(keys, 3);
+  ASSERT_NE(span, nullptr);
+  // Key-major layout: record i lives at span + i * words_per_entry().
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    span[i * 2 + 0] = 10 * i;
+    span[i * 2 + 1] = 10 * i + 1;
+  }
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(ring.front_key(), keys[i]);
+    EXPECT_EQ(ring.front_words()[0], 10 * i);
+    EXPECT_EQ(ring.front_words()[1], 10 * i + 1);
+    ring.pop_front();
+  }
+  // Tail is now at slot 3 of 4: a two-record span would wrap, so the call
+  // declines (returns nullptr) and stages NOTHING - the caller copies via
+  // per-record stage() instead.
+  const std::uint64_t more[2] = {20, 21};
+  EXPECT_EQ(ring.stage_span(more, 2), nullptr);
+  EXPECT_TRUE(ring.empty());
+  ring.stage(20)[0] = 0;
+  ring.stage(21)[0] = 0;
+  EXPECT_EQ(ring.size(), 2u);
+  // Overfull spans still throw, wrap or not.
+  const std::uint64_t flood[3] = {1, 2, 3};
+  EXPECT_THROW(ring.stage_span(flood, 3), SimError);
+}
+
+TEST(FusedStaging, ClearReportsDroppedCountAndEmptiesTheRing) {
+  FusedMatchStaging<std::uint64_t> ring;
+  ring.configure(1, 4);
+  ring.stage(1)[0] = 0;
+  ring.stage(2)[0] = 0;
+  EXPECT_EQ(ring.clear(), 2u);  // the barrier's discard accounting
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.clear(), 0u);
+  EXPECT_TRUE(ring.can_stage(4));
+  // Clearing never un-configures; staging works again immediately.
+  ring.stage(7)[0] = 77;
+  EXPECT_EQ(ring.front_key(), 7u);
+}
+
+TEST(FusedStaging, ReconfigureDiscardsContents) {
+  FusedMatchStaging<std::uint64_t> ring;
+  ring.configure(1, 2);
+  ring.stage(5)[0] = 55;
+  ring.configure(3, 5);
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.words_per_entry(), 3u);
+  EXPECT_EQ(ring.capacity(), 5u);
+}
+
+}  // namespace
+}  // namespace dspcam::sim

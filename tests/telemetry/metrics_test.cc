@@ -83,6 +83,42 @@ TEST(Histogram, RecordAccumulates) {
   EXPECT_EQ(h.bucket_count(3), 0u);
 }
 
+TEST(Histogram, UpdateToAdoptsNewerSourceAndIgnoresStale) {
+  Histogram source;
+  source.record(4);
+  source.record(8);
+
+  Histogram published;
+  published.update_to(source);
+  EXPECT_EQ(published.count(), 2u);
+  EXPECT_EQ(published.min(), 4u);
+  EXPECT_EQ(published.max(), 8u);
+  EXPECT_EQ(published.sum(), 12u);
+  EXPECT_EQ(published.bucket_count(3), 1u);
+  EXPECT_EQ(published.bucket_count(4), 1u);
+
+  // Re-publication of the same snapshot is idempotent.
+  published.update_to(source);
+  EXPECT_EQ(published.count(), 2u);
+  EXPECT_EQ(published.sum(), 12u);
+
+  // A stale snapshot (fewer samples) never rolls published state back.
+  Histogram stale;
+  stale.record(1);
+  published.update_to(stale);
+  EXPECT_EQ(published.count(), 2u);
+  EXPECT_EQ(published.min(), 4u);
+
+  // A registry reset between publications is healed by the next one.
+  published.reset();
+  EXPECT_EQ(published.count(), 0u);
+  source.record(16);
+  published.update_to(source);
+  EXPECT_EQ(published.count(), 3u);
+  EXPECT_EQ(published.max(), 16u);
+  EXPECT_EQ(published.sum(), 28u);
+}
+
 TEST(Histogram, QuantilesExactForConstantStream) {
   Histogram h;
   for (int i = 0; i < 1000; ++i) h.record(7);

@@ -78,21 +78,32 @@ TEST(StackTelemetry, CountersIdenticalAcrossStepThreads) {
 
 TEST(StackTelemetry, CountersIdenticalAcrossEvalModes) {
   // Fast vs reference evaluation is cycle-lockstep (PR 2), so with the
-  // fast_mode and kernel-name gauges excluded (the two metrics that are
-  // meant to differ: the mode flag and the selected match kernel's label)
-  // every published metric must agree.
+  // fast_mode / kernel-name gauges and the fusion plane excluded (the
+  // metrics that are meant to differ: the mode flag, the selected match
+  // kernel's label, and the fused-batch machinery that only the fast path
+  // exercises) every published metric must agree.
   std::string fast = run_workload(2, 1, cam::EvalMode::kFast);
   std::string ref = run_workload(2, 1, cam::EvalMode::kReference);
-  // Remove every "...<token>...": <v> entry; keys are sorted so neither
-  // gauge is ever the last one in its object and the trailing comma always
-  // exists.
+  // Remove every "...<token>...": <value> entry. Values are scalars or flat
+  // objects (histogram summaries); the separator swallowed is the trailing
+  // comma when one exists, else the preceding one (last entry of its map -
+  // the maps always keep at least one unstripped metric).
   const auto strip = [](std::string& json) {
-    for (const char* token : {"fast_mode", ".kernel."}) {
+    for (const char* token : {"fast_mode", ".kernel.", ".fusion."}) {
       for (std::string::size_type p;
            (p = json.find(token)) != std::string::npos;) {
         const auto start = json.rfind('"', p);
-        const auto end = json.find(',', p);
-        json.erase(start, end - start + 1);
+        const auto key_end = json.find('"', p);
+        auto v = json.find(':', key_end) + 1;
+        while (v < json.size() && json[v] == ' ') ++v;
+        const auto vend = json[v] == '{' ? json.find('}', v)
+                                         : json.find_first_of(",}", v) - 1;
+        if (vend + 1 < json.size() && json[vend + 1] == ',') {
+          json.erase(start, vend + 2 - start);
+        } else {
+          const auto sep = json.rfind(',', start);
+          json.erase(sep, vend + 1 - sep);
+        }
       }
     }
   };

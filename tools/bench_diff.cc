@@ -8,202 +8,29 @@
 // field that is NOT a measured statistic (suffixes _median/_mean/_stddev/
 // _min/_max/_samples) and NOT host- or derivation-dependent (host_cores,
 // effective_step_threads, speedup_*, relative_rate, spans_finished,
-// telemetry, sample_every). For each matched pair, every *_median field
-// present on both sides is compared; a drop of more than --threshold
-// (fraction, default 0.2) is a regression. Rows present on only one side
-// are reported but never fatal - benches gain and lose rows across PRs.
-// Exits 1 iff at least one regression was found, 2 on usage/parse errors.
-#include <cctype>
+// telemetry, sample_every). The identity is GENERIC - no per-kind schema -
+// so rows of kinds this tool has never seen are still matched and diffed
+// (bench_diff_lib.h, pinned by tests/tools/bench_diff_test.cc). For each
+// matched pair, every *_median field present on both sides is compared; a
+// drop of more than --threshold (fraction, default 0.2) is a regression.
+// Rows present on only one side are reported but never fatal - benches gain
+// and lose rows across PRs. Exits 1 iff at least one regression was found,
+// 2 on usage/parse errors.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <map>
 #include <string>
 #include <vector>
 
-namespace {
-
-/// One parsed bench row: scalar fields only; nested objects/arrays (e.g.
-/// the "telemetry" registry dump) are skipped during parsing.
-struct Row {
-  std::map<std::string, std::string> strings;
-  std::map<std::string, double> numbers;
-  unsigned line = 0;
-};
-
-bool is_stat_field(const std::string& key) {
-  static const char* kSuffixes[] = {"_median", "_mean",    "_stddev",
-                                    "_min",    "_max",     "_samples"};
-  for (const char* s : kSuffixes) {
-    const std::size_t n = std::strlen(s);
-    if (key.size() > n && key.compare(key.size() - n, n, s) == 0) return true;
-  }
-  return false;
-}
-
-bool is_volatile_field(const std::string& key) {
-  static const char* kVolatile[] = {
-      "host_cores",        "effective_step_threads", "relative_rate",
-      "spans_finished",    "telemetry",              "sample_every",
-  };
-  for (const char* v : kVolatile) {
-    if (key == v) return true;
-  }
-  return key.compare(0, 8, "speedup_") == 0;
-}
-
-/// Minimal JSON scanner for one bench row. Scalars land in `row`; nested
-/// objects and arrays are balance-skipped. Returns false on malformed input.
-class LineParser {
- public:
-  LineParser(const std::string& text) : s_(text) {}
-
-  bool parse(Row& row) {
-    skip_ws();
-    if (!consume('{')) return false;
-    skip_ws();
-    if (consume('}')) return true;
-    for (;;) {
-      std::string key;
-      if (!parse_string(key)) return false;
-      skip_ws();
-      if (!consume(':')) return false;
-      skip_ws();
-      if (!parse_value(row, key)) return false;
-      skip_ws();
-      if (consume('}')) return true;
-      if (!consume(',')) return false;
-      skip_ws();
-    }
-  }
-
- private:
-  void skip_ws() {
-    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
-  }
-  bool consume(char c) {
-    if (pos_ < s_.size() && s_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-  bool parse_string(std::string& out) {
-    if (!consume('"')) return false;
-    out.clear();
-    while (pos_ < s_.size()) {
-      const char c = s_[pos_++];
-      if (c == '"') return true;
-      if (c == '\\' && pos_ < s_.size()) {
-        const char e = s_[pos_++];
-        out += e == 'n' ? '\n' : e;  // enough for bench rows
-      } else {
-        out += c;
-      }
-    }
-    return false;
-  }
-  /// Skips a balanced {...} or [...] (strings respected).
-  bool skip_nested() {
-    int depth = 0;
-    while (pos_ < s_.size()) {
-      const char c = s_[pos_];
-      if (c == '"') {
-        std::string ignored;
-        if (!parse_string(ignored)) return false;
-        continue;
-      }
-      ++pos_;
-      if (c == '{' || c == '[') ++depth;
-      if (c == '}' || c == ']') {
-        if (--depth == 0) return true;
-      }
-    }
-    return false;
-  }
-  bool parse_value(Row& row, const std::string& key) {
-    const char c = s_[pos_];
-    if (c == '"') {
-      std::string v;
-      if (!parse_string(v)) return false;
-      row.strings[key] = v;
-      return true;
-    }
-    if (c == '{' || c == '[') return skip_nested();
-    if (s_.compare(pos_, 4, "true") == 0) {
-      pos_ += 4;
-      row.strings[key] = "true";
-      return true;
-    }
-    if (s_.compare(pos_, 5, "false") == 0) {
-      pos_ += 5;
-      row.strings[key] = "false";
-      return true;
-    }
-    if (s_.compare(pos_, 4, "null") == 0) {
-      pos_ += 4;
-      return true;
-    }
-    char* end = nullptr;
-    const double v = std::strtod(s_.c_str() + pos_, &end);
-    if (end == s_.c_str() + pos_) return false;
-    pos_ = static_cast<std::size_t>(end - s_.c_str());
-    row.numbers[key] = v;
-    return true;
-  }
-
-  const std::string& s_;
-  std::size_t pos_ = 0;
-};
-
-/// Stable identity string: sorted non-stat, non-volatile fields.
-std::string identity_of(const Row& row) {
-  std::string id;
-  for (const auto& [k, v] : row.strings) {
-    if (!is_stat_field(k) && !is_volatile_field(k)) id += k + "=" + v + " ";
-  }
-  for (const auto& [k, v] : row.numbers) {
-    if (is_stat_field(k) || is_volatile_field(k)) continue;
-    char buf[48];
-    std::snprintf(buf, sizeof(buf), "%s=%.6g ", k.c_str(), v);
-    id += buf;
-  }
-  if (!id.empty()) id.pop_back();
-  return id;
-}
-
-bool load_rows(const std::string& path, std::vector<Row>& rows) {
-  std::ifstream in(path);
-  if (!in) {
-    std::fprintf(stderr, "bench_diff: cannot open %s\n", path.c_str());
-    return false;
-  }
-  std::string line;
-  unsigned lineno = 0;
-  while (std::getline(in, line)) {
-    ++lineno;
-    bool blank = true;
-    for (const char c : line) {
-      if (!std::isspace(static_cast<unsigned char>(c))) blank = false;
-    }
-    if (blank) continue;
-    Row row;
-    row.line = lineno;
-    if (!LineParser(line).parse(row)) {
-      std::fprintf(stderr, "bench_diff: %s:%u: malformed JSON row\n",
-                   path.c_str(), lineno);
-      return false;
-    }
-    rows.push_back(std::move(row));
-  }
-  return true;
-}
-
-}  // namespace
+#include "tools/bench_diff_lib.h"
 
 int main(int argc, char** argv) {
+  using dspcam::tools::benchdiff::Row;
+  using dspcam::tools::benchdiff::identity_of;
+  using dspcam::tools::benchdiff::load_rows;
+
   std::string baseline_path, candidate_path;
   double threshold = 0.2;
   for (int i = 1; i < argc; ++i) {

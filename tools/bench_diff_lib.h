@@ -1,0 +1,203 @@
+// Row parsing and identity logic behind tools/bench_diff.cc, extracted so
+// tests can pin the matching rules (tests/tools/bench_diff_test.cc).
+//
+// The central contract is the GENERIC identity: a row's key is every
+// top-level scalar field that is neither a measured statistic (suffixes
+// _median/_mean/_stddev/_min/_max/_samples) nor host-/derivation-dependent
+// (host_cores, effective_step_threads, speedup_*, relative_rate,
+// spans_finished, telemetry, sample_every). Nothing is keyed on a known
+// "kind" whitelist, so a bench part introducing a new row kind (e.g.
+// "fusion") is matched and diffed the day it lands - never silently
+// skipped.
+#pragma once
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dspcam::tools::benchdiff {
+
+/// One parsed bench row: scalar fields only; nested objects/arrays (e.g.
+/// the "telemetry" registry dump) are skipped during parsing.
+struct Row {
+  std::map<std::string, std::string> strings;
+  std::map<std::string, double> numbers;
+  unsigned line = 0;
+};
+
+inline bool is_stat_field(const std::string& key) {
+  static const char* kSuffixes[] = {"_median", "_mean",    "_stddev",
+                                    "_min",    "_max",     "_samples"};
+  for (const char* s : kSuffixes) {
+    const std::size_t n = std::strlen(s);
+    if (key.size() > n && key.compare(key.size() - n, n, s) == 0) return true;
+  }
+  return false;
+}
+
+inline bool is_volatile_field(const std::string& key) {
+  static const char* kVolatile[] = {
+      "host_cores",        "effective_step_threads", "relative_rate",
+      "spans_finished",    "telemetry",              "sample_every",
+  };
+  for (const char* v : kVolatile) {
+    if (key == v) return true;
+  }
+  return key.compare(0, 8, "speedup_") == 0;
+}
+
+/// Minimal JSON scanner for one bench row. Scalars land in `row`; nested
+/// objects and arrays are balance-skipped. Returns false on malformed input.
+class LineParser {
+ public:
+  LineParser(const std::string& text) : s_(text) {}
+
+  bool parse(Row& row) {
+    skip_ws();
+    if (!consume('{')) return false;
+    skip_ws();
+    if (consume('}')) return true;
+    for (;;) {
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (!consume(':')) return false;
+      skip_ws();
+      if (!parse_value(row, key)) return false;
+      skip_ws();
+      if (consume('}')) return true;
+      if (!consume(',')) return false;
+      skip_ws();
+    }
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+  }
+  bool consume(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool parse_string(std::string& out) {
+    if (!consume('"')) return false;
+    out.clear();
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\' && pos_ < s_.size()) {
+        const char e = s_[pos_++];
+        out += e == 'n' ? '\n' : e;  // enough for bench rows
+      } else {
+        out += c;
+      }
+    }
+    return false;
+  }
+  /// Skips a balanced {...} or [...] (strings respected).
+  bool skip_nested() {
+    int depth = 0;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') {
+        std::string ignored;
+        if (!parse_string(ignored)) return false;
+        continue;
+      }
+      ++pos_;
+      if (c == '{' || c == '[') ++depth;
+      if (c == '}' || c == ']') {
+        if (--depth == 0) return true;
+      }
+    }
+    return false;
+  }
+  bool parse_value(Row& row, const std::string& key) {
+    const char c = s_[pos_];
+    if (c == '"') {
+      std::string v;
+      if (!parse_string(v)) return false;
+      row.strings[key] = v;
+      return true;
+    }
+    if (c == '{' || c == '[') return skip_nested();
+    if (s_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      row.strings[key] = "true";
+      return true;
+    }
+    if (s_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      row.strings[key] = "false";
+      return true;
+    }
+    if (s_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return true;
+    }
+    char* end = nullptr;
+    const double v = std::strtod(s_.c_str() + pos_, &end);
+    if (end == s_.c_str() + pos_) return false;
+    pos_ = static_cast<std::size_t>(end - s_.c_str());
+    row.numbers[key] = v;
+    return true;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+/// Stable identity string: sorted non-stat, non-volatile fields. Generic by
+/// construction - every scalar field participates unless excluded above -
+/// so rows of unknown kinds key on (kind + all their descriptive fields).
+inline std::string identity_of(const Row& row) {
+  std::string id;
+  for (const auto& [k, v] : row.strings) {
+    if (!is_stat_field(k) && !is_volatile_field(k)) id += k + "=" + v + " ";
+  }
+  for (const auto& [k, v] : row.numbers) {
+    if (is_stat_field(k) || is_volatile_field(k)) continue;
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%s=%.6g ", k.c_str(), v);
+    id += buf;
+  }
+  if (!id.empty()) id.pop_back();
+  return id;
+}
+
+inline bool load_rows(const std::string& path, std::vector<Row>& rows) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_diff: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::string line;
+  unsigned lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    bool blank = true;
+    for (const char c : line) {
+      if (!std::isspace(static_cast<unsigned char>(c))) blank = false;
+    }
+    if (blank) continue;
+    Row row;
+    row.line = lineno;
+    if (!LineParser(line).parse(row)) {
+      std::fprintf(stderr, "bench_diff: %s:%u: malformed JSON row\n",
+                   path.c_str(), lineno);
+      return false;
+    }
+    rows.push_back(std::move(row));
+  }
+  return true;
+}
+
+}  // namespace dspcam::tools::benchdiff
