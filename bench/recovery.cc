@@ -1,0 +1,217 @@
+// Recovery bench: what the robustness features cost.
+//
+// Three rows per run (BENCH_recovery.json):
+//  - rebuild_snapshot / rebuild_golden: host wall-time to bring a
+//    quarantined shard back into service from a sealed ShardSnapshot vs the
+//    scrubber's golden shadow (both zero simulated cycles - rebuild is a
+//    host-side maintenance action).
+//  - reshard_grow / reshard_shrink: the settling pause (simulated cycles the
+//    engine steps before the fleet swap) plus entries moved and wall-time
+//    for a 4 -> 8 and an 8 -> 4 hash repartition under in-flight traffic.
+//  - checkpoint_roundtrip: checkpoint -> save -> load -> restore into a
+//    FRESH engine, then the recorded search trace replays against both
+//    engines and the completion streams are compared byte-for-byte (the
+//    disaster-recovery drill). The checkpoint file is left on disk
+//    (--snapshot <path>, default BENCH_recovery.ckpt) for snapshot_lint.
+//
+// Exits non-zero when the roundtrip streams diverge, so the CI recovery
+// smoke job gates on behaviour, not just syntax.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/fault/scrubber.h"
+#include "src/sim/request_trace.h"
+#include "src/system/checkpoint_io.h"
+#include "src/system/driver.h"
+#include "src/system/sharded_engine.h"
+
+namespace dspcam::bench {
+namespace {
+
+using system::CamDriver;
+using system::CamSystem;
+using system::ShardedCamEngine;
+
+CamSystem::Config shard_config() {
+  CamSystem::Config cfg;
+  cfg.unit.block.cell.data_width = 32;
+  cfg.unit.block.block_size = 32;
+  cfg.unit.block.bus_width = 512;
+  cfg.unit.block.parity = true;
+  cfg.unit.unit_size = 4;
+  cfg.unit.bus_width = 512;
+  return cfg;
+}
+
+ShardedCamEngine::Config engine_config(unsigned shards) {
+  ShardedCamEngine::Config cfg;
+  cfg.shards = shards;
+  return cfg;
+}
+
+std::vector<cam::Word> workload(unsigned entries) {
+  std::vector<cam::Word> words;
+  words.reserve(entries);
+  for (unsigned i = 0; i < entries; ++i) words.push_back(i * 2 + 1);
+  return words;
+}
+
+/// Completions can deliver a few cycles before the shard pipelines flush to
+/// idle; snapshot/rebuild require full settle, so step the residue out.
+void settle(ShardedCamEngine& engine) {
+  for (unsigned i = 0; i < 100000 && !engine.idle(); ++i) engine.step();
+}
+
+double elapsed_us(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Wall µs to rebuild one quarantined shard, from a snapshot or the golden
+/// shadow.
+double measure_rebuild(bool golden, const std::vector<cam::Word>& words) {
+  ShardedCamEngine engine(engine_config(4), shard_config());
+  CamDriver driver(engine);
+  driver.store(words);
+  settle(engine);
+  fault::Scrubber scrubber(*engine.fault_target(), {});
+  scrubber.capture();
+  const fault::ShardSnapshot snap = engine.snapshot_shard(1);
+  engine.quarantine_shard(1);
+  const auto t0 = std::chrono::steady_clock::now();
+  if (golden) {
+    engine.rebuild_shard(1, scrubber);
+  } else {
+    engine.rebuild_shard(1, snap);
+  }
+  return elapsed_us(t0);
+}
+
+/// {pause_cycles, wall µs} for one reshard under in-flight search traffic.
+std::pair<double, double> measure_reshard(unsigned from, unsigned to,
+                                          const std::vector<cam::Word>& words) {
+  ShardedCamEngine engine(engine_config(from), shard_config());
+  CamDriver driver(engine);
+  driver.store(words);
+  for (unsigned i = 0; i < 64; ++i) {
+    cam::UnitRequest req;
+    req.op = cam::OpKind::kSearch;
+    req.keys = {words[i % words.size()]};
+    driver.submit_async(std::move(req));
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  const ShardedCamEngine::ReshardReport report = engine.reshard(to);
+  const double us = elapsed_us(t0);
+  driver.drain();
+  while (driver.try_pop_completion()) {
+  }
+  return {static_cast<double>(report.pause_cycles), us};
+}
+
+}  // namespace
+}  // namespace dspcam::bench
+
+int main(int argc, char** argv) {
+  using namespace dspcam::bench;
+  using dspcam::cam::UnitRequest;
+  using dspcam::sim::CompletionStream;
+  using dspcam::sim::RequestTrace;
+
+  const BenchOptions opt =
+      BenchOptions::from_args(argc, argv, "BENCH_recovery.json");
+  std::string snapshot_path = "BENCH_recovery.ckpt";
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--snapshot") snapshot_path = argv[i + 1];
+  }
+  JsonLog log = JsonLog::from_options(opt);
+
+  const std::vector<dspcam::cam::Word> words = workload(256);
+
+  banner("Shard rebuild latency (quarantine -> verified re-admission)");
+  std::printf("%-18s %12s %12s\n", "source", "median_us", "max_us");
+  for (const bool golden : {false, true}) {
+    const RepeatStats st = measure_repeated(
+        opt, [&]() { return measure_rebuild(golden, words); });
+    const char* name = golden ? "rebuild_golden" : "rebuild_snapshot";
+    std::printf("%-18s %12.1f %12.1f\n", name, st.median, st.max);
+    JsonLog::Row row("recovery");
+    row.str("case", name).num("shards", std::uint64_t{4});
+    add_stats(row, "wall_us", st);
+    log.emit(row);
+  }
+
+  banner("Reshard pause (hash repartition under in-flight traffic)");
+  std::printf("%-18s %14s %12s %14s\n", "transition", "pause_cycles",
+              "median_us", "entries_moved");
+  const std::pair<unsigned, unsigned> transitions[] = {{4, 8}, {8, 4}};
+  for (const auto& [from, to] : transitions) {
+    const auto [pause, wall] = measure_repeated_pair(
+        opt, [&]() { return measure_reshard(from, to, words); });
+    const std::string name =
+        "reshard_" + std::to_string(from) + "_to_" + std::to_string(to);
+    std::printf("%-18s %14.0f %12.1f %14zu\n", name.c_str(), pause.median,
+                wall.median, words.size());
+    JsonLog::Row row("recovery");
+    row.str("case", name)
+        .num("from_shards", std::uint64_t{from})
+        .num("to_shards", std::uint64_t{to})
+        .num("entries_moved", static_cast<std::uint64_t>(words.size()));
+    add_stats(row, "pause_cycles", pause);
+    add_stats(row, "wall_us", wall);
+    log.emit(row);
+  }
+
+  banner("Checkpoint roundtrip (save -> load -> restore -> replay)");
+  ShardedCamEngine engine(engine_config(4), shard_config());
+  {
+    CamDriver driver(engine);
+    driver.store(words);
+  }
+  settle(engine);
+  RequestTrace searches;
+  for (const dspcam::cam::Word w : words) {
+    UnitRequest req;
+    req.op = dspcam::cam::OpKind::kSearch;
+    req.keys = {w};
+    searches.record(req);
+  }
+  const auto ckpt = engine.checkpoint();
+  dspcam::system::save_checkpoint(ckpt, snapshot_path);
+  const auto loaded = dspcam::system::load_checkpoint(snapshot_path);
+  ShardedCamEngine restored(engine_config(4), shard_config());
+  restored.restore(loaded);
+
+  CompletionStream original(CompletionStream::Placement::kFull);
+  CompletionStream replayed(CompletionStream::Placement::kFull);
+  CamDriver drv1(engine);
+  CamDriver drv2(restored);
+  drv1.replay_trace(searches, original);
+  drv2.replay_trace(searches, replayed);
+  const bool match = original.bytes() == replayed.bytes();
+
+  std::ifstream ck(snapshot_path, std::ios::ate | std::ios::binary);
+  const std::uint64_t file_bytes =
+      ck ? static_cast<std::uint64_t>(ck.tellg()) : 0;
+  std::printf("snapshot file: %s (%llu bytes)\n", snapshot_path.c_str(),
+              static_cast<unsigned long long>(file_bytes));
+  std::printf("completion streams: %s (digest %llx vs %llx over %zu tickets)\n",
+              match ? "IDENTICAL" : "DIVERGED",
+              static_cast<unsigned long long>(original.digest()),
+              static_cast<unsigned long long>(replayed.digest()),
+              original.size());
+  JsonLog::Row row("recovery");
+  row.str("case", "checkpoint_roundtrip")
+      .num("shards", std::uint64_t{4})
+      .num("file_bytes", file_bytes)
+      .num("tickets", static_cast<std::uint64_t>(original.size()))
+      .boolean("streams_match", match);
+  log.emit(row);
+
+  return match ? 0 : 1;
+}

@@ -191,6 +191,27 @@ void CamBlock::poke_entry(unsigned index, Word stored, std::uint64_t entry_mask,
   if (cfg_.parity) set_parity_bit(index, parity);
 }
 
+void CamBlock::set_fill(unsigned fill) {
+  if (fill > cfg_.block_size) {
+    throw SimError("CamBlock: restored fill pointer " + std::to_string(fill) +
+                   " exceeds the block size " + std::to_string(cfg_.block_size));
+  }
+  fill_ = fill;
+}
+
+void CamBlock::flush_pipeline() {
+  fused_discards_ += fused_.clear();
+  pd_pending_ = false;
+  pending_update_.reset();
+  pending_search_.reset();
+  pending_reset_ = false;
+  in_reg_.reset();
+  tags_.clear();
+  out_buf_.clear();
+  response_.reset();
+  ack_.reset();
+}
+
 void CamBlock::hard_reset() {
   fused_discards_ += fused_.clear();
   if (cells_.empty()) {

@@ -104,6 +104,10 @@ class CamBlock : public sim::Component {
   unsigned fill() const noexcept { return fill_; }
   bool full() const noexcept { return fill_ >= cfg_.block_size; }
 
+  /// Overwrites the fill pointer outside the clocked protocol (checkpoint
+  /// restore, src/fault/snapshot.h). Throws SimError past the block size.
+  void set_fill(unsigned fill);
+
   /// Direct cell access for tests and resource accounting. Only the
   /// reference path instantiates Dsp48e2 cells; throws SimError in kFast
   /// mode (use stored_word()/entry_mask()/entry_valid(), which work in
@@ -175,6 +179,12 @@ class CamBlock : public sim::Component {
   /// Immediate full clear outside the clocked protocol (see
   /// CamCell::hard_clear); used by runtime group reconfiguration.
   void hard_reset();
+
+  /// Discards every pending beat, in-flight compare, and registered output
+  /// WITHOUT touching storage, parity, or the fill pointer - the crash-stop
+  /// half of hard_reset(), used when a shard is purged for rebuild/restore
+  /// (src/fault/snapshot.h).
+  void flush_pipeline();
 
   void eval() override {}
   void commit() override;

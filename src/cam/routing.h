@@ -70,6 +70,24 @@ class BlockAddressController {
 
   const std::vector<unsigned>& block_ids() const noexcept { return block_ids_; }
 
+  /// Fill-cursor introspection for checkpoint/restore (src/fault/snapshot.h):
+  /// the cursor triple is registered state the FaultTarget plane does not
+  /// cover, so snapshots carry it separately.
+  unsigned current() const noexcept { return current_; }
+  unsigned offset() const noexcept { return offset_; }
+
+  /// Restores a previously captured cursor triple. Throws SimError when the
+  /// triple is inconsistent with this group's geometry.
+  void restore(unsigned stored, unsigned current, unsigned offset) {
+    if (stored > capacity() || current > block_ids_.size() ||
+        (current == block_ids_.size() && offset != 0) || offset >= block_size_) {
+      throw SimError("BlockAddressController: restored fill cursor out of range");
+    }
+    stored_ = stored;
+    current_ = current;
+    offset_ = offset;
+  }
+
   void reset() noexcept {
     stored_ = 0;
     current_ = 0;

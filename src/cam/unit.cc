@@ -136,6 +136,56 @@ void CamUnit::poke_entry(std::size_t entry, Word stored, std::uint64_t mask,
                                   valid, parity);
 }
 
+std::vector<std::uint64_t> CamUnit::snapshot_cursors() const {
+  std::vector<std::uint64_t> cursors;
+  cursors.reserve(1 + 3 * controllers_.size() + blocks_.size());
+  cursors.push_back(controllers_.size());
+  for (const auto& c : controllers_) {
+    cursors.push_back(c.stored());
+    cursors.push_back(c.current());
+    cursors.push_back(c.offset());
+  }
+  for (const auto& b : blocks_) cursors.push_back(b->fill());
+  return cursors;
+}
+
+void CamUnit::restore_cursors(const std::vector<std::uint64_t>& cursors) {
+  const std::size_t want = 1 + 3 * controllers_.size() + blocks_.size();
+  if (cursors.size() != want || cursors[0] != controllers_.size()) {
+    throw SimError("CamUnit: cursor vector shape mismatch (got " +
+                   std::to_string(cursors.size()) + " values for " +
+                   std::to_string(controllers_.size()) + " groups / " +
+                   std::to_string(blocks_.size()) + " blocks; want " +
+                   std::to_string(want) + ")");
+  }
+  for (std::size_t i = 1; i < cursors.size(); ++i) {
+    if (cursors[i] > 0xFFFFFFFFull) {
+      throw SimError("CamUnit: restored cursor value does not fit 32 bits");
+    }
+  }
+  std::size_t pos = 1;
+  for (auto& c : controllers_) {
+    const std::uint64_t stored = cursors[pos++];
+    const std::uint64_t current = cursors[pos++];
+    const std::uint64_t offset = cursors[pos++];
+    c.restore(static_cast<unsigned>(stored), static_cast<unsigned>(current),
+              static_cast<unsigned>(offset));
+  }
+  for (auto& b : blocks_) b->set_fill(static_cast<unsigned>(cursors[pos++]));
+}
+
+void CamUnit::flush_pipelines() {
+  for (auto& b : blocks_) b->flush_pipeline();
+  std::fill(block_active_.begin(), block_active_.end(), 0);
+  active_blocks_.clear();
+  search_pipe_.clear();
+  update_pipe_.clear();
+  meta_pipe_.clear();
+  ack_pipe_.clear();
+  pending_.reset();
+  response_.reset();
+}
+
 bool CamUnit::write_quiescent() const noexcept {
   if (pending_.has_value() && pending_->op != OpKind::kSearch) return false;
   if (!update_pipe_.drained()) return false;

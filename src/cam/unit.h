@@ -154,6 +154,25 @@ class CamUnit : public sim::Component {
   /// Total DSP slices instantiated (= total CAM cells).
   unsigned dsp_count() const noexcept { return cfg_.unit_size * cfg_.block.block_size; }
 
+  // --- Checkpoint/restore support (src/fault/snapshot.h). ---
+
+  /// The unit's host-side fill state - Block Address Controller cursors and
+  /// per-block fill pointers - flattened as
+  /// [n_groups, (stored, current, offset) per group, fill per block].
+  /// Mode-independent (kFast and kReference share it), so a snapshot taken
+  /// under one eval mode restores under the other.
+  std::vector<std::uint64_t> snapshot_cursors() const;
+
+  /// Restores a cursor vector captured by snapshot_cursors() on a unit of
+  /// the same geometry and grouping. Throws SimError on shape or range
+  /// mismatches.
+  void restore_cursors(const std::vector<std::uint64_t>& cursors);
+
+  /// Discards every in-flight beat, pipeline stage, and registered output
+  /// in the unit and its blocks WITHOUT touching storage or fill cursors:
+  /// the crash-stop purge a shard rebuild/restore starts from.
+  void flush_pipelines();
+
   void eval() override {}
   void commit() override;
 

@@ -55,6 +55,11 @@ class Scrubber {
   bool captured() const noexcept { return !golden_.empty(); }
   std::size_t cursor() const noexcept { return cursor_; }
 
+  /// The captured golden shadow (empty before capture()). Shard rebuild
+  /// (ShardedCamEngine::rebuild_shard) restores a quarantined shard's
+  /// window from it when no snapshot is on hand.
+  const std::vector<EntryState>& golden() const noexcept { return golden_; }
+
  private:
   /// Returns true if the entry was corrupted (and is now repaired).
   bool scrub_entry(std::size_t entry);

@@ -1,0 +1,46 @@
+#include "src/sim/request_trace.h"
+
+#include <algorithm>
+
+namespace dspcam::sim {
+
+std::string CompletionStream::bytes() const {
+  std::vector<const Record*> ordered;
+  ordered.reserve(records_.size());
+  for (const Record& r : records_) ordered.push_back(&r);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const Record* a, const Record* b) { return a->ticket < b->ticket; });
+  std::string out;
+  for (const Record* r : ordered) {
+    out += "t=" + std::to_string(r->ticket) + " op=" + std::to_string(r->op) +
+           " words=" + std::to_string(r->words_written) +
+           " full=" + std::to_string(r->full ? 1 : 0);
+    for (const cam::UnitSearchResult& s : r->results) {
+      out += " (k=" + std::to_string(s.key) +
+             " hit=" + std::to_string(s.hit ? 1 : 0) +
+             " mc=" + std::to_string(s.match_count) +
+             " pe=" + std::to_string(s.parity_error ? 1 : 0) +
+             " sf=" + std::to_string(s.shard_failed ? 1 : 0);
+      if (placement_ == Placement::kFull) {
+        out += " addr=" + std::to_string(s.global_address) +
+               " grp=" + std::to_string(s.group) +
+               " shd=" + std::to_string(s.shard);
+      }
+      out += ")";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::uint64_t CompletionStream::digest() const {
+  const std::string text = bytes();
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace dspcam::sim

@@ -1,8 +1,26 @@
 #include "src/system/backend.h"
 
+#include "src/common/error.h"
+#include "src/fault/fault.h"
 #include "src/telemetry/metrics.h"
 
 namespace dspcam::system {
+
+void CamBackend::purge() {
+  throw SimError("CamBackend: this backend does not support purge()");
+}
+
+std::vector<fault::EntryState> CamBackend::logical_entries() {
+  throw SimError(
+      "CamBackend: this backend does not expose logical_entries() "
+      "(required for snapshot/reshard)");
+}
+
+void CamBackend::restore_cursors(const std::vector<std::uint64_t>& cursors) {
+  if (!cursors.empty()) {
+    throw SimError("CamBackend: this backend has no fill cursors to restore");
+  }
+}
 
 void CamBackend::record_telemetry(telemetry::MetricRegistry& registry,
                                   const std::string& prefix) const {

@@ -23,13 +23,15 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "src/cam/transactions.h"
 #include "src/cam/types.h"
 #include "src/model/resources.h"
 
 namespace dspcam::fault {
-class FaultTarget;  // src/fault/fault.h; backends may expose their storage
+class FaultTarget;   // src/fault/fault.h; backends may expose their storage
+struct EntryState;   // src/fault/fault.h; one entry's registered state
 }  // namespace dspcam::fault
 
 namespace dspcam::telemetry {
@@ -170,6 +172,28 @@ class CamBackend {
   /// Flat injection/scrub window over this backend's raw storage, or
   /// nullptr for backends without one. Valid for the backend's lifetime.
   virtual fault::FaultTarget* fault_target() { return nullptr; }
+
+  // --- Checkpoint / restore hooks (src/fault/snapshot.h). ---
+
+  /// Crash-stop: discards every queued request, in-flight operation, and
+  /// queued-but-unpopped output, leaving storage and fill cursors untouched.
+  /// Used when a shard is quarantined/rebuilt; the base class throws
+  /// SimError for backends that cannot purge.
+  virtual void purge();
+
+  /// One EntryState per *logical* address in [0, capacity()), in address
+  /// order: the contents a reshard redistributes. Unlike the fault_target()
+  /// window (which exposes every physical replica), this walks one group
+  /// copy in fill order. Throws SimError for backends without the hook.
+  virtual std::vector<fault::EntryState> logical_entries();
+
+  /// Opaque host-side fill-cursor state the fault_target() window does not
+  /// cover, captured for snapshots. Empty when the backend has none.
+  virtual std::vector<std::uint64_t> snapshot_cursors() const { return {}; }
+
+  /// Restores a snapshot_cursors() vector on a same-geometry backend.
+  /// The default accepts only an empty vector (SimError otherwise).
+  virtual void restore_cursors(const std::vector<std::uint64_t>& cursors);
 
   /// One-shot diagnostic snapshot (queue occupancies, credits, in-flight
   /// state) for watchdog reports; empty when the backend offers none.

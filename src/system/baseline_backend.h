@@ -131,6 +131,39 @@ class BehavioralCamBackend : public CamBackend {
   /// draws against parity-protected DSP configurations.
   fault::FaultTarget* fault_target() override { return &fault_target_; }
 
+  // --- Checkpoint / restore hooks (src/fault/snapshot.h). ---
+
+  /// Crash-stop: queued requests and not-yet-popped outputs are dropped;
+  /// the model's entry arrays and the fill pointer survive.
+  void purge() override {
+    request_fifo_.clear();
+    responses_.clear();
+    acks_.clear();
+    engine_free_at_ = stats_.cycles;
+  }
+
+  /// The model's entries in address order (the fault-target window already
+  /// IS the logical address space for the single-ported baselines).
+  std::vector<fault::EntryState> logical_entries() override {
+    std::vector<fault::EntryState> entries;
+    entries.reserve(cfg_.model.entries);
+    for (std::uint32_t a = 0; a < cfg_.model.entries; ++a) {
+      entries.push_back(fault_target_.peek(a));
+    }
+    return entries;
+  }
+
+  std::vector<std::uint64_t> snapshot_cursors() const override {
+    return {fill_};
+  }
+
+  void restore_cursors(const std::vector<std::uint64_t>& cursors) override {
+    if (cursors.size() != 1 || cursors[0] > cfg_.model.entries) {
+      throw SimError("BehavioralCamBackend: bad fill-cursor vector");
+    }
+    fill_ = static_cast<std::uint32_t>(cursors[0]);
+  }
+
   std::string debug_dump() const override {
     char buf[192];
     std::snprintf(buf, sizeof buf,

@@ -182,6 +182,43 @@ std::uint64_t CamSystem::output_horizon() const {
   return best;
 }
 
+void CamSystem::purge() {
+  // Crash-stop semantics: everything queued or in flight is dropped on the
+  // floor (no responses, no acks), but the registered storage plane and the
+  // fill cursors survive - exactly the state a snapshot captures and a
+  // rebuild restores. Credits and ready deques track in-flight work only,
+  // so they reset with it; stats_.cycles keeps counting (time is not state).
+  request_fifo_.clear();
+  response_fifo_.clear();
+  ack_fifo_.clear();
+  searches_in_flight_ = 0;
+  updates_in_flight_ = 0;
+  search_ready_.clear();
+  ack_ready_.clear();
+  fused_prefix_ = 0;
+  unit_.flush_pipelines();
+}
+
+std::vector<fault::EntryState> CamSystem::logical_entries() {
+  // Every group holds a full replica, so group 0's copy in fill order IS the
+  // logical contents: address a lives in block ids[a / bs], cell a % bs.
+  const unsigned bs = cfg_.unit.block.block_size;
+  const auto& ids = unit_.routing().blocks_of(0);
+  std::vector<fault::EntryState> entries;
+  entries.reserve(capacity());
+  for (unsigned a = 0; a < capacity(); ++a) {
+    const cam::CamBlock& b = unit_.block(ids.at(a / bs));
+    const unsigned cell = a % bs;
+    fault::EntryState e;
+    e.stored = b.stored_word(cell);
+    e.mask = b.entry_mask(cell);
+    e.valid = b.entry_valid(cell);
+    e.parity = b.entry_parity(cell);
+    entries.push_back(e);
+  }
+  return entries;
+}
+
 void CamSystem::configure_groups(unsigned m) {
   if (!idle()) {
     throw SimError("CamSystem: configure_groups requires an idle system");

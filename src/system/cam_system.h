@@ -123,6 +123,25 @@ class CamSystem : public sim::Component, public CamBackend {
   /// Injection/scrub window over the unit's physical storage.
   fault::FaultTarget* fault_target() override { return &fault_target_; }
 
+  // --- Checkpoint / restore hooks (src/fault/snapshot.h). ---
+
+  /// Crash-stop: drops the interface FIFOs, in-flight credits, fusion
+  /// staging, and the unit's pipeline contents; storage and fill cursors
+  /// survive.
+  void purge() override;
+
+  /// Group 0's copy of the contents in logical address order (all groups
+  /// hold identical replicas).
+  std::vector<fault::EntryState> logical_entries() override;
+
+  /// [n_groups, (stored, current, offset) per group, fill per block].
+  std::vector<std::uint64_t> snapshot_cursors() const override {
+    return unit_.snapshot_cursors();
+  }
+  void restore_cursors(const std::vector<std::uint64_t>& cursors) override {
+    unit_.restore_cursors(cursors);
+  }
+
   /// FIFO occupancies and in-flight credits for watchdog diagnostics.
   std::string debug_dump() const override;
 

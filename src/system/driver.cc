@@ -89,6 +89,9 @@ CamDriver::Ticket CamDriver::submit_async(cam::UnitRequest request) {
       throw SimError("CamDriver::submit_async: field 'op' holds unknown OpKind value " +
                      std::to_string(static_cast<unsigned>(request.op)));
   }
+  // Record after validation (rejected requests never replay) and before the
+  // ticket overwrite, so the trace holds the request as the caller shaped it.
+  if (request_trace_ != nullptr) request_trace_->record(request);
   const Ticket ticket = next_ticket_++;
   request.seq = ticket;
   const cam::OpKind op = request.op;
@@ -299,6 +302,28 @@ void CamDriver::drain() {
       m_stall_headroom_->set(static_cast<std::int64_t>(stall_budget_ - stagnant));
     }
     if (stagnant > stall_budget_) throw_wedged("drain");
+  }
+}
+
+void CamDriver::replay_trace(const sim::RequestTrace& trace,
+                             sim::CompletionStream& out, std::size_t begin,
+                             std::size_t end) {
+  sim::RequestTrace* recorder = request_trace_;
+  request_trace_ = nullptr;  // never re-record a playback
+  const std::size_t hi = std::min(end, trace.size());
+  for (std::size_t i = begin; i < hi; ++i) {
+    submit_async(trace.requests()[i]);
+  }
+  request_trace_ = recorder;  // only submit_async records; safe to re-attach
+  drain();
+  while (auto c = try_pop_completion()) {
+    sim::CompletionStream::Record rec;
+    rec.ticket = c->ticket;
+    rec.op = static_cast<unsigned>(c->op);
+    rec.words_written = c->words_written;
+    rec.full = c->full;
+    rec.results = std::move(c->results);
+    out.add(std::move(rec));
   }
 }
 

@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "src/sim/request_trace.h"
 #include "src/system/backend.h"
 #include "src/system/cam_system.h"
 
@@ -141,6 +142,25 @@ class CamDriver {
   /// Tickets submitted whose completions have not yet been harvested.
   const std::set<Ticket>& outstanding_tickets() const noexcept { return outstanding_; }
 
+  // --- Record / replay (src/sim/request_trace.h). ---
+
+  /// Attaches a request recorder: every ticketed request accepted by
+  /// submit_async() is appended (as the caller handed it over, before the
+  /// driver stamps its ticket into seq). Borrowed; pass nullptr to detach.
+  void set_request_trace(sim::RequestTrace* trace) noexcept {
+    request_trace_ = trace;
+  }
+  sim::RequestTrace* request_trace() const noexcept { return request_trace_; }
+
+  /// Replays trace entries [begin, min(end, size)): submits each in order,
+  /// drains until every ticket completes, and appends the completions to
+  /// `out`. Recording is suspended during the replay so an attached trace
+  /// does not re-capture its own playback. The recovery determinism tests
+  /// replay slices around a mid-trace quarantine/rebuild or reshard and
+  /// compare streams byte-for-byte.
+  void replay_trace(const sim::RequestTrace& trace, sim::CompletionStream& out,
+                    std::size_t begin = 0, std::size_t end = SIZE_MAX);
+
   // --- Telemetry (src/telemetry/). ---
 
   /// Attaches a metric registry and (optionally) a span tracer. From then on
@@ -239,6 +259,7 @@ class CamDriver {
   std::uint64_t stall_budget_ = kDefaultStallBudget;
   bool horizon_batching_ = true;  ///< drain() may step_many() safe windows.
   std::function<void()> cycle_hook_;
+  sim::RequestTrace* request_trace_ = nullptr;  ///< Borrowed recorder (null = off).
 
   // Telemetry (all borrowed; null = off). Metric handles are cached at
   // attach time so per-event updates cost one pointer bump, not a name

@@ -5,7 +5,9 @@
 #include <thread>
 #include <utility>
 
+#include "src/cam/types.h"
 #include "src/common/error.h"
+#include "src/fault/scrubber.h"
 #include "src/telemetry/metrics.h"
 #include "src/telemetry/span.h"
 
@@ -31,7 +33,7 @@ void ShardedCamEngine::Config::validate() const {
 }
 
 ShardedCamEngine::ShardedCamEngine(const Config& cfg, const ShardFactory& make_shard)
-    : cfg_(cfg) {
+    : cfg_(cfg), make_shard_(make_shard) {
   cfg_.validate();
   shards_.reserve(cfg_.shards);
   for (unsigned s = 0; s < cfg_.shards; ++s) {
@@ -83,9 +85,11 @@ ShardedCamEngine::ShardedCamEngine(const Config& cfg, const ShardFactory& make_s
 }
 
 ShardedCamEngine::ShardedCamEngine(const Config& cfg, const CamSystem::Config& shard_cfg)
-    : ShardedCamEngine(cfg, [&shard_cfg](unsigned) {
+    // By-value capture: the factory outlives this constructor call (stored as
+    // make_shard_ for restore()/reshard() fleet rebuilds).
+    : ShardedCamEngine(cfg, ShardFactory([shard_cfg](unsigned) {
         return std::make_unique<CamSystem>(shard_cfg);
-      }) {}
+      })) {}
 
 unsigned ShardedCamEngine::shard_of(cam::Word key) const {
   const unsigned s = shard_count();
@@ -635,6 +639,7 @@ void ShardedCamEngine::quarantine_shard(unsigned s) {
   if (quarantined_[s]) return;  // idempotent
   quarantined_[s] = 1;
   ++quarantine_events_;
+  push_history("quarantine shard " + std::to_string(s));
 
   // Parked sub-requests never reached the shard: drop them (their beats are
   // settled through the expectation queues below, which cover every
@@ -685,13 +690,461 @@ unsigned ShardedCamEngine::quarantined_count() const noexcept {
   return n;
 }
 
+// --- Checkpoint / restore / rebuild / reshard. ---
+
+bool ShardedCamEngine::shard_settled(unsigned s) const {
+  if (!expected_search_[s].empty() || !expected_ack_[s].empty() ||
+      !pending_issue_[s].empty()) {
+    return false;
+  }
+  return quarantined_[s] != 0 || shards_[s]->idle();
+}
+
+void ShardedCamEngine::require_settled(unsigned s, const char* who) const {
+  if (!shard_settled(s)) {
+    throw SimError(std::string(who) + ": shard " + std::to_string(s) +
+                   " still owes in-flight sub-operations - drain the engine "
+                   "first; " + debug_dump());
+  }
+}
+
+void ShardedCamEngine::push_history(const std::string& what) {
+  history_.push_back({cycles_, what});
+}
+
+fault::ShardSnapshot ShardedCamEngine::snapshot_shard(unsigned s) {
+  if (s >= shard_count()) {
+    throw ConfigError("ShardedCamEngine::snapshot_shard: no such shard");
+  }
+  require_settled(s, "ShardedCamEngine::snapshot_shard");
+  fault::FaultTarget* target = shards_[s]->fault_target();
+  if (target == nullptr) {
+    throw SimError(
+        "ShardedCamEngine::snapshot_shard: shard exposes no fault target to "
+        "read its entries through");
+  }
+  fault::ShardSnapshot snap;
+  snap.shard = s;
+  snap.data_width = shards_[s]->data_width();
+  snap.cam_kind = cam::to_string(shards_[s]->kind());
+  snap.capacity = shards_[s]->capacity();
+  fault::snapshot_target(*target, snap);
+  snap.cursors = shards_[s]->snapshot_cursors();
+  snap.seal();
+  return snap;
+}
+
+void ShardedCamEngine::apply_snapshot(unsigned s, const fault::ShardSnapshot& snap) {
+  snap.verify();
+  if (snap.shard != s) {
+    throw SimError("ShardedCamEngine: snapshot was taken from shard " +
+                   std::to_string(snap.shard) + ", refusing to load it into slot " +
+                   std::to_string(s));
+  }
+  const std::string want_kind = cam::to_string(shards_[s]->kind());
+  if (snap.data_width != shards_[s]->data_width() || snap.cam_kind != want_kind ||
+      snap.capacity != shards_[s]->capacity()) {
+    throw SimError("ShardedCamEngine: snapshot geometry (" +
+                   std::to_string(snap.data_width) + "-bit " + snap.cam_kind +
+                   ", capacity " + std::to_string(snap.capacity) +
+                   ") does not match shard " + std::to_string(s) + " (" +
+                   std::to_string(shards_[s]->data_width()) + "-bit " + want_kind +
+                   ", capacity " + std::to_string(shards_[s]->capacity()) + ")");
+  }
+  fault::FaultTarget* target = shards_[s]->fault_target();
+  if (target == nullptr) {
+    throw SimError(
+        "ShardedCamEngine: shard exposes no fault target to restore through");
+  }
+  fault::restore_target(*target, snap);
+  shards_[s]->restore_cursors(snap.cursors);
+}
+
+void ShardedCamEngine::restore_shard(unsigned s, const fault::ShardSnapshot& snap) {
+  if (s >= shard_count()) {
+    throw ConfigError("ShardedCamEngine::restore_shard: no such shard");
+  }
+  if (quarantined_[s]) {
+    throw SimError(
+        "ShardedCamEngine::restore_shard: shard " + std::to_string(s) +
+        " is quarantined; rebuild_shard() is the verified re-admission path");
+  }
+  require_settled(s, "ShardedCamEngine::restore_shard");
+  shards_[s]->purge();
+  apply_snapshot(s, snap);
+}
+
+ShardedCamEngine::EngineCheckpoint ShardedCamEngine::checkpoint() {
+  if (!idle() || !search_rob_.empty() || !ack_rob_.empty()) {
+    throw SimError(
+        "ShardedCamEngine::checkpoint requires an idle engine with both "
+        "reorder buffers drained by the host; " + debug_dump());
+  }
+  EngineCheckpoint ckpt;
+  ckpt.shards = shard_count();
+  ckpt.partition = cfg_.partition;
+  ckpt.key_bits = cfg_.key_bits;
+  ckpt.shard_capacity = shards_.front()->capacity();
+  ckpt.shard_snaps.reserve(shard_count());
+  for (unsigned s = 0; s < shard_count(); ++s) {
+    ckpt.shard_snaps.push_back(snapshot_shard(s));
+  }
+  return ckpt;
+}
+
+void ShardedCamEngine::restore(const EngineCheckpoint& ckpt) {
+  if (ckpt.version != EngineCheckpoint::kVersion) {
+    throw SimError("ShardedCamEngine::restore: unsupported checkpoint version " +
+                   std::to_string(ckpt.version) + " (this build reads version " +
+                   std::to_string(EngineCheckpoint::kVersion) + ")");
+  }
+  if (ckpt.shards == 0 || ckpt.shard_snaps.size() != ckpt.shards) {
+    throw SimError("ShardedCamEngine::restore: checkpoint says " +
+                   std::to_string(ckpt.shards) + " shards but carries " +
+                   std::to_string(ckpt.shard_snaps.size()) + " snapshots");
+  }
+  if (!idle() || !search_rob_.empty() || !ack_rob_.empty()) {
+    throw SimError(
+        "ShardedCamEngine::restore requires an idle engine with both reorder "
+        "buffers drained by the host; " + debug_dump());
+  }
+  if (ckpt.shards != shard_count()) rebuild_fleet(ckpt.shards);
+  if (shards_.front()->capacity() != ckpt.shard_capacity) {
+    throw SimError("ShardedCamEngine::restore: checkpoint assumes shard "
+                   "capacity " + std::to_string(ckpt.shard_capacity) +
+                   ", this engine's shards hold " +
+                   std::to_string(shards_.front()->capacity()));
+  }
+  cfg_.partition = ckpt.partition;
+  cfg_.key_bits = ckpt.key_bits;
+  for (unsigned s = 0; s < shard_count(); ++s) {
+    quarantined_[s] = 0;  // every restored shard re-enters service
+    resetting_[s] = 0;
+    credits_[s] = cfg_.credits_per_shard;
+    pending_issue_[s].clear();
+    shards_[s]->purge();
+    apply_snapshot(s, ckpt.shard_snaps[s]);
+  }
+  rr_start_ = 0;
+  push_history("restore checkpoint (" + std::to_string(ckpt.shards) + " shards)");
+}
+
+void ShardedCamEngine::verify_shard(unsigned s,
+                                    const std::vector<fault::EntryState>& want,
+                                    const char* who) const {
+  fault::FaultTarget* target = shards_[s]->fault_target();
+  if (target == nullptr || target->entry_count() != want.size()) {
+    throw SimError(std::string(who) + ": shard " + std::to_string(s) +
+                   " cannot be read back for verification");
+  }
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    if (!(target->peek(i) == want[i])) {
+      throw SimError(std::string(who) + ": read-back verification failed at "
+                     "entry " + std::to_string(i) + " of shard " +
+                     std::to_string(s) + " - the shard stays quarantined");
+    }
+  }
+}
+
+void ShardedCamEngine::readmit_shard(unsigned s, const char* source) {
+  quarantined_[s] = 0;
+  credits_[s] = cfg_.credits_per_shard;
+  resetting_[s] = 0;
+  ++rebuild_events_;
+  push_history("rebuild shard " + std::to_string(s) + " (" + source + ")");
+  if (tracer_ != nullptr) {
+    const std::uint64_t span =
+        tracer_->begin("engine.rebuild", kTrackEngineBeats, cycles_);
+    tracer_->arg(span, "shard", s);
+    tracer_->end(span, cycles_);
+  }
+}
+
+void ShardedCamEngine::rebuild_shard(unsigned s, const fault::ShardSnapshot& snap) {
+  if (s >= shard_count()) {
+    throw ConfigError("ShardedCamEngine::rebuild_shard: no such shard");
+  }
+  if (!quarantined_[s]) {
+    throw SimError("ShardedCamEngine::rebuild_shard: shard " + std::to_string(s) +
+                   " is in service; rebuild only re-admits quarantined shards "
+                   "(restore_shard overwrites live ones)");
+  }
+  shards_[s]->purge();  // crash-stop leftovers from the failed shard
+  apply_snapshot(s, snap);
+  verify_shard(s, snap.entries, "ShardedCamEngine::rebuild_shard");
+  readmit_shard(s, "snapshot");
+}
+
+void ShardedCamEngine::rebuild_shard(unsigned s, const fault::Scrubber& scrubber) {
+  if (s >= shard_count()) {
+    throw ConfigError("ShardedCamEngine::rebuild_shard: no such shard");
+  }
+  if (!quarantined_[s]) {
+    throw SimError("ShardedCamEngine::rebuild_shard: shard " + std::to_string(s) +
+                   " is in service; rebuild only re-admits quarantined shards");
+  }
+  if (!scrubber.captured()) {
+    throw SimError(
+        "ShardedCamEngine::rebuild_shard: the scrubber holds no golden shadow "
+        "(capture() it before the shard fails)");
+  }
+  if (fault_target_ == nullptr) {
+    throw SimError(
+        "ShardedCamEngine::rebuild_shard: engine exposes no composite fault "
+        "target to map the golden shadow onto");
+  }
+  const std::vector<fault::EntryState>& golden = scrubber.golden();
+  if (golden.size() != fault_target_->entry_count()) {
+    throw SimError("ShardedCamEngine::rebuild_shard: golden shadow covers " +
+                   std::to_string(golden.size()) +
+                   " entries but the engine's fault window holds " +
+                   std::to_string(fault_target_->entry_count()) +
+                   " - the scrubber was captured over a different target");
+  }
+  fault::FaultTarget* target = shards_[s]->fault_target();
+  std::size_t base = 0;  // this shard's offset in the composite window
+  for (unsigned i = 0; i < s; ++i) {
+    base += shards_[i]->fault_target()->entry_count();
+  }
+  const std::size_t per = target->entry_count();
+  shards_[s]->purge();
+  // Storage plane only: quarantine never corrupts the host-side fill
+  // cursors, so the shard keeps its own.
+  const std::vector<fault::EntryState> want(golden.begin() + base,
+                                            golden.begin() + base + per);
+  for (std::size_t i = 0; i < per; ++i) target->poke(i, want[i]);
+  verify_shard(s, want, "ShardedCamEngine::rebuild_shard");
+  readmit_shard(s, "golden shadow");
+}
+
+std::uint64_t ShardedCamEngine::drain_to_idle(std::uint64_t budget, const char* who) {
+  const auto all_settled = [this]() {
+    for (unsigned s = 0; s < shard_count(); ++s) {
+      if (!expected_search_[s].empty() || !expected_ack_[s].empty() ||
+          !pending_issue_[s].empty()) {
+        return false;
+      }
+    }
+    return true;
+  };
+  std::uint64_t spent = 0;
+  while (!idle() || !all_settled()) {
+    if (spent >= budget) {
+      throw SimError(std::string(who) + ": in-flight work failed to settle "
+                     "within " + std::to_string(budget) + " cycles; " +
+                     debug_dump());
+    }
+    step();
+    ++spent;
+  }
+  return spent;
+}
+
+void ShardedCamEngine::rebuild_fleet(unsigned new_count) {
+  if (!make_shard_) {
+    throw SimError(
+        "ShardedCamEngine: no shard factory stored - cannot rebuild the fleet");
+  }
+  for (unsigned s = 0; s < shard_count(); ++s) {
+    if (!expected_search_[s].empty() || !expected_ack_[s].empty() ||
+        !pending_issue_[s].empty()) {
+      throw SimError(
+          "ShardedCamEngine: internal error - fleet rebuild with unsettled "
+          "shard state");
+    }
+  }
+  const unsigned want_width = data_width();
+  const cam::CamKind want_kind = kind();
+  const unsigned want_cap = shards_.front()->capacity();
+  const unsigned want_groups = shards_.front()->max_keys_per_beat();
+  std::vector<std::unique_ptr<CamBackend>> fresh;
+  fresh.reserve(new_count);
+  for (unsigned s = 0; s < new_count; ++s) {
+    auto shard = make_shard_(s);
+    if (!shard) throw ConfigError("ShardedCamEngine: factory returned null shard");
+    if (shard->data_width() != want_width || shard->kind() != want_kind ||
+        shard->capacity() != want_cap) {
+      throw ConfigError(
+          "ShardedCamEngine: factory shards must match the existing geometry");
+    }
+    // Preserve the grouping the old fleet ran with (configure_groups was
+    // broadcast post-construction and the factory knows nothing of it).
+    if (shard->max_keys_per_beat() != want_groups) {
+      shard->configure_groups(want_groups);
+    }
+    fresh.push_back(std::move(shard));
+  }
+  shards_ = std::move(fresh);
+  cfg_.shards = new_count;
+  credits_.assign(new_count, cfg_.credits_per_shard);
+  resetting_.assign(new_count, 0);
+  quarantined_.assign(new_count, 0);
+  pending_issue_.assign(new_count, {});
+  expected_search_.assign(new_count, {});
+  expected_ack_.assign(new_count, {});
+  staged_.assign(new_count, {});
+  rr_start_ = 0;
+  // Recompose the injection window over the new fleet (same all-or-nothing
+  // rule as construction).
+  fault_target_.reset();
+  std::vector<fault::FaultTarget*> parts;
+  parts.reserve(new_count);
+  for (auto& shard : shards_) {
+    fault::FaultTarget* target = shard->fault_target();
+    if (target == nullptr) {
+      parts.clear();
+      break;
+    }
+    parts.push_back(target);
+  }
+  if (!parts.empty()) {
+    fault_target_ = std::make_unique<CompositeFaultTarget>(std::move(parts));
+  }
+  // Re-derive the stepping-thread clamp for the new shard count.
+  unsigned threads = std::min(cfg_.step_threads, new_count);
+  if (cfg_.clamp_threads_to_cores) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    if (hw != 0) threads = std::min(threads, hw);
+  }
+  effective_threads_ = std::max(1u, threads);
+  pool_.reset();
+  if (effective_threads_ > 1) {
+    pool_ = std::make_unique<ThreadPool>(effective_threads_ - 1);
+  }
+  if (tracer_ != nullptr) set_span_tracer(tracer_);  // name the new shard tracks
+}
+
+ShardedCamEngine::ReshardReport ShardedCamEngine::reshard(unsigned new_shard_count) {
+  if (new_shard_count == 0) {
+    throw ConfigError("ShardedCamEngine::reshard: need >= 1 shard");
+  }
+  if (cfg_.partition != Partition::kHash) {
+    throw SimError(
+        "ShardedCamEngine::reshard currently supports the hash partitioner "
+        "only; range re-splitting is a planned follow-on");
+  }
+  if (quarantined_count() != 0) {
+    throw SimError("ShardedCamEngine::reshard: rebuild quarantined shards "
+                   "first (" + std::to_string(quarantined_count()) +
+                   " out of service)");
+  }
+
+  ReshardReport report;
+  report.old_shards = shard_count();
+  report.new_shards = new_shard_count;
+
+  // Settle: every accepted sub-operation completes into the reorder buffers.
+  // Completed beats stay poppable by the host across the reshard; only the
+  // shard-side state must quiesce.
+  report.pause_cycles = drain_to_idle(1ull << 20, "ShardedCamEngine::reshard");
+
+  // Collect every valid entry in deterministic shard-major, address-minor
+  // order. Invalid holes compact away.
+  std::vector<fault::EntryState> moving;
+  for (unsigned s = 0; s < shard_count(); ++s) {
+    for (const fault::EntryState& e : shards_[s]->logical_entries()) {
+      if (e.valid) moving.push_back(e);
+    }
+  }
+  report.entries_moved = moving.size();
+
+  rebuild_fleet(new_shard_count);
+
+  // Redistribute through each new shard's own protocol port, so parity and
+  // fill bookkeeping follow the legitimate write path. Per-entry masks only
+  // exist off the binary mode (CamBlock refuses masked appends on kBinary).
+  std::vector<std::vector<const fault::EntryState*>> buckets(new_shard_count);
+  for (const fault::EntryState& e : moving) {
+    buckets[shard_of(e.stored)].push_back(&e);
+  }
+  const bool masked = kind() != cam::CamKind::kBinary;
+  for (unsigned s = 0; s < new_shard_count; ++s) {
+    CamBackend& shard = *shards_[s];
+    if (buckets[s].size() > shard.capacity()) {
+      throw SimError("ShardedCamEngine::reshard: " +
+                     std::to_string(buckets[s].size()) +
+                     " entries map to new shard " + std::to_string(s) +
+                     ", which holds only " + std::to_string(shard.capacity()) +
+                     " - repartitioning would lose entries");
+    }
+    const unsigned per_beat = std::max(1u, shard.words_per_beat());
+    std::size_t submitted_words = 0;
+    std::size_t submitted_beats = 0;
+    std::size_t acked_words = 0;
+    std::size_t acks_seen = 0;
+    std::uint64_t guard = 0;
+    for (std::size_t lo = 0; lo < buckets[s].size(); lo += per_beat) {
+      const std::size_t hi = std::min(buckets[s].size(), lo + per_beat);
+      cam::UnitRequest req;
+      req.op = cam::OpKind::kUpdate;
+      for (std::size_t i = lo; i < hi; ++i) {
+        req.words.push_back(buckets[s][i]->stored);
+        if (masked) req.masks.push_back(buckets[s][i]->mask);
+      }
+      submitted_words += hi - lo;
+      ++submitted_beats;
+      while (!shard.try_submit(req)) {
+        shard.step();
+        while (auto ack = shard.try_pop_ack()) {
+          acked_words += ack->words_written;
+          ++acks_seen;
+        }
+        if (++guard > (1ull << 20)) {
+          throw SimError("ShardedCamEngine::reshard: new shard " +
+                         std::to_string(s) + " refused re-appends; " +
+                         shard.debug_dump());
+        }
+      }
+    }
+    while (acks_seen < submitted_beats) {
+      if (auto ack = shard.try_pop_ack()) {
+        acked_words += ack->words_written;
+        ++acks_seen;
+        continue;
+      }
+      shard.step();
+      if (++guard > (1ull << 20)) {
+        throw SimError("ShardedCamEngine::reshard: re-appends failed to "
+                       "settle on new shard " + std::to_string(s) + "; " +
+                       shard.debug_dump());
+      }
+    }
+    if (acked_words != submitted_words) {
+      throw SimError("ShardedCamEngine::reshard: new shard " +
+                     std::to_string(s) + " wrote " +
+                     std::to_string(acked_words) + " of " +
+                     std::to_string(submitted_words) +
+                     " re-appended words - repartitioning lost entries");
+    }
+  }
+
+  ++reshard_events_;
+  reshard_entries_moved_ += report.entries_moved;
+  reshard_pause_cycles_ += report.pause_cycles;
+  push_history("reshard " + std::to_string(report.old_shards) + " -> " +
+               std::to_string(report.new_shards) + " (" +
+               std::to_string(report.entries_moved) + " entries, " +
+               std::to_string(report.pause_cycles) + " pause cycles)");
+  if (tracer_ != nullptr) {
+    const std::uint64_t span =
+        tracer_->begin("engine.reshard", kTrackEngineBeats, cycles_);
+    tracer_->arg(span, "old_shards", report.old_shards);
+    tracer_->arg(span, "new_shards", report.new_shards);
+    tracer_->arg(span, "entries_moved", report.entries_moved);
+    tracer_->end(span, cycles_);
+  }
+  return report;
+}
+
 fault::FaultTarget* ShardedCamEngine::fault_target() {
   return fault_target_.get();
 }
 
 std::string ShardedCamEngine::debug_dump() const {
-  std::string out = "sharded{rob: search=" + std::to_string(search_rob_.size()) +
-                    " ack=" + std::to_string(ack_rob_.size());
+  std::string out = "sharded{partition=";
+  out += cfg_.partition == Partition::kHash ? "hash" : "range";
+  out += " rob: search=" + std::to_string(search_rob_.size()) +
+         " ack=" + std::to_string(ack_rob_.size());
   for (unsigned s = 0; s < shard_count(); ++s) {
     char buf[160];
     std::snprintf(buf, sizeof(buf),
@@ -701,8 +1154,24 @@ std::string ShardedCamEngine::debug_dump() const {
                   resetting_[s] ? " RESETTING" : "",
                   quarantined_[s] ? " QUARANTINED" : "");
     out += buf;
+    if (fault::FaultTarget* target = shards_[s]->fault_target()) {
+      std::size_t valid = 0;
+      for (std::size_t e = 0; e < target->entry_count(); ++e) {
+        valid += target->peek(e).valid ? 1 : 0;
+      }
+      out += " occupancy=" + std::to_string(valid) + "/" +
+             std::to_string(shards_[s]->capacity());
+    }
     const std::string inner = shards_[s]->debug_dump();
     if (!inner.empty()) out += " [" + inner + "]";
+  }
+  if (!history_.empty()) {
+    out += "; history:";
+    const std::size_t from = history_.size() > 4 ? history_.size() - 4 : 0;
+    for (std::size_t i = from; i < history_.size(); ++i) {
+      out += " [@" + std::to_string(history_[i].cycle) + " " +
+             history_[i].what + "]";
+    }
   }
   out += "}";
   return out;
@@ -760,6 +1229,12 @@ void ShardedCamEngine::record_telemetry(telemetry::MetricRegistry& registry,
   registry.counter(prefix + ".quarantine_events").update_to(quarantine_events_);
   registry.gauge(prefix + ".quarantined_shards")
       .set(static_cast<std::int64_t>(quarantined_count()));
+  registry.counter(prefix + ".rebuild_events").update_to(rebuild_events_);
+  registry.counter(prefix + ".reshard_events").update_to(reshard_events_);
+  registry.counter(prefix + ".reshard.entries_moved")
+      .update_to(reshard_entries_moved_);
+  registry.counter(prefix + ".reshard.pause_cycles")
+      .update_to(reshard_pause_cycles_);
   for (unsigned s = 0; s < shard_count(); ++s) {
     const std::string sp = prefix + ".shard" + std::to_string(s);
     registry.gauge(sp + ".credits").set(static_cast<std::int64_t>(credits_[s]));

@@ -32,13 +32,19 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "src/common/freelist.h"
 #include "src/common/thread_pool.h"
 #include "src/fault/fault.h"
+#include "src/fault/snapshot.h"
 #include "src/system/backend.h"
 #include "src/system/cam_system.h"
+
+namespace dspcam::fault {
+class Scrubber;  // src/fault/scrubber.h; golden-shadow rebuild source
+}  // namespace dspcam::fault
 
 namespace dspcam::system {
 
@@ -155,12 +161,98 @@ class ShardedCamEngine : public CamBackend {
   /// (hit forced false) at their beat positions, acks complete with zero
   /// words contributed - and from then on the shard is skipped by planning,
   /// stepping and collection: keys routed to it come back `shard_failed`
-  /// instead of silently missing or blocking the beat. Irreversible for the
-  /// engine's lifetime (re-admitting a shard whose contents diverged would
-  /// serve wrong answers); idempotent.
+  /// instead of silently missing or blocking the beat. Re-admitting a shard
+  /// whose contents diverged would serve wrong answers, so the only way back
+  /// into service is rebuild_shard(), which restores known-good state and
+  /// verifies it first. Idempotent.
   void quarantine_shard(unsigned s);
   bool shard_quarantined(unsigned s) const { return quarantined_.at(s) != 0; }
   unsigned quarantined_count() const noexcept;
+
+  // --- Checkpoint / restore (src/fault/snapshot.h). ---
+
+  /// Whole-engine checkpoint: one sealed ShardSnapshot per shard plus the
+  /// partitioner configuration the contents assume.
+  struct EngineCheckpoint {
+    static constexpr std::uint32_t kVersion = 1;
+
+    std::uint32_t version = kVersion;
+    unsigned shards = 0;
+    Partition partition = Partition::kHash;
+    unsigned key_bits = 32;
+    unsigned shard_capacity = 0;
+    std::vector<fault::ShardSnapshot> shard_snaps;
+  };
+
+  /// Captures shard `s` as a sealed snapshot. The shard's sub-operation
+  /// state must be settled (no parked sub-requests, nothing owed to the
+  /// reorder buffers, backend idle unless quarantined) - drain the driver
+  /// first. Throws SimError if the shard exposes no fault target.
+  fault::ShardSnapshot snapshot_shard(unsigned s);
+
+  /// Restores shard `s` in place from a verified snapshot. Same settledness
+  /// requirement; refuses quarantined shards (use rebuild_shard) and any
+  /// snapshot whose slot, geometry, or checksum mismatches - descriptive
+  /// SimError, never a silent load. Works across eval modes: the snapshot
+  /// format only speaks the FaultTarget peek/poke window.
+  void restore_shard(unsigned s, const fault::ShardSnapshot& snap);
+
+  /// Checkpoints every shard. Requires a fully idle engine with both
+  /// reorder buffers drained by the host.
+  EngineCheckpoint checkpoint();
+
+  /// Restores a checkpoint into this engine. Requires the same idle/drained
+  /// state as checkpoint(); adopts the checkpoint's partitioner config and,
+  /// when the shard counts differ, rebuilds the shard fleet through the
+  /// stored factory. Clears all quarantine flags - every restored shard
+  /// re-enters service.
+  void restore(const EngineCheckpoint& ckpt);
+
+  // --- Quarantined-shard rebuild. ---
+
+  /// Brings quarantined shard `s` back into service from a snapshot: purges
+  /// the shard's crashed pipeline state, restores entries + fill cursors,
+  /// re-verifies every entry against the snapshot (a scrub-style read-back
+  /// pass), then re-admits the shard with full credits. Throws SimError if
+  /// the shard is not quarantined or verification fails (the shard then
+  /// stays quarantined). No cycles elapse; in-flight beats owed by *other*
+  /// shards are untouched.
+  void rebuild_shard(unsigned s, const fault::ShardSnapshot& snap);
+
+  /// Same, but restores the shard's window of the scrubber's golden shadow
+  /// (the scrubber must be captured over this engine's composite fault
+  /// target). Storage plane only: the shard keeps its own fill cursors,
+  /// which quarantine never corrupts.
+  void rebuild_shard(unsigned s, const fault::Scrubber& scrubber);
+
+  // --- Live resharding. ---
+
+  /// What reshard() did, for benches and telemetry.
+  struct ReshardReport {
+    unsigned old_shards = 0;
+    unsigned new_shards = 0;
+    std::size_t entries_moved = 0;   ///< Valid entries redistributed.
+    std::uint64_t pause_cycles = 0;  ///< Engine cycles spent settling in-flight work.
+  };
+
+  /// Live resharding: settles in-flight sub-operations (stepping the engine;
+  /// completed beats stay poppable), collects every valid entry in
+  /// deterministic shard-then-address order, rebuilds the fleet at
+  /// `new_shard_count` through the stored factory, and re-appends each entry
+  /// to the shard the new partitioner picks. Hash partitioner only for now;
+  /// requires no quarantined shards. Invalid holes are compacted away;
+  /// addressed-op traces spanning a reshard are the caller's contract.
+  ReshardReport reshard(unsigned new_shard_count);
+
+  /// One recovery-lifecycle event (quarantine / rebuild / reshard), for
+  /// debug dumps and post-mortems.
+  struct RecoveryEvent {
+    std::uint64_t cycle = 0;
+    std::string what;
+  };
+  const std::vector<RecoveryEvent>& recovery_history() const noexcept {
+    return history_;
+  }
 
   /// Concatenated injection/scrub window over the shards' storage, or
   /// nullptr if any shard exposes none.
@@ -262,7 +354,32 @@ class ShardedCamEngine : public CamBackend {
   void free_run_shard(unsigned s, std::uint64_t n);
   void replay_staged(std::uint64_t c0, std::uint64_t n);
 
+  /// True when shard `s` owes nothing to the reorder buffers and has no
+  /// parked sub-requests (and, unless quarantined, its backend is idle).
+  bool shard_settled(unsigned s) const;
+  /// Throws SimError("<who>: ...") unless shard_settled(s).
+  void require_settled(unsigned s, const char* who) const;
+  /// Geometry + slot checks shared by restore_shard/rebuild_shard/restore;
+  /// then pokes entries and cursors into the shard. Does not touch engine
+  /// bookkeeping.
+  void apply_snapshot(unsigned s, const fault::ShardSnapshot& snap);
+  /// Read-back verification: every peeked entry must equal `want`.
+  void verify_shard(unsigned s, const std::vector<fault::EntryState>& want,
+                    const char* who) const;
+  /// Replaces the shard fleet with `new_count` factory-built backends,
+  /// preserving geometry and group configuration, and resizes/rewires every
+  /// per-shard structure. Requires empty reorder state.
+  void rebuild_fleet(unsigned new_count);
+  /// Steps until idle() (settling in-flight work); throws with a debug dump
+  /// when `budget` cycles pass first. Returns cycles spent.
+  std::uint64_t drain_to_idle(std::uint64_t budget, const char* who);
+  /// Clears the quarantine flag and restores the credit line after a
+  /// verified rebuild; records the event.
+  void readmit_shard(unsigned s, const char* source);
+  void push_history(const std::string& what);
+
   Config cfg_;
+  ShardFactory make_shard_;  ///< Rebuilds shards for restore()/reshard().
   std::vector<std::unique_ptr<CamBackend>> shards_;
   std::vector<unsigned> credits_;
   std::vector<char> resetting_;    ///< Shards settling a reset (fenced).
@@ -289,6 +406,11 @@ class ShardedCamEngine : public CamBackend {
   unsigned effective_threads_ = 1;  ///< After shard/core clamps.
   std::uint64_t quarantine_events_ = 0;  ///< quarantine_shard() calls that
                                          ///< took a live shard out.
+  std::uint64_t rebuild_events_ = 0;     ///< Successful rebuild_shard() calls.
+  std::uint64_t reshard_events_ = 0;     ///< Successful reshard() calls.
+  std::uint64_t reshard_entries_moved_ = 0;  ///< Cumulative across reshards.
+  std::uint64_t reshard_pause_cycles_ = 0;   ///< Cumulative settling cycles.
+  std::vector<RecoveryEvent> history_;   ///< Quarantine/rebuild/reshard log.
 
   /// Borrowed span tracer (null = tracing off). Written only from the
   /// serial submit/collect passes.

@@ -253,8 +253,8 @@ SnapshotWriter::SnapshotWriter(const MetricRegistry& registry,
   if (every_cycles == 0) {
     throw ConfigError("SnapshotWriter: cadence must be >= 1 cycle");
   }
-  std::ofstream out(path_, std::ios::trunc);  // truncate + writability check
-  if (!out) throw ConfigError("SnapshotWriter: cannot open " + path);
+  out_.open(path_, std::ios::trunc);
+  if (!out_) throw ConfigError("SnapshotWriter: cannot open " + path);
 }
 
 bool SnapshotWriter::maybe_write(std::uint64_t cycle) {
@@ -265,9 +265,9 @@ bool SnapshotWriter::maybe_write(std::uint64_t cycle) {
 }
 
 void SnapshotWriter::write(std::uint64_t cycle) {
-  std::ofstream out(path_, std::ios::app);
-  out << "{\"cycle\": " << cycle << ", \"metrics\": " << registry_->to_json()
-      << "}\n";
+  out_ << "{\"cycle\": " << cycle << ", \"metrics\": " << registry_->to_json()
+       << "}\n";
+  out_.flush();  // crash-safe: every record reaches the OS before we move on
   ++written_;
 }
 

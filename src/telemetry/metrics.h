@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <string>
@@ -189,6 +190,12 @@ class SnapshotWriter {
   std::uint64_t every_cycles_;
   std::uint64_t next_deadline_ = 0;
   std::uint64_t written_ = 0;
+
+  /// Held open for the writer's lifetime and flushed after every record, so
+  /// a crashed run keeps every snapshot it logged (the destructor's close
+  /// is a formality, not the only flush point). Reopening per write - the
+  /// old behaviour - left the last records in libc buffers on abort.
+  std::ofstream out_;
 };
 
 }  // namespace dspcam::telemetry

@@ -256,6 +256,27 @@ TEST(SnapshotWriter, WritesOnCadenceAndValidates) {
   std::remove(path.c_str());
 }
 
+// Crash safety: every record must be readable from a second stream while the
+// writer is still alive - flush-per-record, not buffer-until-destruction. A
+// writer that only flushes on close would lose the tail of a run that aborts.
+TEST(SnapshotWriter, RecordsVisibleBeforeWriterCloses) {
+  MetricRegistry reg;
+  reg.counter("ticks").add(7);
+  const std::string path = ::testing::TempDir() + "snap_flush_test.jsonl";
+  SnapshotWriter writer(reg, path, /*every_cycles=*/1);
+  for (std::uint64_t cycle = 0; cycle < 3; ++cycle) writer.maybe_write(cycle);
+
+  std::ifstream in(path);  // writer still open and holding its own stream
+  std::string line;
+  std::uint64_t lines = 0;
+  while (std::getline(in, line)) {
+    EXPECT_TRUE(jsonv::validate(line).ok) << line;
+    ++lines;
+  }
+  EXPECT_EQ(lines, 3u) << "records must hit the OS before the writer closes";
+  std::remove(path.c_str());
+}
+
 TEST(SnapshotWriter, RejectsZeroCadenceAndBadPath) {
   MetricRegistry reg;
   EXPECT_THROW(SnapshotWriter(reg, ::testing::TempDir() + "x.jsonl", 0),

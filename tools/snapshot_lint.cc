@@ -1,0 +1,83 @@
+// CI artifact checker for engine checkpoint files.
+//
+// Validates what the recovery smoke job snapshots mid-bench:
+//
+//   snapshot_lint FILE [FILE...]
+//
+// Per file, three gates:
+//  1. Every non-empty line is well-formed JSON (telemetry::jsonv) - the
+//     JSONL contract every repo exporter shares.
+//  2. The header names the format ("dspcam.checkpoint") and a version this
+//     build reads, with the geometry fields present.
+//  3. Every shard record round-trips through the real loader
+//     (system::load_checkpoint), which re-verifies each snapshot's FNV-1a
+//     content checksum - a flipped bit anywhere in the entry payload fails
+//     the lint, not just malformed syntax.
+//
+// Exits non-zero on the first failing file.
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <string>
+
+#include "src/system/checkpoint_io.h"
+#include "src/telemetry/jsonv.h"
+
+namespace {
+
+using dspcam::telemetry::jsonv::validate;
+
+bool fail(const std::string& path, const std::string& why) {
+  std::fprintf(stderr, "snapshot_lint: %s: %s\n", path.c_str(), why.c_str());
+  return false;
+}
+
+bool check_checkpoint(const std::string& path) {
+  // Gate 1: line-by-line JSON syntax (same row-reading shape as bench_diff:
+  // JSONL, one record per line, skip blanks).
+  std::ifstream in(path);
+  if (!in) return fail(path, "cannot open");
+  std::string line;
+  std::size_t lineno = 0;
+  std::size_t records = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    ++records;
+    const auto r = validate(line);
+    if (!r.ok) {
+      return fail(path, "line " + std::to_string(lineno) +
+                            ": invalid JSON at byte " +
+                            std::to_string(r.error_offset) + ": " + r.error);
+    }
+  }
+  if (records == 0) return fail(path, "no records");
+
+  // Gates 2+3: the real loader checks header kind/version, per-shard
+  // geometry fields, shard ordering, and every content checksum.
+  try {
+    const auto ckpt = dspcam::system::load_checkpoint(path);
+    std::size_t entries = 0;
+    for (const auto& snap : ckpt.shard_snaps) entries += snap.entries.size();
+    std::printf("snapshot_lint: %s ok (version=%u shards=%u partition=%s "
+                "entries=%zu)\n",
+                path.c_str(), ckpt.version, ckpt.shards,
+                dspcam::system::to_string(ckpt.partition), entries);
+  } catch (const std::exception& e) {
+    return fail(path, e.what());
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: snapshot_lint FILE [FILE...]\n");
+    return 2;
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (!check_checkpoint(argv[i])) return 1;
+  }
+  return 0;
+}
