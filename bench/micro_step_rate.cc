@@ -45,6 +45,8 @@
 #include "src/system/cam_system.h"
 #include "src/system/driver.h"
 #include "src/system/sharded_engine.h"
+#include "src/telemetry/flight_recorder.h"
+#include "src/telemetry/health.h"
 #include "src/telemetry/metrics.h"
 #include "src/telemetry/span.h"
 
@@ -130,7 +132,9 @@ Rate search_stream_rate(const cam::UnitConfig& cfg, std::uint64_t cycles) {
 Rate engine_stream_rate(unsigned shards, unsigned threads, std::uint64_t cycles,
                         telemetry::MetricRegistry* registry = nullptr,
                         telemetry::SpanTracer* tracer = nullptr,
-                        unsigned* effective_threads = nullptr) {
+                        unsigned* effective_threads = nullptr,
+                        telemetry::HealthMonitor* health = nullptr,
+                        telemetry::FlightRecorder* recorder = nullptr) {
   system::ShardedCamEngine::Config ec;
   ec.shards = shards;
   ec.step_threads = threads;
@@ -145,6 +149,8 @@ Rate engine_stream_rate(unsigned shards, unsigned threads, std::uint64_t cycles,
   if (registry != nullptr || tracer != nullptr) {
     driver.attach_telemetry(registry, tracer, /*snapshot_every=*/256);
   }
+  if (health != nullptr) driver.attach_health(health);
+  if (recorder != nullptr) driver.attach_flight_recorder(recorder);
 
   std::vector<cam::Word> words;
   words.reserve(static_cast<std::size_t>(shards) * 128);
@@ -439,6 +445,38 @@ int main(int argc, char** argv) {
     dspcam::bench::add_stats(row, "bare_cycles_per_sec", bare);
     dspcam::bench::add_stats(row, "traced_cycles_per_sec", traced);
     dspcam::bench::add_telemetry(row, registry);
+    log.emit(row);
+  }
+  // Health plane on top: same stream with the default rule pack evaluated at
+  // every snapshot and the flight recorder armed. Rides the same <10% bar as
+  // the base telemetry row.
+  {
+    dspcam::telemetry::HealthMonitor health(registry);
+    health.add_default_rules();
+    dspcam::telemetry::FlightRecorder recorder;
+    const auto observed = dspcam::bench::measure_repeated(opt, [&] {
+      registry.reset();
+      tracer.clear();
+      health.reset();
+      recorder.clear();
+      return engine_stream_rate(t_shards, 1, t_cycles, &registry, &tracer,
+                                nullptr, &health, &recorder)
+          .cycles_per_sec;
+    });
+    const double h_overhead = bare.median > 0 ? observed.median / bare.median : 0;
+    char h_ratio[32];
+    std::snprintf(h_ratio, sizeof(h_ratio), "%.3fx", h_overhead);
+    std::printf("%-24s %14.0f %10s\n", "4 shards, health+fdr", observed.median,
+                h_ratio);
+    auto row = dspcam::bench::JsonLog::Row("micro_step_rate");
+    row.str("kind", "health_overhead")
+        .num("shards", static_cast<std::uint64_t>(t_shards))
+        .num("sim_cycles", t_cycles)
+        .num("relative_rate", h_overhead)
+        .num("health_evaluations", health.evaluations())
+        .num("events_recorded", recorder.recorded());
+    dspcam::bench::add_stats(row, "bare_cycles_per_sec", bare);
+    dspcam::bench::add_stats(row, "observed_cycles_per_sec", observed);
     log.emit(row);
   }
 

@@ -1,29 +1,45 @@
 // Observability end to end: a sharded search workload with the telemetry
 // layer attached, producing artifacts a human can open.
 //
-//   traced_search.trace.json    Chrome trace-event spans of sampled tickets
+//   traced_search.trace.json    Chrome trace-event spans + counter tracks
 //                               (open in https://ui.perfetto.dev or
 //                               chrome://tracing): driver ticket lifetimes,
 //                               backpressure waits, engine beats, per-shard
-//                               sub-operations.
+//                               sub-operations, queue-depth counters.
 //   traced_search.metrics.json  Final MetricRegistry snapshot: driver
 //                               latency percentiles, per-shard queue depths
-//                               and credits, fault counters.
+//                               and credits, fault counters, health states.
 //   traced_search.snapshots.jsonl  Periodic in-flight snapshots (one JSON
-//                               object per line) from the SnapshotWriter.
+//                               object per line) from the SnapshotWriter -
+//                               this is the file camtop tails.
+//   traced_search.blackbox.json FlightRecorder black-box dump (scenario
+//                               runs; validate with trace_lint --blackbox).
 //
 // A low-rate fault campaign with a scrubber runs alongside the traffic so
-// the "fault.*" counters carry real events. Optional argv[1] sets the
-// output basename (default "traced_search"), so CI can redirect artifacts.
+// the "fault.*" counters carry real events, and a HealthMonitor with the
+// default rule pack watches the whole stack. Optional argv[1] sets the
+// output basename (default "traced_search"); optional argv[2] picks a
+// scenario:
+//
+//   (none)       Clean streaming run.
+//   quarantine   Mid-run shard quarantine -> explicit black-box dump ->
+//                rebuild from the scrubber's golden shadow -> clean finish.
+//                Exercises health trip/clear and quarantine/rebuild events.
+//   stall        Quarantines every shard under a tiny stall budget so the
+//                watchdog trips: the SimError is caught and the auto-dumped
+//                black box is the artifact. Exits 0 when the dump exists.
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "src/common/error.h"
 #include "src/common/random.h"
 #include "src/fault/injector.h"
 #include "src/fault/scrubber.h"
 #include "src/system/driver.h"
 #include "src/system/sharded_engine.h"
+#include "src/telemetry/flight_recorder.h"
+#include "src/telemetry/health.h"
 #include "src/telemetry/metrics.h"
 #include "src/telemetry/span.h"
 
@@ -42,10 +58,54 @@ system::CamSystem::Config unit_config() {
   return cfg;
 }
 
+/// Stall-drill backend: accepts every request and never completes one, so
+/// an attached driver's watchdog must trip. (The sharded engine itself
+/// cannot produce this - it settles traffic to quarantined shards as
+/// shard_failed results by design - so the drill brings its own wedge.)
+class WedgedBackend : public system::CamBackend {
+ public:
+  unsigned data_width() const override { return 32; }
+  cam::CamKind kind() const override { return cam::CamKind::kBinary; }
+  unsigned capacity() const override { return 16; }
+  unsigned words_per_beat() const override { return 1; }
+  unsigned max_keys_per_beat() const override { return 1; }
+  void configure_groups(unsigned m) override {
+    if (m != 1) throw ConfigError("WedgedBackend: no groups");
+  }
+  bool try_submit(cam::UnitRequest) override {
+    ++swallowed_;
+    return true;
+  }
+  std::optional<cam::UnitResponse> try_pop_response() override {
+    return std::nullopt;
+  }
+  std::optional<cam::UnitUpdateAck> try_pop_ack() override {
+    return std::nullopt;
+  }
+  bool request_full() const override { return false; }
+  std::size_t pending_requests() const override { return swallowed_; }
+  void step() override { ++stats_.cycles; }
+  bool idle() const override { return swallowed_ == 0; }
+  Stats stats() const override { return stats_; }
+  model::ResourceUsage resources() const override { return {}; }
+  std::string debug_dump() const override {
+    return "wedged{swallowed=" + std::to_string(swallowed_) + "}";
+  }
+
+ private:
+  std::size_t swallowed_ = 0;
+  Stats stats_;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::string base = argc > 1 ? argv[1] : "traced_search";
+  const std::string scenario = argc > 2 ? argv[2] : "";
+  if (!scenario.empty() && scenario != "quarantine" && scenario != "stall") {
+    std::fprintf(stderr, "usage: traced_search [BASENAME [quarantine|stall]]\n");
+    return 2;
+  }
 
   // Four hash-partitioned shards behind the async driver.
   system::ShardedCamEngine::Config ecfg;
@@ -53,6 +113,7 @@ int main(int argc, char** argv) {
   ecfg.partition = system::ShardedCamEngine::Partition::kHash;
   system::ShardedCamEngine engine(ecfg, unit_config());
   system::CamDriver drv(engine);
+  if (scenario == "stall") drv.set_stall_budget(1024);
 
   // Telemetry: every ticket feeds the latency histograms; 1-in-4 tickets
   // additionally record their span waterfall.
@@ -66,6 +127,17 @@ int main(int argc, char** argv) {
   telemetry::SnapshotWriter snapshots(registry, base + ".snapshots.jsonl",
                                       /*every_cycles=*/256);
 
+  // Health plane: the default rule pack sized to this driver's stall
+  // budget, plus a black box fed by every layer and auto-dumped on a
+  // watchdog trip.
+  telemetry::HealthMonitor health(registry);
+  telemetry::HealthMonitor::DefaultRuleOptions hopts;
+  hopts.stall_budget = drv.stall_budget();
+  health.add_default_rules(hopts);
+  telemetry::FlightRecorder recorder;
+  drv.attach_health(&health);
+  drv.attach_flight_recorder(&recorder, base + ".blackbox.json");
+
   // Low-rate fault campaign stepping on the driver's cycle hook, with a
   // background scrubber repairing from a golden shadow.
   fault::FaultCampaign campaign;
@@ -73,6 +145,8 @@ int main(int argc, char** argv) {
   campaign.rate_per_cycle = 0.01;
   fault::FaultInjector injector(*engine.fault_target(), campaign);
   fault::Scrubber scrubber(*engine.fault_target(), {/*entries_per_cycle=*/4});
+  injector.set_flight_recorder(&recorder);
+  scrubber.set_flight_recorder(&recorder);
   drv.set_cycle_hook([&] {
     injector.step();
     scrubber.step(/*idle=*/true);
@@ -99,7 +173,50 @@ int main(int argc, char** argv) {
     // real host overlaps submission with completion. This also keeps the
     // tracer's open-span table near the pipeline depth.
     drv.poll();
+
+    if (scenario == "quarantine" && i == kKeys / 2) {
+      // Fault drill: pull shard 1 out of service mid-run, snapshot the
+      // black box while the health rule is tripped, then rebuild from the
+      // scrubber's golden shadow and finish the stream cleanly.
+      drv.drain();  // settle in-flight traffic so the quarantine is crisp
+      engine.quarantine_shard(1);
+      drv.publish_telemetry();  // health sees quarantined_shards > 0
+      drv.dump_blackbox("forced quarantine drill (shard 1)");
+      engine.rebuild_shard(1, scrubber);
+      drv.publish_telemetry();  // ... and sees it clear again
+    }
   }
+
+  if (scenario == "stall") {
+    // Finish the engine run cleanly, then hand the shared telemetry plane
+    // to a driver over a backend that swallows work: the stall-headroom
+    // health rule collapses, the watchdog trips within the tiny budget,
+    // and throw_wedged auto-writes the black box before the SimError
+    // reaches us.
+    drv.drain();
+    WedgedBackend wedged;
+    system::CamDriver wdrv(wedged);
+    wdrv.set_stall_budget(1024);
+    wdrv.attach_telemetry(&registry, &tracer, /*snapshot_every=*/64);
+    wdrv.attach_health(&health);
+    wdrv.attach_flight_recorder(&recorder, base + ".blackbox.json");
+    cam::UnitRequest req;
+    req.op = cam::OpKind::kSearch;
+    req.keys = {words[0]};
+    wdrv.submit_async(std::move(req));
+    try {
+      wdrv.drain();
+      std::fprintf(stderr, "stall scenario: watchdog never tripped\n");
+      return 1;
+    } catch (const SimError& e) {
+      std::printf("stall scenario: watchdog tripped as intended:\n  %s\n",
+                  e.what());
+      std::printf("black box: %s.blackbox.json (%llu events)\n", base.c_str(),
+                  static_cast<unsigned long long>(recorder.recorded()));
+      return 0;
+    }
+  }
+
   drv.drain();
 
   unsigned hits = 0;
@@ -113,6 +230,11 @@ int main(int argc, char** argv) {
   scrubber.stats().record_telemetry(registry, "fault.scrubber");
   registry.write_json(base + ".metrics.json");
   tracer.write_chrome_json(base + ".trace.json");
+  if (scenario.empty()) {
+    // Clean runs still ship a black box (reason says so) so every CI leg
+    // has one to lint.
+    drv.dump_blackbox("end of clean run");
+  }
 
   std::printf("traced search: %u/%u hits over %llu cycles\n", hits, kKeys,
               static_cast<unsigned long long>(drv.cycles()));
@@ -120,11 +242,17 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(tracer.finished()),
               static_cast<unsigned long long>(tracer.dropped()),
               static_cast<unsigned long long>(tracer.orphaned()));
+  std::printf("  counters: %llu samples on counter tracks\n",
+              static_cast<unsigned long long>(tracer.counters_recorded()));
   std::printf("  faults: %s / %s\n", injector.stats().summary().c_str(),
               scrubber.stats().summary().c_str());
+  std::printf("  health: %llu rules, %llu tripped, %llu black-box events\n",
+              static_cast<unsigned long long>(health.rule_count()),
+              static_cast<unsigned long long>(health.tripped_count()),
+              static_cast<unsigned long long>(recorder.recorded()));
   std::printf("\n%s\n", registry.pretty().c_str());
   std::printf("artifacts: %s.trace.json (open in ui.perfetto.dev), "
-              "%s.metrics.json, %s.snapshots.jsonl\n",
-              base.c_str(), base.c_str(), base.c_str());
+              "%s.metrics.json, %s.snapshots.jsonl, %s.blackbox.json\n",
+              base.c_str(), base.c_str(), base.c_str(), base.c_str());
   return 0;
 }

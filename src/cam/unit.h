@@ -86,6 +86,13 @@ class CamUnit : public sim::Component {
     return active_blocks_.empty() && !response_.has_value() && idle();
   }
 
+  /// Blocks with live pipeline/output activity this cycle - the per-unit
+  /// occupancy the telemetry counter tracks sample (the simulation's stand-in
+  /// for the paper's post-hoc resource-activity readout).
+  std::size_t active_block_count() const noexcept {
+    return active_blocks_.size();
+  }
+
   // --- Per-cycle bus interface (issue during the owner's eval phase). ---
 
   /// Presents one bus beat (update with up to words_per_beat words, search

@@ -3,6 +3,7 @@
 #include <string>
 
 #include "src/common/error.h"
+#include "src/telemetry/flight_recorder.h"
 
 namespace dspcam::fault {
 
@@ -62,6 +63,15 @@ void FaultInjector::flip_once() {
           : static_cast<unsigned>(rng_.next_below(target_->entry_bits()));
   target_->flip(entry, plane, bit);
   ++stats_.injected;
+  if (recorder_ != nullptr) {
+    recorder_->record(cycles_, telemetry::FlightRecorder::EventKind::kFaultPoke,
+                      telemetry::Severity::kInfo,
+                      "fault poke entry " + std::to_string(entry) + " bit " +
+                          std::to_string(bit),
+                      {{"entry", entry},
+                       {"plane", static_cast<std::uint64_t>(plane)},
+                       {"bit", bit}});
+  }
 }
 
 unsigned FaultInjector::step() {

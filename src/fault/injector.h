@@ -17,6 +17,10 @@
 #include "src/fault/fault.h"
 #include "src/sim/stats.h"
 
+namespace dspcam::telemetry {
+class FlightRecorder;  // src/telemetry/flight_recorder.h
+}  // namespace dspcam::telemetry
+
 namespace dspcam::fault {
 
 /// Declarative description of one injection campaign. The default is inert
@@ -57,6 +61,14 @@ class FaultInjector {
   const sim::FaultStats& stats() const noexcept { return stats_; }
   std::uint64_t cycles() const noexcept { return cycles_; }
 
+  /// Attaches a flight recorder: every flip records a fault_poke event
+  /// (entry/plane/bit) stamped with the injector's cycle counter - which
+  /// tracks the driver's clock when stepped from the cycle hook. Borrowed;
+  /// nullptr detaches.
+  void set_flight_recorder(telemetry::FlightRecorder* recorder) noexcept {
+    recorder_ = recorder;
+  }
+
  private:
   FaultPlane draw_plane();
   void flip_once();
@@ -67,6 +79,7 @@ class FaultInjector {
   sim::FaultStats stats_;
   std::uint64_t cycles_ = 0;
   bool fired_ = false;
+  telemetry::FlightRecorder* recorder_ = nullptr;  ///< Borrowed (null = off).
 };
 
 }  // namespace dspcam::fault

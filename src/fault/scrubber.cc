@@ -1,6 +1,9 @@
 #include "src/fault/scrubber.h"
 
+#include <string>
+
 #include "src/common/error.h"
+#include "src/telemetry/flight_recorder.h"
 
 namespace dspcam::fault {
 
@@ -35,6 +38,14 @@ bool Scrubber::scrub_entry(std::size_t entry) {
     ++stats_.detected;
   } else {
     ++stats_.silent;
+    if (recorder_ != nullptr) {
+      recorder_->record(cycles_,
+                        telemetry::FlightRecorder::EventKind::kScrubSilent,
+                        telemetry::Severity::kCritical,
+                        "silent corruption repaired at entry " +
+                            std::to_string(entry),
+                        {{"entry", entry}});
+    }
   }
   target_->poke(entry, golden);
   ++stats_.corrected;
@@ -42,6 +53,7 @@ bool Scrubber::scrub_entry(std::size_t entry) {
 }
 
 std::size_t Scrubber::step(bool idle) {
+  ++cycles_;
   if (!idle || golden_.empty()) return 0;
   std::size_t repaired = 0;
   for (std::size_t i = 0; i < cfg_.entries_per_cycle; ++i) {

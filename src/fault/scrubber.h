@@ -16,10 +16,15 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "src/fault/fault.h"
 #include "src/sim/stats.h"
+
+namespace dspcam::telemetry {
+class FlightRecorder;  // src/telemetry/flight_recorder.h
+}  // namespace dspcam::telemetry
 
 namespace dspcam::fault {
 
@@ -54,6 +59,15 @@ class Scrubber {
   const sim::FaultStats& stats() const noexcept { return stats_; }
   bool captured() const noexcept { return !golden_.empty(); }
   std::size_t cursor() const noexcept { return cursor_; }
+  std::uint64_t cycles() const noexcept { return cycles_; }
+
+  /// Attaches a flight recorder: every *silent* repair (corruption the
+  /// parity mechanism could not have seen) records a scrub_silent event -
+  /// silent corruption is the black-box-worthy signal, visible upsets
+  /// already surface through parity counters. Borrowed; nullptr detaches.
+  void set_flight_recorder(telemetry::FlightRecorder* recorder) noexcept {
+    recorder_ = recorder;
+  }
 
   /// The captured golden shadow (empty before capture()). Shard rebuild
   /// (ShardedCamEngine::rebuild_shard) restores a quarantined shard's
@@ -69,6 +83,8 @@ class Scrubber {
   std::vector<EntryState> golden_;
   std::size_t cursor_ = 0;
   sim::FaultStats stats_;
+  std::uint64_t cycles_ = 0;  ///< step() calls seen (busy or idle).
+  telemetry::FlightRecorder* recorder_ = nullptr;  ///< Borrowed (null = off).
 };
 
 }  // namespace dspcam::fault

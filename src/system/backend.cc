@@ -3,6 +3,7 @@
 #include "src/common/error.h"
 #include "src/fault/fault.h"
 #include "src/telemetry/metrics.h"
+#include "src/telemetry/span.h"
 
 namespace dspcam::system {
 
@@ -39,6 +40,13 @@ void CamBackend::record_telemetry(telemetry::MetricRegistry& registry,
   registry.counter(prefix + ".gated_cycles").update_to(s.gated_cycles);
   registry.gauge(prefix + ".pending_requests")
       .set(static_cast<std::int64_t>(pending_requests()));
+}
+
+void CamBackend::record_counter_tracks(telemetry::SpanTracer& tracer,
+                                       const std::string& prefix,
+                                       std::uint64_t cycle) const {
+  tracer.counter(prefix + ".queue_depth", cycle,
+                 static_cast<std::int64_t>(pending_requests()));
 }
 
 }  // namespace dspcam::system

@@ -35,8 +35,9 @@ struct EntryState;   // src/fault/fault.h; one entry's registered state
 }  // namespace dspcam::fault
 
 namespace dspcam::telemetry {
-class MetricRegistry;  // src/telemetry/metrics.h
-class SpanTracer;      // src/telemetry/span.h
+class MetricRegistry;   // src/telemetry/metrics.h
+class SpanTracer;       // src/telemetry/span.h
+class FlightRecorder;   // src/telemetry/flight_recorder.h
 }  // namespace dspcam::telemetry
 
 namespace dspcam::system {
@@ -166,6 +167,22 @@ class CamBackend {
   /// Backends without internal span points ignore it; the ShardedCamEngine
   /// records dispatch/sub-op/reorder spans for sampled beats.
   virtual void set_span_tracer(telemetry::SpanTracer* tracer) { (void)tracer; }
+
+  /// Installs a flight recorder for rare lifecycle events (quarantine,
+  /// rebuild, reshard, checkpoint/restore; nullptr detaches). Backends with
+  /// no such events ignore it.
+  virtual void set_flight_recorder(telemetry::FlightRecorder* recorder) {
+    (void)recorder;
+  }
+
+  /// Samples utilization counter series into `tracer` at `cycle` under
+  /// `prefix` ("<prefix>.queue_depth", "<prefix>.shard0.inflight", ...).
+  /// Pull model like record_telemetry: the serial host thread calls this at
+  /// publish cadence. The default samples the pending-request queue depth;
+  /// backends override to add occupancy and per-shard series.
+  virtual void record_counter_tracks(telemetry::SpanTracer& tracer,
+                                     const std::string& prefix,
+                                     std::uint64_t cycle) const;
 
   // --- Robustness hooks (src/fault/). ---
 

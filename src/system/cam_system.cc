@@ -7,6 +7,7 @@
 #include "src/cam/match_kernel.h"
 #include "src/common/error.h"
 #include "src/telemetry/metrics.h"
+#include "src/telemetry/span.h"
 
 namespace dspcam::system {
 
@@ -260,6 +261,17 @@ void CamSystem::record_telemetry(telemetry::MetricRegistry& registry,
   registry.counter(prefix + ".fusion.discards").update_to(unit_.fused_discards());
   registry.counter(prefix + ".fusion.barrier_breaks").update_to(barrier_breaks_);
   registry.histogram(prefix + ".fusion.batch_occupancy").update_to(fusion_occupancy_);
+}
+
+void CamSystem::record_counter_tracks(telemetry::SpanTracer& tracer,
+                                      const std::string& prefix,
+                                      std::uint64_t cycle) const {
+  tracer.counter(prefix + ".queue_depth", cycle,
+                 static_cast<std::int64_t>(request_fifo_.size()));
+  tracer.counter(prefix + ".active_blocks", cycle,
+                 static_cast<std::int64_t>(unit_.active_block_count()));
+  tracer.counter(prefix + ".fusion.batch", cycle,
+                 static_cast<std::int64_t>(fused_prefix_));
 }
 
 std::string CamSystem::debug_dump() const {

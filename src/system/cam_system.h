@@ -120,6 +120,12 @@ class CamSystem : public sim::Component, public CamBackend {
   void record_telemetry(telemetry::MetricRegistry& registry,
                         const std::string& prefix) const override;
 
+  /// Utilization series: request-FIFO depth, active-block occupancy, and
+  /// the staged fusion-batch width.
+  void record_counter_tracks(telemetry::SpanTracer& tracer,
+                             const std::string& prefix,
+                             std::uint64_t cycle) const override;
+
   /// Injection/scrub window over the unit's physical storage.
   fault::FaultTarget* fault_target() override { return &fault_target_; }
 

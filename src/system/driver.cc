@@ -1,10 +1,14 @@
 #include "src/system/driver.h"
 
 #include <algorithm>
+#include <cmath>
+#include <fstream>
 #include <string>
 #include <utility>
 
 #include "src/common/error.h"
+#include "src/telemetry/flight_recorder.h"
+#include "src/telemetry/health.h"
 #include "src/telemetry/metrics.h"
 #include "src/telemetry/span.h"
 
@@ -97,6 +101,7 @@ CamDriver::Ticket CamDriver::submit_async(cam::UnitRequest request) {
   const cam::OpKind op = request.op;
   submit_queue_.push_back(std::move(request));
   ++inflight_;
+  last_progress_cycle_ = polled_cycles_;  // fresh work restarts the stall clock
   outstanding_.insert(ticket);
   if (registry_ != nullptr || tracer_ != nullptr) note_submitted(ticket, op);
   pump();  // Opportunistic: front beats reach the FIFO before the next poll.
@@ -130,6 +135,7 @@ void CamDriver::pump() {
 }
 
 void CamDriver::harvest() {
+  const std::size_t before = inflight_;
   while (auto resp = backend_->try_pop_response()) {
     Completion c;
     c.ticket = resp->seq;
@@ -152,6 +158,7 @@ void CamDriver::harvest() {
     completions_.push_back(std::move(c));
     --inflight_;
   }
+  if (inflight_ < before) last_progress_cycle_ = polled_cycles_;
 }
 
 void CamDriver::note_submitted(Ticket ticket, cam::OpKind op) {
@@ -226,7 +233,82 @@ void CamDriver::publish_telemetry() {
   registry_->gauge("driver.queue_depth")
       .set(static_cast<std::int64_t>(submit_queue_.size()));
   registry_->gauge("driver.inflight").set(static_cast<std::int64_t>(inflight_));
+  if (m_stall_headroom_ != nullptr) {
+    // Published headroom derives from last_progress_cycle_, not drain()'s
+    // iteration counter, so the value at a publish deadline is the same
+    // whether the window was walked per-cycle or in one step_many() batch.
+    const std::uint64_t waited = (inflight_ == 0 && submit_queue_.empty())
+                                     ? 0
+                                     : polled_cycles_ - last_progress_cycle_;
+    m_stall_headroom_->set(static_cast<std::int64_t>(
+        stall_budget_ - std::min(stall_budget_, waited)));
+  }
   backend_->record_telemetry(*registry_, "engine");
+  if (tracer_ != nullptr) {
+    tracer_->counter("driver.queue_depth", polled_cycles_,
+                     static_cast<std::int64_t>(submit_queue_.size()));
+    tracer_->counter("driver.inflight", polled_cycles_,
+                     static_cast<std::int64_t>(inflight_));
+    backend_->record_counter_tracks(*tracer_, "engine", polled_cycles_);
+  }
+  evaluate_health();
+}
+
+void CamDriver::evaluate_health() {
+  if (health_ == nullptr) return;
+  for (const auto& t : health_->evaluate(polled_cycles_)) {
+    if (recorder_ == nullptr) continue;
+    const bool trip = t.to == telemetry::HealthMonitor::State::kTripped;
+    const double v = std::max(0.0, t.value);
+    recorder_->record(
+        polled_cycles_,
+        trip ? telemetry::FlightRecorder::EventKind::kHealthTrip
+             : telemetry::FlightRecorder::EventKind::kHealthClear,
+        trip ? t.severity : telemetry::Severity::kInfo,
+        "health rule '" + t.rule + (trip ? "' tripped" : "' cleared"),
+        {{"value", static_cast<std::uint64_t>(std::llround(v))}});
+  }
+}
+
+void CamDriver::attach_health(telemetry::HealthMonitor* health) {
+  if (health != nullptr) {
+    if (registry_ == nullptr) {
+      throw ConfigError(
+          "CamDriver::attach_health: attach_telemetry first - health rules "
+          "are evaluated against the driver's registry");
+    }
+    if (&health->registry() != registry_) {
+      throw ConfigError(
+          "CamDriver::attach_health: monitor is bound to a different "
+          "MetricRegistry than the driver's");
+    }
+  }
+  health_ = health;
+}
+
+void CamDriver::attach_flight_recorder(telemetry::FlightRecorder* recorder,
+                                       std::string blackbox_path) {
+  recorder_ = recorder;
+  blackbox_path_ = std::move(blackbox_path);
+  backend_->set_flight_recorder(recorder);
+}
+
+std::string CamDriver::dump_blackbox(const std::string& reason) {
+  if (recorder_ == nullptr) {
+    throw ConfigError("CamDriver::dump_blackbox: no flight recorder attached");
+  }
+  publish_telemetry();  // dump carries fresh gauges and health states
+  const std::string json =
+      recorder_->dump_json(polled_cycles_, reason, registry_, tracer_, health_);
+  if (!blackbox_path_.empty()) {
+    std::ofstream out(blackbox_path_, std::ios::trunc);
+    if (!out) {
+      throw ConfigError("CamDriver::dump_blackbox: cannot open " +
+                        blackbox_path_);
+    }
+    out << json << "\n";
+  }
+  return json;
 }
 
 void CamDriver::poll() {
@@ -250,7 +332,7 @@ void CamDriver::set_stall_budget(std::uint64_t cycles) {
   stall_budget_ = cycles;
 }
 
-void CamDriver::throw_wedged(const char* where) const {
+void CamDriver::throw_wedged(const char* where) {
   std::string msg = std::string("CamDriver::") + where +
                     ": backend made no progress for " +
                     std::to_string(stall_budget_) + " cycles (inflight=" +
@@ -270,6 +352,28 @@ void CamDriver::throw_wedged(const char* where) const {
   const std::string dump = backend_->debug_dump();
   if (!dump.empty()) msg += ", backend=" + dump;
   msg += ")";
+  // Preserve the evidence before the exception unwinds the run: a final
+  // health evaluation (so the stall rule's trip is in the dump), the
+  // watchdog event itself, and - when a black-box path is configured - the
+  // dump file. Dump failures must not mask the wedge diagnosis.
+  if (m_stall_headroom_ != nullptr) m_stall_headroom_->set(0);
+  evaluate_health();
+  if (recorder_ != nullptr) {
+    recorder_->record(polled_cycles_,
+                      telemetry::FlightRecorder::EventKind::kWatchdogTrip,
+                      telemetry::Severity::kCritical,
+                      std::string("watchdog: no progress in ") + where,
+                      {{"inflight", inflight_},
+                       {"queued", submit_queue_.size()},
+                       {"stall_budget", stall_budget_}});
+    if (!blackbox_path_.empty()) {
+      try {
+        recorder_->write_dump(blackbox_path_, polled_cycles_, msg, registry_,
+                              tracer_, health_);
+      } catch (...) {
+      }
+    }
+  }
   throw SimError(msg);
 }
 
@@ -286,6 +390,12 @@ void CamDriver::drain() {
       // the whole window to the stagnation counter below.
       h = std::max<std::uint64_t>(1, backend_->output_horizon());
       h = std::min(h, stall_budget_ - std::min(stall_budget_, stagnant) + 1);
+      if (registry_ != nullptr) {
+        // Never jump past a publish deadline: batched windows then publish
+        // (and evaluate health) at exactly the same multiples of
+        // snapshot_every as per-cycle polling would.
+        h = std::min(h, snapshot_every_ - polled_cycles_ % snapshot_every_);
+      }
     }
     if (h > 1) {
       backend_->step_many(h);

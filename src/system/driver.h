@@ -38,6 +38,7 @@ namespace dspcam::telemetry {
 class Counter;    // src/telemetry/metrics.h
 class Gauge;
 class Histogram;
+class HealthMonitor;  // src/telemetry/health.h
 }  // namespace dspcam::telemetry
 
 namespace dspcam::system {
@@ -186,6 +187,34 @@ class CamDriver {
   telemetry::MetricRegistry* telemetry_registry() const noexcept { return registry_; }
   telemetry::SpanTracer* span_tracer() const noexcept { return tracer_; }
 
+  // --- Health plane (src/telemetry/health.h, flight_recorder.h). ---
+
+  /// Attaches a health monitor, evaluated at every telemetry publication
+  /// (the snapshot cadence plus explicit publish_telemetry() calls) on the
+  /// polling thread, so rule transitions land on the same cycle for any
+  /// step_threads / eval-mode / horizon schedule. Requires attach_telemetry
+  /// first and a monitor bound to the same registry (ConfigError otherwise);
+  /// nullptr detaches. Borrowed.
+  void attach_health(telemetry::HealthMonitor* health);
+  telemetry::HealthMonitor* health_monitor() const noexcept { return health_; }
+
+  /// Attaches a flight recorder (borrowed; nullptr detaches) and forwards it
+  /// to the backend so engine lifecycle events (quarantine, rebuild,
+  /// reshard, checkpoint/restore) are captured too. The driver records
+  /// watchdog trips and health-rule transitions. When `blackbox_path` is
+  /// non-empty, a self-contained black-box dump is written there
+  /// automatically the moment the stall watchdog declares the backend
+  /// wedged - evidence survives the SimError.
+  void attach_flight_recorder(telemetry::FlightRecorder* recorder,
+                              std::string blackbox_path = "");
+  telemetry::FlightRecorder* flight_recorder() const noexcept { return recorder_; }
+  const std::string& blackbox_path() const noexcept { return blackbox_path_; }
+
+  /// Publishes telemetry, then serialises the black box (events + metric
+  /// snapshot + recent spans + health states) with `reason`; also writes it
+  /// to blackbox_path() when set. Throws ConfigError without a recorder.
+  std::string dump_blackbox(const std::string& reason);
+
   // --- Synchronous wrappers (thin shims over the async core). ---
 
   /// Stores `words` (splitting into bus beats), waits for all acks, and
@@ -234,9 +263,10 @@ class CamDriver {
   void harvest();
   void wait_idle();
   Completion take_completion(Ticket ticket);
-  [[noreturn]] void throw_wedged(const char* where) const;
+  [[noreturn]] void throw_wedged(const char* where);
   void note_submitted(Ticket ticket, cam::OpKind op);
   void note_completed(Ticket ticket);
+  void evaluate_health();
 
   std::unique_ptr<CamBackend> owned_;
   CamBackend* backend_ = nullptr;
@@ -275,6 +305,16 @@ class CamDriver {
   telemetry::Histogram* m_search_latency_ = nullptr;
   telemetry::Histogram* m_update_latency_ = nullptr;
   telemetry::Gauge* m_stall_headroom_ = nullptr;
+
+  // Health plane (borrowed; null = off).
+  telemetry::HealthMonitor* health_ = nullptr;
+  telemetry::FlightRecorder* recorder_ = nullptr;
+  std::string blackbox_path_;
+  /// Last cycle a completion was harvested or a ticket submitted. Unlike
+  /// drain()'s iteration-local stagnation counter, this is a property of the
+  /// completion stream alone, so the stall-headroom gauge published from it
+  /// is identical under per-cycle polling and horizon batching.
+  std::uint64_t last_progress_cycle_ = 0;
 };
 
 }  // namespace dspcam::system

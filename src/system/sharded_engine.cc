@@ -8,6 +8,7 @@
 #include "src/cam/types.h"
 #include "src/common/error.h"
 #include "src/fault/scrubber.h"
+#include "src/telemetry/flight_recorder.h"
 #include "src/telemetry/metrics.h"
 #include "src/telemetry/span.h"
 
@@ -640,6 +641,14 @@ void ShardedCamEngine::quarantine_shard(unsigned s) {
   quarantined_[s] = 1;
   ++quarantine_events_;
   push_history("quarantine shard " + std::to_string(s));
+  if (recorder_ != nullptr) {
+    recorder_->record(cycles_, telemetry::FlightRecorder::EventKind::kQuarantine,
+                      telemetry::Severity::kCritical,
+                      "quarantine shard " + std::to_string(s),
+                      {{"shard", s},
+                       {"settled_searches", expected_search_[s].size()},
+                       {"settled_acks", expected_ack_[s].size()}});
+  }
 
   // Parked sub-requests never reached the shard: drop them (their beats are
   // settled through the expectation queues below, which cover every
@@ -789,6 +798,11 @@ ShardedCamEngine::EngineCheckpoint ShardedCamEngine::checkpoint() {
   for (unsigned s = 0; s < shard_count(); ++s) {
     ckpt.shard_snaps.push_back(snapshot_shard(s));
   }
+  if (recorder_ != nullptr) {
+    recorder_->record(cycles_, telemetry::FlightRecorder::EventKind::kCheckpoint,
+                      telemetry::Severity::kInfo, "checkpoint captured",
+                      {{"shards", ckpt.shards}});
+  }
   return ckpt;
 }
 
@@ -827,6 +841,11 @@ void ShardedCamEngine::restore(const EngineCheckpoint& ckpt) {
   }
   rr_start_ = 0;
   push_history("restore checkpoint (" + std::to_string(ckpt.shards) + " shards)");
+  if (recorder_ != nullptr) {
+    recorder_->record(cycles_, telemetry::FlightRecorder::EventKind::kRestore,
+                      telemetry::Severity::kWarn, "restore checkpoint",
+                      {{"shards", ckpt.shards}});
+  }
 }
 
 void ShardedCamEngine::verify_shard(unsigned s,
@@ -852,6 +871,13 @@ void ShardedCamEngine::readmit_shard(unsigned s, const char* source) {
   resetting_[s] = 0;
   ++rebuild_events_;
   push_history("rebuild shard " + std::to_string(s) + " (" + source + ")");
+  if (recorder_ != nullptr) {
+    recorder_->record(cycles_, telemetry::FlightRecorder::EventKind::kRebuild,
+                      telemetry::Severity::kInfo,
+                      "rebuild shard " + std::to_string(s) + " (" + source +
+                          "), verified and readmitted",
+                      {{"shard", s}});
+  }
   if (tracer_ != nullptr) {
     const std::uint64_t span =
         tracer_->begin("engine.rebuild", kTrackEngineBeats, cycles_);
@@ -1125,6 +1151,16 @@ ShardedCamEngine::ReshardReport ShardedCamEngine::reshard(unsigned new_shard_cou
                std::to_string(report.new_shards) + " (" +
                std::to_string(report.entries_moved) + " entries, " +
                std::to_string(report.pause_cycles) + " pause cycles)");
+  if (recorder_ != nullptr) {
+    recorder_->record(cycles_, telemetry::FlightRecorder::EventKind::kReshard,
+                      telemetry::Severity::kWarn,
+                      "reshard " + std::to_string(report.old_shards) + " -> " +
+                          std::to_string(report.new_shards),
+                      {{"old_shards", report.old_shards},
+                       {"new_shards", report.new_shards},
+                       {"entries_moved", report.entries_moved},
+                       {"pause_cycles", report.pause_cycles}});
+  }
   if (tracer_ != nullptr) {
     const std::uint64_t span =
         tracer_->begin("engine.reshard", kTrackEngineBeats, cycles_);
@@ -1256,6 +1292,27 @@ void ShardedCamEngine::set_span_tracer(telemetry::SpanTracer* tracer) {
     for (unsigned s = 0; s < shard_count(); ++s) {
       tracer_->set_track_name(kTrackShardBase + s, "shard" + std::to_string(s));
     }
+  }
+}
+
+void ShardedCamEngine::set_flight_recorder(
+    telemetry::FlightRecorder* recorder) {
+  recorder_ = recorder;
+}
+
+void ShardedCamEngine::record_counter_tracks(telemetry::SpanTracer& tracer,
+                                             const std::string& prefix,
+                                             std::uint64_t cycle) const {
+  tracer.counter(prefix + ".rob.search_depth", cycle,
+                 static_cast<std::int64_t>(search_rob_.size()));
+  for (unsigned s = 0; s < shard_count(); ++s) {
+    const std::string sp = prefix + ".shard" + std::to_string(s);
+    tracer.counter(sp + ".parked", cycle,
+                   static_cast<std::int64_t>(pending_issue_[s].size()));
+    tracer.counter(sp + ".credits_used", cycle,
+                   static_cast<std::int64_t>(cfg_.credits_per_shard) -
+                       static_cast<std::int64_t>(credits_[s]));
+    shards_[s]->record_counter_tracks(tracer, sp, cycle);
   }
 }
 

@@ -276,6 +276,19 @@ class ShardedCamEngine : public CamBackend {
   /// submit/collect passes, never on the parallel stepping path.
   void set_span_tracer(telemetry::SpanTracer* tracer) override;
 
+  /// Attaches a flight recorder: quarantine, rebuild, reshard and
+  /// checkpoint/restore record typed events (stamped with the engine
+  /// cycle) for black-box dumps. Not forwarded to the shards - their
+  /// lifecycle is narrated here, where it is decided.
+  void set_flight_recorder(telemetry::FlightRecorder* recorder) override;
+
+  /// Utilization series: reorder-buffer depth plus, per live shard, queue
+  /// depth and consumed credits, and each shard backend's own tracks under
+  /// "<prefix>.shard<N>".
+  void record_counter_tracks(telemetry::SpanTracer& tracer,
+                             const std::string& prefix,
+                             std::uint64_t cycle) const override;
+
  private:
   /// One planned sub-request: what goes to which shard, and which beat
   /// positions its results fill.
@@ -415,6 +428,10 @@ class ShardedCamEngine : public CamBackend {
   /// Borrowed span tracer (null = tracing off). Written only from the
   /// serial submit/collect passes.
   telemetry::SpanTracer* tracer_ = nullptr;
+
+  /// Borrowed flight recorder (null = off); lifecycle events only, so it is
+  /// written exclusively from the serial control-plane entry points.
+  telemetry::FlightRecorder* recorder_ = nullptr;
 
   /// Workers for parallel shard stepping (null when stepping serially).
   /// Only the embarrassingly-parallel shard->step() fan-out runs on the

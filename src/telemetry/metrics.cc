@@ -19,12 +19,16 @@ unsigned Histogram::bucket_index(std::uint64_t value) noexcept {
 
 std::uint64_t Histogram::bucket_lo(unsigned bucket) noexcept {
   if (bucket <= 1) return bucket;  // bucket 0 = {0}, bucket 1 starts at 1
+  if (bucket >= 65) return ~std::uint64_t{0};  // unreachable guard slot
   return std::uint64_t{1} << (bucket - 1);
 }
 
 std::uint64_t Histogram::bucket_hi(unsigned bucket) noexcept {
   if (bucket == 0) return 0;
-  if (bucket >= 65) return ~std::uint64_t{0};
+  // bit_width never exceeds 64, so bucket 64 tops out the u64 range and the
+  // 66th slot is an unreachable guard. Shifting by >= 64 is UB, so both top
+  // buckets clamp instead of shifting.
+  if (bucket >= 64) return ~std::uint64_t{0};
   return (std::uint64_t{1} << bucket) - 1;
 }
 
@@ -149,11 +153,26 @@ const Histogram* MetricRegistry::find_histogram(const std::string& name) const {
 namespace {
 
 bool in_subtree(std::string_view name, std::string_view prefix) {
+  // "engine." means the same subtree as "engine" (the header advertises the
+  // trailing-dot form); without this strip it would match nothing, since the
+  // boundary check below expects the prefix to end on a name component.
+  while (!prefix.empty() && prefix.back() == '.') prefix.remove_suffix(1);
   if (prefix.empty()) return true;
   if (name.size() < prefix.size() || name.substr(0, prefix.size()) != prefix) {
     return false;
   }
+  // Component boundary: "engine.shard1" must not absorb "engine.shard10.*".
   return name.size() == prefix.size() || name[prefix.size()] == '.';
+}
+
+bool ends_component(std::string_view name, std::string_view suffix) {
+  if (suffix.empty()) return true;
+  if (name.size() < suffix.size() ||
+      name.substr(name.size() - suffix.size()) != suffix) {
+    return false;
+  }
+  return name.size() == suffix.size() ||
+         name[name.size() - suffix.size() - 1] == '.';
 }
 
 std::string json_escape(const std::string& s) {
@@ -179,9 +198,16 @@ std::string fmt_double(double v) {
 }  // namespace
 
 std::uint64_t MetricRegistry::sum_counters(std::string_view prefix) const {
+  return sum_counters(prefix, std::string_view{});
+}
+
+std::uint64_t MetricRegistry::sum_counters(std::string_view prefix,
+                                           std::string_view suffix) const {
   std::uint64_t total = 0;
   for (const auto& [name, c] : counters_) {
-    if (in_subtree(name, prefix)) total += c->value();
+    if (in_subtree(name, prefix) && ends_component(name, suffix)) {
+      total += c->value();
+    }
   }
   return total;
 }

@@ -136,8 +136,17 @@ class MetricRegistry {
   const Histogram* find_histogram(const std::string& name) const;
 
   /// Sum of every counter at `prefix` exactly or inside its subtree
-  /// ("engine" matches "engine" and "engine.shard0.issued", not "engines").
+  /// ("engine" matches "engine" and "engine.shard0.issued", not "engines";
+  /// "engine.shard1" matches neither "engine.shard10" nor its subtree). A
+  /// trailing dot is accepted and equivalent ("engine." == "engine").
   std::uint64_t sum_counters(std::string_view prefix) const;
+
+  /// Subtree sum restricted to counters whose name ends in `suffix` on a
+  /// dot boundary: sum_counters("engine", "parity_flagged") adds
+  /// "engine.shard0.parity_flagged" but not "engine.no_parity_flagged".
+  /// An empty suffix matches everything (same as the one-argument form).
+  std::uint64_t sum_counters(std::string_view prefix,
+                             std::string_view suffix) const;
 
   std::size_t size() const noexcept {
     return counters_.size() + gauges_.size() + histograms_.size();

@@ -13,6 +13,9 @@ SpanTracer::SpanTracer(const Config& cfg) : cfg_(cfg) {
   if (cfg_.max_open == 0) {
     throw ConfigError("SpanTracer: max_open must be >= 1");
   }
+  if (cfg_.counter_capacity == 0) {
+    throw ConfigError("SpanTracer: counter_capacity must be >= 1");
+  }
   ring_.reserve(cfg_.capacity);
 }
 
@@ -68,6 +71,37 @@ void SpanTracer::push_finished(Span span) {
 
 void SpanTracer::set_track_name(std::uint64_t track, std::string name) {
   track_names_[track] = std::move(name);
+}
+
+void SpanTracer::counter(std::string_view name, std::uint64_t ts,
+                         std::int64_t value) {
+  CounterSample sample;
+  sample.name.assign(name);
+  sample.ts = ts;
+  sample.value = value;
+  ++counters_recorded_;
+  if (counters_.size() < cfg_.counter_capacity) {
+    counters_.push_back(std::move(sample));
+    return;
+  }
+  counters_[counters_next_] = std::move(sample);
+  counters_next_ = (counters_next_ + 1) % cfg_.counter_capacity;
+  counters_wrapped_ = true;
+  ++counters_dropped_;
+}
+
+std::vector<CounterSample> SpanTracer::counter_samples() const {
+  std::vector<CounterSample> out;
+  out.reserve(counters_.size());
+  if (counters_wrapped_) {
+    for (std::size_t i = counters_next_; i < counters_.size(); ++i) {
+      out.push_back(counters_[i]);
+    }
+    for (std::size_t i = 0; i < counters_next_; ++i) out.push_back(counters_[i]);
+  } else {
+    out = counters_;
+  }
+  return out;
 }
 
 std::vector<Span> SpanTracer::finished_spans() const {
@@ -127,6 +161,15 @@ std::string SpanTracer::chrome_json() const {
     }
     out += "}}";
   }
+  // Counter series ride on tid 0 - Perfetto groups "ph":"C" events by name,
+  // not thread, so one tid keeps the span tracks uncluttered.
+  for (const CounterSample& sample : counter_samples()) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"ph\": \"C\", \"name\": \"" + json_escape(sample.name) +
+           "\", \"pid\": 1, \"tid\": 0, \"ts\": " + std::to_string(sample.ts) +
+           ", \"args\": {\"value\": " + std::to_string(sample.value) + "}}";
+  }
   out += "], \"displayTimeUnit\": \"ms\"}";
   return out;
 }
@@ -143,6 +186,10 @@ void SpanTracer::clear() {
   ring_next_ = 0;
   ring_wrapped_ = false;
   started_ = finished_ = dropped_ = orphan_evictions_ = 0;
+  counters_.clear();
+  counters_next_ = 0;
+  counters_wrapped_ = false;
+  counters_recorded_ = counters_dropped_ = 0;
 }
 
 }  // namespace dspcam::telemetry

@@ -39,6 +39,15 @@ struct Span {
   std::vector<std::pair<std::string, std::uint64_t>> args;
 };
 
+/// One sample of a utilization counter series (queue depth, active blocks,
+/// fusion batch width, ...). Exported as a Chrome trace counter event
+/// ("ph":"C"), which Perfetto renders as a value-over-time heatline.
+struct CounterSample {
+  std::string name;       ///< Series name ("engine.shard0.queue_depth").
+  std::uint64_t ts = 0;   ///< Cycle sampled.
+  std::int64_t value = 0;
+};
+
 /// Bounded, sampled span recorder.
 class SpanTracer {
  public:
@@ -47,6 +56,7 @@ class SpanTracer {
     std::uint64_t sample_every = 16;  ///< Record 1-in-N tickets (1 = all).
     std::size_t max_open = 1024;      ///< Open spans before the oldest is
                                       ///< force-orphaned (leak guard).
+    std::size_t counter_capacity = 4096;  ///< Counter-sample ring size.
   };
 
   /// Identifies an open span. 0 is the reserved "not recorded" id, returned
@@ -81,6 +91,12 @@ class SpanTracer {
   /// Names a track in the exported trace (Chrome thread_name metadata).
   void set_track_name(std::uint64_t track, std::string name);
 
+  /// Records one utilization counter sample. Series share one bounded ring
+  /// (oldest sample dropped when full); within a series, callers sample at
+  /// non-decreasing ts (the publish cadence), which trace_lint enforces on
+  /// the exported file.
+  void counter(std::string_view name, std::uint64_t ts, std::int64_t value);
+
   // --- Accounting. ---
 
   std::uint64_t started() const noexcept { return started_; }
@@ -97,11 +113,19 @@ class SpanTracer {
   /// Finished spans currently held (oldest first).
   std::vector<Span> finished_spans() const;
 
+  /// Counter samples currently held (oldest first).
+  std::vector<CounterSample> counter_samples() const;
+
+  std::uint64_t counters_recorded() const noexcept { return counters_recorded_; }
+  /// Counter samples pushed out of the full ring.
+  std::uint64_t counters_dropped() const noexcept { return counters_dropped_; }
+
   // --- Export. ---
 
   /// Chrome trace-event JSON ({"traceEvents": [...]}) of every finished
-  /// span, loadable by Perfetto and chrome://tracing. Open spans are not
-  /// exported (they are orphans until end() runs).
+  /// span plus every counter sample ("ph":"C" events), loadable by Perfetto
+  /// and chrome://tracing. Open spans are not exported (they are orphans
+  /// until end() runs).
   std::string chrome_json() const;
 
   /// Writes chrome_json() to `path`. Throws ConfigError on open failure.
@@ -120,6 +144,12 @@ class SpanTracer {
   std::vector<Span> ring_;       ///< Finished spans, ring of cfg_.capacity.
   std::size_t ring_next_ = 0;    ///< Next slot to overwrite.
   bool ring_wrapped_ = false;
+
+  std::vector<CounterSample> counters_;  ///< Ring of cfg_.counter_capacity.
+  std::size_t counters_next_ = 0;
+  bool counters_wrapped_ = false;
+  std::uint64_t counters_recorded_ = 0;
+  std::uint64_t counters_dropped_ = 0;
 
   std::map<std::uint64_t, std::string> track_names_;
 

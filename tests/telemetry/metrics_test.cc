@@ -286,6 +286,121 @@ TEST(SnapshotWriter, RejectsZeroCadenceAndBadPath) {
 
 // --- jsonv itself (the validator gates CI; pin its judgement). ---
 
+TEST(MetricRegistry, SubtreeSumRespectsDotBoundaries) {
+  MetricRegistry reg;
+  reg.counter("engine").add(1);
+  reg.counter("engine.shard0.issued").add(2);
+  reg.counter("engine.shard1.issued").add(4);
+  reg.counter("engine.shard10.issued").add(8);   // not under "engine.shard1"
+  reg.counter("engines.shard0.issued").add(16);  // sibling subtree
+  EXPECT_EQ(reg.sum_counters("engine"), 15u);
+  EXPECT_EQ(reg.sum_counters("engine.shard1"), 4u);
+  EXPECT_EQ(reg.sum_counters("engine.shard10"), 8u);
+  EXPECT_EQ(reg.sum_counters("engines"), 16u);
+  EXPECT_EQ(reg.sum_counters("eng"), 0u);
+}
+
+TEST(MetricRegistry, SubtreeSumAcceptsTrailingDot) {
+  // Regression: "engine." (the form the header documents) used to return 0
+  // because the dot-boundary check compared against the dotted prefix.
+  MetricRegistry reg;
+  reg.counter("engine.a").add(3);
+  reg.counter("engine.b.c").add(5);
+  EXPECT_EQ(reg.sum_counters("engine."), 8u);
+  EXPECT_EQ(reg.sum_counters("engine"), reg.sum_counters("engine."));
+  EXPECT_EQ(reg.sum_counters("engine.b."), 5u);
+}
+
+TEST(MetricRegistry, SuffixSumMatchesLeafOnDotBoundary) {
+  MetricRegistry reg;
+  reg.counter("engine.shard0.parity_flagged").add(1);
+  reg.counter("engine.shard1.parity_flagged").add(2);
+  reg.counter("engine.shard1.no_parity_flagged").add(4);  // not a dot boundary
+  reg.counter("engine.parity_flagged").add(8);
+  reg.counter("other.parity_flagged").add(16);  // outside the subtree
+  EXPECT_EQ(reg.sum_counters("engine", "parity_flagged"), 11u);
+  // Multi-component suffixes bind on the same boundary rule.
+  EXPECT_EQ(reg.sum_counters("engine", "shard1.parity_flagged"), 2u);
+  // Empty suffix degenerates to the one-argument form.
+  EXPECT_EQ(reg.sum_counters("engine", ""), reg.sum_counters("engine"));
+  // A suffix longer than any name matches nothing.
+  EXPECT_EQ(reg.sum_counters("engine", "x.engine.shard0.parity_flagged"), 0u);
+}
+
+TEST(Histogram, ExactBucketBoundaryValues) {
+  // Values sitting exactly on bucket edges must land in the bucket whose
+  // range contains them: bucket b >= 1 covers [2^(b-1), 2^b - 1].
+  Histogram h;
+  for (const std::uint64_t v : {1ull, 2ull, 3ull, 4ull, 7ull, 8ull}) h.record(v);
+  EXPECT_EQ(h.bucket_count(Histogram::bucket_index(1)), 1u);   // [1,1]
+  EXPECT_EQ(h.bucket_count(Histogram::bucket_index(2)), 2u);   // [2,3]
+  EXPECT_EQ(h.bucket_count(Histogram::bucket_index(4)), 2u);   // [4,7]
+  EXPECT_EQ(h.bucket_count(Histogram::bucket_index(8)), 1u);   // [8,15]
+  for (unsigned b = 1; b < 64; ++b) {
+    EXPECT_EQ(Histogram::bucket_lo(b), std::uint64_t{1} << (b - 1));
+    EXPECT_EQ(Histogram::bucket_index(Histogram::bucket_lo(b)), b);
+    EXPECT_EQ(Histogram::bucket_index(Histogram::bucket_hi(b)), b);
+  }
+  // The top of the u64 range: bucket 64 covers [2^63, 2^64 - 1] and must
+  // clamp its hi edge instead of shifting by 64 (which is UB, and used to
+  // return garbage here).
+  EXPECT_EQ(Histogram::bucket_index(~std::uint64_t{0}), 64u);
+  EXPECT_EQ(Histogram::bucket_lo(64), std::uint64_t{1} << 63);
+  EXPECT_EQ(Histogram::bucket_hi(64), ~std::uint64_t{0});
+  EXPECT_EQ(Histogram::bucket_index(Histogram::bucket_hi(64)), 64u);
+}
+
+TEST(Histogram, SingleSampleQuantilesAreThatSample) {
+  Histogram h;
+  h.record(37);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.p50(), 37.0);
+  EXPECT_DOUBLE_EQ(h.p95(), 37.0);
+  EXPECT_DOUBLE_EQ(h.p99(), 37.0);
+  EXPECT_EQ(h.min(), 37u);
+  EXPECT_EQ(h.max(), 37u);
+}
+
+TEST(Histogram, ZerosOnlyStream) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.record(0);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.p50(), 0.0);
+  EXPECT_DOUBLE_EQ(h.p99(), 0.0);
+  EXPECT_EQ(h.bucket_count(0), 100u);  // bucket 0 holds exact zeros
+}
+
+TEST(Histogram, UpdateToRepublicationIsIdempotent) {
+  // The pull-model path republishes the same source histogram every
+  // snapshot; the published copy must not drift.
+  Histogram source;
+  for (int i = 0; i < 50; ++i) source.record(7);
+  Histogram published;
+  published.update_to(source);
+  const std::uint64_t count = published.count();
+  const std::uint64_t sum = published.sum();
+  for (int rep = 0; rep < 5; ++rep) published.update_to(source);
+  EXPECT_EQ(published.count(), count);
+  EXPECT_EQ(published.sum(), sum);
+  EXPECT_DOUBLE_EQ(published.p99(), source.p99());
+}
+
+TEST(Histogram, QuantileClampsToObservedMinMax) {
+  // Interpolation inside a wide bucket must never step outside what was
+  // actually seen: with samples {1000, 1001} every quantile lies in
+  // [1000, 1001] even though their bucket spans [512, 1023].
+  Histogram h;
+  h.record(1000);
+  h.record(1001);
+  for (const double q : {0.01, 0.50, 0.95, 0.99, 1.0}) {
+    EXPECT_GE(h.quantile(q), 1000.0) << q;
+    EXPECT_LE(h.quantile(q), 1001.0) << q;
+  }
+}
+
 TEST(JsonValidator, AcceptsAndRejects) {
   EXPECT_TRUE(jsonv::validate(R"({"a": [1, 2.5, -3e2], "b": {"c": null}})").ok);
   EXPECT_TRUE(jsonv::validate(R"(["x", true, false])").ok);

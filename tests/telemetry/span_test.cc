@@ -156,6 +156,64 @@ TEST(SpanTracer, OpenSpansAreNotExported) {
   EXPECT_EQ(json.find("never.ends"), std::string::npos);
 }
 
+TEST(SpanTracer, CounterSamplesRecordInOrder) {
+  SpanTracer tracer;
+  tracer.counter("engine.queue_depth", 10, 3);
+  tracer.counter("engine.queue_depth", 20, 5);
+  tracer.counter("driver.inflight", 20, 7);
+  const auto samples = tracer.counter_samples();
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples[0].name, "engine.queue_depth");
+  EXPECT_EQ(samples[0].ts, 10u);
+  EXPECT_EQ(samples[0].value, 3);
+  EXPECT_EQ(samples[2].name, "driver.inflight");
+  EXPECT_EQ(tracer.counters_recorded(), 3u);
+  EXPECT_EQ(tracer.counters_dropped(), 0u);
+}
+
+TEST(SpanTracer, CounterRingDropsOldestSamples) {
+  SpanTracer::Config cfg;
+  cfg.counter_capacity = 4;
+  SpanTracer tracer(cfg);
+  for (int i = 0; i < 10; ++i) {
+    tracer.counter("q", static_cast<std::uint64_t>(i), i);
+  }
+  const auto samples = tracer.counter_samples();
+  ASSERT_EQ(samples.size(), 4u);
+  EXPECT_EQ(samples.front().ts, 6u);  // oldest surviving
+  EXPECT_EQ(samples.back().ts, 9u);
+  EXPECT_EQ(tracer.counters_recorded(), 10u);
+  EXPECT_EQ(tracer.counters_dropped(), 6u);
+}
+
+TEST(SpanTracer, ChromeJsonCarriesCounterEvents) {
+  SpanTracer tracer;
+  const auto id = tracer.begin("op", 1, 0);
+  tracer.end(id, 5);
+  tracer.counter("engine.queue_depth", 3, 2);
+  tracer.counter("engine.queue_depth", 7, 0);
+  const std::string json = tracer.chrome_json();
+  EXPECT_TRUE(jsonv::validate(json).ok) << json;
+  EXPECT_NE(json.find("\"ph\": \"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"engine.queue_depth\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\": {\"value\": 2}"), std::string::npos);
+}
+
+TEST(SpanTracer, ClearResetsCounterState) {
+  SpanTracer tracer;
+  tracer.counter("q", 1, 1);
+  tracer.clear();
+  EXPECT_TRUE(tracer.counter_samples().empty());
+  EXPECT_EQ(tracer.counters_recorded(), 0u);
+  EXPECT_EQ(tracer.counters_dropped(), 0u);
+}
+
+TEST(SpanTracer, ZeroCounterCapacityIsAConfigError) {
+  SpanTracer::Config cfg;
+  cfg.counter_capacity = 0;
+  EXPECT_THROW(SpanTracer{cfg}, ConfigError);
+}
+
 TEST(SpanTracer, WriteChromeJsonRoundTrips) {
   SpanTracer tracer;
   const auto id = tracer.begin("io", 1, 0);

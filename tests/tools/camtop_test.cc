@@ -1,0 +1,89 @@
+// camtop_lib unit tests: snapshot parsing and dashboard rendering.
+#include "tools/camtop_lib.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace dspcam::tools::camtop {
+namespace {
+
+const char kLine[] =
+    R"({"cycle": 4096, "metrics": {"counters": {"driver.submitted": 4089, )"
+    R"("driver.completed": 4082, "health.parity_flags.trips": 12, )"
+    R"("fault.injector.injected": 45, "fault.scrubber.detected": 43, )"
+    R"("fault.scrubber.corrected": 43, "fault.scrubber.silent": 2}, )"
+    R"("gauges": {"driver.queue_depth": 0, "driver.inflight": 6, )"
+    R"("driver.stall_headroom": 1048576, "health.tripped": 1, )"
+    R"("health.parity_flags.state": 1, "health.parity_flags.value": 1, )"
+    R"("health.stall_headroom.state": 0, "health.stall_headroom.value": 1048576, )"
+    R"("engine.shard0.credits": 254, "engine.shard0.parked": 0, )"
+    R"("engine.shard0.stored_entries": 78, "engine.shard0.request_fifo_depth": 2, )"
+    R"("engine.shard0.quarantined": 0, "engine.shard1.credits": 256, )"
+    R"("engine.shard1.quarantined": 1, "engine.rob.search_depth": 6, )"
+    R"("engine.quarantined_shards": 1}, )"
+    R"("histograms": {"driver.latency_cycles": {"count": 4082, "min": 7, )"
+    R"("max": 12, "mean": 7.01, "p50": 7, "p95": 7, "p99": 8}}}})";
+
+TEST(Camtop, ParsesSnapshotLine) {
+  const auto v = SnapshotView::parse(kLine);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->cycle, 4096u);
+  EXPECT_EQ(v->counter("driver.submitted"), 4089u);
+  EXPECT_EQ(v->gauge("driver.inflight"), 6);
+  EXPECT_EQ(v->gauge("engine.shard1.quarantined"), 1);
+  const auto h = v->histograms.at("driver.latency_cycles");
+  EXPECT_EQ(h.count, 4082u);
+  EXPECT_DOUBLE_EQ(h.p99, 8.0);
+  EXPECT_FALSE(v->counter("nope").has_value());
+}
+
+TEST(Camtop, RejectsNonSnapshotLines) {
+  EXPECT_FALSE(SnapshotView::parse("").has_value());
+  EXPECT_FALSE(SnapshotView::parse("{\"cycle\": 5}").has_value());
+  EXPECT_FALSE(SnapshotView::parse("{\"metrics\": {}}").has_value());
+  EXPECT_FALSE(SnapshotView::parse("not json").has_value());
+}
+
+TEST(Camtop, LastSnapshotSkipsTruncatedTail) {
+  const std::string body = std::string(kLine) + "\n" +
+                           R"({"cycle": 5000, "metrics": {"counters": {}, )" +
+                           R"("gauges": {}, "histograms": {}}})" + "\n" +
+                           R"({"cycle": 6000, "metr)";  // mid-write
+  const auto v = last_snapshot(body);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->cycle, 5000u);
+}
+
+TEST(Camtop, DashboardRendersEverySection) {
+  const auto v = SnapshotView::parse(kLine);
+  ASSERT_TRUE(v.has_value());
+  const std::string dash = render_dashboard(*v);
+  EXPECT_NE(dash.find("cycle 4096"), std::string::npos);
+  EXPECT_NE(dash.find("stall_headroom=1048576"), std::string::npos);
+  EXPECT_NE(dash.find("p99=8"), std::string::npos);
+  // Health rows with trip markers.
+  EXPECT_NE(dash.find("[TRIP] parity_flags"), std::string::npos);
+  EXPECT_NE(dash.find("[ ok ] stall_headroom"), std::string::npos);
+  // Shard table: shard 1 is flagged, shard 0 is not.
+  EXPECT_NE(dash.find("QUARANTINED"), std::string::npos);
+  EXPECT_NE(dash.find("quarantined_shards=1"), std::string::npos);
+  // Fault totals summed across injector/scrubber prefixes.
+  EXPECT_NE(dash.find("injected=45"), std::string::npos);
+  EXPECT_NE(dash.find("silent=2"), std::string::npos);
+}
+
+TEST(Camtop, DashboardOmitsAbsentSections) {
+  const auto v = SnapshotView::parse(
+      R"({"cycle": 10, "metrics": {"counters": {}, "gauges": )"
+      R"({"driver.queue_depth": 1}, "histograms": {}}})");
+  ASSERT_TRUE(v.has_value());
+  const std::string dash = render_dashboard(*v);
+  EXPECT_NE(dash.find("driver"), std::string::npos);
+  EXPECT_EQ(dash.find("health"), std::string::npos);
+  EXPECT_EQ(dash.find("shards"), std::string::npos);
+  EXPECT_EQ(dash.find("fault"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dspcam::tools::camtop

@@ -1,0 +1,95 @@
+// camtop: "top" for a running (or finished) simulation.
+//
+// Tails the snapshots.jsonl file a CamDriver writes and repaints the latest
+// snapshot as a text dashboard - driver queue/inflight/stall-headroom with
+// latency percentiles, every health rule with its trip state, the per-shard
+// credit/parked/quarantine table, and fault-campaign totals:
+//
+//   camtop FILE                 Follow mode: repaint every --interval ms
+//                               until interrupted (works on a live file -
+//                               half-written trailing lines are skipped).
+//   camtop FILE --once          Render the latest snapshot once and exit
+//                               (CI artifact mode). Exits 1 when the file
+//                               holds no parseable snapshot.
+//   camtop FILE --interval MS   Repaint period in follow mode (default 500).
+//
+// Parsing and rendering live in camtop_lib.h (tested directly).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "tools/camtop_lib.h"
+
+namespace {
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  bool once = false;
+  long interval_ms = 500;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--once") {
+      once = true;
+    } else if (arg == "--interval" && i + 1 < argc) {
+      interval_ms = std::strtol(argv[++i], nullptr, 10);
+      if (interval_ms <= 0) interval_ms = 500;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "camtop: unknown flag %s\n", arg.c_str());
+      return 2;
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      std::fprintf(stderr, "camtop: more than one FILE given\n");
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: camtop FILE [--once] [--interval MS]\n");
+    return 2;
+  }
+
+  std::uint64_t last_cycle = ~std::uint64_t{0};
+  while (true) {
+    std::string text;
+    if (!read_file(path, text)) {
+      std::fprintf(stderr, "camtop: cannot open %s\n", path.c_str());
+      return 1;
+    }
+    const auto snap = dspcam::tools::camtop::last_snapshot(text);
+    if (once) {
+      if (!snap) {
+        std::fprintf(stderr, "camtop: %s holds no parseable snapshot\n",
+                     path.c_str());
+        return 1;
+      }
+      std::fputs(dspcam::tools::camtop::render_dashboard(*snap).c_str(),
+                 stdout);
+      return 0;
+    }
+    if (snap && snap->cycle != last_cycle) {
+      last_cycle = snap->cycle;
+      // Home + clear-to-end repaint: flicker-free on every VT100-ish
+      // terminal without a curses dependency.
+      std::fputs("\x1b[H\x1b[J", stdout);
+      std::fputs(dspcam::tools::camtop::render_dashboard(*snap).c_str(),
+                 stdout);
+      std::fflush(stdout);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+}

@@ -6,24 +6,30 @@
 //
 //   trace_lint --trace FILE      Chrome trace-event JSON: well-formed, has
 //                                a top-level "traceEvents" array with at
-//                                least one complete ("X") event.
+//                                least one complete ("X") event, no span
+//                                with negative duration, and every counter
+//                                ("C") event well-shaped with monotonic
+//                                timestamps per counter track.
 //   trace_lint --metrics FILE    MetricRegistry snapshot: well-formed, has
 //                                "counters" / "gauges" / "histograms".
 //   trace_lint --jsonl FILE      JSON-lines (snapshots, BENCH_*.json): every
 //                                non-empty line is one well-formed object.
+//   trace_lint --blackbox FILE   FlightRecorder black-box dump: identifies
+//                                itself, carries events/health/metrics/spans
+//                                sections, event seq strictly increasing.
 //
 // Any mix of flags may be repeated; exits non-zero on the first failure.
+// The checks themselves live in trace_lint_lib.h (tested directly).
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
 
-#include "src/telemetry/jsonv.h"
+#include "tools/trace_lint_lib.h"
 
 namespace {
 
-using dspcam::telemetry::jsonv::has_top_level_key;
-using dspcam::telemetry::jsonv::validate;
+using dspcam::tools::tracelint::LintResult;
 
 bool read_file(const std::string& path, std::string& out) {
   std::ifstream in(path);
@@ -37,70 +43,13 @@ bool read_file(const std::string& path, std::string& out) {
   return true;
 }
 
-bool fail(const std::string& path, const std::string& why) {
-  std::fprintf(stderr, "trace_lint: %s: %s\n", path.c_str(), why.c_str());
-  return false;
-}
-
-bool check_json(const std::string& path, const std::string& text) {
-  const auto r = validate(text);
+bool report(const std::string& path, const char* what, const LintResult& r,
+            const std::string& detail) {
   if (!r.ok) {
-    return fail(path, "invalid JSON at byte " + std::to_string(r.error_offset) +
-                          ": " + r.error);
-  }
-  return true;
-}
-
-bool check_trace(const std::string& path) {
-  std::string text;
-  if (!read_file(path, text)) return false;
-  if (!check_json(path, text)) return false;
-  if (!has_top_level_key(text, "traceEvents")) {
-    return fail(path, "missing top-level \"traceEvents\" key");
-  }
-  // At least one complete event, or the trace renders as an empty screen.
-  if (text.find("\"ph\": \"X\"") == std::string::npos &&
-      text.find("\"ph\":\"X\"") == std::string::npos) {
-    return fail(path, "no complete (\"X\") span events");
-  }
-  std::printf("trace_lint: %s ok (trace)\n", path.c_str());
-  return true;
-}
-
-bool check_metrics(const std::string& path) {
-  std::string text;
-  if (!read_file(path, text)) return false;
-  if (!check_json(path, text)) return false;
-  for (const char* key : {"counters", "gauges", "histograms"}) {
-    if (!has_top_level_key(text, key)) {
-      return fail(path, std::string("missing top-level \"") + key + "\" key");
-    }
-  }
-  std::printf("trace_lint: %s ok (metrics)\n", path.c_str());
-  return true;
-}
-
-bool check_jsonl(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) {
-    std::fprintf(stderr, "trace_lint: cannot open %s\n", path.c_str());
+    std::fprintf(stderr, "trace_lint: %s: %s\n", path.c_str(), r.error.c_str());
     return false;
   }
-  std::string line;
-  std::size_t lineno = 0;
-  std::size_t objects = 0;
-  while (std::getline(in, line)) {
-    ++lineno;
-    if (line.empty()) continue;
-    const auto r = validate(line);
-    if (!r.ok) {
-      return fail(path, "line " + std::to_string(lineno) + ": invalid JSON at byte " +
-                            std::to_string(r.error_offset) + ": " + r.error);
-    }
-    ++objects;
-  }
-  if (objects == 0) return fail(path, "no JSON objects");
-  std::printf("trace_lint: %s ok (%zu JSONL rows)\n", path.c_str(), objects);
+  std::printf("trace_lint: %s ok (%s%s)\n", path.c_str(), what, detail.c_str());
   return true;
 }
 
@@ -110,19 +59,31 @@ int main(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr,
                  "usage: trace_lint [--trace FILE] [--metrics FILE] "
-                 "[--jsonl FILE] ...\n");
+                 "[--jsonl FILE] [--blackbox FILE] ...\n");
     return 2;
   }
   for (int i = 1; i + 1 < argc; i += 2) {
     const std::string flag = argv[i];
     const std::string path = argv[i + 1];
+    std::string text;
+    if (!read_file(path, text)) return 1;
     bool ok = false;
     if (flag == "--trace") {
-      ok = check_trace(path);
+      const auto r = dspcam::tools::tracelint::lint_trace(text);
+      ok = report(path, "trace",
+                  r, ", " + std::to_string(r.spans) + " spans, " +
+                         std::to_string(r.counters) + " counter events");
     } else if (flag == "--metrics") {
-      ok = check_metrics(path);
+      ok = report(path, "metrics", dspcam::tools::tracelint::lint_metrics(text),
+                  "");
     } else if (flag == "--jsonl") {
-      ok = check_jsonl(path);
+      const auto r = dspcam::tools::tracelint::lint_jsonl(text);
+      ok = report(path, "jsonl", r,
+                  ", " + std::to_string(r.rows) + " rows");
+    } else if (flag == "--blackbox") {
+      const auto r = dspcam::tools::tracelint::lint_blackbox(text);
+      ok = report(path, "blackbox", r,
+                  ", " + std::to_string(r.rows) + " events");
     } else {
       std::fprintf(stderr, "trace_lint: unknown flag %s\n", flag.c_str());
       return 2;
