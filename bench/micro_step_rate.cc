@@ -30,6 +30,14 @@
 //           search-only stream and on a write mix (1 addressed write per 16
 //           requests - each write a fusion barrier). kind:"fusion" rows
 //           record the batch-occupancy mean and the speedup over B=1.
+//   part 7  fused sweep->encode ablation (kernel level, DESIGN.md §14): the
+//           same kernel's legacy path (raw sweep -> valid-AND into a BitVec
+//           -> encode_match_lines) against its fused encode_fn, per
+//           encoding scheme, at 64- and 256-cell depths, across the kernel
+//           tiers (registry-selected, AOT-generated geometry pin, scalar
+//           depth template). kind:"encode" rows carry the paired-ratio
+//           speedup_vs_unfused; the 256-deep rows are the tentpole
+//           acceptance figure (>= 1.3x median).
 //
 // Flags: --warmup N --repeat N --json <path>   (default path
 // BENCH_step_rate.json so CI always collects the artifact).
@@ -40,7 +48,9 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/cam/encoder.h"
 #include "src/cam/match_kernel.h"
+#include "src/common/bitvec.h"
 #include "src/cam/unit.h"
 #include "src/system/cam_system.h"
 #include "src/system/driver.h"
@@ -328,6 +338,103 @@ FusionRate fusion_stream_rate(unsigned blocks, unsigned cells,
     r.occupancy_mean = h->mean();
   }
   return r;
+}
+
+/// Packed pre-edge arrays for the kernel-level encode ablation: `depth`
+/// distinct stored words, the matching nmask plane (mask-free = the plain
+/// width mask everywhere; masked = every 4th entry wildcards its low 2
+/// bits), all entries valid, and an always-hit key schedule whose hit
+/// position rotates over the full depth (so the priority scheme's early
+/// exit sees the average case, not the best case).
+struct EncodeWorkload {
+  std::vector<std::uint64_t> stored, nmask, valid;
+  std::vector<cam::Word> keys;
+  unsigned depth = 0;
+};
+
+EncodeWorkload make_encode_workload(unsigned width, unsigned depth,
+                                    bool mask_free) {
+  EncodeWorkload w;
+  w.depth = depth;
+  const std::uint64_t full = (std::uint64_t{1} << width) - 1;
+  w.stored.resize(depth);
+  w.nmask.resize(depth);
+  for (unsigned i = 0; i < depth; ++i) {
+    w.stored[i] = i & full;
+    w.nmask[i] =
+        mask_free || (i % 4 != 0) ? full : (full & ~std::uint64_t{3});
+  }
+  w.valid.assign((depth + 63) / 64, ~std::uint64_t{0});
+  if (depth % 64 != 0) w.valid.back() = (std::uint64_t{1} << (depth % 64)) - 1;
+  w.keys.resize(1024);  // power of two: the hot loop indexes with a mask
+  for (std::size_t i = 0; i < w.keys.size(); ++i) {
+    w.keys[i] = w.stored[(i * 7 + 3) % depth];
+  }
+  return w;
+}
+
+/// Keeps the optimizer from deleting the measured loops' work.
+volatile std::uint64_t g_encode_sink = 0;
+
+/// Unfused baseline: the pre-fusion block path exactly - raw sweep,
+/// valid-AND into a persistent BitVec one set_word at a time, then the
+/// by-value encode_match_lines, whose returned BlockResponse is constructed
+/// per call (under one-hot that includes the per-call raw-vector copy, the
+/// allocation-and-rescan tax the fused plane exists to remove). Returns
+/// encodes per host second.
+double unfused_encode_rate(const cam::MatchKernel& k, const EncodeWorkload& w,
+                           cam::EncodingScheme scheme, std::uint64_t iters) {
+  const std::size_t words = w.valid.size();
+  std::vector<std::uint64_t> sweep(words);
+  BitVec bits(w.depth);
+  cam::BlockResponse resp;
+  const cam::QueryTag tag;
+  std::uint64_t sum = 0;
+  const auto t0 = Clock::now();
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    const cam::Word key = w.keys[i & (w.keys.size() - 1)];
+    k.fn(w.stored.data(), w.nmask.data(), key, w.depth, sweep.data());
+    for (std::size_t j = 0; j < words; ++j) {
+      bits.set_word(j, sweep[j] & w.valid[j]);
+    }
+    resp = cam::encode_match_lines(bits, scheme, tag);
+    sum += resp.hit + resp.first_match + resp.match_count;
+    if (scheme == cam::EncodingScheme::kOneHot) sum += resp.raw.words()[0];
+  }
+  const double secs = std::chrono::duration<double>(Clock::now() - t0).count();
+  g_encode_sink = g_encode_sink + sum;
+  return static_cast<double>(iters) / secs;
+}
+
+/// Fused path: the kernel's encode_fn emits the finished EncodedMatch (and,
+/// for one-hot, the valid-ANDed match words) in one pass.
+double fused_encode_rate(const cam::MatchKernel& k, const EncodeWorkload& w,
+                         cam::EncodingScheme scheme, std::uint64_t iters) {
+  std::vector<std::uint64_t> onehot(w.valid.size());
+  std::uint64_t* oh =
+      scheme == cam::EncodingScheme::kOneHot ? onehot.data() : nullptr;
+  cam::EncodedMatch enc;
+  std::uint64_t sum = 0;
+  const auto t0 = Clock::now();
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    const cam::Word key = w.keys[i & (w.keys.size() - 1)];
+    k.encode_fn(w.stored.data(), w.nmask.data(), w.valid.data(), key, w.depth,
+                scheme, enc, oh);
+    sum += enc.hit + enc.first_match + enc.match_count;
+    if (oh != nullptr) sum += onehot[0];
+  }
+  const double secs = std::chrono::duration<double>(Clock::now() - t0).count();
+  g_encode_sink = g_encode_sink + sum;
+  return static_cast<double>(iters) / secs;
+}
+
+/// Registry lookup by exact kernel name (nullptr when absent - e.g. an AOT
+/// pin this geometry set does not carry).
+const cam::MatchKernel* kernel_named(const char* name) {
+  for (const cam::MatchKernel& k : cam::match_kernel_registry()) {
+    if (std::string(name) == k.name) return &k;
+  }
+  return nullptr;
 }
 
 }  // namespace
@@ -642,6 +749,97 @@ int main(int argc, char** argv) {
       dspcam::bench::add_stats(row, "searches_per_sec", sps_stats);
       if (!is_b1) row.num("speedup_vs_b1", speedup);
       log.emit(row);
+    }
+  }
+
+  // Part 7: fused sweep->encode ablation, at the kernel-call level so the
+  // unit pipeline's fixed overhead cannot dilute the effect being measured.
+  // For each geometry the three kernel tiers that carry a fused entry point
+  // are timed - the registry's pick for the geometry, the AOT-generated
+  // exact pin, and the scalar depth template - each against ITS OWN legacy
+  // sweep+BitVec+encode path, paired per repetition like part 6 so host
+  // drift cancels out of the ratio.
+  struct EncodeGeometry {
+    const char* label;
+    dspcam::cam::CamKind kind;
+    unsigned width;
+    unsigned depth;
+    bool mask_free;
+    std::uint64_t iters;  ///< Encode calls per measured run.
+  };
+  const EncodeGeometry encode_geometries[] = {
+      {"bcam_w32_d64", dspcam::cam::CamKind::kBinary, 32, 64, true, 40'000},
+      {"bcam_w32_d256", dspcam::cam::CamKind::kBinary, 32, 256, true, 15'000},
+      {"tcam_w32_d64", dspcam::cam::CamKind::kTernary, 32, 64, false, 40'000},
+      {"tcam_w16_d256", dspcam::cam::CamKind::kTernary, 16, 256, false, 15'000},
+  };
+  std::printf("\n%-16s %-12s %-10s %-18s %14s %12s\n", "geometry", "scheme",
+              "path", "kernel", "encodes/s", "vs unfused");
+  for (const auto& eg : encode_geometries) {
+    const EncodeWorkload work =
+        make_encode_workload(eg.width, eg.depth, eg.mask_free);
+    dspcam::cam::MatchKernelQuery q;
+    q.kind = eg.kind;
+    q.data_width = eg.width;
+    q.block_size = eg.depth;
+    char gen_name[48], tmpl_name[48];
+    std::snprintf(gen_name, sizeof(gen_name), "gen_%s_w%u_d%u",
+                  eg.mask_free ? "eq" : "masked", eg.width, eg.depth);
+    std::snprintf(tmpl_name, sizeof(tmpl_name), "%s_d%u",
+                  eg.mask_free ? "eq" : "masked", eg.depth);
+    const struct {
+      const char* path;
+      const dspcam::cam::MatchKernel* kernel;
+    } tiers[] = {
+        {"registry", &dspcam::cam::select_match_kernel(q)},
+        {"aot", kernel_named(gen_name)},
+        {"template", kernel_named(tmpl_name)},
+    };
+    for (const auto scheme : {dspcam::cam::EncodingScheme::kPriorityIndex,
+                              dspcam::cam::EncodingScheme::kOneHot,
+                              dspcam::cam::EncodingScheme::kMatchCount}) {
+      for (const auto& tier : tiers) {
+        if (tier.kernel == nullptr || tier.kernel->encode_fn == nullptr) {
+          continue;  // no AOT pin for this geometry / force-generic host
+        }
+        std::vector<double> eps, base_eps, ratios;
+        const auto run_pair = [&] {
+          const double base =
+              unfused_encode_rate(*tier.kernel, work, scheme, eg.iters);
+          const double fused =
+              fused_encode_rate(*tier.kernel, work, scheme, eg.iters);
+          return std::pair<double, double>{base, fused};
+        };
+        for (unsigned i = 0; i < opt.warmup; ++i) (void)run_pair();
+        for (unsigned i = 0; i < opt.repeat; ++i) {
+          const auto [base, fused] = run_pair();
+          base_eps.push_back(base);
+          eps.push_back(fused);
+          if (base > 0) ratios.push_back(fused / base);
+        }
+        const auto stats = dspcam::bench::RepeatStats::of(std::move(eps));
+        const auto base_stats =
+            dspcam::bench::RepeatStats::of(std::move(base_eps));
+        const double speedup = dspcam::bench::RepeatStats::of(ratios).median;
+        const std::string scheme_name = dspcam::cam::to_string(scheme);
+        std::printf("%-16s %-12s %-10s %-18s %14.0f %11.2fx\n", eg.label,
+                    scheme_name.c_str(), tier.path, tier.kernel->name,
+                    stats.median, speedup);
+        auto row = dspcam::bench::JsonLog::Row("micro_step_rate");
+        row.str("kind", "encode")
+            .str("unit", eg.label)
+            .str("scheme", scheme_name)
+            .str("path", tier.path)
+            .str("kernel", tier.kernel->name)
+            .str("cam_kind", dspcam::cam::to_string(eg.kind))
+            .num("data_width", static_cast<std::uint64_t>(eg.width))
+            .num("cells", static_cast<std::uint64_t>(eg.depth))
+            .num("encode_calls", eg.iters);
+        dspcam::bench::add_stats(row, "encodes_per_sec", stats);
+        dspcam::bench::add_stats(row, "unfused_encodes_per_sec", base_stats);
+        row.num("speedup_vs_unfused", speedup);
+        log.emit(row);
+      }
     }
   }
 

@@ -46,6 +46,12 @@ CamBlock::CamBlock(const BlockConfig& cfg)
     // kMaxFusionKeys in-flight compares; the scan stops staging when full.
     fused_.configure(match_scratch_.word_count(), 4 * kMaxFusionKeys);
     fused_scratch_.assign(kMaxFusionKeys * match_scratch_.word_count(), 0);
+
+    // One-hot blocks pre-seed the recycled raw buffer so the first search
+    // does not allocate inside the sweep loop (DESIGN.md §14).
+    if (cfg_.encoding == EncodingScheme::kOneHot) {
+      onehot_pool_ = BitVec(cfg_.block_size);
+    }
   }
   if (cfg_.parity) {
     parity_.assign((cfg_.block_size + 63) / 64, 0);
@@ -366,7 +372,33 @@ void CamBlock::stage_fused_compares(const Word* keys, std::size_t nkeys) {
   }
   const MatchKernel* k = nmask_uniform_ ? kernel_ : masked_kernel_;
   const std::size_t words = fused_.words_per_entry();
-  if (k->multi_fn != nullptr) {
+  // Every record in the ring shares one flavour (raw vs pre-encoded): the
+  // dispatched kernel can only change after an array mutation, and every
+  // mutation clears the ring, so flipping the flag here never mixes them.
+  fused_encoded_ = k->multi_encode_fn != nullptr;
+  if (k->multi_encode_fn != nullptr) {
+    // Fused multi-key sweep→encode: the metas are final results; the word
+    // span doubles as the kernel's sweep scratch and, for one-hot, carries
+    // the valid-ANDed raw words the consumer will copy into its pool.
+    if (std::uint64_t* span = fused_.stage_span(tk, nkeys)) {
+      k->multi_encode_fn(fast_stored_.data(), fast_cmp_not_mask_.data(),
+                         fast_valid_.data(), tk, nkeys, cfg_.block_size,
+                         cfg_.encoding, fused_meta_scratch_, span);
+    } else {
+      k->multi_encode_fn(fast_stored_.data(), fast_cmp_not_mask_.data(),
+                         fast_valid_.data(), tk, nkeys, cfg_.block_size,
+                         cfg_.encoding, fused_meta_scratch_,
+                         fused_scratch_.data());
+      for (std::size_t i = 0; i < nkeys; ++i) {
+        std::uint64_t* slot = fused_.stage(tk[i]);
+        const std::uint64_t* src = fused_scratch_.data() + i * words;
+        for (std::size_t wi = 0; wi < words; ++wi) slot[wi] = src[wi];
+      }
+    }
+    for (std::size_t i = 0; i < nkeys; ++i) {
+      fused_.meta_from_back(nkeys - 1 - i) = fused_meta_scratch_[i];
+    }
+  } else if (k->multi_fn != nullptr) {
     // The ring's records are key-major exactly like the kernel's output, so
     // when the batch fits without wrapping the kernel writes straight into
     // the staged slots; only a wrapping batch bounces through the scratch.
@@ -410,8 +442,23 @@ void CamBlock::compute_match_fast() {
   // those compares retire.
   if (!fused_.empty() && fused_.front_key() == cmp_key_) {
     const std::uint64_t* bits = fused_.front_words();
-    for (std::size_t wi = 0; wi < word_count; ++wi) {
-      match_scratch_.set_word(wi, bits[wi] & fast_valid_[wi]);
+    if (fused_encoded_) {
+      // The record carries the finished encoding (multi_encode_fn): the
+      // meta is final and the one-hot words were valid-ANDed at staging
+      // time. The valid plane cannot have changed since - any mutation
+      // clears the ring - so consuming them verbatim stays bit-exact.
+      enc_ = fused_.front_meta();
+      if (cfg_.encoding == EncodingScheme::kOneHot) {
+        ensure_onehot_pool();
+        std::uint64_t* dst = onehot_pool_.mutable_words();
+        for (std::size_t wi = 0; wi < word_count; ++wi) dst[wi] = bits[wi];
+      }
+      pd_encoded_ = true;
+    } else {
+      for (std::size_t wi = 0; wi < word_count; ++wi) {
+        match_scratch_.set_word(wi, bits[wi] & fast_valid_[wi]);
+      }
+      pd_encoded_ = false;
     }
     fused_.pop_front();
     ++fused_hits_;
@@ -424,11 +471,27 @@ void CamBlock::compute_match_fast() {
   // transform, bit-identical by construction, so the choice never leaks
   // into results.
   const MatchKernel* k = nmask_uniform_ ? kernel_ : masked_kernel_;
+  if (k->encode_fn != nullptr) {
+    // Fused sweep→encode (DESIGN.md §14): one pass emits the finished
+    // result - no match-line BitVec, no second scan. One-hot raw words
+    // land directly in the recycled pool buffer.
+    std::uint64_t* oh = nullptr;
+    if (cfg_.encoding == EncodingScheme::kOneHot) {
+      ensure_onehot_pool();
+      oh = onehot_pool_.mutable_words();
+    }
+    k->encode_fn(fast_stored_.data(), fast_cmp_not_mask_.data(),
+                 fast_valid_.data(), cmp_key_, cfg_.block_size, cfg_.encoding,
+                 enc_, oh);
+    pd_encoded_ = true;
+    return;
+  }
   k->fn(fast_stored_.data(), fast_cmp_not_mask_.data(), cmp_key_,
         cfg_.block_size, sweep_bits_.data());
   for (std::size_t wi = 0; wi < word_count; ++wi) {
     match_scratch_.set_word(wi, sweep_bits_[wi] & fast_valid_[wi]);
   }
+  pd_encoded_ = false;
 }
 
 void CamBlock::gather_match_reference() {
@@ -509,14 +572,57 @@ void CamBlock::commit() {
     } else {
       gather_match_reference();
     }
-    encoded = encode_match_lines(match_scratch_, cfg_.encoding, *tags_.output());
-    encoded->parity_errors = parity_errs;
+    if (fast && pd_encoded_) {
+      // Fused path: the kernel already emitted the final encoding during
+      // the sweep; assemble the response without touching match_scratch_.
+      // A one-hot response steals the pool buffer (reclaimed below from
+      // the response it retires, so steady state never allocates).
+      BlockResponse r;
+      r.tag = *tags_.output();
+      r.hit = enc_.hit;
+      r.first_match = enc_.first_match;
+      r.match_count = enc_.match_count;
+      if (cfg_.encoding == EncodingScheme::kOneHot) {
+        r.raw = std::move(onehot_pool_);
+        onehot_pool_ = BitVec{};  // moved-from: make it observably empty
+      }
+      r.parity_errors = parity_errs;
+      encoded.emplace(std::move(r));
+    } else {
+      encoded.emplace();
+      if (fast && cfg_.encoding == EncodingScheme::kOneHot) {
+        // Legacy fast path (no encode_fn, e.g. force-generic): seed the
+        // response with the recycled buffer so the raw copy below reuses
+        // its heap instead of allocating.
+        ensure_onehot_pool();
+        encoded->raw = std::move(onehot_pool_);
+        onehot_pool_ = BitVec{};
+      }
+      encode_match_lines_into(match_scratch_, cfg_.encoding, *tags_.output(),
+                              *encoded);
+      encoded->parity_errors = parity_errs;
+    }
+  }
+
+  // Retire last cycle's visible response, reclaiming its one-hot buffer
+  // into the pool before the slot is overwritten.
+  if (response_ && onehot_pool_.word_count() == 0 &&
+      response_->raw.size() == cfg_.block_size &&
+      response_->raw.word_count() == match_scratch_.word_count()) {
+    onehot_pool_ = std::move(response_->raw);
+    response_->raw = BitVec{};
   }
 
   if (cfg_.output_buffer) {
     if (encoded) out_buf_.push(std::move(*encoded));
     out_buf_.shift();
-    response_ = out_buf_.output();
+    if (auto& emerged = out_buf_.mutable_output(); emerged.has_value()) {
+      // Steal the emerged value (it is overwritten at the next shift
+      // anyway) so a one-hot raw moves instead of copying.
+      response_ = std::move(*emerged);
+    } else {
+      response_.reset();
+    }
   } else {
     response_ = std::move(encoded);
   }

@@ -42,14 +42,13 @@
 #include "src/cam/cell.h"
 #include "src/cam/config.h"
 #include "src/cam/encoder.h"
+#include "src/cam/match_kernel.h"
 #include "src/cam/transactions.h"
 #include "src/sim/component.h"
 #include "src/sim/delay_line.h"
 #include "src/sim/staging.h"
 
 namespace dspcam::cam {
-
-struct MatchKernel;  // match_kernel.h
 
 /// One CAM block.
 class CamBlock : public sim::Component {
@@ -197,6 +196,12 @@ class CamBlock : public sim::Component {
   void compute_match_fast();
   void gather_match_reference();
 
+  /// Guarantees onehot_pool_ holds a live block_size-bit buffer (it is
+  /// emptied whenever a one-hot response steals it in commit()).
+  void ensure_onehot_pool() {
+    if (onehot_pool_.word_count() == 0) onehot_pool_ = BitVec(cfg_.block_size);
+  }
+
   void reset_parity_bits();
   void set_parity_bit(unsigned index, bool value) noexcept;
   bool parity_bit(unsigned index) const noexcept {
@@ -234,10 +239,27 @@ class CamBlock : public sim::Component {
   std::vector<std::uint64_t> sweep_bits_;  ///< Kernel sweep scratch (no alloc;
                                            ///< sized at construction).
 
+  // Fused sweep→encode fast path (DESIGN.md §14). When the dispatched
+  // kernel carries an encode_fn, compute_match_fast lands the finished
+  // result in enc_ (and, for one-hot, the raw words in onehot_pool_)
+  // without materializing match_scratch_; pd_encoded_ records which form
+  // the retiring compare took so commit() builds the response from the
+  // right source. onehot_pool_ is a recycled buffer: a one-hot response
+  // moves it out, and the next commit reclaims the retiring response's
+  // buffer back into it, so steady state never allocates.
+  EncodedMatch enc_;
+  bool pd_encoded_ = false;
+  BitVec onehot_pool_;
+
   // Multi-key match fusion (kFast only; staging.h). fused_scratch_ holds a
   // multi-kernel call's key-major output before it is parked per record.
-  sim::FusedMatchStaging<Word> fused_;
+  // Records carry an EncodedMatch meta when the kernel has a
+  // multi_encode_fn (fused_encoded_; one flavour ring-wide - the dispatch
+  // kernel can only change after a mutation, which clears the ring).
+  sim::FusedMatchStaging<Word, EncodedMatch> fused_;
   std::vector<std::uint64_t> fused_scratch_;
+  EncodedMatch fused_meta_scratch_[kMaxFusionKeys];
+  bool fused_encoded_ = false;
   std::uint64_t fused_staged_ = 0;
   std::uint64_t fused_hits_ = 0;
   std::uint64_t fused_discards_ = 0;

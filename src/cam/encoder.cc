@@ -22,4 +22,27 @@ BlockResponse encode_match_lines(const BitVec& match_lines, EncodingScheme schem
   return resp;
 }
 
+void encode_match_lines_into(const BitVec& match_lines, EncodingScheme scheme,
+                             const QueryTag& tag, BlockResponse& resp) {
+  resp.tag = tag;
+  resp.hit = match_lines.any();
+  resp.first_match = 0;
+  resp.match_count = 0;
+  resp.parity_errors = 0;
+  switch (scheme) {
+    case EncodingScheme::kPriorityIndex:
+      resp.first_match =
+          resp.hit ? static_cast<std::uint32_t>(match_lines.find_first()) : 0;
+      resp.raw = BitVec{};
+      break;
+    case EncodingScheme::kOneHot:
+      resp.raw = match_lines;  // vector assignment reuses resp.raw's storage
+      break;
+    case EncodingScheme::kMatchCount:
+      resp.match_count = static_cast<std::uint32_t>(match_lines.count());
+      resp.raw = BitVec{};
+      break;
+  }
+}
+
 }  // namespace dspcam::cam

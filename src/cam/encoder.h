@@ -19,4 +19,12 @@ namespace dspcam::cam {
 BlockResponse encode_match_lines(const BitVec& match_lines, EncodingScheme scheme,
                                  const QueryTag& tag);
 
+/// In-place variant: overwrites every field of `resp` (except that under
+/// kOneHot `resp.raw` is assigned into, reusing its heap buffer when the
+/// geometry matches). The steady-state fast path calls this with a recycled
+/// BlockResponse so encoding allocates nothing; the by-value overload above
+/// stays as the golden reference the fused kernels are fuzzed against.
+void encode_match_lines_into(const BitVec& match_lines, EncodingScheme scheme,
+                             const QueryTag& tag, BlockResponse& resp);
+
 }  // namespace dspcam::cam

@@ -1,0 +1,624 @@
+// GENERATED FILE - DO NOT EDIT.
+//
+// AOT-generated match kernels for the pinned geometry set
+// (src/codegen/cpp_kernels.cc, pinned_match_kernel_geometries()).
+// Each geometry gets the full kernel complement - raw sweep,
+// multi-key sweep, fused sweep->encode, fused multi-key
+// sweep->encode - with depth, width, and mask mode constant-folded
+// into the text. Registered between the AVX2 tier and the
+// hand-written scalar templates (match_kernel.cc).
+//
+// Regenerate (must be a no-op diff; CI gates on it):
+//   cmake --build build --target gen_match_kernels
+//   ./build/src/codegen/gen_match_kernels src/cam/generated
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/cam/match_kernel.h"
+#include "src/cam/match_kernel_fused.h"
+
+namespace dspcam::cam::detail {
+namespace {
+
+// --- gen_eq_w32_d64: mask-free, width 32, depth 64. ---
+
+inline std::uint64_t gen_eq_w32_d64_word(const std::uint64_t* stored, const std::uint64_t* nmask,
+    std::uint32_t key_t, std::size_t base) {
+  (void)nmask;
+  std::uint64_t bits = 0;
+  for (std::size_t b = 0; b < 64; ++b) {
+    const std::uint32_t s = static_cast<std::uint32_t>(stored[base + b]);
+    bits |= static_cast<std::uint64_t>(s == key_t) << b;
+  }
+  return bits;
+}
+
+void gen_eq_w32_d64_fn(const std::uint64_t* stored, const std::uint64_t* nmask,
+    Word key, std::size_t /*count*/, std::uint64_t* out_bits) {
+  const std::uint32_t key_t = static_cast<std::uint32_t>(key);
+  for (std::size_t wi = 0; wi < 1; ++wi) {
+    out_bits[wi] = gen_eq_w32_d64_word(stored, nmask, key_t, wi * 64);
+  }
+}
+
+void gen_eq_w32_d64_multi(const std::uint64_t* stored, const std::uint64_t* nmask,
+    const Word* keys, std::size_t nkeys, std::size_t /*count*/,
+    std::uint64_t* out_bits) {
+  (void)nmask;
+  std::uint32_t keys_t[kMaxFusionKeys];
+  for (std::size_t k = 0; k < nkeys; ++k) {
+    keys_t[k] = static_cast<std::uint32_t>(keys[k]);
+  }
+  for (std::size_t wi = 0; wi < 1; ++wi) {
+    const std::size_t base = wi * 64;
+    for (std::size_t k = 0; k < nkeys; ++k) out_bits[k * 1 + wi] = 0;
+    for (std::size_t b = 0; b < 64; ++b) {
+      const std::uint32_t s = static_cast<std::uint32_t>(stored[base + b]);
+      for (std::size_t k = 0; k < nkeys; ++k) {
+        const std::uint32_t key_t = keys_t[k];
+        out_bits[k * 1 + wi] |=
+            static_cast<std::uint64_t>(s == key_t) << b;
+      }
+    }
+  }
+}
+
+void gen_eq_w32_d64_encode(const std::uint64_t* stored, const std::uint64_t* nmask,
+    const std::uint64_t* valid, Word key, std::size_t /*count*/,
+    EncodingScheme scheme, EncodedMatch& out, std::uint64_t* out_bits) {
+  const std::uint32_t key_t = static_cast<std::uint32_t>(key);
+  out = EncodedMatch{};
+  switch (scheme) {
+    case EncodingScheme::kPriorityIndex:
+      for (std::size_t wi = 0; wi < 1; ++wi) {
+        const std::uint64_t m =
+            gen_eq_w32_d64_word(stored, nmask, key_t, wi * 64) & valid[wi];
+        if (m != 0) {
+          out.hit = true;
+          out.first_match = static_cast<std::uint32_t>(
+              wi * 64 + static_cast<std::size_t>(std::countr_zero(m)));
+          return;
+        }
+      }
+      return;
+    case EncodingScheme::kOneHot: {
+      bool hit = false;
+      for (std::size_t wi = 0; wi < 1; ++wi) {
+        const std::uint64_t m =
+            gen_eq_w32_d64_word(stored, nmask, key_t, wi * 64) & valid[wi];
+        out_bits[wi] = m;
+        hit = hit || m != 0;
+      }
+      out.hit = hit;
+      return;
+    }
+    case EncodingScheme::kMatchCount: {
+      std::uint64_t total = 0;
+      for (std::size_t wi = 0; wi < 1; ++wi) {
+        const std::uint64_t m =
+            gen_eq_w32_d64_word(stored, nmask, key_t, wi * 64) & valid[wi];
+        total += static_cast<std::uint64_t>(std::popcount(m));
+      }
+      out.match_count = static_cast<std::uint32_t>(total);
+      out.hit = total != 0;
+      return;
+    }
+  }
+}
+
+void gen_eq_w32_d64_multi_encode(const std::uint64_t* stored, const std::uint64_t* nmask,
+    const std::uint64_t* valid, const Word* keys, std::size_t nkeys,
+    std::size_t /*count*/, EncodingScheme scheme, EncodedMatch* out,
+    std::uint64_t* out_bits) {
+  gen_eq_w32_d64_multi(stored, nmask, keys, nkeys, 64, out_bits);
+  encode_swept_words(valid, 64, nkeys, scheme, out, out_bits);
+}
+
+// --- gen_masked_w32_d64: masked, width 32, depth 64. ---
+
+inline std::uint64_t gen_masked_w32_d64_word(const std::uint64_t* stored, const std::uint64_t* nmask,
+    std::uint32_t key_t, std::size_t base) {
+  std::uint64_t bits = 0;
+  for (std::size_t b = 0; b < 64; ++b) {
+    const std::uint32_t s = static_cast<std::uint32_t>(stored[base + b]);
+    const std::uint32_t nm = static_cast<std::uint32_t>(nmask[base + b]);
+    bits |= static_cast<std::uint64_t>(((s ^ key_t) & nm) == 0) << b;
+  }
+  return bits;
+}
+
+void gen_masked_w32_d64_fn(const std::uint64_t* stored, const std::uint64_t* nmask,
+    Word key, std::size_t /*count*/, std::uint64_t* out_bits) {
+  const std::uint32_t key_t = static_cast<std::uint32_t>(key);
+  for (std::size_t wi = 0; wi < 1; ++wi) {
+    out_bits[wi] = gen_masked_w32_d64_word(stored, nmask, key_t, wi * 64);
+  }
+}
+
+void gen_masked_w32_d64_multi(const std::uint64_t* stored, const std::uint64_t* nmask,
+    const Word* keys, std::size_t nkeys, std::size_t /*count*/,
+    std::uint64_t* out_bits) {
+  std::uint32_t keys_t[kMaxFusionKeys];
+  for (std::size_t k = 0; k < nkeys; ++k) {
+    keys_t[k] = static_cast<std::uint32_t>(keys[k]);
+  }
+  for (std::size_t wi = 0; wi < 1; ++wi) {
+    const std::size_t base = wi * 64;
+    for (std::size_t k = 0; k < nkeys; ++k) out_bits[k * 1 + wi] = 0;
+    for (std::size_t b = 0; b < 64; ++b) {
+      const std::uint32_t s = static_cast<std::uint32_t>(stored[base + b]);
+      const std::uint32_t nm = static_cast<std::uint32_t>(nmask[base + b]);
+      for (std::size_t k = 0; k < nkeys; ++k) {
+        const std::uint32_t key_t = keys_t[k];
+        out_bits[k * 1 + wi] |=
+            static_cast<std::uint64_t>(((s ^ key_t) & nm) == 0) << b;
+      }
+    }
+  }
+}
+
+void gen_masked_w32_d64_encode(const std::uint64_t* stored, const std::uint64_t* nmask,
+    const std::uint64_t* valid, Word key, std::size_t /*count*/,
+    EncodingScheme scheme, EncodedMatch& out, std::uint64_t* out_bits) {
+  const std::uint32_t key_t = static_cast<std::uint32_t>(key);
+  out = EncodedMatch{};
+  switch (scheme) {
+    case EncodingScheme::kPriorityIndex:
+      for (std::size_t wi = 0; wi < 1; ++wi) {
+        const std::uint64_t m =
+            gen_masked_w32_d64_word(stored, nmask, key_t, wi * 64) & valid[wi];
+        if (m != 0) {
+          out.hit = true;
+          out.first_match = static_cast<std::uint32_t>(
+              wi * 64 + static_cast<std::size_t>(std::countr_zero(m)));
+          return;
+        }
+      }
+      return;
+    case EncodingScheme::kOneHot: {
+      bool hit = false;
+      for (std::size_t wi = 0; wi < 1; ++wi) {
+        const std::uint64_t m =
+            gen_masked_w32_d64_word(stored, nmask, key_t, wi * 64) & valid[wi];
+        out_bits[wi] = m;
+        hit = hit || m != 0;
+      }
+      out.hit = hit;
+      return;
+    }
+    case EncodingScheme::kMatchCount: {
+      std::uint64_t total = 0;
+      for (std::size_t wi = 0; wi < 1; ++wi) {
+        const std::uint64_t m =
+            gen_masked_w32_d64_word(stored, nmask, key_t, wi * 64) & valid[wi];
+        total += static_cast<std::uint64_t>(std::popcount(m));
+      }
+      out.match_count = static_cast<std::uint32_t>(total);
+      out.hit = total != 0;
+      return;
+    }
+  }
+}
+
+void gen_masked_w32_d64_multi_encode(const std::uint64_t* stored, const std::uint64_t* nmask,
+    const std::uint64_t* valid, const Word* keys, std::size_t nkeys,
+    std::size_t /*count*/, EncodingScheme scheme, EncodedMatch* out,
+    std::uint64_t* out_bits) {
+  gen_masked_w32_d64_multi(stored, nmask, keys, nkeys, 64, out_bits);
+  encode_swept_words(valid, 64, nkeys, scheme, out, out_bits);
+}
+
+// --- gen_eq_w32_d256: mask-free, width 32, depth 256. ---
+
+inline std::uint64_t gen_eq_w32_d256_word(const std::uint64_t* stored, const std::uint64_t* nmask,
+    std::uint32_t key_t, std::size_t base) {
+  (void)nmask;
+  std::uint64_t bits = 0;
+  for (std::size_t b = 0; b < 64; ++b) {
+    const std::uint32_t s = static_cast<std::uint32_t>(stored[base + b]);
+    bits |= static_cast<std::uint64_t>(s == key_t) << b;
+  }
+  return bits;
+}
+
+void gen_eq_w32_d256_fn(const std::uint64_t* stored, const std::uint64_t* nmask,
+    Word key, std::size_t /*count*/, std::uint64_t* out_bits) {
+  const std::uint32_t key_t = static_cast<std::uint32_t>(key);
+  for (std::size_t wi = 0; wi < 4; ++wi) {
+    out_bits[wi] = gen_eq_w32_d256_word(stored, nmask, key_t, wi * 64);
+  }
+}
+
+void gen_eq_w32_d256_multi(const std::uint64_t* stored, const std::uint64_t* nmask,
+    const Word* keys, std::size_t nkeys, std::size_t /*count*/,
+    std::uint64_t* out_bits) {
+  (void)nmask;
+  std::uint32_t keys_t[kMaxFusionKeys];
+  for (std::size_t k = 0; k < nkeys; ++k) {
+    keys_t[k] = static_cast<std::uint32_t>(keys[k]);
+  }
+  for (std::size_t wi = 0; wi < 4; ++wi) {
+    const std::size_t base = wi * 64;
+    for (std::size_t k = 0; k < nkeys; ++k) out_bits[k * 4 + wi] = 0;
+    for (std::size_t b = 0; b < 64; ++b) {
+      const std::uint32_t s = static_cast<std::uint32_t>(stored[base + b]);
+      for (std::size_t k = 0; k < nkeys; ++k) {
+        const std::uint32_t key_t = keys_t[k];
+        out_bits[k * 4 + wi] |=
+            static_cast<std::uint64_t>(s == key_t) << b;
+      }
+    }
+  }
+}
+
+void gen_eq_w32_d256_encode(const std::uint64_t* stored, const std::uint64_t* nmask,
+    const std::uint64_t* valid, Word key, std::size_t /*count*/,
+    EncodingScheme scheme, EncodedMatch& out, std::uint64_t* out_bits) {
+  const std::uint32_t key_t = static_cast<std::uint32_t>(key);
+  out = EncodedMatch{};
+  switch (scheme) {
+    case EncodingScheme::kPriorityIndex:
+      for (std::size_t wi = 0; wi < 4; ++wi) {
+        const std::uint64_t m =
+            gen_eq_w32_d256_word(stored, nmask, key_t, wi * 64) & valid[wi];
+        if (m != 0) {
+          out.hit = true;
+          out.first_match = static_cast<std::uint32_t>(
+              wi * 64 + static_cast<std::size_t>(std::countr_zero(m)));
+          return;
+        }
+      }
+      return;
+    case EncodingScheme::kOneHot: {
+      bool hit = false;
+      for (std::size_t wi = 0; wi < 4; ++wi) {
+        const std::uint64_t m =
+            gen_eq_w32_d256_word(stored, nmask, key_t, wi * 64) & valid[wi];
+        out_bits[wi] = m;
+        hit = hit || m != 0;
+      }
+      out.hit = hit;
+      return;
+    }
+    case EncodingScheme::kMatchCount: {
+      std::uint64_t total = 0;
+      for (std::size_t wi = 0; wi < 4; ++wi) {
+        const std::uint64_t m =
+            gen_eq_w32_d256_word(stored, nmask, key_t, wi * 64) & valid[wi];
+        total += static_cast<std::uint64_t>(std::popcount(m));
+      }
+      out.match_count = static_cast<std::uint32_t>(total);
+      out.hit = total != 0;
+      return;
+    }
+  }
+}
+
+void gen_eq_w32_d256_multi_encode(const std::uint64_t* stored, const std::uint64_t* nmask,
+    const std::uint64_t* valid, const Word* keys, std::size_t nkeys,
+    std::size_t /*count*/, EncodingScheme scheme, EncodedMatch* out,
+    std::uint64_t* out_bits) {
+  gen_eq_w32_d256_multi(stored, nmask, keys, nkeys, 256, out_bits);
+  encode_swept_words(valid, 256, nkeys, scheme, out, out_bits);
+}
+
+// --- gen_masked_w32_d256: masked, width 32, depth 256. ---
+
+inline std::uint64_t gen_masked_w32_d256_word(const std::uint64_t* stored, const std::uint64_t* nmask,
+    std::uint32_t key_t, std::size_t base) {
+  std::uint64_t bits = 0;
+  for (std::size_t b = 0; b < 64; ++b) {
+    const std::uint32_t s = static_cast<std::uint32_t>(stored[base + b]);
+    const std::uint32_t nm = static_cast<std::uint32_t>(nmask[base + b]);
+    bits |= static_cast<std::uint64_t>(((s ^ key_t) & nm) == 0) << b;
+  }
+  return bits;
+}
+
+void gen_masked_w32_d256_fn(const std::uint64_t* stored, const std::uint64_t* nmask,
+    Word key, std::size_t /*count*/, std::uint64_t* out_bits) {
+  const std::uint32_t key_t = static_cast<std::uint32_t>(key);
+  for (std::size_t wi = 0; wi < 4; ++wi) {
+    out_bits[wi] = gen_masked_w32_d256_word(stored, nmask, key_t, wi * 64);
+  }
+}
+
+void gen_masked_w32_d256_multi(const std::uint64_t* stored, const std::uint64_t* nmask,
+    const Word* keys, std::size_t nkeys, std::size_t /*count*/,
+    std::uint64_t* out_bits) {
+  std::uint32_t keys_t[kMaxFusionKeys];
+  for (std::size_t k = 0; k < nkeys; ++k) {
+    keys_t[k] = static_cast<std::uint32_t>(keys[k]);
+  }
+  for (std::size_t wi = 0; wi < 4; ++wi) {
+    const std::size_t base = wi * 64;
+    for (std::size_t k = 0; k < nkeys; ++k) out_bits[k * 4 + wi] = 0;
+    for (std::size_t b = 0; b < 64; ++b) {
+      const std::uint32_t s = static_cast<std::uint32_t>(stored[base + b]);
+      const std::uint32_t nm = static_cast<std::uint32_t>(nmask[base + b]);
+      for (std::size_t k = 0; k < nkeys; ++k) {
+        const std::uint32_t key_t = keys_t[k];
+        out_bits[k * 4 + wi] |=
+            static_cast<std::uint64_t>(((s ^ key_t) & nm) == 0) << b;
+      }
+    }
+  }
+}
+
+void gen_masked_w32_d256_encode(const std::uint64_t* stored, const std::uint64_t* nmask,
+    const std::uint64_t* valid, Word key, std::size_t /*count*/,
+    EncodingScheme scheme, EncodedMatch& out, std::uint64_t* out_bits) {
+  const std::uint32_t key_t = static_cast<std::uint32_t>(key);
+  out = EncodedMatch{};
+  switch (scheme) {
+    case EncodingScheme::kPriorityIndex:
+      for (std::size_t wi = 0; wi < 4; ++wi) {
+        const std::uint64_t m =
+            gen_masked_w32_d256_word(stored, nmask, key_t, wi * 64) & valid[wi];
+        if (m != 0) {
+          out.hit = true;
+          out.first_match = static_cast<std::uint32_t>(
+              wi * 64 + static_cast<std::size_t>(std::countr_zero(m)));
+          return;
+        }
+      }
+      return;
+    case EncodingScheme::kOneHot: {
+      bool hit = false;
+      for (std::size_t wi = 0; wi < 4; ++wi) {
+        const std::uint64_t m =
+            gen_masked_w32_d256_word(stored, nmask, key_t, wi * 64) & valid[wi];
+        out_bits[wi] = m;
+        hit = hit || m != 0;
+      }
+      out.hit = hit;
+      return;
+    }
+    case EncodingScheme::kMatchCount: {
+      std::uint64_t total = 0;
+      for (std::size_t wi = 0; wi < 4; ++wi) {
+        const std::uint64_t m =
+            gen_masked_w32_d256_word(stored, nmask, key_t, wi * 64) & valid[wi];
+        total += static_cast<std::uint64_t>(std::popcount(m));
+      }
+      out.match_count = static_cast<std::uint32_t>(total);
+      out.hit = total != 0;
+      return;
+    }
+  }
+}
+
+void gen_masked_w32_d256_multi_encode(const std::uint64_t* stored, const std::uint64_t* nmask,
+    const std::uint64_t* valid, const Word* keys, std::size_t nkeys,
+    std::size_t /*count*/, EncodingScheme scheme, EncodedMatch* out,
+    std::uint64_t* out_bits) {
+  gen_masked_w32_d256_multi(stored, nmask, keys, nkeys, 256, out_bits);
+  encode_swept_words(valid, 256, nkeys, scheme, out, out_bits);
+}
+
+// --- gen_eq_w48_d256: mask-free, width 48, depth 256. ---
+
+inline std::uint64_t gen_eq_w48_d256_word(const std::uint64_t* stored, const std::uint64_t* nmask,
+    std::uint64_t key_t, std::size_t base) {
+  (void)nmask;
+  std::uint64_t bits = 0;
+  for (std::size_t b = 0; b < 64; ++b) {
+    const std::uint64_t s = (stored[base + b]);
+    bits |= static_cast<std::uint64_t>(s == key_t) << b;
+  }
+  return bits;
+}
+
+void gen_eq_w48_d256_fn(const std::uint64_t* stored, const std::uint64_t* nmask,
+    Word key, std::size_t /*count*/, std::uint64_t* out_bits) {
+  const std::uint64_t key_t = static_cast<std::uint64_t>(key);
+  for (std::size_t wi = 0; wi < 4; ++wi) {
+    out_bits[wi] = gen_eq_w48_d256_word(stored, nmask, key_t, wi * 64);
+  }
+}
+
+void gen_eq_w48_d256_multi(const std::uint64_t* stored, const std::uint64_t* nmask,
+    const Word* keys, std::size_t nkeys, std::size_t /*count*/,
+    std::uint64_t* out_bits) {
+  (void)nmask;
+  std::uint64_t keys_t[kMaxFusionKeys];
+  for (std::size_t k = 0; k < nkeys; ++k) {
+    keys_t[k] = static_cast<std::uint64_t>(keys[k]);
+  }
+  for (std::size_t wi = 0; wi < 4; ++wi) {
+    const std::size_t base = wi * 64;
+    for (std::size_t k = 0; k < nkeys; ++k) out_bits[k * 4 + wi] = 0;
+    for (std::size_t b = 0; b < 64; ++b) {
+      const std::uint64_t s = (stored[base + b]);
+      for (std::size_t k = 0; k < nkeys; ++k) {
+        const std::uint64_t key_t = keys_t[k];
+        out_bits[k * 4 + wi] |=
+            static_cast<std::uint64_t>(s == key_t) << b;
+      }
+    }
+  }
+}
+
+void gen_eq_w48_d256_encode(const std::uint64_t* stored, const std::uint64_t* nmask,
+    const std::uint64_t* valid, Word key, std::size_t /*count*/,
+    EncodingScheme scheme, EncodedMatch& out, std::uint64_t* out_bits) {
+  const std::uint64_t key_t = static_cast<std::uint64_t>(key);
+  out = EncodedMatch{};
+  switch (scheme) {
+    case EncodingScheme::kPriorityIndex:
+      for (std::size_t wi = 0; wi < 4; ++wi) {
+        const std::uint64_t m =
+            gen_eq_w48_d256_word(stored, nmask, key_t, wi * 64) & valid[wi];
+        if (m != 0) {
+          out.hit = true;
+          out.first_match = static_cast<std::uint32_t>(
+              wi * 64 + static_cast<std::size_t>(std::countr_zero(m)));
+          return;
+        }
+      }
+      return;
+    case EncodingScheme::kOneHot: {
+      bool hit = false;
+      for (std::size_t wi = 0; wi < 4; ++wi) {
+        const std::uint64_t m =
+            gen_eq_w48_d256_word(stored, nmask, key_t, wi * 64) & valid[wi];
+        out_bits[wi] = m;
+        hit = hit || m != 0;
+      }
+      out.hit = hit;
+      return;
+    }
+    case EncodingScheme::kMatchCount: {
+      std::uint64_t total = 0;
+      for (std::size_t wi = 0; wi < 4; ++wi) {
+        const std::uint64_t m =
+            gen_eq_w48_d256_word(stored, nmask, key_t, wi * 64) & valid[wi];
+        total += static_cast<std::uint64_t>(std::popcount(m));
+      }
+      out.match_count = static_cast<std::uint32_t>(total);
+      out.hit = total != 0;
+      return;
+    }
+  }
+}
+
+void gen_eq_w48_d256_multi_encode(const std::uint64_t* stored, const std::uint64_t* nmask,
+    const std::uint64_t* valid, const Word* keys, std::size_t nkeys,
+    std::size_t /*count*/, EncodingScheme scheme, EncodedMatch* out,
+    std::uint64_t* out_bits) {
+  gen_eq_w48_d256_multi(stored, nmask, keys, nkeys, 256, out_bits);
+  encode_swept_words(valid, 256, nkeys, scheme, out, out_bits);
+}
+
+// --- gen_masked_w16_d256: masked, width 16, depth 256. ---
+
+inline std::uint64_t gen_masked_w16_d256_word(const std::uint64_t* stored, const std::uint64_t* nmask,
+    std::uint32_t key_t, std::size_t base) {
+  std::uint64_t bits = 0;
+  for (std::size_t b = 0; b < 64; ++b) {
+    const std::uint32_t s = static_cast<std::uint32_t>(stored[base + b]);
+    const std::uint32_t nm = static_cast<std::uint32_t>(nmask[base + b]);
+    bits |= static_cast<std::uint64_t>(((s ^ key_t) & nm) == 0) << b;
+  }
+  return bits;
+}
+
+void gen_masked_w16_d256_fn(const std::uint64_t* stored, const std::uint64_t* nmask,
+    Word key, std::size_t /*count*/, std::uint64_t* out_bits) {
+  const std::uint32_t key_t = static_cast<std::uint32_t>(key);
+  for (std::size_t wi = 0; wi < 4; ++wi) {
+    out_bits[wi] = gen_masked_w16_d256_word(stored, nmask, key_t, wi * 64);
+  }
+}
+
+void gen_masked_w16_d256_multi(const std::uint64_t* stored, const std::uint64_t* nmask,
+    const Word* keys, std::size_t nkeys, std::size_t /*count*/,
+    std::uint64_t* out_bits) {
+  std::uint32_t keys_t[kMaxFusionKeys];
+  for (std::size_t k = 0; k < nkeys; ++k) {
+    keys_t[k] = static_cast<std::uint32_t>(keys[k]);
+  }
+  for (std::size_t wi = 0; wi < 4; ++wi) {
+    const std::size_t base = wi * 64;
+    for (std::size_t k = 0; k < nkeys; ++k) out_bits[k * 4 + wi] = 0;
+    for (std::size_t b = 0; b < 64; ++b) {
+      const std::uint32_t s = static_cast<std::uint32_t>(stored[base + b]);
+      const std::uint32_t nm = static_cast<std::uint32_t>(nmask[base + b]);
+      for (std::size_t k = 0; k < nkeys; ++k) {
+        const std::uint32_t key_t = keys_t[k];
+        out_bits[k * 4 + wi] |=
+            static_cast<std::uint64_t>(((s ^ key_t) & nm) == 0) << b;
+      }
+    }
+  }
+}
+
+void gen_masked_w16_d256_encode(const std::uint64_t* stored, const std::uint64_t* nmask,
+    const std::uint64_t* valid, Word key, std::size_t /*count*/,
+    EncodingScheme scheme, EncodedMatch& out, std::uint64_t* out_bits) {
+  const std::uint32_t key_t = static_cast<std::uint32_t>(key);
+  out = EncodedMatch{};
+  switch (scheme) {
+    case EncodingScheme::kPriorityIndex:
+      for (std::size_t wi = 0; wi < 4; ++wi) {
+        const std::uint64_t m =
+            gen_masked_w16_d256_word(stored, nmask, key_t, wi * 64) & valid[wi];
+        if (m != 0) {
+          out.hit = true;
+          out.first_match = static_cast<std::uint32_t>(
+              wi * 64 + static_cast<std::size_t>(std::countr_zero(m)));
+          return;
+        }
+      }
+      return;
+    case EncodingScheme::kOneHot: {
+      bool hit = false;
+      for (std::size_t wi = 0; wi < 4; ++wi) {
+        const std::uint64_t m =
+            gen_masked_w16_d256_word(stored, nmask, key_t, wi * 64) & valid[wi];
+        out_bits[wi] = m;
+        hit = hit || m != 0;
+      }
+      out.hit = hit;
+      return;
+    }
+    case EncodingScheme::kMatchCount: {
+      std::uint64_t total = 0;
+      for (std::size_t wi = 0; wi < 4; ++wi) {
+        const std::uint64_t m =
+            gen_masked_w16_d256_word(stored, nmask, key_t, wi * 64) & valid[wi];
+        total += static_cast<std::uint64_t>(std::popcount(m));
+      }
+      out.match_count = static_cast<std::uint32_t>(total);
+      out.hit = total != 0;
+      return;
+    }
+  }
+}
+
+void gen_masked_w16_d256_multi_encode(const std::uint64_t* stored, const std::uint64_t* nmask,
+    const std::uint64_t* valid, const Word* keys, std::size_t nkeys,
+    std::size_t /*count*/, EncodingScheme scheme, EncodedMatch* out,
+    std::uint64_t* out_bits) {
+  gen_masked_w16_d256_multi(stored, nmask, keys, nkeys, 256, out_bits);
+  encode_swept_words(valid, 256, nkeys, scheme, out, out_bits);
+}
+
+}  // namespace
+
+void append_generated_kernels(std::vector<MatchKernel>& out) {
+  out.push_back({"gen_eq_w32_d64", &gen_eq_w32_d64_fn, false, true, 0, 64});
+  out.back().width = 32;
+  out.back().multi_fn = &gen_eq_w32_d64_multi;
+  out.back().encode_fn = &gen_eq_w32_d64_encode;
+  out.back().multi_encode_fn = &gen_eq_w32_d64_multi_encode;
+  out.push_back({"gen_masked_w32_d64", &gen_masked_w32_d64_fn, false, false, 0, 64});
+  out.back().width = 32;
+  out.back().multi_fn = &gen_masked_w32_d64_multi;
+  out.back().encode_fn = &gen_masked_w32_d64_encode;
+  out.back().multi_encode_fn = &gen_masked_w32_d64_multi_encode;
+  out.push_back({"gen_eq_w32_d256", &gen_eq_w32_d256_fn, false, true, 0, 256});
+  out.back().width = 32;
+  out.back().multi_fn = &gen_eq_w32_d256_multi;
+  out.back().encode_fn = &gen_eq_w32_d256_encode;
+  out.back().multi_encode_fn = &gen_eq_w32_d256_multi_encode;
+  out.push_back({"gen_masked_w32_d256", &gen_masked_w32_d256_fn, false, false, 0, 256});
+  out.back().width = 32;
+  out.back().multi_fn = &gen_masked_w32_d256_multi;
+  out.back().encode_fn = &gen_masked_w32_d256_encode;
+  out.back().multi_encode_fn = &gen_masked_w32_d256_multi_encode;
+  out.push_back({"gen_eq_w48_d256", &gen_eq_w48_d256_fn, false, true, 0, 256});
+  out.back().width = 48;
+  out.back().multi_fn = &gen_eq_w48_d256_multi;
+  out.back().encode_fn = &gen_eq_w48_d256_encode;
+  out.back().multi_encode_fn = &gen_eq_w48_d256_multi_encode;
+  out.push_back({"gen_masked_w16_d256", &gen_masked_w16_d256_fn, false, false, 0, 256});
+  out.back().width = 16;
+  out.back().multi_fn = &gen_masked_w16_d256_multi;
+  out.back().encode_fn = &gen_masked_w16_d256_encode;
+  out.back().multi_encode_fn = &gen_masked_w16_d256_multi_encode;
+}
+
+}  // namespace dspcam::cam::detail

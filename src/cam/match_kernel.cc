@@ -11,6 +11,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "src/cam/match_kernel_fused.h"
 #include "src/cam/match_sweep.h"
 
 namespace dspcam::cam {
@@ -111,28 +112,93 @@ void generic_scalar_multi(const std::uint64_t* stored,
   detail::match_sweep_scalar_multi(stored, nmask, keys, nkeys, count, out_bits);
 }
 
+// --- Fused sweep→encode variants (match_kernel_fused.h). ---
+//
+// The scheme fold is shared with every other kernel TU; what each kernel
+// contributes is the 64-entry match-word computation the driver calls per
+// word. The generic family deliberately gets NO encode entry points: with
+// DSPCAM_FORCE_GENERIC_KERNEL pinning blocks to it, the legacy BitVec +
+// encode_match_lines path stays exercised end to end.
+
+/// 64 match bits for entries [base, base + lanes), scalar formula.
+template <bool kMaskFree>
+struct ScalarMatchWord {
+  const std::uint64_t* stored;
+  const std::uint64_t* nmask;
+  Word key;
+
+  std::uint64_t operator()(std::size_t base, std::size_t lanes) const {
+    std::uint64_t bits = 0;
+    for (std::size_t b = 0; b < lanes; ++b) {
+      const bool match = kMaskFree
+                             ? stored[base + b] == key
+                             : ((stored[base + b] ^ key) & nmask[base + b]) == 0;
+      bits |= static_cast<std::uint64_t>(match) << b;
+    }
+    return bits;
+  }
+};
+
+/// Any-depth fused encode (companion of eq_sweep / the masked generic
+/// formula, minus the generic family).
+template <bool kMaskFree>
+void sweep_encode(const std::uint64_t* stored, const std::uint64_t* nmask,
+                  const std::uint64_t* valid, Word key, std::size_t count,
+                  EncodingScheme scheme, EncodedMatch& out,
+                  std::uint64_t* out_bits) {
+  detail::fused_encode_sweep(ScalarMatchWord<kMaskFree>{stored, nmask, key},
+                             valid, count, scheme, out, out_bits);
+}
+
+/// Depth-templated fused encode: the driver inlines with `count` a
+/// compile-time constant, so trip counts fold exactly as in
+/// fixed_depth_sweep.
+template <std::size_t kDepth, bool kMaskFree>
+void fixed_depth_sweep_encode(const std::uint64_t* stored,
+                              const std::uint64_t* nmask,
+                              const std::uint64_t* valid, Word key,
+                              std::size_t /*count*/, EncodingScheme scheme,
+                              EncodedMatch& out, std::uint64_t* out_bits) {
+  detail::fused_encode_sweep(ScalarMatchWord<kMaskFree>{stored, nmask, key},
+                             valid, kDepth, scheme, out, out_bits);
+}
+
+/// Registers one depth-templated kernel with its full fused complement
+/// (multi-key sweep, fused encode, fused multi-key encode).
+template <std::size_t kDepth, bool kMaskFree>
+void push_fixed_depth(std::vector<MatchKernel>& v, const char* name) {
+  v.push_back({name, &fixed_depth_sweep<kDepth, kMaskFree>, false, kMaskFree,
+               0, static_cast<unsigned>(kDepth)});
+  v.back().multi_fn = &fixed_depth_sweep_multi<kDepth, kMaskFree>;
+  v.back().encode_fn = &fixed_depth_sweep_encode<kDepth, kMaskFree>;
+  v.back().multi_encode_fn =
+      &detail::multi_sweep_encode<&fixed_depth_sweep_multi<kDepth, kMaskFree>>;
+}
+
 std::vector<MatchKernel> build_registry() {
   std::vector<MatchKernel> v;
   // Highest priority: AVX2 specializations (8-lane narrow-width packing,
   // mask-free equality). Empty on no-AVX2 toolchains/builds.
   detail::append_avx2_specialized_kernels(v);
 
+  // AOT-generated kernels (src/cam/generated/): exact (width, depth, mask
+  // mode) pins, ahead of the hand-written templates they constant-fold
+  // harder than, behind the AVX2 tier that still beats scalar unrolls.
+  detail::append_generated_kernels(v);
+
   // Mask-free scalar family, depth-unrolled first. Each entry also carries
-  // its fused multi-key companion (same formula, batched key compare).
-  v.push_back({"eq_d16", &fixed_depth_sweep<16, true>, false, true, 0, 16});
-  v.back().multi_fn = &fixed_depth_sweep_multi<16, true>;
-  v.push_back({"eq_d32", &fixed_depth_sweep<32, true>, false, true, 0, 32});
-  v.back().multi_fn = &fixed_depth_sweep_multi<32, true>;
-  v.push_back({"eq_d64", &fixed_depth_sweep<64, true>, false, true, 0, 64});
-  v.back().multi_fn = &fixed_depth_sweep_multi<64, true>;
-  v.push_back({"eq_d128", &fixed_depth_sweep<128, true>, false, true, 0, 128});
-  v.back().multi_fn = &fixed_depth_sweep_multi<128, true>;
-  v.push_back({"eq_d256", &fixed_depth_sweep<256, true>, false, true, 0, 256});
-  v.back().multi_fn = &fixed_depth_sweep_multi<256, true>;
-  v.push_back({"eq_d512", &fixed_depth_sweep<512, true>, false, true, 0, 512});
-  v.back().multi_fn = &fixed_depth_sweep_multi<512, true>;
+  // its fused multi-key companion (same formula, batched key compare) and
+  // the fused sweep→encode entry points.
+  push_fixed_depth<16, true>(v, "eq_d16");
+  push_fixed_depth<32, true>(v, "eq_d32");
+  push_fixed_depth<64, true>(v, "eq_d64");
+  push_fixed_depth<128, true>(v, "eq_d128");
+  push_fixed_depth<256, true>(v, "eq_d256");
+  push_fixed_depth<512, true>(v, "eq_d512");
   v.push_back({"eq", &eq_sweep, false, true, 0, 0});
   v.back().multi_fn = &eq_sweep_multi;
+  v.back().encode_fn = &sweep_encode<true>;
+  v.back().multi_encode_fn = &detail::multi_sweep_encode<&eq_sweep_multi>;
 
   // Generic AVX2 sweep (the pre-registry vector path) outranks the scalar
   // masked family: on an AVX2 host it beats any scalar unroll. The symbol
@@ -144,18 +210,12 @@ std::vector<MatchKernel> build_registry() {
 
   // Masked scalar family (TCAM/RMCAM, and the fallback for binary blocks
   // whose mask plane a fault poke made non-uniform).
-  v.push_back({"masked_d16", &fixed_depth_sweep<16, false>, false, false, 0, 16});
-  v.back().multi_fn = &fixed_depth_sweep_multi<16, false>;
-  v.push_back({"masked_d32", &fixed_depth_sweep<32, false>, false, false, 0, 32});
-  v.back().multi_fn = &fixed_depth_sweep_multi<32, false>;
-  v.push_back({"masked_d64", &fixed_depth_sweep<64, false>, false, false, 0, 64});
-  v.back().multi_fn = &fixed_depth_sweep_multi<64, false>;
-  v.push_back({"masked_d128", &fixed_depth_sweep<128, false>, false, false, 0, 128});
-  v.back().multi_fn = &fixed_depth_sweep_multi<128, false>;
-  v.push_back({"masked_d256", &fixed_depth_sweep<256, false>, false, false, 0, 256});
-  v.back().multi_fn = &fixed_depth_sweep_multi<256, false>;
-  v.push_back({"masked_d512", &fixed_depth_sweep<512, false>, false, false, 0, 512});
-  v.back().multi_fn = &fixed_depth_sweep_multi<512, false>;
+  push_fixed_depth<16, false>(v, "masked_d16");
+  push_fixed_depth<32, false>(v, "masked_d32");
+  push_fixed_depth<64, false>(v, "masked_d64");
+  push_fixed_depth<128, false>(v, "masked_d128");
+  push_fixed_depth<256, false>(v, "masked_d256");
+  push_fixed_depth<512, false>(v, "masked_d512");
 
   // Terminal fallback: matches every geometry unconditionally.
   v.push_back({"generic_scalar", &generic_scalar, false, false, 0, 0,
@@ -209,6 +269,7 @@ const MatchKernel& select_match_kernel(const MatchKernelQuery& q) {
       continue;
     }
     if (k.max_width != 0 && q.data_width > k.max_width) continue;
+    if (k.width != 0 && q.data_width != k.width) continue;
     if (k.depth != 0 && q.block_size != k.depth) continue;
     return k;
   }

@@ -69,6 +69,49 @@ using MatchKernelMultiFn = void (*)(const std::uint64_t* stored,
 /// the AVX2 multi kernels' broadcast-key arrays register-resident.
 inline constexpr std::size_t kMaxFusionKeys = 8;
 
+/// The scalar half of a finished block result: everything the encoder
+/// produces except the one-hot match vector (which needs a buffer). A fused
+/// encode kernel fills one of these instead of materializing match lines.
+struct EncodedMatch {
+  std::uint32_t first_match = 0;  ///< Lowest matching cell (priority scheme).
+  std::uint32_t match_count = 0;  ///< Population count (match-count scheme).
+  bool hit = false;
+
+  bool operator==(const EncodedMatch&) const = default;
+};
+
+/// Fused sweep + valid-AND + encode: one pass over the packed arrays emits
+/// the finished result under `scheme` - no match-line BitVec, no second
+/// scan. `valid` is the packed valid-flag array (64 flags per word, bits at
+/// or above `count` clear). Semantics per scheme, always bit-identical to
+/// encode_match_lines() over the valid-ANDed sweep of `fn`:
+///   - kPriorityIndex: per-word `match & valid` + countr_zero, stopping at
+///     the first nonzero word (the deep-geometry win); `out_bits` ignored
+///     (may be null).
+///   - kOneHot: the ceil(count / 64) valid-ANDed match words are written to
+///     `out_bits` (tail bits at or above `count` zero); hit is their OR.
+///   - kMatchCount: per-word popcount accumulation; `out_bits` ignored.
+using MatchKernelEncodeFn = void (*)(const std::uint64_t* stored,
+                                     const std::uint64_t* nmask,
+                                     const std::uint64_t* valid, Word key,
+                                     std::size_t count, EncodingScheme scheme,
+                                     EncodedMatch& out, std::uint64_t* out_bits);
+
+/// Fused multi-key sweep + encode: answers `nkeys` keys in one walk, each
+/// result identical to `encode_fn` on that key. `out` receives nkeys
+/// records; `out_bits` must always point at nkeys * ceil(count / 64) words
+/// of scratch (the batch sweep lands there before encoding) but its
+/// contents are only meaningful for kOneHot, where key k's valid-ANDed
+/// match words start at out_bits + k * ceil(count / 64).
+using MatchKernelMultiEncodeFn = void (*)(const std::uint64_t* stored,
+                                          const std::uint64_t* nmask,
+                                          const std::uint64_t* valid,
+                                          const Word* keys, std::size_t nkeys,
+                                          std::size_t count,
+                                          EncodingScheme scheme,
+                                          EncodedMatch* out,
+                                          std::uint64_t* out_bits);
+
 /// One registered kernel: the compiled function plus the descriptor the
 /// selector matches against a block geometry.
 struct MatchKernel {
@@ -83,8 +126,20 @@ struct MatchKernel {
                                ///< (0 = any); such kernels may ignore `count`.
   bool generic = false;        ///< Guaranteed-fallback family (the pre-registry
                                ///< AVX2/scalar sweeps).
+  unsigned width = 0;          ///< Selectable only at this exact data_width
+                               ///< (0 = any). AOT-generated kernels pin both
+                               ///< width and depth.
   MatchKernelMultiFn multi_fn = nullptr;  ///< Fused multi-key entry point;
                                           ///< nullptr = loop `fn` per key.
+  MatchKernelEncodeFn encode_fn = nullptr;  ///< Fused sweep→encode entry
+                                            ///< point; nullptr = legacy
+                                            ///< BitVec + encode_match_lines
+                                            ///< path (the generic family,
+                                            ///< deliberately: the force-
+                                            ///< generic escape hatch bypasses
+                                            ///< the whole fused plane).
+  MatchKernelMultiEncodeFn multi_encode_fn = nullptr;  ///< Fused multi-key
+                                                       ///< sweep→encode.
 };
 
 /// The geometry fingerprint a selection runs against.
@@ -122,6 +177,13 @@ namespace detail {
 /// the only other -mavx2 TU besides block_simd.cc). Both append nothing when
 /// the toolchain lacks AVX2 support or DSPCAM_NO_SIMD is on.
 void append_avx2_specialized_kernels(std::vector<MatchKernel>& out);
+
+/// Registration hook for the AOT-generated kernel translation unit
+/// (src/cam/generated/match_kernels_gen.cc, emitted by the C++ kernel
+/// emitter in src/codegen/cpp_kernels.h and committed to the tree). The
+/// generated kernels pin exact (width, depth, mask mode) geometries and
+/// rank between the AVX2 tier and the hand-written scalar templates.
+void append_generated_kernels(std::vector<MatchKernel>& out);
 }  // namespace detail
 
 }  // namespace dspcam::cam

@@ -17,6 +17,7 @@
 //     low halves are gathered into one 256-bit vector, doubling the
 //     compare throughput - the constant-folded key-width win.
 #include "src/cam/match_kernel.h"
+#include "src/cam/match_kernel_fused.h"
 
 #if defined(DSPCAM_HAVE_AVX2)
 #include <immintrin.h>
@@ -43,14 +44,15 @@ inline __m256i load_lo32_x8(const std::uint64_t* p) {
   return _mm256_permute4x64_epi64(packed, _MM_SHUFFLE(3, 1, 2, 0));
 }
 
-/// Mask-free equality on u64 lanes (any depth).
-void eq64_avx2(const std::uint64_t* stored, const std::uint64_t* /*nmask*/,
-               Word key, std::size_t count, std::uint64_t* out_bits) {
-  const __m256i vkey = _mm256_set1_epi64x(static_cast<long long>(key));
-  const std::size_t words = (count + 63) / 64;
-  for (std::size_t wi = 0; wi < words; ++wi) {
-    const std::size_t base = wi * 64;
-    const std::size_t lanes = count - base < 64 ? count - base : 64;
+/// 64 match bits for entries [base, base + lanes): mask-free equality on
+/// u64 lanes, four entries per 256-bit compare. Shared between the raw
+/// sweep and the fused encode driver (match_kernel_fused.h).
+struct Eq64MatchWord {
+  const std::uint64_t* stored;
+  __m256i vkey;
+  Word key;
+
+  std::uint64_t operator()(std::size_t base, std::size_t lanes) const {
     std::uint64_t bits = 0;
     std::size_t b = 0;
     for (; b + 4 <= lanes; b += 4) {
@@ -64,21 +66,21 @@ void eq64_avx2(const std::uint64_t* stored, const std::uint64_t* /*nmask*/,
     for (; b < lanes; ++b) {
       bits |= static_cast<std::uint64_t>(stored[base + b] == key) << b;
     }
-    out_bits[wi] = bits;
+    return bits;
   }
-}
+};
 
-/// Narrow-width sweeps: eight 32-bit lanes per step. kMaskFree drops the
-/// nmask gather as well.
+/// 64 match bits for entries [base, base + lanes): narrow-width compare,
+/// eight 32-bit lanes per step. kMaskFree drops the nmask gather as well.
 template <bool kMaskFree>
-void lo32_avx2(const std::uint64_t* stored, const std::uint64_t* nmask,
-               Word key, std::size_t count, std::uint64_t* out_bits) {
-  const __m256i vkey = _mm256_set1_epi32(static_cast<int>(key));
-  const __m256i zero = _mm256_setzero_si256();
-  const std::size_t words = (count + 63) / 64;
-  for (std::size_t wi = 0; wi < words; ++wi) {
-    const std::size_t base = wi * 64;
-    const std::size_t lanes = count - base < 64 ? count - base : 64;
+struct Lo32MatchWord {
+  const std::uint64_t* stored;
+  const std::uint64_t* nmask;
+  __m256i vkey;
+  __m256i zero;
+  Word key;
+
+  std::uint64_t operator()(std::size_t base, std::size_t lanes) const {
     std::uint64_t bits = 0;
     std::size_t b = 0;
     for (; b + 8 <= lanes; b += 8) {
@@ -101,8 +103,62 @@ void lo32_avx2(const std::uint64_t* stored, const std::uint64_t* nmask,
                              : ((stored[base + b] ^ key) & nmask[base + b]) == 0;
       bits |= static_cast<std::uint64_t>(match) << b;
     }
-    out_bits[wi] = bits;
+    return bits;
   }
+};
+
+/// Mask-free equality on u64 lanes (any depth).
+void eq64_avx2(const std::uint64_t* stored, const std::uint64_t* /*nmask*/,
+               Word key, std::size_t count, std::uint64_t* out_bits) {
+  const Eq64MatchWord word_at{
+      stored, _mm256_set1_epi64x(static_cast<long long>(key)), key};
+  const std::size_t words = (count + 63) / 64;
+  for (std::size_t wi = 0; wi < words; ++wi) {
+    const std::size_t base = wi * 64;
+    const std::size_t lanes = count - base < 64 ? count - base : 64;
+    out_bits[wi] = word_at(base, lanes);
+  }
+}
+
+/// Narrow-width sweeps: eight 32-bit lanes per step.
+template <bool kMaskFree>
+void lo32_avx2(const std::uint64_t* stored, const std::uint64_t* nmask,
+               Word key, std::size_t count, std::uint64_t* out_bits) {
+  const Lo32MatchWord<kMaskFree> word_at{stored, nmask,
+                                         _mm256_set1_epi32(static_cast<int>(key)),
+                                         _mm256_setzero_si256(), key};
+  const std::size_t words = (count + 63) / 64;
+  for (std::size_t wi = 0; wi < words; ++wi) {
+    const std::size_t base = wi * 64;
+    const std::size_t lanes = count - base < 64 ? count - base : 64;
+    out_bits[wi] = word_at(base, lanes);
+  }
+}
+
+/// Fused sweep→encode variants: the vector match word feeds the shared
+/// scheme fold while still in flight - no out_bits store, no second scan,
+/// and the priority fold's first-nonzero-word early exit.
+void eq64_avx2_encode(const std::uint64_t* stored,
+                      const std::uint64_t* /*nmask*/,
+                      const std::uint64_t* valid, Word key, std::size_t count,
+                      EncodingScheme scheme, EncodedMatch& out,
+                      std::uint64_t* out_bits) {
+  fused_encode_sweep(
+      Eq64MatchWord{stored, _mm256_set1_epi64x(static_cast<long long>(key)),
+                    key},
+      valid, count, scheme, out, out_bits);
+}
+
+template <bool kMaskFree>
+void lo32_avx2_encode(const std::uint64_t* stored, const std::uint64_t* nmask,
+                      const std::uint64_t* valid, Word key, std::size_t count,
+                      EncodingScheme scheme, EncodedMatch& out,
+                      std::uint64_t* out_bits) {
+  fused_encode_sweep(
+      Lo32MatchWord<kMaskFree>{stored, nmask,
+                               _mm256_set1_epi32(static_cast<int>(key)),
+                               _mm256_setzero_si256(), key},
+      valid, count, scheme, out, out_bits);
 }
 
 /// Multi-key mask-free equality on u64 lanes, for a compile-time batch
@@ -282,13 +338,21 @@ void lo32_avx2_multi(const std::uint64_t* stored, const std::uint64_t* nmask,
 }  // namespace
 
 void append_avx2_specialized_kernels(std::vector<MatchKernel>& out) {
-  // Priority order within the AVX2 tier: narrowest first.
+  // Priority order within the AVX2 tier: narrowest first. Every entry
+  // carries the full fused complement (multi-key sweep plus single- and
+  // multi-key sweep→encode).
   out.push_back({"eq32_avx2", &lo32_avx2<true>, true, true, 32, 0});
   out.back().multi_fn = &lo32_avx2_multi<true>;
+  out.back().encode_fn = &lo32_avx2_encode<true>;
+  out.back().multi_encode_fn = &multi_sweep_encode<&lo32_avx2_multi<true>>;
   out.push_back({"eq64_avx2", &eq64_avx2, true, true, 0, 0});
   out.back().multi_fn = &eq64_avx2_multi;
+  out.back().encode_fn = &eq64_avx2_encode;
+  out.back().multi_encode_fn = &multi_sweep_encode<&eq64_avx2_multi>;
   out.push_back({"masked32_avx2", &lo32_avx2<false>, true, false, 32, 0});
   out.back().multi_fn = &lo32_avx2_multi<false>;
+  out.back().encode_fn = &lo32_avx2_encode<false>;
+  out.back().multi_encode_fn = &multi_sweep_encode<&lo32_avx2_multi<false>>;
 }
 
 #else  // !DSPCAM_HAVE_AVX2: nothing to register.

@@ -1,0 +1,241 @@
+#include "src/codegen/cpp_kernels.h"
+
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "src/common/error.h"
+
+namespace dspcam::codegen {
+
+namespace {
+
+void validate_spec(const CppKernelSpec& s) {
+  if (s.data_width == 0 || s.data_width > 48) {
+    throw ConfigError("cpp_kernels: data_width must be 1..48, got " +
+                      std::to_string(s.data_width));
+  }
+  if (s.depth == 0 || (s.depth >= 64 && s.depth % 64 != 0)) {
+    throw ConfigError(
+        "cpp_kernels: depth must be < 64 or a multiple of 64, got " +
+        std::to_string(s.depth));
+  }
+}
+
+/// The per-entry match expression with the width/mask mode folded in.
+/// `s`/`nm` are the loaded (and, for narrow widths, truncated) operands.
+std::string match_expr(const CppKernelSpec& spec) {
+  return spec.mask_free ? "s == key_t" : "((s ^ key_t) & nm) == 0";
+}
+
+/// Emits the four kernel functions for one spec. Everything is derived
+/// from compile-time constants in the emitted text: word count, lane
+/// count, and the operand type (uint32_t for widths <= 32).
+std::string emit_spec(const CppKernelSpec& spec) {
+  const std::string name = cpp_kernel_name(spec);
+  const bool narrow = spec.data_width <= 32;
+  const std::string ty = narrow ? "std::uint32_t" : "std::uint64_t";
+  const unsigned words = (spec.depth + 63) / 64;
+  const unsigned lanes = spec.depth < 64 ? spec.depth : 64;
+  const std::string w = std::to_string(words);
+  const std::string l = std::to_string(lanes);
+  const std::string d = std::to_string(spec.depth);
+  const std::string cast = narrow ? "static_cast<std::uint32_t>" : "";
+  const std::string load_s = cast + "(stored[base + b])";
+  const std::string load_nm = cast + "(nmask[base + b])";
+
+  std::ostringstream o;
+  o << "// --- " << name << ": " << (spec.mask_free ? "mask-free" : "masked")
+    << ", width " << spec.data_width << ", depth " << spec.depth << ". ---\n\n";
+
+  // Per-word match helper shared by the raw sweep and the encode fold.
+  o << "inline std::uint64_t " << name
+    << "_word(const std::uint64_t* stored, const std::uint64_t* nmask,\n"
+    << "    " << ty << " key_t, std::size_t base) {\n";
+  if (spec.mask_free) o << "  (void)nmask;\n";
+  o << "  std::uint64_t bits = 0;\n"
+    << "  for (std::size_t b = 0; b < " << l << "; ++b) {\n"
+    << "    const " << ty << " s = " << load_s << ";\n";
+  if (!spec.mask_free) o << "    const " << ty << " nm = " << load_nm << ";\n";
+  o << "    bits |= static_cast<std::uint64_t>(" << match_expr(spec)
+    << ") << b;\n"
+    << "  }\n"
+    << "  return bits;\n"
+    << "}\n\n";
+
+  // Raw single-key sweep (MatchKernelFn).
+  o << "void " << name
+    << "_fn(const std::uint64_t* stored, const std::uint64_t* nmask,\n"
+    << "    Word key, std::size_t /*count*/, std::uint64_t* out_bits) {\n"
+    << "  const " << ty << " key_t = static_cast<" << ty << ">(key);\n"
+    << "  for (std::size_t wi = 0; wi < " << w << "; ++wi) {\n"
+    << "    out_bits[wi] = " << name << "_word(stored, nmask, key_t, wi * 64);\n"
+    << "  }\n"
+    << "}\n\n";
+
+  // Multi-key sweep (MatchKernelMultiFn): entry-major, each loaded operand
+  // serves every key in the batch.
+  o << "void " << name
+    << "_multi(const std::uint64_t* stored, const std::uint64_t* nmask,\n"
+    << "    const Word* keys, std::size_t nkeys, std::size_t /*count*/,\n"
+    << "    std::uint64_t* out_bits) {\n";
+  if (spec.mask_free) o << "  (void)nmask;\n";
+  o << "  " << ty << " keys_t[kMaxFusionKeys];\n"
+    << "  for (std::size_t k = 0; k < nkeys; ++k) {\n"
+    << "    keys_t[k] = static_cast<" << ty << ">(keys[k]);\n"
+    << "  }\n"
+    << "  for (std::size_t wi = 0; wi < " << w << "; ++wi) {\n"
+    << "    const std::size_t base = wi * 64;\n"
+    << "    for (std::size_t k = 0; k < nkeys; ++k) out_bits[k * " << w
+    << " + wi] = 0;\n"
+    << "    for (std::size_t b = 0; b < " << l << "; ++b) {\n"
+    << "      const " << ty << " s = " << load_s << ";\n";
+  if (!spec.mask_free) o << "      const " << ty << " nm = " << load_nm << ";\n";
+  o << "      for (std::size_t k = 0; k < nkeys; ++k) {\n"
+    << "        const " << ty << " key_t = keys_t[k];\n"
+    << "        out_bits[k * " << w << " + wi] |=\n"
+    << "            static_cast<std::uint64_t>(" << match_expr(spec)
+    << ") << b;\n"
+    << "      }\n"
+    << "    }\n"
+    << "  }\n"
+    << "}\n\n";
+
+  // Fused sweep→encode (MatchKernelEncodeFn): the scheme fold is a switch
+  // OUTSIDE the word loop, so each branch is a specialized loop - and the
+  // priority branch returns at the first nonzero valid-ANDed word.
+  o << "void " << name
+    << "_encode(const std::uint64_t* stored, const std::uint64_t* nmask,\n"
+    << "    const std::uint64_t* valid, Word key, std::size_t /*count*/,\n"
+    << "    EncodingScheme scheme, EncodedMatch& out, std::uint64_t* out_bits) {\n"
+    << "  const " << ty << " key_t = static_cast<" << ty << ">(key);\n"
+    << "  out = EncodedMatch{};\n"
+    << "  switch (scheme) {\n"
+    << "    case EncodingScheme::kPriorityIndex:\n"
+    << "      for (std::size_t wi = 0; wi < " << w << "; ++wi) {\n"
+    << "        const std::uint64_t m =\n"
+    << "            " << name << "_word(stored, nmask, key_t, wi * 64) & valid[wi];\n"
+    << "        if (m != 0) {\n"
+    << "          out.hit = true;\n"
+    << "          out.first_match = static_cast<std::uint32_t>(\n"
+    << "              wi * 64 + static_cast<std::size_t>(std::countr_zero(m)));\n"
+    << "          return;\n"
+    << "        }\n"
+    << "      }\n"
+    << "      return;\n"
+    << "    case EncodingScheme::kOneHot: {\n"
+    << "      bool hit = false;\n"
+    << "      for (std::size_t wi = 0; wi < " << w << "; ++wi) {\n"
+    << "        const std::uint64_t m =\n"
+    << "            " << name << "_word(stored, nmask, key_t, wi * 64) & valid[wi];\n"
+    << "        out_bits[wi] = m;\n"
+    << "        hit = hit || m != 0;\n"
+    << "      }\n"
+    << "      out.hit = hit;\n"
+    << "      return;\n"
+    << "    }\n"
+    << "    case EncodingScheme::kMatchCount: {\n"
+    << "      std::uint64_t total = 0;\n"
+    << "      for (std::size_t wi = 0; wi < " << w << "; ++wi) {\n"
+    << "        const std::uint64_t m =\n"
+    << "            " << name << "_word(stored, nmask, key_t, wi * 64) & valid[wi];\n"
+    << "        total += static_cast<std::uint64_t>(std::popcount(m));\n"
+    << "      }\n"
+    << "      out.match_count = static_cast<std::uint32_t>(total);\n"
+    << "      out.hit = total != 0;\n"
+    << "      return;\n"
+    << "    }\n"
+    << "  }\n"
+    << "}\n\n";
+
+  // Fused multi-key sweep→encode (MatchKernelMultiEncodeFn): the batch
+  // sweep lands in out_bits, then the shared fold finishes each record.
+  o << "void " << name
+    << "_multi_encode(const std::uint64_t* stored, const std::uint64_t* nmask,\n"
+    << "    const std::uint64_t* valid, const Word* keys, std::size_t nkeys,\n"
+    << "    std::size_t /*count*/, EncodingScheme scheme, EncodedMatch* out,\n"
+    << "    std::uint64_t* out_bits) {\n"
+    << "  " << name << "_multi(stored, nmask, keys, nkeys, " << d
+    << ", out_bits);\n"
+    << "  encode_swept_words(valid, " << d << ", nkeys, scheme, out, out_bits);\n"
+    << "}\n\n";
+  return o.str();
+}
+
+std::string emit_registration(const std::vector<CppKernelSpec>& specs) {
+  std::ostringstream o;
+  o << "void append_generated_kernels(std::vector<MatchKernel>& out) {\n";
+  for (const CppKernelSpec& s : specs) {
+    const std::string name = cpp_kernel_name(s);
+    o << "  out.push_back({\"" << name << "\", &" << name << "_fn, false, "
+      << (s.mask_free ? "true" : "false") << ", 0, " << s.depth << "});\n"
+      << "  out.back().width = " << s.data_width << ";\n"
+      << "  out.back().multi_fn = &" << name << "_multi;\n"
+      << "  out.back().encode_fn = &" << name << "_encode;\n"
+      << "  out.back().multi_encode_fn = &" << name << "_multi_encode;\n";
+  }
+  o << "}\n";
+  return o.str();
+}
+
+}  // namespace
+
+std::string cpp_kernel_name(const CppKernelSpec& spec) {
+  return std::string("gen_") + (spec.mask_free ? "eq" : "masked") + "_w" +
+         std::to_string(spec.data_width) + "_d" + std::to_string(spec.depth);
+}
+
+const std::vector<CppKernelSpec>& pinned_match_kernel_geometries() {
+  static const std::vector<CppKernelSpec> specs = {
+      {32, 64, true},   {32, 64, false},  {32, 256, true},
+      {32, 256, false}, {48, 256, true},  {16, 256, false},
+  };
+  return specs;
+}
+
+std::string generate_match_kernel_tu(const std::vector<CppKernelSpec>& specs) {
+  std::set<std::string> seen;
+  for (const CppKernelSpec& s : specs) {
+    validate_spec(s);
+    if (!seen.insert(cpp_kernel_name(s)).second) {
+      throw ConfigError("cpp_kernels: duplicate geometry " + cpp_kernel_name(s));
+    }
+  }
+  std::ostringstream o;
+  o << "// GENERATED FILE - DO NOT EDIT.\n"
+       "//\n"
+       "// AOT-generated match kernels for the pinned geometry set\n"
+       "// (src/codegen/cpp_kernels.cc, pinned_match_kernel_geometries()).\n"
+       "// Each geometry gets the full kernel complement - raw sweep,\n"
+       "// multi-key sweep, fused sweep->encode, fused multi-key\n"
+       "// sweep->encode - with depth, width, and mask mode constant-folded\n"
+       "// into the text. Registered between the AVX2 tier and the\n"
+       "// hand-written scalar templates (match_kernel.cc).\n"
+       "//\n"
+       "// Regenerate (must be a no-op diff; CI gates on it):\n"
+       "//   cmake --build build --target gen_match_kernels\n"
+       "//   ./build/src/codegen/gen_match_kernels src/cam/generated\n"
+       "#include <bit>\n"
+       "#include <cstddef>\n"
+       "#include <cstdint>\n"
+       "#include <vector>\n"
+       "\n"
+       "#include \"src/cam/match_kernel.h\"\n"
+       "#include \"src/cam/match_kernel_fused.h\"\n"
+       "\n"
+       "namespace dspcam::cam::detail {\n"
+       "namespace {\n\n";
+  for (const CppKernelSpec& s : specs) o << emit_spec(s);
+  o << "}  // namespace\n\n" << emit_registration(specs)
+    << "\n}  // namespace dspcam::cam::detail\n";
+  return o.str();
+}
+
+FileSet generate_pinned_match_kernel_files() {
+  FileSet files;
+  files["match_kernels_gen.cc"] =
+      generate_match_kernel_tu(pinned_match_kernel_geometries());
+  return files;
+}
+
+}  // namespace dspcam::codegen

@@ -1,0 +1,56 @@
+// C++ match-kernel generation (the AOT half of the compiled fast path).
+//
+// The Verilog emitter (verilog.h) turns a UnitConfig into synthesizable
+// RTL; this emitter turns a pinned set of CAM geometries into a C++
+// translation unit of match kernels with every parameter constant-folded:
+// block depth (compile-time trip counts), key width (<= 32 bits compares on
+// uint32_t truncations - legal because stored words and keys are truncated
+// to the data width, and any fault-cleared high MASK bit meets zero
+// (stored ^ key) bits), mask mode (the nmask stream dropped entirely for
+// mask-free BCAM variants), and the result-encoding fold specialized per
+// scheme with the priority early exit.
+//
+// The emitted TU is committed at src/cam/generated/match_kernels_gen.cc and
+// compiled into dspcam_cam like any hand-written kernel TU; it registers
+// through detail::append_generated_kernels() between the AVX2 tier and the
+// hand-written scalar templates (match_kernel.cc). CI regenerates it and
+// fails on any diff, so the committed text is pinned to this emitter:
+// generation is deterministic - same specs, same text.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/codegen/verilog.h"  // FileSet / write_files
+
+namespace dspcam::codegen {
+
+/// One pinned kernel geometry to generate.
+struct CppKernelSpec {
+  unsigned data_width = 32;  ///< Exact key width in bits (1..48).
+  unsigned depth = 256;      ///< Exact block size; < 64 or a multiple of 64.
+  bool mask_free = false;    ///< Drop the nmask operand (uniform-mask BCAM).
+};
+
+/// The registered kernel name a spec generates ("gen_eq_w32_d256" /
+/// "gen_masked_w16_d256").
+std::string cpp_kernel_name(const CppKernelSpec& spec);
+
+/// The geometries baked into the committed TU: the bench and test
+/// workhorses (w32 at depths 64/256, both mask modes) plus one wide and one
+/// narrow masked pin. Kept small deliberately - every spec costs four
+/// compiled functions - and covered kernel-by-kernel in
+/// tests/cam/encode_kernel_test.cc.
+const std::vector<CppKernelSpec>& pinned_match_kernel_geometries();
+
+/// Emits the full generated TU for `specs`. Throws ConfigError on an
+/// invalid spec (zero/over-wide width, depth neither < 64 nor a multiple of
+/// 64, duplicate geometry).
+std::string generate_match_kernel_tu(const std::vector<CppKernelSpec>& specs);
+
+/// The FileSet for the committed tree: match_kernels_gen.cc generated from
+/// pinned_match_kernel_geometries(). Write with write_files(files,
+/// "src/cam/generated").
+FileSet generate_pinned_match_kernel_files();
+
+}  // namespace dspcam::codegen

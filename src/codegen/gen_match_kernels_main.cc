@@ -1,0 +1,26 @@
+// Regenerates the committed AOT match-kernel TU (src/cam/generated/).
+//
+//   gen_match_kernels [output-directory]
+//
+// Default output directory: src/cam/generated (run from the repo root).
+// Emission is deterministic, so rerunning over a clean tree must be a
+// no-op diff - CI regenerates and fails on any change.
+#include <cstdio>
+#include <exception>
+
+#include "src/codegen/cpp_kernels.h"
+
+int main(int argc, char** argv) {
+  const std::string dir = argc > 1 ? argv[1] : "src/cam/generated";
+  try {
+    const dspcam::codegen::FileSet files =
+        dspcam::codegen::generate_pinned_match_kernel_files();
+    const unsigned written = dspcam::codegen::write_files(files, dir);
+    std::printf("gen_match_kernels: wrote %u file(s) to %s\n", written,
+                dir.c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "gen_match_kernels: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

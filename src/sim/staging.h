@@ -22,8 +22,18 @@
 
 namespace dspcam::sim {
 
-/// Fixed-record-width ring buffer of (key, match-bit words) entries.
-template <typename Key>
+/// Placeholder meta type for rings that stage raw match bits only.
+struct NoStagedMeta {
+  bool operator==(const NoStagedMeta&) const = default;
+};
+
+/// Fixed-record-width ring buffer of (key, match-bit words[, meta]) entries.
+/// `Meta` is an optional trivially-copyable record staged alongside each
+/// key's words - the fused sweep→encode path parks the pre-encoded result
+/// (cam::EncodedMatch) there, which is bit-exact for the same reason the
+/// raw bits are: the record is a pure function of (key, arrays, valid
+/// flags), and the owner clears the ring before any of those mutate.
+template <typename Key, typename Meta = NoStagedMeta>
 class FusedMatchStaging {
  public:
   FusedMatchStaging() = default;
@@ -37,6 +47,7 @@ class FusedMatchStaging {
     words_per_entry_ = words_per_entry;
     capacity_ = capacity;
     keys_.assign(capacity, Key{});
+    metas_.assign(capacity, Meta{});
     words_.assign(words_per_entry * capacity, 0);
     head_ = size_ = 0;
   }
@@ -84,6 +95,18 @@ class FusedMatchStaging {
     if (empty()) throw SimError("FusedMatchStaging: front on empty ring");
     return words_.data() + head_ * words_per_entry_;
   }
+  const Meta& front_meta() const {
+    if (empty()) throw SimError("FusedMatchStaging: front on empty ring");
+    return metas_[head_];
+  }
+
+  /// Meta slot of the i-th most recently staged record (i = 0 is the
+  /// newest). Producers reserve words first (stage()/stage_span()), run the
+  /// kernel, then fill the metas of the records they just staged.
+  Meta& meta_from_back(std::size_t i) {
+    if (i >= size_) throw SimError("FusedMatchStaging: meta index out of range");
+    return metas_[(head_ + size_ - 1 - i) % capacity_];
+  }
 
   void pop_front() {
     if (empty()) throw SimError("FusedMatchStaging: pop on empty ring");
@@ -105,6 +128,7 @@ class FusedMatchStaging {
   std::size_t head_ = 0;
   std::size_t size_ = 0;
   std::vector<Key> keys_;
+  std::vector<Meta> metas_;
   std::vector<std::uint64_t> words_;
 };
 

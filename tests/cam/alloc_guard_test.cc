@@ -1,0 +1,196 @@
+// Steady-state allocation guard for the fast search path (DESIGN.md §14).
+//
+// The fused sweep→encode plane exists so a streaming search workload never
+// touches the heap once warm: kernels write into preallocated scratch, the
+// one-hot raw buffer rotates through a pool, and responses move (never
+// copy) through the output register. This binary replaces the global
+// operator new/delete with counting versions and asserts the delta over a
+// steady-state block search loop is exactly zero - for the fused path, the
+// staged (multi-key fusion) path, and the legacy force-generic path, under
+// every encoding scheme.
+//
+// The guard is its own test executable: replacing ::operator new is a
+// program-wide decision that must not leak into the other suites. Under
+// ASan/TSan the replacement is not installed at all (the sanitizer runtime
+// owns the allocator) and the tests skip.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "src/cam/block.h"
+#include "src/common/random.h"
+#include "tests/cam/testbench.h"
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define DSPCAM_ALLOC_GUARD_DISABLED 1
+#endif
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define DSPCAM_ALLOC_GUARD_DISABLED 1
+#endif
+#endif
+
+namespace {
+std::size_t g_alloc_count = 0;  // single-threaded test binary
+}  // namespace
+
+#if !defined(DSPCAM_ALLOC_GUARD_DISABLED)
+
+void* operator new(std::size_t n) {
+  ++g_alloc_count;
+  if (void* p = std::malloc(n != 0 ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void* operator new(std::size_t n, std::align_val_t align) {
+  ++g_alloc_count;
+  const std::size_t a = static_cast<std::size_t>(align);
+  if (void* p = std::aligned_alloc(a, (n + a - 1) / a * a)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n, std::align_val_t align) {
+  return ::operator new(n, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+#endif  // !DSPCAM_ALLOC_GUARD_DISABLED
+
+namespace dspcam::cam {
+namespace {
+
+constexpr std::size_t kWarmup = 64;
+constexpr std::size_t kMeasure = 512;
+
+BlockConfig steady_cfg(CamKind kind, unsigned width, unsigned size,
+                       EncodingScheme scheme, bool buffered) {
+  BlockConfig cfg;
+  cfg.cell.kind = kind;
+  cfg.cell.data_width = width;
+  cfg.block_size = size;
+  cfg.bus_width = 512;
+  cfg.eval_mode = EvalMode::kFast;
+  cfg.encoding = scheme;
+  cfg.output_buffer = buffered;
+  return cfg;
+}
+
+/// Runs a streaming search loop and returns the number of heap allocations
+/// observed during the measured (post-warmup) cycles. `stage_fused` also
+/// drives the multi-key fusion staging path in batches of kMaxFusionKeys.
+std::size_t measure_steady_state(const BlockConfig& cfg, bool stage_fused,
+                                 std::uint64_t* checksum) {
+  CamBlock block(cfg);
+  Rng rng(0xA110C ^ cfg.block_size ^ static_cast<unsigned>(cfg.encoding));
+  std::vector<Word> values(cfg.block_size / 2);
+  for (Word& v : values) v = rng.next_bits(6);
+  test::load_block(block, values);
+
+  // Pre-built key schedule: the loop itself must not construct anything.
+  std::vector<Word> keys(kWarmup + kMeasure);
+  for (Word& k : keys) k = rng.next_bits(6);
+
+  std::uint64_t sum = 0;
+  std::size_t staged = 0;  // next key index to stage
+  std::size_t measured_allocs = 0;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const std::size_t before = g_alloc_count;
+    if (stage_fused && staged <= i && staged + kMaxFusionKeys <= keys.size() &&
+        block.can_stage_fused(kMaxFusionKeys)) {
+      block.stage_fused_compares(keys.data() + staged, kMaxFusionKeys);
+      staged += kMaxFusionKeys;
+    }
+    BlockRequest req;
+    req.op = OpKind::kSearch;
+    req.key = keys[i];
+    req.tag.seq = i;
+    block.issue(std::move(req));
+    block.eval();
+    block.commit();
+    if (block.response().has_value()) {
+      const BlockResponse& r = *block.response();
+      sum += r.hit + r.first_match + r.match_count + r.raw.count();
+    }
+    if (i >= kWarmup) measured_allocs += g_alloc_count - before;
+  }
+  // Drain the pipeline (outside the measured window).
+  for (unsigned i = 0; i < 8; ++i) {
+    block.eval();
+    block.commit();
+    if (block.response().has_value()) sum += block.response()->hit;
+  }
+  if (stage_fused) {
+    EXPECT_GT(block.fused_hits(), 0u) << "fusion path never exercised";
+  }
+  *checksum = sum;
+  return measured_allocs;
+}
+
+class AllocGuard : public ::testing::Test {
+ protected:
+  void SetUp() override {
+#if defined(DSPCAM_ALLOC_GUARD_DISABLED)
+    GTEST_SKIP() << "allocation counting disabled under sanitizers";
+#endif
+  }
+};
+
+TEST_F(AllocGuard, FusedEncodePathIsAllocFreeAllSchemes) {
+  for (const EncodingScheme scheme :
+       {EncodingScheme::kPriorityIndex, EncodingScheme::kOneHot,
+        EncodingScheme::kMatchCount}) {
+    for (const bool buffered : {false, true}) {
+      std::uint64_t sum = 0;
+      const std::size_t allocs = measure_steady_state(
+          steady_cfg(CamKind::kBinary, 32, 256, scheme, buffered),
+          /*stage_fused=*/false, &sum);
+      EXPECT_EQ(allocs, 0u) << "scheme " << static_cast<int>(scheme)
+                            << " buffered " << buffered;
+      EXPECT_NE(sum, 0u) << "search loop produced no responses";
+    }
+  }
+}
+
+TEST_F(AllocGuard, MaskedKernelsAndFusionStagingAreAllocFree) {
+  for (const EncodingScheme scheme :
+       {EncodingScheme::kPriorityIndex, EncodingScheme::kOneHot,
+        EncodingScheme::kMatchCount}) {
+    std::uint64_t sum = 0;
+    const std::size_t allocs = measure_steady_state(
+        steady_cfg(CamKind::kTernary, 32, 256, scheme, /*buffered=*/true),
+        /*stage_fused=*/true, &sum);
+    EXPECT_EQ(allocs, 0u) << "scheme " << static_cast<int>(scheme);
+  }
+}
+
+TEST_F(AllocGuard, LegacyForceGenericPathIsAllocFree) {
+  // The force-generic escape hatch takes the BitVec + encode_match_lines
+  // path; the recycled one-hot seed (block.cc) keeps even that alloc-free.
+  for (const EncodingScheme scheme :
+       {EncodingScheme::kPriorityIndex, EncodingScheme::kOneHot,
+        EncodingScheme::kMatchCount}) {
+    auto cfg = steady_cfg(CamKind::kBinary, 32, 256, scheme, /*buffered=*/true);
+    cfg.force_generic_kernel = true;
+    std::uint64_t sum = 0;
+    const std::size_t allocs =
+        measure_steady_state(cfg, /*stage_fused=*/false, &sum);
+    EXPECT_EQ(allocs, 0u) << "scheme " << static_cast<int>(scheme);
+  }
+}
+
+}  // namespace
+}  // namespace dspcam::cam

@@ -187,11 +187,13 @@ TEST_P(FastEquivalence, LockstepStreamsAreBitIdentical) {
   EXPECT_GT(responses, p.cycles / 4) << "stream exercised too few searches";
 }
 
-// >= 15k lockstep cycles over all three mask modes, both pipeline depths
-// (output buffer off/on), all three encoders, and - through the registry -
+// >= 15k lockstep cycles PER ENCODING SCHEME over all three mask modes,
+// both pipeline depths (output buffer off/on), and - through the registry -
 // every specialized kernel family this host can run (narrow-width and
-// full-width, mask-free and masked, depth-matched and ragged) plus the
-// force-generic escape hatch.
+// full-width, mask-free and masked, depth-matched and ragged, plus the
+// AOT-generated 64/256-deep geometry pins and their fused sweep→encode
+// entry points) and the force-generic escape hatch, which exercises the
+// legacy BitVec + encode_match_lines path end to end.
 INSTANTIATE_TEST_SUITE_P(
     Configs, FastEquivalence,
     ::testing::Values(
@@ -215,7 +217,30 @@ INSTANTIATE_TEST_SUITE_P(
         EquivParams{CamKind::kBinary, 32, 4, 32, 1, false,
                     EncodingScheme::kPriorityIndex, 2000, 808, true},
         EquivParams{CamKind::kTernary, 16, 4, 32, 2, false,
-                    EncodingScheme::kMatchCount, 2000, 909, true}));
+                    EncodingScheme::kMatchCount, 2000, 909, true},
+        // 256-deep geometries: the AOT-generated kernel pins (gen_eq_w32_
+        // d256, gen_masked_w16_d256, gen_masked_w32_d64) and the fused
+        // encode fast path they carry, under every scheme.
+        EquivParams{CamKind::kBinary, 32, 2, 256, 1, true,
+                    EncodingScheme::kOneHot, 4000, 1001},
+        EquivParams{CamKind::kTernary, 16, 2, 256, 2, false,
+                    EncodingScheme::kOneHot, 4000, 1102},
+        EquivParams{CamKind::kRange, 32, 4, 64, 2, true,
+                    EncodingScheme::kOneHot, 3500, 1203},
+        EquivParams{CamKind::kBinary, 48, 2, 64, 1, false,
+                    EncodingScheme::kOneHot, 2500, 1304},
+        EquivParams{CamKind::kBinary, 32, 2, 256, 1, false,
+                    EncodingScheme::kMatchCount, 4000, 1405},
+        EquivParams{CamKind::kTernary, 32, 2, 64, 1, true,
+                    EncodingScheme::kMatchCount, 3500, 1506},
+        EquivParams{CamKind::kRange, 16, 2, 256, 2, false,
+                    EncodingScheme::kMatchCount, 3500, 1607},
+        EquivParams{CamKind::kBinary, 32, 2, 256, 1, false,
+                    EncodingScheme::kPriorityIndex, 2500, 1708},
+        // Force-generic one-hot: the legacy path's recycled raw buffer
+        // (block.cc) must stay bit-identical under mutations too.
+        EquivParams{CamKind::kBinary, 32, 2, 256, 1, true,
+                    EncodingScheme::kOneHot, 2000, 1809, true}));
 
 }  // namespace
 }  // namespace dspcam::cam

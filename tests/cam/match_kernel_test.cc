@@ -65,8 +65,17 @@ bool eligible(const MatchKernel& k, const MatchKernelQuery& q) {
     return false;
   }
   if (k.max_width != 0 && q.data_width > k.max_width) return false;
+  if (k.width != 0 && q.data_width != k.width) return false;
   if (k.depth != 0 && q.block_size != k.depth) return false;
   return true;
+}
+
+/// A width every golden test can legally run a kernel at: the exact pin for
+/// AOT-generated kernels, the cap for narrow-width ones, full DSP width
+/// otherwise.
+unsigned golden_width(const MatchKernel& k) {
+  if (k.width != 0) return k.width;
+  return k.max_width != 0 ? k.max_width : 48;
 }
 
 TEST(MatchKernelRegistry, TerminalFallbackMatchesEverything) {
@@ -202,7 +211,7 @@ TEST(MatchKernelRegistry, EveryKernelMatchesGoldenFormula) {
   for (const MatchKernel& k : match_kernel_registry()) {
     if (k.needs_avx2 && !detail::match_sweep_avx2_available()) continue;
     ++exercised;
-    const unsigned width = k.max_width != 0 ? k.max_width : 48;
+    const unsigned width = golden_width(k);
     // Depth-specialized kernels may ignore `count`; everything else also
     // gets a ragged count to pin the partial tail word.
     std::vector<std::size_t> counts;
@@ -236,8 +245,9 @@ TEST(MatchKernelRegistry, EveryKernelMatchesGoldenFormula) {
       EXPECT_EQ(got, want) << k.name << " count " << count;
     }
   }
-  // generic_scalar and the full scalar specialized family at minimum.
-  EXPECT_GE(exercised, 14u);
+  // generic_scalar, the full scalar specialized family, and the six
+  // AOT-generated geometry kernels at minimum.
+  EXPECT_GE(exercised, 20u);
 }
 
 /// Every fused multi-key entry point must reproduce its own single-key
@@ -250,7 +260,7 @@ TEST(MatchKernelRegistry, EveryMultiKernelMatchesPerKeySweep) {
     if (k.needs_avx2 && !detail::match_sweep_avx2_available()) continue;
     ASSERT_NE(k.multi_fn, nullptr) << k.name << ": no fused entry point";
     ++exercised;
-    const unsigned width = k.max_width != 0 ? k.max_width : 48;
+    const unsigned width = golden_width(k);
     const std::size_t count = k.depth != 0 ? k.depth : 130;
     Rng rng(0xFACADE ^ count);
     std::vector<std::uint64_t> stored(count), nmask(count);
@@ -282,7 +292,7 @@ TEST(MatchKernelRegistry, EveryMultiKernelMatchesPerKeySweep) {
       }
     }
   }
-  EXPECT_GE(exercised, 14u);
+  EXPECT_GE(exercised, 20u);
 }
 
 /// A fault-style poke that de-uniforms a binary block's mask plane must

@@ -1,0 +1,103 @@
+// C++ match-kernel emitter tests (src/codegen/cpp_kernels.h):
+//   - emission is deterministic (same specs, same text - the property the
+//     CI regeneration gate relies on),
+//   - invalid specs are rejected with ConfigError,
+//   - the committed TU at src/cam/generated/match_kernels_gen.cc is exactly
+//     what the emitter produces today (regeneration is a no-op diff),
+//   - every pinned geometry registers under its documented name and the
+//     generated registration hook actually contributes kernels with the
+//     fused entry points wired.
+#include "src/codegen/cpp_kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "src/cam/match_kernel.h"
+#include "src/common/error.h"
+
+namespace dspcam::codegen {
+namespace {
+
+TEST(CppKernelEmitter, EmissionIsDeterministic) {
+  const FileSet a = generate_pinned_match_kernel_files();
+  const FileSet b = generate_pinned_match_kernel_files();
+  EXPECT_EQ(a, b);
+  ASSERT_EQ(a.size(), 1u);
+  ASSERT_TRUE(a.count("match_kernels_gen.cc"));
+}
+
+TEST(CppKernelEmitter, KernelNamesFollowTheDocumentedShape) {
+  EXPECT_EQ(cpp_kernel_name({32, 256, true}), "gen_eq_w32_d256");
+  EXPECT_EQ(cpp_kernel_name({16, 256, false}), "gen_masked_w16_d256");
+}
+
+TEST(CppKernelEmitter, InvalidSpecsAreRejected) {
+  EXPECT_THROW(generate_match_kernel_tu({{0, 256, true}}), ConfigError);
+  EXPECT_THROW(generate_match_kernel_tu({{49, 256, true}}), ConfigError);
+  EXPECT_THROW(generate_match_kernel_tu({{32, 0, true}}), ConfigError);
+  EXPECT_THROW(generate_match_kernel_tu({{32, 100, true}}), ConfigError);
+  // Duplicate geometry would register two kernels under one name.
+  EXPECT_THROW(generate_match_kernel_tu({{32, 256, true}, {32, 256, true}}),
+               ConfigError);
+}
+
+/// The committed file must be byte-identical to what the emitter produces
+/// now. If this fails, rebuild and rerun
+///   ./build/src/codegen/gen_match_kernels src/cam/generated
+/// and commit the result (CI enforces the same invariant via git diff).
+TEST(CppKernelEmitter, CommittedTuMatchesEmitterOutput) {
+  const FileSet files = generate_pinned_match_kernel_files();
+  const auto it = files.find("match_kernels_gen.cc");
+  ASSERT_NE(it, files.end());
+
+  // ctest runs from the build tree; walk the source path from there too.
+  const char* candidates[] = {
+      "src/cam/generated/match_kernels_gen.cc",
+      "../src/cam/generated/match_kernels_gen.cc",
+      "../../src/cam/generated/match_kernels_gen.cc",
+  };
+  std::string committed;
+  for (const char* path : candidates) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) continue;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    committed = buf.str();
+    break;
+  }
+  if (committed.empty()) {
+    GTEST_SKIP() << "committed TU not reachable from the test working dir";
+  }
+  EXPECT_EQ(committed, it->second)
+      << "src/cam/generated/match_kernels_gen.cc is stale - regenerate with "
+         "gen_match_kernels";
+}
+
+TEST(CppKernelEmitter, PinnedGeometriesAreRegisteredWithFusedEntryPoints) {
+  std::set<std::string> expected;
+  for (const CppKernelSpec& spec : pinned_match_kernel_geometries()) {
+    expected.insert(cpp_kernel_name(spec));
+  }
+  ASSERT_GE(expected.size(), 6u);
+  unsigned found = 0;
+  for (const cam::MatchKernel& k : cam::match_kernel_registry()) {
+    if (!expected.count(k.name)) continue;
+    ++found;
+    EXPECT_NE(k.fn, nullptr) << k.name;
+    EXPECT_NE(k.multi_fn, nullptr) << k.name;
+    EXPECT_NE(k.encode_fn, nullptr) << k.name;
+    EXPECT_NE(k.multi_encode_fn, nullptr) << k.name;
+    EXPECT_NE(k.width, 0u) << k.name << ": generated kernels pin the width";
+    EXPECT_NE(k.depth, 0u) << k.name << ": generated kernels pin the depth";
+    EXPECT_FALSE(k.needs_avx2) << k.name;
+    EXPECT_FALSE(k.generic) << k.name;
+  }
+  EXPECT_EQ(found, expected.size());
+}
+
+}  // namespace
+}  // namespace dspcam::codegen

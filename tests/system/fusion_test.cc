@@ -64,18 +64,24 @@ struct FusionParams {
   std::size_t fusion_keys;
   unsigned cycles;
   std::uint64_t seed;
+  /// Defaulted so the priority-scheme configs keep their 7-field inits; the
+  /// one-hot and match-count configs exercise the staged pre-encoded
+  /// (multi_encode_fn) records through every result shape.
+  cam::EncodingScheme encoding = cam::EncodingScheme::kPriorityIndex;
 };
 
 class FusionLockstep : public ::testing::TestWithParam<FusionParams> {};
 
-CamSystem::Config make_config(cam::CamKind kind, unsigned data_width,
-                              unsigned unit_size, unsigned block_size,
-                              std::size_t fusion_keys) {
+CamSystem::Config make_config(
+    cam::CamKind kind, unsigned data_width, unsigned unit_size,
+    unsigned block_size, std::size_t fusion_keys,
+    cam::EncodingScheme encoding = cam::EncodingScheme::kPriorityIndex) {
   CamSystem::Config cfg;
   cfg.unit.block.cell.kind = kind;
   cfg.unit.block.cell.data_width = data_width;
   cfg.unit.block.block_size = block_size;
   cfg.unit.block.bus_width = data_width * 4;
+  cfg.unit.block.encoding = encoding;
   cfg.unit.unit_size = unit_size;
   cfg.unit.bus_width = data_width * 4;
   cfg.fusion_max_keys = fusion_keys;
@@ -171,8 +177,9 @@ TEST_P(FusionLockstep, FusedStreamIsByteIdenticalToUnfused) {
   ScopedFusionEnv ambient(nullptr);  // the params' widths must win
   const auto p = GetParam();
   CamSystem fused(make_config(p.kind, p.data_width, p.unit_size, p.block_size,
-                              p.fusion_keys));
-  CamSystem plain(make_config(p.kind, p.data_width, p.unit_size, p.block_size, 1));
+                              p.fusion_keys, p.encoding));
+  CamSystem plain(make_config(p.kind, p.data_width, p.unit_size, p.block_size, 1,
+                              p.encoding));
   ASSERT_EQ(fused.fusion_width(), p.fusion_keys);
   ASSERT_EQ(plain.fusion_width(), 1u);
 
@@ -232,7 +239,27 @@ INSTANTIATE_TEST_SUITE_P(
         FusionParams{cam::CamKind::kTernary, 16, 4, 32, 8, 2500, 44},
         FusionParams{cam::CamKind::kRange, 16, 4, 32, 8, 2500, 55},
         // 48-bit binary: the full-width eq64 kernel family.
-        FusionParams{cam::CamKind::kBinary, 48, 2, 64, 8, 2500, 66}));
+        FusionParams{cam::CamKind::kBinary, 48, 2, 64, 8, 2500, 66},
+        // One-hot and match-count encodings at the AOT-pinned 64/256-deep
+        // geometries: staged records carry pre-encoded results
+        // (multi_encode_fn) and must stay byte-identical to the unfused
+        // stream under every scheme (>= 15k lockstep cycles per scheme).
+        FusionParams{cam::CamKind::kBinary, 32, 2, 256, 8, 4000, 77,
+                     cam::EncodingScheme::kOneHot},
+        FusionParams{cam::CamKind::kTernary, 16, 2, 256, 8, 4000, 88,
+                     cam::EncodingScheme::kOneHot},
+        FusionParams{cam::CamKind::kRange, 32, 4, 64, 8, 4000, 99,
+                     cam::EncodingScheme::kOneHot},
+        FusionParams{cam::CamKind::kBinary, 48, 2, 64, 4, 3500, 111,
+                     cam::EncodingScheme::kOneHot},
+        FusionParams{cam::CamKind::kBinary, 32, 2, 256, 8, 4000, 222,
+                     cam::EncodingScheme::kMatchCount},
+        FusionParams{cam::CamKind::kTernary, 32, 2, 64, 8, 4000, 333,
+                     cam::EncodingScheme::kMatchCount},
+        FusionParams{cam::CamKind::kRange, 16, 2, 256, 4, 4000, 444,
+                     cam::EncodingScheme::kMatchCount},
+        FusionParams{cam::CamKind::kBinary, 32, 4, 32, 8, 3500, 555,
+                     cam::EncodingScheme::kMatchCount}));
 
 TEST(FusionBarrier, WriteClassRequestsDelimitBatches) {
   ScopedFusionEnv ambient(nullptr);

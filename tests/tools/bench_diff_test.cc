@@ -53,6 +53,28 @@ TEST(BenchDiffIdentity, StatAndVolatileFieldsStayOutOfTheKey) {
   EXPECT_FALSE(is_volatile_field("fusion_keys"));
 }
 
+TEST(BenchDiffIdentity, EncodeRowsKeyOnTierAndSchemeWithSpeedupVolatile) {
+  // The part-7 fused-encode rows: (unit, scheme, path, kernel) separate the
+  // kernel tiers, while the paired-ratio speedup and the per-host rate
+  // stats stay out of the identity.
+  const Row a = parse(
+      R"({"kind": "encode", "unit": "bcam_w32_d256", "scheme": "priority-index", )"
+      R"("path": "aot", "kernel": "gen_eq_w32_d256", "cells": 256, )"
+      R"("encodes_per_sec_median": 4e6, "speedup_vs_unfused": 1.6})");
+  const Row b = parse(
+      R"({"kind": "encode", "unit": "bcam_w32_d256", "scheme": "priority-index", )"
+      R"("path": "aot", "kernel": "gen_eq_w32_d256", "cells": 256, )"
+      R"("encodes_per_sec_median": 9e6, "speedup_vs_unfused": 1.2})");
+  const Row c = parse(
+      R"({"kind": "encode", "unit": "bcam_w32_d256", "scheme": "priority-index", )"
+      R"("path": "registry", "kernel": "eq32_avx2", "cells": 256, )"
+      R"("encodes_per_sec_median": 4e6, "speedup_vs_unfused": 1.6})");
+  EXPECT_EQ(identity_of(a), identity_of(b));
+  EXPECT_NE(identity_of(a), identity_of(c));
+  EXPECT_TRUE(is_volatile_field("speedup_vs_unfused"));
+  EXPECT_TRUE(is_stat_field("unfused_encodes_per_sec_median"));
+}
+
 TEST(BenchDiffIdentity, BooleansAndNumbersParticipate) {
   const Row a = parse(R"({"kind": "kernel", "force_generic": true, "x_median": 1})");
   const Row b = parse(R"({"kind": "kernel", "force_generic": false, "x_median": 1})");
